@@ -1,0 +1,689 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus microbenchmarks and ablations for the design
+// choices called out in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+//
+// Figure-level benchmarks run the corresponding experiment driver and
+// report the headline quantities via b.ReportMetric; the full tables
+// are printed by cmd/tssbench and recorded in EXPERIMENTS.md.
+package tss_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"tss"
+	"tss/internal/abstraction"
+	"tss/internal/acl"
+	"tss/internal/adapter"
+	"tss/internal/auth"
+	"tss/internal/chirp"
+	"tss/internal/chirp/proto"
+	"tss/internal/experiments"
+	"tss/internal/netsim"
+	"tss/internal/nfsbase"
+	"tss/internal/sim"
+	"tss/internal/vfs"
+	"tss/internal/workload"
+)
+
+// ---- Figure-level benchmarks (one per table/figure) ----
+
+// metricName makes a label safe for b.ReportMetric (no whitespace).
+func metricName(parts ...string) string {
+	joined := strings.Join(parts, "-")
+	return strings.ReplaceAll(joined, " ", "")
+}
+
+// BenchmarkFig3SyscallLatency regenerates Figure 3: adapter
+// interposition overhead on individual calls.
+func BenchmarkFig3SyscallLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Slowdown, metricName(row.Call, "slowdown"))
+		}
+	}
+}
+
+// BenchmarkFig4IOCallLatency regenerates Figure 4: per-call latency of
+// CFS vs NFS vs DSFS over simulated gigabit Ethernet.
+func BenchmarkFig4IOCallLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(float64(row.CFS.Microseconds()), metricName(row.Call, "cfs-µs"))
+			b.ReportMetric(float64(row.NFS.Microseconds()), metricName(row.Call, "nfs-µs"))
+			b.ReportMetric(float64(row.DSFS.Microseconds()), metricName(row.Call, "dsfs-µs"))
+		}
+	}
+}
+
+// BenchmarkFig5Bandwidth regenerates Figure 5: single-client bandwidth
+// by block size for Unix, Parrot, Parrot+CFS, and Unix+NFS.
+func BenchmarkFig5Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5([]int{4 << 10, 64 << 10, 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.UnixMBps, "unix-MBps")
+		b.ReportMetric(last.ParrotMBps, "parrot-MBps")
+		b.ReportMetric(last.CFSMBps, "cfs-MBps")
+		b.ReportMetric(last.NFSMBps, "nfs-MBps")
+	}
+}
+
+func benchScale(b *testing.B, fig string) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunScale(fig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].ThroughputMBps, "1-server-MBps")
+		b.ReportMetric(res.Rows[2].ThroughputMBps, "3-servers-MBps")
+		b.ReportMetric(res.Rows[7].ThroughputMBps, "8-servers-MBps")
+	}
+}
+
+// BenchmarkFig6NetBound regenerates Figure 6: DSFS scalability with a
+// fully cached 128 MB dataset.
+func BenchmarkFig6NetBound(b *testing.B) { benchScale(b, "fig6") }
+
+// BenchmarkFig7MixedBound regenerates Figure 7: the disk/backplane
+// crossover with a 1280 MB dataset.
+func BenchmarkFig7MixedBound(b *testing.B) { benchScale(b, "fig7") }
+
+// BenchmarkFig8DiskBound regenerates Figure 8: linear disk-bound
+// scaling with a 12800 MB dataset.
+func BenchmarkFig8DiskBound(b *testing.B) { benchScale(b, "fig8") }
+
+// BenchmarkSP5Table regenerates the §8 table: SP5 in the four
+// deployment configurations. WAN latency is reduced to keep the
+// benchmark suite fast; cmd/tssbench runs the full profile.
+func BenchmarkSP5Table(b *testing.B) {
+	cfg := workload.DefaultSP5()
+	cfg.Libraries, cfg.ConfigFiles, cfg.Events = 40, 20, 8
+	links := experiments.SP5Links{WAN: experiments.QuickWAN}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSP5Table(cfg, links)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Result.InitTime.Seconds(), metricName(row.Config, "init-s"))
+		}
+	}
+}
+
+// BenchmarkFig9Preservation regenerates Figure 9: GEMS replication to
+// a budget with induced failures and repair.
+func BenchmarkFig9Preservation(b *testing.B) {
+	cfg := experiments.DefaultFig9()
+	cfg.RecordSize = 256 << 10
+	cfg.Budget = int64(cfg.Records) * int64(cfg.RecordSize) * 20 / 7
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllReadable {
+			b.Fatal("data lost")
+		}
+		b.ReportMetric(float64(len(res.Points)), "timeline-points")
+	}
+}
+
+// ---- Microbenchmarks on the real stack (unshaped in-process links) ----
+
+type benchStack struct {
+	client *chirp.Client
+	server *chirp.Server
+	close  func()
+}
+
+func newBenchStack(b *testing.B) *benchStack {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "tss-bench-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := chirp.NewServer(dir, chirp.ServerConfig{
+		Name:      "bench.sim",
+		Owner:     "hostname:bench-host",
+		Verifiers: []auth.Verifier{&auth.HostnameVerifier{}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := netsim.NewNetwork()
+	l, err := nw.Listen("bench.sim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	cli, err := chirp.Dial(chirp.ClientConfig{
+		Dial: func() (net.Conn, error) {
+			return nw.DialFrom("bench-host", "bench.sim", netsim.Loopback)
+		},
+		Credentials: []auth.Credential{auth.HostnameCredential{}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := &benchStack{client: cli, server: srv, close: func() {
+		cli.Close()
+		l.Close()
+		os.RemoveAll(dir)
+	}}
+	b.Cleanup(st.close)
+	return st
+}
+
+// BenchmarkChirpStat measures one whole-path stat RPC.
+func BenchmarkChirpStat(b *testing.B) {
+	st := newBenchStack(b)
+	if err := vfs.WriteFile(st.client, "/f", make([]byte, 100), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.client.Stat("/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChirpOpenClose measures the open(+stat)/close RPC pair.
+func BenchmarkChirpOpenClose(b *testing.B) {
+	st := newBenchStack(b)
+	if err := vfs.WriteFile(st.client, "/f", make([]byte, 100), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := st.client.Open("/f", vfs.O_RDONLY, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// BenchmarkChirpRead8K measures one 8 KB pread RPC.
+func BenchmarkChirpRead8K(b *testing.B) {
+	st := newBenchStack(b)
+	if err := vfs.WriteFile(st.client, "/f", make([]byte, 8192), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	f, err := st.client.Open("/f", vfs.O_RDONLY, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 8192)
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Pread(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChirpWrite8K measures one 8 KB pwrite RPC.
+func BenchmarkChirpWrite8K(b *testing.B) {
+	st := newBenchStack(b)
+	f, err := st.client.Open("/f", vfs.O_RDWR|vfs.O_CREAT, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 8192)
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Pwrite(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChirpGetfile1M measures the streaming whole-file RPC.
+func BenchmarkChirpGetfile1M(b *testing.B) {
+	st := newBenchStack(b)
+	if err := vfs.WriteFile(st.client, "/big", make([]byte, 1<<20), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.client.GetFile("/big", discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkNFSStatDeep measures the per-component lookup cost of the
+// baseline on a three-deep path (ablation: whole-path vs per-component
+// name resolution).
+func BenchmarkNFSStatDeep(b *testing.B) {
+	dir, err := os.MkdirTemp("", "tss-bench-nfs-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := nfsbase.NewServer(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := netsim.NewNetwork()
+	l, _ := nw.Listen("nfs.sim")
+	defer l.Close()
+	go srv.Serve(l)
+	cli, err := nfsbase.Dial(nfsbase.ClientConfig{
+		Dial: func() (net.Conn, error) { return nw.Dial("nfs.sim", netsim.Loopback) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	if err := vfs.MkdirAll(cli, "/a/b", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := vfs.WriteFile(cli, "/a/b/f", make([]byte, 10), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Stat("/a/b/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSFSCreateDelete measures the §5 crash-safe create ordering
+// (stub then data, both exclusive) plus deletion (data then stub).
+func BenchmarkDSFSCreateDelete(b *testing.B) {
+	st := newBenchStack(b)
+	d, err := abstraction.NewDSFS(st.client, "/meta", []abstraction.DataServer{
+		{Name: "bench.sim", FS: st.client, Dir: "/data"},
+	}, abstraction.Options{ClientID: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("/f%d", i)
+		f, err := d.Open(name, vfs.O_WRONLY|vfs.O_CREAT|vfs.O_EXCL, 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+		if err := d.Unlink(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSFSStat measures the stub+data double hop.
+func BenchmarkDSFSStat(b *testing.B) {
+	st := newBenchStack(b)
+	d, err := abstraction.NewDSFS(st.client, "/meta", []abstraction.DataServer{
+		{Name: "bench.sim", FS: st.client, Dir: "/data"},
+	}, abstraction.Options{ClientID: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := vfs.WriteFile(d, "/f", make([]byte, 100), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Stat("/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablations ----
+
+// newLatencyStack is newBenchStack over a link with real round-trip
+// latency, so RPC-count differences are visible.
+func newLatencyStack(b *testing.B) *benchStack {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "tss-bench-lat-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := chirp.NewServer(dir, chirp.ServerConfig{
+		Name:      "lat.sim",
+		Owner:     "hostname:bench-host",
+		Verifiers: []auth.Verifier{&auth.HostnameVerifier{}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := netsim.NewNetwork()
+	l, err := nw.Listen("lat.sim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	cli, err := chirp.Dial(chirp.ClientConfig{
+		Dial: func() (net.Conn, error) {
+			return nw.DialFrom("bench-host", "lat.sim", netsim.GigE)
+		},
+		Credentials: []auth.Credential{auth.HostnameCredential{}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := &benchStack{client: cli, server: srv, close: func() {
+		cli.Close()
+		l.Close()
+		os.RemoveAll(dir)
+	}}
+	b.Cleanup(st.close)
+	return st
+}
+
+// BenchmarkStubReadFastPath measures DSFS stub resolution with the
+// getfile single-round-trip fast path (the shipped design), over a
+// gigabit-latency link.
+func BenchmarkStubReadFastPath(b *testing.B) {
+	st := newLatencyStack(b)
+	benchStubRead(b, st, st.client)
+}
+
+// BenchmarkStubReadGeneric measures the same stub resolution without
+// the fast path (open/pread/close, three round trips) — the ablation
+// justifying vfs.FileGetter.
+func BenchmarkStubReadGeneric(b *testing.B) {
+	st := newLatencyStack(b)
+	benchStubRead(b, st, hideGetFile{st.client})
+}
+
+// hideGetFile masks the FileGetter fast path of a filesystem.
+type hideGetFile struct{ vfs.FileSystem }
+
+func benchStubRead(b *testing.B, st *benchStack, meta vfs.FileSystem) {
+	b.Helper()
+	d, err := abstraction.NewDSFS(meta, "/meta", []abstraction.DataServer{
+		{Name: st.server.Name(), FS: st.client, Dir: "/data"},
+	}, abstraction.Options{ClientID: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := vfs.WriteFile(d, "/f", make([]byte, 100), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ReadStub("/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrapEmulator measures the per-call interposition charge.
+func BenchmarkTrapEmulator(b *testing.B) {
+	tr := adapter.NewTrapEmulator()
+	defer tr.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Trap(8192)
+	}
+}
+
+// BenchmarkAdapterResolve measures mount-table resolution (longest
+// prefix over the logical namespace).
+func BenchmarkAdapterResolve(b *testing.B) {
+	a := adapter.New(adapter.Config{})
+	dir, _ := os.MkdirTemp("", "tss-bench-ad-")
+	defer os.RemoveAll(dir)
+	local, _ := vfs.NewLocalFS(dir)
+	for i := 0; i < 16; i++ {
+		a.MountFS(fmt.Sprintf("/mnt/vol%02d", i), local)
+	}
+	if err := vfs.WriteFile(a, "/mnt/vol07/f", nil, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Stat("/mnt/vol07/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkACLCheck measures one access control decision with wildcard
+// subjects, the per-request cost on every server operation.
+func BenchmarkACLCheck(b *testing.B) {
+	list, err := acl.Parse([]byte(
+		"hostname:*.cse.nd.edu rwl\nglobus:/O=Notre_Dame/* v(rwla)\nunix:admin rwlda\n"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !list.Allows("hostname:laptop.cse.nd.edu", acl.R|acl.W) {
+			b.Fatal("unexpected deny")
+		}
+	}
+}
+
+// BenchmarkProtoParseRequest measures wire request parsing.
+func BenchmarkProtoParseRequest(b *testing.B) {
+	line := "open /some/deep/path/with%20spaces 577 644"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proto.ParseRequest(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxMinRebalance measures one max-min fair rate
+// recomputation with 64 flows over 16 resources — the inner loop of
+// the cluster model.
+func BenchmarkMaxMinRebalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		net := sim.NewFlowNet(s)
+		var resources []*sim.Resource
+		for j := 0; j < 16; j++ {
+			resources = append(resources, sim.NewResource("r", 100<<20))
+		}
+		for j := 0; j < 64; j++ {
+			net.Start(1<<20, resources[j%16], resources[(j+5)%16])
+		}
+		s.Run()
+		s.Shutdown()
+	}
+}
+
+// BenchmarkClusterRun measures a full Figure-6-style simulation run.
+func BenchmarkClusterRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunScale("fig6")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkSP5InitLocal measures the metadata storm against a local
+// filesystem (the §8 table's baseline phase).
+func BenchmarkSP5InitLocal(b *testing.B) {
+	dir, err := os.MkdirTemp("", "tss-bench-sp5-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	local, err := vfs.NewLocalFS(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workload.DefaultSP5()
+	cfg.Events = 0
+	if err := workload.SetupSP5(local, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.RunSP5(local, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacadeRoundTrip exercises the public API end to end:
+// deploy, dial, write, read, through the adapter.
+func BenchmarkFacadeRoundTrip(b *testing.B) {
+	dir, err := os.MkdirTemp("", "tss-bench-facade-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	nw := tss.NewSimNetwork()
+	stop, err := tss.StartFileServerOn(nw, "fs.sim", dir, tss.FileServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	cli, err := tss.DialSim(nw, "fs.sim", "fs.sim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	a := tss.NewAdapter(tss.AdapterOptions{})
+	a.MountFS("/srv", cli)
+	payload := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tss.WriteFile(a, "/srv/f", payload, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tss.ReadFile(a, "/srv/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = time.Second
+
+// newShapedServers starts n Chirp servers each behind its own
+// gigabit-shaped link, for aggregate-bandwidth ablations.
+func newShapedServers(b *testing.B, n int) []abstraction.DataServer {
+	b.Helper()
+	nw := netsim.NewNetwork()
+	var servers []abstraction.DataServer
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("shaped%d.sim", i)
+		dir, err := os.MkdirTemp("", "tss-bench-stripe-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := chirp.NewServer(dir, chirp.ServerConfig{
+			Name:      name,
+			Owner:     "hostname:bench-host",
+			Verifiers: []auth.Verifier{&auth.HostnameVerifier{}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := nw.Listen(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(l)
+		cli, err := chirp.Dial(chirp.ClientConfig{
+			Dial: func() (net.Conn, error) {
+				return nw.DialFrom("bench-host", name, netsim.GigE)
+			},
+			Credentials: []auth.Credential{auth.HostnameCredential{}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dirCopy := dir
+		b.Cleanup(func() { cli.Close(); l.Close(); os.RemoveAll(dirCopy) })
+		servers = append(servers, abstraction.DataServer{Name: name, FS: cli, Dir: "/vol"})
+	}
+	return servers
+}
+
+// benchStripedRead measures reading one 8 MB file striped over width
+// servers, each behind its own ~125 MB/s link. Aggregate bandwidth
+// should scale with width — the §10 striping extension quantified.
+func benchStripedRead(b *testing.B, width int) {
+	servers := newShapedServers(b, width)
+	metaDir, err := os.MkdirTemp("", "tss-bench-stripe-meta-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(metaDir)
+	meta, err := vfs.NewLocalFS(metaDir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := abstraction.NewStriped(meta, servers, abstraction.StripeOptions{StripeSize: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fileSize = 8 << 20
+	if err := vfs.WriteFile(s, "/big", make([]byte, fileSize), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	f, err := s.Open("/big", vfs.O_RDONLY, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, fileSize)
+	b.SetBytes(fileSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := f.Pread(buf, 0)
+		if err != nil || n != fileSize {
+			b.Fatalf("pread = %d, %v", n, err)
+		}
+	}
+}
+
+// BenchmarkStripedRead1 is the single-server baseline.
+func BenchmarkStripedRead1(b *testing.B) { benchStripedRead(b, 1) }
+
+// BenchmarkStripedRead4 stripes the same file over four servers.
+func BenchmarkStripedRead4(b *testing.B) { benchStripedRead(b, 4) }
+
+// BenchmarkCacheSweep is the buffer-cache ablation behind Figure 7's
+// crossover: throughput at 3 servers as cache size sweeps past the
+// per-server dataset share.
+func BenchmarkCacheSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunCacheSweep(3, []int64{64, 480, 2048})
+		b.ReportMetric(res.Rows[0].Result.ThroughputMBps, "64MB-MBps")
+		b.ReportMetric(res.Rows[1].Result.ThroughputMBps, "480MB-MBps")
+		b.ReportMetric(res.Rows[2].Result.ThroughputMBps, "2048MB-MBps")
+	}
+}

@@ -1,0 +1,46 @@
+// Catalogd runs a catalog server: it ingests UDP reports from file
+// servers and publishes the aggregate listing over HTTP in text and
+// JSON (§4).
+//
+//	catalogd -udp :9097 -http :9098 -timeout 5m
+//
+//	curl http://localhost:9098/       # text listing
+//	curl http://localhost:9098/json   # JSON listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"tss/internal/catalog"
+)
+
+func main() {
+	var (
+		udpAddr  = flag.String("udp", ":9097", "UDP address for file server reports")
+		httpAddr = flag.String("http", ":9098", "HTTP address for listings")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "evict servers silent for this long")
+	)
+	flag.Parse()
+
+	srv := catalog.NewServer(*timeout)
+
+	pc, err := net.ListenPacket("udp", *udpAddr)
+	if err != nil {
+		log.Fatalf("catalogd: %v", err)
+	}
+	go func() {
+		if err := srv.ServeUDP(pc); err != nil {
+			log.Fatalf("catalogd: udp: %v", err)
+		}
+	}()
+
+	fmt.Printf("catalogd: reports on %s, listings on http://%s/ and /json\n", pc.LocalAddr(), *httpAddr)
+	if err := http.ListenAndServe(*httpAddr, srv); err != nil {
+		log.Fatalf("catalogd: http: %v", err)
+	}
+}

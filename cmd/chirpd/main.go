@@ -1,0 +1,132 @@
+// Chirpd deploys a Chirp personal file server: the single-command,
+// no-privilege deployment of §4.
+//
+//	chirpd -root /scratch/export -addr :9094 \
+//	       -acl 'hostname:*.cse.nd.edu=rwl' -acl 'unix:alice=rwlda' \
+//	       -catalog catalog.host:9097
+//
+// The server exports -root over the Chirp protocol with hostname and
+// unix authentication, enforces per-directory ACLs seeded from the
+// -acl flags, and reports itself to each -catalog address by UDP.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"tss/internal/acl"
+	"tss/internal/auth"
+	"tss/internal/catalog"
+	"tss/internal/chirp"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var (
+		root     = flag.String("root", ".", "directory to export")
+		addr     = flag.String("addr", ":9094", "TCP listen address")
+		name     = flag.String("name", "", "advertised server name (default: listen address)")
+		owner    = flag.String("owner", "", "owner subject (default: unix:$USER)")
+		interval = flag.Duration("catalog-interval", 15*time.Second, "catalog report period")
+		idle     = flag.Duration("idle-timeout", 0, "disconnect idle clients after this long (0 = never)")
+		verbose  = flag.Bool("v", false, "log connections")
+	)
+	var acls, catalogs, ticketIssuers multiFlag
+	flag.Var(&acls, "acl", "root ACL entry as subject=rights (repeatable)")
+	flag.Var(&catalogs, "catalog", "catalog host:port to report to by UDP (repeatable)")
+	flag.Var(&ticketIssuers, "ticket-issuer", "hex public key of a trusted ticket issuer (repeatable; see tssticket)")
+	flag.Parse()
+
+	ownerSubject := *owner
+	if ownerSubject == "" {
+		user := os.Getenv("USER")
+		if user == "" {
+			user = "owner"
+		}
+		ownerSubject = "unix:" + user
+	}
+
+	rootACL := &acl.List{}
+	for _, entry := range acls {
+		subj, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			log.Fatalf("chirpd: bad -acl %q: want subject=rights", entry)
+		}
+		rights, reserve, err := acl.ParseSpec(spec)
+		if err != nil {
+			log.Fatalf("chirpd: bad -acl %q: %v", entry, err)
+		}
+		rootACL.Set(subj, rights, reserve)
+	}
+
+	cfg := chirp.ServerConfig{
+		Name:        *name,
+		Owner:       auth.Subject(ownerSubject),
+		RootACL:     rootACL,
+		IdleTimeout: *idle,
+		Verifiers: []auth.Verifier{
+			&auth.HostnameVerifier{},
+			&auth.UnixVerifier{},
+		},
+	}
+	if len(ticketIssuers) > 0 {
+		tv := &auth.TicketVerifier{}
+		for _, hexKey := range ticketIssuers {
+			pub, err := auth.ParseIssuerPublicKey(hexKey)
+			if err != nil {
+				log.Fatalf("chirpd: -ticket-issuer %q: %v", hexKey, err)
+			}
+			tv.Issuers = append(tv.Issuers, pub)
+		}
+		cfg.Verifiers = append(cfg.Verifiers, tv)
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("chirpd: %v", err)
+	}
+	if cfg.Name == "" {
+		cfg.Name = l.Addr().String()
+	}
+	srv, err := chirp.NewServer(*root, cfg)
+	if err != nil {
+		log.Fatalf("chirpd: %v", err)
+	}
+
+	if len(catalogs) > 0 {
+		var sends []func([]byte) error
+		for _, c := range catalogs {
+			sends = append(sends, catalog.SendUDP(c))
+		}
+		rep := &catalog.Reporter{
+			Describe: func() catalog.Report {
+				n, o, info, rootACL := srv.Describe()
+				return catalog.Report{
+					Name: n, Addr: l.Addr().String(), Owner: o,
+					TotalBytes: info.TotalBytes, FreeBytes: info.FreeBytes,
+					RootACL: rootACL,
+				}
+			},
+			Send:     sends,
+			Interval: *interval,
+		}
+		go rep.Run(make(chan struct{}))
+	}
+
+	fmt.Printf("chirpd: exporting %s on %s as %s (owner %s)\n", *root, l.Addr(), cfg.Name, ownerSubject)
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("chirpd: %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+// Tss is the client command-line tool: it performs file operations on
+// Chirp servers without mounting anything, using the same client
+// library the abstractions use.
+//
+//	tss ls     host:9094 /
+//	tss cat    host:9094 /data/results.txt
+//	tss put    host:9094 /data/up.bin  local.bin
+//	tss get    host:9094 /data/up.bin  local.copy
+//	tss mkdir  host:9094 /data/newdir
+//	tss rm     host:9094 /data/old.bin
+//	tss rmdir  host:9094 /data/newdir
+//	tss mv     host:9094 /a /b
+//	tss stat   host:9094 /data
+//	tss statfs host:9094
+//	tss whoami host:9094
+//	tss getacl host:9094 /data
+//	tss setacl host:9094 /data 'hostname:*.cse.nd.edu' 'v(rwl)'
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tss/internal/auth"
+	"tss/internal/chirp"
+	"tss/internal/vfs"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tss [-ticket FILE] <ls|cat|put|get|mkdir|rm|rmdir|mv|stat|statfs|whoami|getacl|setacl> host:port [args...]")
+	os.Exit(2)
+}
+
+func main() {
+	argv := os.Args[1:]
+	creds := []auth.Credential{
+		auth.HostnameCredential{},
+		auth.UnixCredential{},
+	}
+	// Optional leading -ticket FILE: authenticate with a minted ticket
+	// (see tssticket) before falling back to hostname/unix.
+	if len(argv) >= 2 && argv[0] == "-ticket" {
+		data, err := os.ReadFile(argv[1])
+		if err != nil {
+			fatal(err)
+		}
+		cred, err := auth.ImportBearer(data)
+		if err != nil {
+			fatal(err)
+		}
+		creds = append([]auth.Credential{cred}, creds...)
+		argv = argv[2:]
+	}
+	if len(argv) < 2 {
+		usage()
+	}
+	verb, addr, args := argv[0], argv[1], argv[2:]
+
+	client, err := chirp.DialTCP(addr, creds, 30*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+
+	need := func(n int) {
+		if len(args) != n {
+			usage()
+		}
+	}
+
+	switch verb {
+	case "ls":
+		need(1)
+		ents, err := client.ReadDir(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range ents {
+			kind := "-"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %s\n", kind, e.Name)
+		}
+	case "cat":
+		need(1)
+		if _, err := client.GetFile(args[0], os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "put":
+		need(2)
+		f, err := os.Open(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			fatal(err)
+		}
+		if err := client.PutFile(args[0], 0o644, st.Size(), f); err != nil {
+			fatal(err)
+		}
+	case "get":
+		need(2)
+		out, err := os.Create(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := client.GetFile(args[0], out); err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+	case "mkdir":
+		need(1)
+		if err := client.Mkdir(args[0], 0o755); err != nil {
+			fatal(err)
+		}
+	case "rm":
+		need(1)
+		if err := client.Unlink(args[0]); err != nil {
+			fatal(err)
+		}
+	case "rmdir":
+		need(1)
+		if err := client.Rmdir(args[0]); err != nil {
+			fatal(err)
+		}
+	case "mv":
+		need(2)
+		if err := client.Rename(args[0], args[1]); err != nil {
+			fatal(err)
+		}
+	case "stat":
+		need(1)
+		fi, err := client.Stat(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		printStat(os.Stdout, fi)
+	case "statfs":
+		need(0)
+		info, err := client.StatFS()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("total %d bytes, free %d bytes\n", info.TotalBytes, info.FreeBytes)
+	case "whoami":
+		need(0)
+		who, err := client.Whoami()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(who)
+	case "getacl":
+		need(1)
+		lines, err := client.GetACL(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	case "setacl":
+		need(3)
+		if err := client.SetACL(args[0], args[1], args[2]); err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
+	}
+}
+
+func printStat(w io.Writer, fi vfs.FileInfo) {
+	kind := "file"
+	if fi.IsDir {
+		kind = "dir"
+	}
+	fmt.Fprintf(w, "%s %s size=%d mode=%o mtime=%s inode=%d\n",
+		kind, fi.Name, fi.Size, fi.Mode, fi.ModTime().Format(time.RFC3339), fi.Inode)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tss: %v\n", err)
+	os.Exit(1)
+}

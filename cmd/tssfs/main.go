@@ -1,0 +1,241 @@
+// Tssfs assembles a distributed shared filesystem (DSFS) from running
+// Chirp servers and operates on it — the user-built abstraction of §5
+// as a command.
+//
+//	tssfs -meta meta.host:9094/tree \
+//	      -data n0=host0:9094/vol -data n1=host1:9094/vol \
+//	      ls /
+//
+// Commands: ls, cat, put, get, mkdir, rm, rmdir, mv, stat, statfs,
+// fsck, repair.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"tss/internal/abstraction"
+	"tss/internal/auth"
+	"tss/internal/chirp"
+	"tss/internal/vfs"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tssfs -meta host:port/dir [-data name=host:port/dir]... <command> [args]
+commands: ls|cat|stat|rm|rmdir DIR, put REMOTE LOCAL, get REMOTE LOCAL,
+          mkdir DIR, mv OLD NEW, statfs, fsck, repair`)
+	os.Exit(2)
+}
+
+// endpoint is host:port plus a directory on that server.
+type endpoint struct {
+	addr string
+	dir  string
+}
+
+func parseEndpoint(s string) (endpoint, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return endpoint{addr: s, dir: "/"}, nil
+	}
+	return endpoint{addr: s[:slash], dir: s[slash:]}, nil
+}
+
+func dial(addr string) (*chirp.Client, error) {
+	return chirp.DialTCP(addr, []auth.Credential{
+		auth.HostnameCredential{},
+		auth.UnixCredential{},
+	}, 30*time.Second)
+}
+
+func main() {
+	// Flags appear before the command; parse by hand so -data repeats.
+	args := os.Args[1:]
+	var metaSpec string
+	type dataSpec struct{ name, spec string }
+	var dataSpecs []dataSpec
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "-meta":
+			if len(args) < 2 {
+				usage()
+			}
+			metaSpec = args[1]
+			args = args[2:]
+		case "-data":
+			if len(args) < 2 {
+				usage()
+			}
+			name, spec, ok := strings.Cut(args[1], "=")
+			if !ok {
+				usage()
+			}
+			dataSpecs = append(dataSpecs, dataSpec{name, spec})
+			args = args[2:]
+		default:
+			usage()
+		}
+	}
+	if metaSpec == "" || len(dataSpecs) == 0 || len(args) == 0 {
+		usage()
+	}
+
+	metaEP, err := parseEndpoint(metaSpec)
+	if err != nil {
+		fatal(err)
+	}
+	metaClient, err := dial(metaEP.addr)
+	if err != nil {
+		fatal(fmt.Errorf("meta server %s: %w", metaEP.addr, err))
+	}
+	defer metaClient.Close()
+
+	var servers []abstraction.DataServer
+	for _, ds := range dataSpecs {
+		ep, err := parseEndpoint(ds.spec)
+		if err != nil {
+			fatal(err)
+		}
+		cli, err := dial(ep.addr)
+		if err != nil {
+			fatal(fmt.Errorf("data server %s (%s): %w", ds.name, ep.addr, err))
+		}
+		defer cli.Close()
+		servers = append(servers, abstraction.DataServer{Name: ds.name, FS: cli, Dir: ep.dir})
+	}
+
+	host, _ := os.Hostname()
+	d, err := abstraction.NewDSFS(metaClient, metaEP.dir, servers, abstraction.Options{ClientID: host})
+	if err != nil {
+		fatal(err)
+	}
+
+	cmd, rest := args[0], args[1:]
+	need := func(n int) {
+		if len(rest) != n {
+			usage()
+		}
+	}
+	switch cmd {
+	case "ls":
+		need(1)
+		ents, err := d.ReadDir(rest[0])
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range ents {
+			kind := "-"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %s\n", kind, e.Name)
+		}
+	case "cat":
+		need(1)
+		if err := stream(os.Stdout, d, rest[0]); err != nil {
+			fatal(err)
+		}
+	case "stat":
+		need(1)
+		fi, err := d.Stat(rest[0])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s size=%d dir=%v\n", fi.Name, fi.Size, fi.IsDir)
+		if !fi.IsDir {
+			stub, err := d.ReadStub(rest[0])
+			if err == nil {
+				fmt.Printf("data on %s at %s\n", stub.Server, stub.Path)
+			}
+		}
+	case "put":
+		need(2)
+		data, err := os.ReadFile(rest[1])
+		if err != nil {
+			fatal(err)
+		}
+		if err := vfs.WriteFile(d, rest[0], data, 0o644); err != nil {
+			fatal(err)
+		}
+	case "get":
+		need(2)
+		out, err := os.Create(rest[1])
+		if err != nil {
+			fatal(err)
+		}
+		if err := stream(out, d, rest[0]); err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+	case "mkdir":
+		need(1)
+		if err := d.Mkdir(rest[0], 0o755); err != nil {
+			fatal(err)
+		}
+	case "rm":
+		need(1)
+		if err := d.Unlink(rest[0]); err != nil {
+			fatal(err)
+		}
+	case "rmdir":
+		need(1)
+		if err := d.Rmdir(rest[0]); err != nil {
+			fatal(err)
+		}
+	case "mv":
+		need(2)
+		if err := d.Rename(rest[0], rest[1]); err != nil {
+			fatal(err)
+		}
+	case "statfs":
+		need(0)
+		info, err := d.StatFS()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("aggregate: total %d bytes, free %d bytes over %d servers\n",
+			info.TotalBytes, info.FreeBytes, len(servers))
+	case "fsck", "repair":
+		need(0)
+		report, err := d.Fsck(abstraction.FsckOptions{
+			RemoveDangling: cmd == "repair",
+			RemoveOrphans:  cmd == "repair",
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report)
+		for _, p := range report.DanglingStubs {
+			fmt.Printf("dangling stub: %s\n", p)
+		}
+		for _, p := range report.OrphanedData {
+			fmt.Printf("orphaned data: %s\n", p)
+		}
+		for _, p := range report.BadStubs {
+			fmt.Printf("bad stub: %s\n", p)
+		}
+	default:
+		usage()
+	}
+}
+
+func stream(w io.Writer, fs vfs.FileSystem, path string) error {
+	f, err := fs.Open(path, vfs.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(w, vfs.NewSeqFile(f))
+	return err
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tssfs: %v\n", err)
+	os.Exit(1)
+}

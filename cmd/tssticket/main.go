@@ -1,0 +1,122 @@
+// Tssticket manages ticket credentials: self-contained bearer
+// credentials a storage owner mints for collaborators who share no
+// authentication infrastructure with them.
+//
+//	# the owner creates an issuing keypair once
+//	tssticket keygen issuer.json
+//	tssticket pubkey issuer.json          # hex key for chirpd -ticket-issuer
+//
+//	# mint a ticket for a collaborator (writes collab.ticket)
+//	tssticket issue issuer.json collab-7 720h collab.ticket
+//
+//	# the collaborator uses it
+//	tss -ticket collab.ticket ls host:9094 /
+//	tssticket show collab.ticket
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"time"
+
+	"tss/internal/auth"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tssticket keygen ISSUERFILE
+       tssticket pubkey ISSUERFILE
+       tssticket issue ISSUERFILE SUBJECT LIFETIME TICKETFILE
+       tssticket show TICKETFILE`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "keygen":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		issuer, err := auth.NewTicketIssuer()
+		if err != nil {
+			fatal(err)
+		}
+		data, err := issuer.Export()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(os.Args[2], data, 0o600); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("issuer keypair written to %s\npublic key: %s\n",
+			os.Args[2], hex.EncodeToString(issuer.PublicKey()))
+
+	case "pubkey":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		issuer := loadIssuer(os.Args[2])
+		fmt.Println(hex.EncodeToString(issuer.PublicKey()))
+
+	case "issue":
+		if len(os.Args) != 6 {
+			usage()
+		}
+		issuer := loadIssuer(os.Args[2])
+		lifetime, err := time.ParseDuration(os.Args[4])
+		if err != nil {
+			fatal(fmt.Errorf("bad lifetime %q: %w", os.Args[4], err))
+		}
+		ticket, key, err := issuer.Issue(os.Args[3], lifetime)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := auth.ExportBearer(ticket, key)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(os.Args[5], data, 0o600); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ticket for %q valid until %s written to %s\n",
+			"ticket:"+os.Args[3], time.Unix(ticket.NotAfter, 0).Format(time.RFC3339), os.Args[5])
+
+	case "show":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		data, err := os.ReadFile(os.Args[2])
+		if err != nil {
+			fatal(err)
+		}
+		cred, err := auth.ImportBearer(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("subject: ticket:%s\nexpires: %s\n",
+			cred.Ticket.Subject, time.Unix(cred.Ticket.NotAfter, 0).Format(time.RFC3339))
+
+	default:
+		usage()
+	}
+}
+
+func loadIssuer(path string) *auth.TicketIssuer {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	issuer, err := auth.ImportTicketIssuer(data)
+	if err != nil {
+		fatal(err)
+	}
+	return issuer
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tssticket: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Gridcache shows the "parasitic" deployment of §3-§5: a user gathers
+// idle disks into a large scratch filesystem — discover servers
+// through a catalog, assemble a distributed shared filesystem (DSFS),
+// and use it from two independent clients, surviving the loss of a
+// data server.
+//
+//	go run ./examples/gridcache
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tss"
+)
+
+func main() {
+	nw := tss.NewSimNetwork()
+	cat := tss.NewCatalog(time.Minute)
+
+	// Six cluster nodes submit file servers as ordinary jobs ("gliding
+	// in"): each exports a scratch directory and reports to a catalog.
+	var stops []func()
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("node%02d.cluster.example", i)
+		dir, err := os.MkdirTemp("", "tss-gridcache-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		stop, err := tss.StartFileServerOn(nw, name, dir, tss.FileServerOptions{
+			// Anyone in the cluster may use the scratch pool.
+			RootACL:         map[string]string{"hostname:*.cluster.example": "rwlda"},
+			Catalogs:        []*tss.Catalog{cat},
+			CatalogInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stops = append(stops, stop)
+		defer stop()
+	}
+	time.Sleep(100 * time.Millisecond) // first reports arrive
+
+	// Discover what storage exists right now.
+	fmt.Println("catalog listing:")
+	fmt.Print(cat.Text())
+
+	// Assemble a DSFS: node00 serves double duty as directory server
+	// and data server; all six hold data.
+	var meta *tss.Client
+	var servers []tss.DataServer
+	for _, rep := range cat.List() {
+		client, err := tss.DialSim(nw, rep.Name, "alice-ws.cluster.example")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		if meta == nil {
+			meta = client
+		}
+		servers = append(servers, tss.DataServer{Name: rep.Name, FS: client, Dir: "/scratch-data"})
+	}
+	dsfs, err := tss.NewDSFS(meta, "/scratch-tree", servers, "alice-workstation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, _ := dsfs.StatFS()
+	fmt.Printf("assembled DSFS over %d servers, aggregate capacity %d GB\n",
+		len(servers), info.TotalBytes>>30)
+
+	// Fill it from one client.
+	if err := tss.MkdirAll(dsfs, "/stage/run1", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("/stage/run1/chunk%02d", i)
+		if err := tss.WriteFile(dsfs, name, make([]byte, 64<<10), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("staged 12 chunks, spread round-robin over the pool")
+
+	// A second, independent client mounts the same shared namespace —
+	// that is what the S in DSFS buys over a DPFS.
+	var servers2 []tss.DataServer
+	var meta2 *tss.Client
+	for _, rep := range cat.List() {
+		client, err := tss.DialSim(nw, rep.Name, "bob-laptop.cluster.example")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		if meta2 == nil {
+			meta2 = client
+		}
+		servers2 = append(servers2, tss.DataServer{Name: rep.Name, FS: client, Dir: "/scratch-data"})
+	}
+	dsfs2, err := tss.NewDSFS(meta2, "/scratch-tree", servers2, "bob-laptop")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ents, err := dsfs2.ReadDir("/stage/run1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second client sees %d chunks through the shared directory tree\n", len(ents))
+
+	// One node is reclaimed by its owner mid-run: the server goes away
+	// and every connection to it drops. Failure coherence: the
+	// namespace survives; only that node's chunks are unreachable.
+	stops[5]()
+	for _, s := range append(servers, servers2...) {
+		if s.Name == "node05.cluster.example" {
+			s.FS.(*tss.Client).Close()
+		}
+	}
+	fmt.Println("node05 withdrawn from the pool")
+
+	readable, unreachable := 0, 0
+	for _, e := range ents {
+		if _, err := tss.ReadFile(dsfs2, "/stage/run1/"+e.Name); err != nil {
+			unreachable++
+		} else {
+			readable++
+		}
+	}
+	fmt.Printf("after the loss: %d chunks readable, %d unreachable, directory still navigable\n",
+		readable, unreachable)
+}

@@ -1,0 +1,85 @@
+// Quickstart: deploy a personal file server, connect a client, share
+// space with another user via the reserve right, and read the data
+// back through the adapter — the whole TSS loop in one process.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tss"
+)
+
+func main() {
+	// A user with nothing but a directory deploys a file server —
+	// "a single command with no configuration" (§4). The simulated
+	// network stands in for the campus LAN.
+	exportDir, err := os.MkdirTemp("", "tss-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(exportDir)
+
+	nw := tss.NewSimNetwork()
+	stop, err := tss.StartFileServerOn(nw, "desk.cse.nd.edu", exportDir, tss.FileServerOptions{
+		Owner: "hostname:desk.cse.nd.edu",
+		// Any campus machine may reserve a private workspace here,
+		// but receives no rights at the top level itself.
+		RootACL: map[string]string{"hostname:*.cse.nd.edu": "v(rwla)"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+	fmt.Println("deployed file server desk.cse.nd.edu exporting", exportDir)
+
+	// A visiting laptop connects and carves out its own space with
+	// mkdir: the reserve right turns the new directory into a private
+	// namespace owned by the caller.
+	laptop, err := tss.DialSim(nw, "desk.cse.nd.edu", "laptop.cse.nd.edu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer laptop.Close()
+	who, _ := laptop.Whoami()
+	fmt.Println("laptop authenticated as:", who)
+
+	if err := laptop.Mkdir("/backup", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := tss.WriteFile(laptop, "/backup/notes.txt", []byte("tactical storage works\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	aclLines, _ := laptop.GetACL("/backup")
+	fmt.Println("ACL of the reserved directory:")
+	for _, l := range aclLines {
+		fmt.Println("   ", l)
+	}
+
+	// Applications reach the server through the adapter, which maps
+	// abstractions into a single namespace.
+	a := tss.NewAdapter(tss.AdapterOptions{})
+	if err := a.MountFS("/grid/desk", laptop); err != nil {
+		log.Fatal(err)
+	}
+	data, err := tss.ReadFile(a, "/grid/desk/backup/notes.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back through the adapter: %s", data)
+
+	// A stranger from outside the wildcard is kept out.
+	evil, err := tss.DialSim(nw, "desk.cse.nd.edu", "evil.example.org")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer evil.Close()
+	if _, err := tss.ReadFile(evil, "/backup/notes.txt"); tss.AsErrno(err) == tss.EACCES {
+		fmt.Println("stranger denied:", err)
+	} else {
+		log.Fatalf("expected EACCES for the stranger, got %v", err)
+	}
+}

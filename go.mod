@@ -1,0 +1,3 @@
+module tss
+
+go 1.22

@@ -1,0 +1,571 @@
+package abstraction
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"tss/internal/auth"
+	"tss/internal/chirp"
+	"tss/internal/netsim"
+	"tss/internal/vfs"
+)
+
+func localFS(t *testing.T) *vfs.LocalFS {
+	t.Helper()
+	l, err := vfs.NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// newDPFS builds a DPFS over local filesystems (fast path for unit
+// tests; integration tests below use real Chirp servers).
+func newDPFS(t *testing.T, nServers int) (*Dist, []DataServer) {
+	t.Helper()
+	var servers []DataServer
+	for i := 0; i < nServers; i++ {
+		servers = append(servers, DataServer{
+			Name: fmt.Sprintf("host%d", i),
+			FS:   localFS(t),
+			Dir:  "/mydpfs",
+		})
+	}
+	d, err := NewDPFS(localFS(t), servers, Options{ClientID: "10.0.0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, servers
+}
+
+func TestDPFSBasicCycle(t *testing.T) {
+	d, _ := newDPFS(t, 3)
+	if err := vfs.WriteFile(d, "/paper.txt", []byte("the content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := vfs.ReadFile(d, "/paper.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "the content" {
+		t.Errorf("read %q", data)
+	}
+	fi, err := d.Stat("/paper.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 11 || fi.IsDir || fi.Name != "paper.txt" {
+		t.Errorf("stat = %+v", fi)
+	}
+	if err := d.Unlink("/paper.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Stat("/paper.txt"); vfs.AsErrno(err) != vfs.ENOENT {
+		t.Errorf("stat after unlink = %v", err)
+	}
+}
+
+func TestDPFSStubPointsAtDataServer(t *testing.T) {
+	d, servers := newDPFS(t, 2)
+	if err := vfs.WriteFile(d, "/f", []byte("xyz"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stub, err := d.ReadStub("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stub.Path, "/mydpfs/") {
+		t.Errorf("data path = %q, want under /mydpfs", stub.Path)
+	}
+	var srv *DataServer
+	for i := range servers {
+		if servers[i].Name == stub.Server {
+			srv = &servers[i]
+		}
+	}
+	if srv == nil {
+		t.Fatalf("stub names unknown server %q", stub.Server)
+	}
+	raw, err := vfs.ReadFile(srv.FS, stub.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "xyz" {
+		t.Errorf("data file holds %q", raw)
+	}
+}
+
+func TestDPFSSpreadsFilesRoundRobin(t *testing.T) {
+	d, servers := newDPFS(t, 4)
+	for i := 0; i < 8; i++ {
+		if err := vfs.WriteFile(d, fmt.Sprintf("/f%d", i), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range servers {
+		ents, err := servers[i].FS.ReadDir("/mydpfs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 2 {
+			t.Errorf("server %d holds %d files, want 2 (round robin)", i, len(ents))
+		}
+	}
+}
+
+func TestDPFSNameOnlyOperations(t *testing.T) {
+	d, servers := newDPFS(t, 2)
+	if err := d.Mkdir("/figures", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(d, "/figures/b.eps", []byte("ps"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stubBefore, _ := d.ReadStub("/figures/b.eps")
+	// Rename of file and of directory: metadata only, data untouched.
+	if err := d.Rename("/figures/b.eps", "/figures/c.eps"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("/figures", "/plots"); err != nil {
+		t.Fatal(err)
+	}
+	stubAfter, err := d.ReadStub("/plots/c.eps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stubAfter != stubBefore {
+		t.Errorf("rename moved data: %+v -> %+v", stubBefore, stubAfter)
+	}
+	data, err := vfs.ReadFile(d, "/plots/c.eps")
+	if err != nil || string(data) != "ps" {
+		t.Fatalf("read after rename: %q, %v", data, err)
+	}
+	_ = servers
+	ents, err := d.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name != "plots" || !ents[0].IsDir {
+		t.Errorf("readdir = %+v", ents)
+	}
+	if err := d.Rmdir("/plots"); vfs.AsErrno(err) != vfs.ENOTEMPTY {
+		t.Errorf("rmdir non-empty = %v", err)
+	}
+}
+
+func TestDPFSExclusiveCreate(t *testing.T) {
+	d, _ := newDPFS(t, 2)
+	f, err := d.Open("/x", vfs.O_WRONLY|vfs.O_CREAT|vfs.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := d.Open("/x", vfs.O_WRONLY|vfs.O_CREAT|vfs.O_EXCL, 0o644); vfs.AsErrno(err) != vfs.EEXIST {
+		t.Errorf("second exclusive create = %v, want EEXIST", err)
+	}
+	// Non-exclusive create of an existing file opens the same data.
+	f2, err := d.Open("/x", vfs.O_RDWR|vfs.O_CREAT, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if _, err := f2.Pwrite([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := vfs.ReadFile(d, "/x")
+	if string(data) != "hello" {
+		t.Errorf("reopened create wrote elsewhere: %q", data)
+	}
+}
+
+// A dangling stub (stub present, data gone — the crash residue of §5)
+// opens as ENOENT and can be unlinked.
+func TestDPFSDanglingStub(t *testing.T) {
+	d, servers := newDPFS(t, 1)
+	if err := vfs.WriteFile(d, "/f", []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stub, _ := d.ReadStub("/f")
+	if err := servers[0].FS.Unlink(stub.Path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Open("/f", vfs.O_RDONLY, 0); vfs.AsErrno(err) != vfs.ENOENT {
+		t.Errorf("open dangling stub = %v, want ENOENT", err)
+	}
+	// "easily deleted by a user"
+	if err := d.Unlink("/f"); err != nil {
+		t.Errorf("unlink dangling stub: %v", err)
+	}
+}
+
+// If data creation fails, the stub must be rolled back: no dangling
+// entry survives a reported (non-crash) failure.
+func TestDPFSCreateRollsBackStubOnDataFailure(t *testing.T) {
+	meta := localFS(t)
+	d, err := NewDPFS(meta, []DataServer{{Name: "dead", FS: failingFS{}, Dir: "/"}}, Options{})
+	if err == nil {
+		// MkdirAll on the failing FS should already have failed; if
+		// construction worked (Mkdir tolerated), force create.
+		if _, cerr := d.Open("/f", vfs.O_WRONLY|vfs.O_CREAT, 0o644); cerr == nil {
+			t.Fatal("create on dead server succeeded")
+		}
+		if _, serr := meta.Stat("/f"); vfs.AsErrno(serr) != vfs.ENOENT {
+			t.Errorf("stub not rolled back: %v", serr)
+		}
+	}
+}
+
+// failingFS simulates an unreachable server: every call fails with
+// ENOTCONN except Mkdir (so construction can succeed).
+type failingFS struct{}
+
+func (failingFS) Open(string, int, uint32) (vfs.File, error) { return nil, vfs.ENOTCONN }
+func (failingFS) Stat(string) (vfs.FileInfo, error)          { return vfs.FileInfo{}, vfs.ENOTCONN }
+func (failingFS) Unlink(string) error                        { return vfs.ENOTCONN }
+func (failingFS) Rename(string, string) error                { return vfs.ENOTCONN }
+func (failingFS) Mkdir(string, uint32) error                 { return nil }
+func (failingFS) Rmdir(string) error                         { return vfs.ENOTCONN }
+func (failingFS) ReadDir(string) ([]vfs.DirEntry, error)     { return nil, vfs.ENOTCONN }
+func (failingFS) Truncate(string, int64) error               { return vfs.ENOTCONN }
+func (failingFS) Chmod(string, uint32) error                 { return vfs.ENOTCONN }
+func (failingFS) StatFS() (vfs.FSInfo, error)                { return vfs.FSInfo{}, vfs.ENOTCONN }
+
+func TestDPFSTruncate(t *testing.T) {
+	d, _ := newDPFS(t, 2)
+	if err := vfs.WriteFile(d, "/f", []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Truncate("/f", 4); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := vfs.ReadFile(d, "/f")
+	if string(data) != "0123" {
+		t.Errorf("after truncate: %q", data)
+	}
+	fi, _ := d.Stat("/f")
+	if fi.Size != 4 {
+		t.Errorf("stat size = %d", fi.Size)
+	}
+}
+
+func TestDPFSAggregateStatFS(t *testing.T) {
+	d, _ := newDPFS(t, 3)
+	one, err := d.servers[0].FS.StatFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := d.StatFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.TotalBytes < 3*one.TotalBytes/2 {
+		t.Errorf("aggregate capacity %d not > single %d", all.TotalBytes, one.TotalBytes)
+	}
+}
+
+func TestStubEncodeDecode(t *testing.T) {
+	for _, s := range []Stub{
+		{Server: "host5", Path: "/mydpfs/file596"},
+		{Server: "a name with spaces", Path: "/p a t h/%weird"},
+		{Server: "", Path: ""},
+	} {
+		got, err := decodeStub(encodeStub(s))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", s, err)
+		}
+		if got != s {
+			t.Errorf("round trip: %+v -> %+v", s, got)
+		}
+	}
+	for _, bad := range [][]byte{nil, []byte("not a stub"), []byte("tss-stub v999 a b"), []byte("tss-stub v1 onlyone")} {
+		if _, err := decodeStub(bad); err == nil {
+			t.Errorf("decodeStub(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// Randomized op sequence property: after any sequence of creates,
+// writes, renames and unlinks, every live logical file reads back its
+// expected content, and the number of data files on the servers equals
+// the number of live logical files (no leaked data, no lost data).
+func TestDPFSRandomOpsInvariant(t *testing.T) {
+	d, servers := newDPFS(t, 3)
+	rng := rand.New(rand.NewSource(42))
+	state := map[string][]byte{}
+	names := []string{"/a", "/b", "/c", "/d", "/e"}
+	for i := 0; i < 400; i++ {
+		name := names[rng.Intn(len(names))]
+		switch rng.Intn(4) {
+		case 0: // create/overwrite
+			content := []byte(fmt.Sprintf("content-%d", i))
+			if err := vfs.WriteFile(d, name, content, 0o644); err != nil {
+				t.Fatalf("write %s: %v", name, err)
+			}
+			state[name] = content
+		case 1: // unlink
+			err := d.Unlink(name)
+			if _, live := state[name]; live {
+				if err != nil {
+					t.Fatalf("unlink live %s: %v", name, err)
+				}
+				delete(state, name)
+			} else if vfs.AsErrno(err) != vfs.ENOENT {
+				t.Fatalf("unlink dead %s = %v, want ENOENT", name, err)
+			}
+		case 2: // rename
+			to := names[rng.Intn(len(names))]
+			if to == name {
+				continue
+			}
+			err := d.Rename(name, to)
+			if _, live := state[name]; live {
+				if err != nil {
+					t.Fatalf("rename %s -> %s: %v", name, to, err)
+				}
+				state[to] = state[name]
+				delete(state, name)
+			} else if err == nil {
+				t.Fatalf("rename of dead %s succeeded", name)
+			}
+		case 3: // read
+			data, err := vfs.ReadFile(d, name)
+			if want, live := state[name]; live {
+				if err != nil || !bytes.Equal(data, want) {
+					t.Fatalf("read %s = %q, %v; want %q", name, data, err, want)
+				}
+			} else if vfs.AsErrno(err) != vfs.ENOENT {
+				t.Fatalf("read dead %s = %v, want ENOENT", name, err)
+			}
+		}
+	}
+	dataFiles := 0
+	for i := range servers {
+		ents, err := servers[i].FS.ReadDir("/mydpfs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dataFiles += len(ents)
+	}
+	if dataFiles != len(state) {
+		t.Errorf("%d data files on servers, %d live logical files", dataFiles, len(state))
+	}
+}
+
+// --- DSFS integration over real Chirp servers on a simulated network ---
+
+type chirpCluster struct {
+	nw      *netsim.Network
+	servers []*chirp.Server
+	clients []*chirp.Client
+	names   []string
+	stops   []func()
+}
+
+func startChirpCluster(t *testing.T, n int) *chirpCluster {
+	t.Helper()
+	c := &chirpCluster{nw: netsim.NewNetwork()}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("node%d.sim", i)
+		srv, err := chirp.NewServer(t.TempDir(), chirp.ServerConfig{
+			Name:      name,
+			Owner:     "hostname:client.sim",
+			Verifiers: []auth.Verifier{&auth.HostnameVerifier{}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := c.nw.Listen(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(l)
+		c.stops = append(c.stops, func() { l.Close() })
+		cli, err := chirp.Dial(chirp.ClientConfig{
+			Dial: func() (net.Conn, error) {
+				return c.nw.DialFrom("client.sim", name, netsim.Loopback)
+			},
+			Credentials: []auth.Credential{auth.HostnameCredential{}},
+			Timeout:     5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.servers = append(c.servers, srv)
+		c.clients = append(c.clients, cli)
+		c.names = append(c.names, name)
+	}
+	t.Cleanup(func() {
+		for _, cli := range c.clients {
+			cli.Close()
+		}
+		for _, stop := range c.stops {
+			stop()
+		}
+	})
+	return c
+}
+
+// dsfs builds a DSFS whose metadata tree lives on server 0 (double
+// duty: directory server and data server) and whose data spreads over
+// all servers.
+func buildDSFS(t *testing.T, c *chirpCluster) *Dist {
+	t.Helper()
+	var servers []DataServer
+	for i := range c.clients {
+		servers = append(servers, DataServer{Name: c.names[i], FS: c.clients[i], Dir: "/dsfs-data"})
+	}
+	d, err := NewDSFS(c.clients[0], "/dsfs-meta", servers, Options{ClientID: "client.sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDSFSOverChirp(t *testing.T) {
+	c := startChirpCluster(t, 3)
+	d := buildDSFS(t, c)
+	if err := d.Mkdir("/run5", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("evt"), 4096)
+	for i := 0; i < 6; i++ {
+		if err := vfs.WriteFile(d, fmt.Sprintf("/run5/out%d", i), payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		data, err := vfs.ReadFile(d, fmt.Sprintf("/run5/out%d", i))
+		if err != nil || !bytes.Equal(data, payload) {
+			t.Fatalf("readback %d: %v", i, err)
+		}
+	}
+	// A second client sharing the same namespace sees the files: this
+	// is what distinguishes DSFS from DPFS.
+	d2 := buildDSFS(t, c)
+	ents, err := d2.ReadDir("/run5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 6 {
+		t.Errorf("second client sees %d files, want 6", len(ents))
+	}
+	data, err := vfs.ReadFile(d2, "/run5/out0")
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("second client read: %v", err)
+	}
+}
+
+// Failure coherence (§3, §5): killing one data server leaves the
+// directory tree navigable and files on other servers usable; only
+// files on the dead server become unavailable.
+func TestDSFSFailureCoherence(t *testing.T) {
+	c := startChirpCluster(t, 3)
+	d := buildDSFS(t, c)
+	// Round-robin placement: file i lands on server (i+?)%3; find one
+	// file per server by checking stubs.
+	byServer := map[string]string{}
+	for i := 0; i < 9; i++ {
+		name := fmt.Sprintf("/f%d", i)
+		if err := vfs.WriteFile(d, name, []byte(name), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stub, _ := d.ReadStub(name)
+		byServer[stub.Server] = name
+	}
+	if len(byServer) != 3 {
+		t.Fatalf("files landed on %d servers, want 3", len(byServer))
+	}
+	// Kill server 2 (never the metadata server, which is server 0).
+	victim := c.names[2]
+	c.clients[2].Close()
+	c.stops[2]()
+
+	// Namespace remains navigable.
+	ents, err := d.ReadDir("/")
+	if err != nil {
+		t.Fatalf("readdir after failure: %v", err)
+	}
+	if len(ents) != 9 {
+		t.Errorf("namespace lost entries: %d", len(ents))
+	}
+	// Files on surviving servers are readable.
+	for srv, name := range byServer {
+		data, err := vfs.ReadFile(d, name)
+		if srv == victim {
+			if err == nil {
+				t.Errorf("file %s on dead server readable", name)
+			}
+			continue
+		}
+		if err != nil || string(data) != name {
+			t.Errorf("file %s on live server %s: %v", name, srv, err)
+		}
+	}
+}
+
+func TestDSFSMetadataDoubleHop(t *testing.T) {
+	// DSFS stat must contact both the metadata server and the data
+	// server; verify by counting requests (this is the mechanism
+	// behind the 2x metadata latency in Figure 4).
+	c := startChirpCluster(t, 2)
+	d := buildDSFS(t, c)
+	if err := vfs.WriteFile(d, "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stub, _ := d.ReadStub("/f")
+	if stub.Server == c.names[0] {
+		// Data landed on the metadata server; use the other file.
+		if err := vfs.WriteFile(d, "/g", []byte("y"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stub, _ = d.ReadStub("/g")
+	}
+	dataIdx := 0
+	for i, n := range c.names {
+		if n == stub.Server {
+			dataIdx = i
+		}
+	}
+	before := c.servers[dataIdx].Stats.Requests.Load()
+	name := "/f"
+	if stub, _ := d.ReadStub("/f"); stub.Server != c.names[dataIdx] {
+		name = "/g"
+	}
+	if _, err := d.Stat(name); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.servers[dataIdx].Stats.Requests.Load() - before; got < 1 {
+		t.Errorf("stat did not contact the data server (requests +%d)", got)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(localFS(t), nil, Options{}); err == nil {
+		t.Error("no servers accepted")
+	}
+	fs := localFS(t)
+	dup := []DataServer{{Name: "same", FS: fs, Dir: "/a"}, {Name: "same", FS: fs, Dir: "/b"}}
+	if _, err := New(localFS(t), dup, Options{}); err == nil {
+		t.Error("duplicate server names accepted")
+	}
+}
+
+func TestCFSIsPassthrough(t *testing.T) {
+	fs := localFS(t)
+	c := NewCFS("node0", fs)
+	if c.Name() != "node0" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if err := vfs.WriteFile(c, "/f", []byte("via cfs"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := vfs.ReadFile(fs, "/f")
+	if err != nil || string(data) != "via cfs" {
+		t.Fatalf("underlying fs: %q, %v", data, err)
+	}
+}

@@ -1,0 +1,139 @@
+package abstraction
+
+import (
+	"fmt"
+
+	"tss/internal/pathutil"
+	"tss/internal/vfs"
+)
+
+// Fsck implements the recovery story of §5: because each abstraction
+// stores its data in a distinguishable directory on every server, the
+// filesystem can be checked and repaired — dangling stubs (stub entry
+// whose data file is gone, the benign crash residue) detected and
+// optionally removed, and orphaned data files (data without a stub,
+// which only appears after external interference) detected and
+// optionally reclaimed.
+
+// FsckReport summarizes one check of a distributed filesystem.
+type FsckReport struct {
+	FilesChecked  int
+	DirsChecked   int
+	DanglingStubs []string // logical paths whose data file is missing
+	Unreachable   []string // logical paths whose server did not answer
+	OrphanedData  []string // "server:path" data files with no stub
+	BadStubs      []string // unparseable stub files
+}
+
+// FsckOptions controls repair behaviour.
+type FsckOptions struct {
+	// RemoveDangling unlinks stub entries whose data is gone.
+	RemoveDangling bool
+	// RemoveOrphans unlinks data files no stub references. Only safe
+	// when no other client is concurrently creating files (creation
+	// writes the stub first, so a racing create looks dangling, not
+	// orphaned — but a to-be-written data file could look orphaned).
+	RemoveOrphans bool
+}
+
+// Fsck walks the metadata tree and every server's storage directory,
+// cross-checking stubs against data files.
+func (d *Dist) Fsck(opts FsckOptions) (*FsckReport, error) {
+	report := &FsckReport{}
+	referenced := make(map[string]bool) // "server\x00path" -> true
+
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		report.DirsChecked++
+		ents, err := d.meta.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("fsck: listing %s: %w", dir, err)
+		}
+		for _, e := range ents {
+			p := pathutil.Join(dir, e.Name)
+			if e.IsDir {
+				if err := walk(p); err != nil {
+					return err
+				}
+				continue
+			}
+			report.FilesChecked++
+			stub, err := readStub(d.meta, p)
+			if err != nil {
+				// An empty or partial stub is the residue of a crash
+				// between the exclusive create and the body write; no
+				// data file can exist for it (data is created only
+				// after the stub write completes), so removal is as
+				// safe as removing a dangling stub.
+				report.BadStubs = append(report.BadStubs, p)
+				if opts.RemoveDangling {
+					if err := d.meta.Unlink(p); err != nil {
+						return fmt.Errorf("fsck: removing bad stub %s: %w", p, err)
+					}
+				}
+				continue
+			}
+			referenced[stub.Server+"\x00"+stub.Path] = true
+			srv := d.server(stub.Server)
+			if srv == nil {
+				report.Unreachable = append(report.Unreachable, p)
+				continue
+			}
+			_, err = srv.FS.Stat(stub.Path)
+			switch vfs.AsErrno(err) {
+			case vfs.EOK:
+			case vfs.ENOENT:
+				report.DanglingStubs = append(report.DanglingStubs, p)
+				if opts.RemoveDangling {
+					if err := d.meta.Unlink(p); err != nil {
+						return fmt.Errorf("fsck: removing dangling %s: %w", p, err)
+					}
+				}
+			default:
+				report.Unreachable = append(report.Unreachable, p)
+			}
+		}
+		return nil
+	}
+	if err := walk("/"); err != nil {
+		return report, err
+	}
+
+	// Scan every server's storage directory for unreferenced data.
+	for i := range d.servers {
+		srv := &d.servers[i]
+		ents, err := srv.FS.ReadDir(srv.Dir)
+		if err != nil {
+			continue // server down: nothing to reclaim now
+		}
+		for _, e := range ents {
+			if e.IsDir {
+				continue
+			}
+			dataPath := pathutil.Join(srv.Dir, e.Name)
+			if referenced[srv.Name+"\x00"+dataPath] {
+				continue
+			}
+			report.OrphanedData = append(report.OrphanedData, srv.Name+":"+dataPath)
+			if opts.RemoveOrphans {
+				if err := srv.FS.Unlink(dataPath); err != nil && vfs.AsErrno(err) != vfs.ENOENT {
+					return report, fmt.Errorf("fsck: reclaiming %s on %s: %w", dataPath, srv.Name, err)
+				}
+			}
+		}
+	}
+	return report, nil
+}
+
+// Clean reports whether the check found nothing wrong.
+func (r *FsckReport) Clean() bool {
+	return len(r.DanglingStubs) == 0 && len(r.OrphanedData) == 0 &&
+		len(r.BadStubs) == 0 && len(r.Unreachable) == 0
+}
+
+// String renders a short summary.
+func (r *FsckReport) String() string {
+	return fmt.Sprintf("fsck: %d files, %d dirs; dangling=%d orphaned=%d bad=%d unreachable=%d",
+		r.FilesChecked, r.DirsChecked, len(r.DanglingStubs), len(r.OrphanedData),
+		len(r.BadStubs), len(r.Unreachable))
+}

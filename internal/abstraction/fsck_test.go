@@ -1,0 +1,108 @@
+package abstraction
+
+import (
+	"fmt"
+	"testing"
+
+	"tss/internal/vfs"
+)
+
+func TestFsckCleanSystem(t *testing.T) {
+	d, _ := newDPFS(t, 3)
+	d.Mkdir("/sub", 0o755)
+	for i := 0; i < 5; i++ {
+		if err := vfs.WriteFile(d, fmt.Sprintf("/sub/f%d", i), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := d.Fsck(FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Errorf("clean system reported dirty: %s", report)
+	}
+	if report.FilesChecked != 5 || report.DirsChecked != 2 {
+		t.Errorf("counts = %+v", report)
+	}
+}
+
+func TestFsckFindsAndRepairsDanglingStub(t *testing.T) {
+	d, servers := newDPFS(t, 2)
+	if err := vfs.WriteFile(d, "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stub, _ := d.ReadStub("/f")
+	for i := range servers {
+		if servers[i].Name == stub.Server {
+			servers[i].FS.Unlink(stub.Path)
+		}
+	}
+	report, err := d.Fsck(FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.DanglingStubs) != 1 || report.DanglingStubs[0] != "/f" {
+		t.Fatalf("dangling = %v", report.DanglingStubs)
+	}
+	// Repair pass.
+	if _, err := d.Fsck(FsckOptions{RemoveDangling: true}); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(d.Meta(), "/f") {
+		t.Error("dangling stub not removed")
+	}
+	report, _ = d.Fsck(FsckOptions{})
+	if !report.Clean() {
+		t.Errorf("after repair: %s", report)
+	}
+}
+
+func TestFsckFindsAndReclaimsOrphan(t *testing.T) {
+	d, servers := newDPFS(t, 2)
+	if err := vfs.WriteFile(d, "/keep", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Plant an orphan data file directly on a server.
+	if err := vfs.WriteFile(servers[0].FS, "/mydpfs/orphan.data", []byte("lost"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := d.Fsck(FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.OrphanedData) != 1 {
+		t.Fatalf("orphans = %v", report.OrphanedData)
+	}
+	if _, err := d.Fsck(FsckOptions{RemoveOrphans: true}); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(servers[0].FS, "/mydpfs/orphan.data") {
+		t.Error("orphan not reclaimed")
+	}
+	// The referenced file survived.
+	if data, err := vfs.ReadFile(d, "/keep"); err != nil || string(data) != "x" {
+		t.Errorf("referenced file damaged: %q, %v", data, err)
+	}
+}
+
+func TestFsckFlagsBadStubs(t *testing.T) {
+	d, _ := newDPFS(t, 1)
+	if err := vfs.WriteFile(d.Meta(), "/junk", []byte("not a stub at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := d.Fsck(FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.BadStubs) != 1 {
+		t.Errorf("bad stubs = %v", report.BadStubs)
+	}
+	// Repair removes them: a partial stub has no data behind it.
+	if _, err := d.Fsck(FsckOptions{RemoveDangling: true}); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(d.Meta(), "/junk") {
+		t.Error("bad stub not removed by repair")
+	}
+}

@@ -1,0 +1,291 @@
+package abstraction
+
+import (
+	"sync"
+
+	"tss/internal/vfs"
+)
+
+// MirrorFS transparently replicates a filesystem across N underlying
+// filesystems — one of the §10 extensions ("One may imagine
+// filesystems that transparently ... replicate ... data"), built as
+// one more recursive abstraction: each replica can be a Chirp client,
+// a DSFS, a local directory, or another mirror.
+//
+// Semantics, kept as simple as the paper's direct-access philosophy
+// demands: modifying operations are applied to every *reachable*
+// replica and succeed if they succeed everywhere reachable (with at
+// least one reachable); reads are served by the first reachable
+// replica. A replica that was down during writes is stale until
+// re-synchronized — continuous repair is the job of GEMS-style
+// auditing, not of the mirror itself.
+type MirrorFS struct {
+	replicas []vfs.FileSystem
+}
+
+var _ vfs.FileSystem = (*MirrorFS)(nil)
+
+// NewMirror mirrors across the given filesystems.
+func NewMirror(replicas ...vfs.FileSystem) (*MirrorFS, error) {
+	if len(replicas) == 0 {
+		return nil, vfs.EINVAL
+	}
+	return &MirrorFS{replicas: replicas}, nil
+}
+
+// unreachable reports whether err means the replica (not the request)
+// failed, so the operation should carry on with the other replicas.
+func unreachable(err error) bool {
+	switch vfs.AsErrno(err) {
+	case vfs.ENOTCONN, vfs.ETIMEDOUT, vfs.EIO:
+		return true
+	}
+	return false
+}
+
+// applyAll runs op on every replica. Unreachable replicas are skipped;
+// the first *semantic* error (EEXIST, EACCES, ...) is returned; if no
+// replica was reachable the last transport error is returned.
+func (m *MirrorFS) applyAll(op func(fs vfs.FileSystem) error) error {
+	reached := false
+	var transportErr error
+	for _, r := range m.replicas {
+		err := op(r)
+		switch {
+		case err == nil:
+			reached = true
+		case unreachable(err):
+			transportErr = err
+		default:
+			return err
+		}
+	}
+	if !reached {
+		if transportErr == nil {
+			transportErr = vfs.EIO
+		}
+		return transportErr
+	}
+	return nil
+}
+
+// firstReachable runs op on replicas in order until one answers.
+func (m *MirrorFS) firstReachable(op func(fs vfs.FileSystem) error) error {
+	var lastErr error = vfs.EIO
+	for _, r := range m.replicas {
+		err := op(r)
+		if err == nil || !unreachable(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// Open opens the file on every reachable replica for writing, or on
+// the first reachable replica for read-only access.
+func (m *MirrorFS) Open(path string, flags int, mode uint32) (vfs.File, error) {
+	if flags&vfs.AccessModeMask == vfs.O_RDONLY && flags&(vfs.O_CREAT|vfs.O_TRUNC) == 0 {
+		var f vfs.File
+		err := m.firstReachable(func(fs vfs.FileSystem) error {
+			var e error
+			f, e = fs.Open(path, flags, mode)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &mirrorFile{files: []vfs.File{f}}, nil
+	}
+	var files []vfs.File
+	err := m.applyAll(func(fs vfs.FileSystem) error {
+		f, e := fs.Open(path, flags, mode)
+		if e == nil {
+			files = append(files, f)
+		}
+		return e
+	})
+	if err != nil {
+		for _, f := range files {
+			f.Close()
+		}
+		return nil, err
+	}
+	return &mirrorFile{files: files}, nil
+}
+
+// Stat reads from the first reachable replica.
+func (m *MirrorFS) Stat(path string) (vfs.FileInfo, error) {
+	var fi vfs.FileInfo
+	err := m.firstReachable(func(fs vfs.FileSystem) error {
+		var e error
+		fi, e = fs.Stat(path)
+		return e
+	})
+	return fi, err
+}
+
+// Unlink removes the file from every reachable replica.
+func (m *MirrorFS) Unlink(path string) error {
+	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Unlink(path) })
+}
+
+// Rename renames on every reachable replica.
+func (m *MirrorFS) Rename(oldPath, newPath string) error {
+	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Rename(oldPath, newPath) })
+}
+
+// Mkdir creates the directory on every reachable replica.
+func (m *MirrorFS) Mkdir(path string, mode uint32) error {
+	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Mkdir(path, mode) })
+}
+
+// Rmdir removes the directory from every reachable replica.
+func (m *MirrorFS) Rmdir(path string) error {
+	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Rmdir(path) })
+}
+
+// ReadDir lists from the first reachable replica.
+func (m *MirrorFS) ReadDir(path string) ([]vfs.DirEntry, error) {
+	var ents []vfs.DirEntry
+	err := m.firstReachable(func(fs vfs.FileSystem) error {
+		var e error
+		ents, e = fs.ReadDir(path)
+		return e
+	})
+	return ents, err
+}
+
+// Truncate truncates on every reachable replica.
+func (m *MirrorFS) Truncate(path string, size int64) error {
+	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Truncate(path, size) })
+}
+
+// Chmod applies to every reachable replica.
+func (m *MirrorFS) Chmod(path string, mode uint32) error {
+	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Chmod(path, mode) })
+}
+
+// StatFS reports the minimum capacity over reachable replicas: the
+// mirror can store no more than its smallest member.
+func (m *MirrorFS) StatFS() (vfs.FSInfo, error) {
+	var out vfs.FSInfo
+	found := false
+	for _, r := range m.replicas {
+		info, err := r.StatFS()
+		if err != nil {
+			continue
+		}
+		if !found || info.FreeBytes < out.FreeBytes {
+			out = info
+		}
+		found = true
+	}
+	if !found {
+		return out, vfs.EIO
+	}
+	return out, nil
+}
+
+// Reconnect re-establishes every replica connection that supports it.
+func (m *MirrorFS) Reconnect() error {
+	var firstErr error
+	for _, r := range m.replicas {
+		if rc, ok := r.(vfs.Reconnector); ok {
+			if err := rc.Reconnect(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Sync synchronizes a stale replica from a good one: every file and
+// directory under root on src is copied to dst. It is the manual
+// repair path for replicas that were down during writes.
+func Sync(dst, src vfs.FileSystem, root string) error {
+	ents, err := src.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		p := root + "/" + e.Name
+		if root == "/" {
+			p = "/" + e.Name
+		}
+		if e.IsDir {
+			if err := dst.Mkdir(p, 0o755); err != nil && vfs.AsErrno(err) != vfs.EEXIST {
+				return err
+			}
+			if err := Sync(dst, src, p); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := vfs.CopyFile(dst, p, src, p, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mirrorFile is an open file on one or more replicas: writes fan out,
+// reads come from the first.
+type mirrorFile struct {
+	mu    sync.Mutex
+	files []vfs.File
+}
+
+func (mf *mirrorFile) Pread(p []byte, off int64) (int, error) {
+	return mf.files[0].Pread(p, off)
+}
+
+func (mf *mirrorFile) Pwrite(p []byte, off int64) (int, error) {
+	mf.mu.Lock()
+	defer mf.mu.Unlock()
+	n := 0
+	for i, f := range mf.files {
+		m, err := f.Pwrite(p, off)
+		if err != nil {
+			return m, err
+		}
+		if i == 0 {
+			n = m
+		} else if m < n {
+			n = m
+		}
+	}
+	return n, nil
+}
+
+func (mf *mirrorFile) Fstat() (vfs.FileInfo, error) {
+	return mf.files[0].Fstat()
+}
+
+func (mf *mirrorFile) Ftruncate(size int64) error {
+	for _, f := range mf.files {
+		if err := f.Ftruncate(size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (mf *mirrorFile) Sync() error {
+	for _, f := range mf.files {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (mf *mirrorFile) Close() error {
+	var first error
+	for _, f := range mf.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

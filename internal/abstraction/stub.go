@@ -1,0 +1,80 @@
+package abstraction
+
+import (
+	"fmt"
+	"strings"
+
+	"tss/internal/chirp/proto"
+	"tss/internal/vfs"
+)
+
+// A stub file is the metadata-side representation of a distributed
+// file: a tiny file in the directory tree recording which server holds
+// the data and under what name (§5's DPFS diagram). Stubs are what
+// keep name-only operations — rename, mkdir, readdir — local to the
+// metadata tree.
+
+// stubMagic is the first token of every stub file.
+const stubMagic = "tss-stub"
+
+// stubVersion is bumped if the format ever changes.
+const stubVersion = "v1"
+
+// Stub records the location of a distributed file's data.
+type Stub struct {
+	Server string // DataServer.Name
+	Path   string // data file path on that server
+}
+
+// encodeStub renders the one-line stub file body.
+func encodeStub(s Stub) []byte {
+	return []byte(fmt.Sprintf("%s %s %s %s\n",
+		stubMagic, stubVersion, proto.Escape(s.Server), proto.Escape(s.Path)))
+}
+
+// decodeStub parses a stub file body.
+func decodeStub(data []byte) (Stub, error) {
+	fields := strings.Fields(strings.TrimSpace(string(data)))
+	if len(fields) != 4 || fields[0] != stubMagic {
+		return Stub{}, fmt.Errorf("abstraction: not a stub file")
+	}
+	if fields[1] != stubVersion {
+		return Stub{}, fmt.Errorf("abstraction: unsupported stub version %q", fields[1])
+	}
+	server, err := proto.Unescape(fields[2])
+	if err != nil {
+		return Stub{}, err
+	}
+	path, err := proto.Unescape(fields[3])
+	if err != nil {
+		return Stub{}, err
+	}
+	return Stub{Server: server, Path: path}, nil
+}
+
+// readStub loads and parses the stub at path on the metadata
+// filesystem. A directory yields EISDIR; a missing file ENOENT.
+//
+// When the metadata filesystem offers the getfile fast path (a Chirp
+// server does), the stub costs exactly one round trip — which is why a
+// DSFS metadata operation costs twice a CFS operation (stub + data),
+// not more (Figure 4).
+func readStub(meta vfs.FileSystem, path string) (Stub, error) {
+	data, err := vfs.GetWholeFile(meta, path)
+	if err != nil {
+		if vfs.AsErrno(err) == vfs.EISDIR {
+			return Stub{}, vfs.EISDIR
+		}
+		return Stub{}, err
+	}
+	s, err := decodeStub(data)
+	if err != nil {
+		// Not a stub: most likely a directory on metadata stores that
+		// report EISDIR only at read time, or foreign data.
+		if fi, serr := meta.Stat(path); serr == nil && fi.IsDir {
+			return Stub{}, vfs.EISDIR
+		}
+		return Stub{}, vfs.EIO
+	}
+	return s, nil
+}

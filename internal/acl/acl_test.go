@@ -1,0 +1,266 @@
+package acl
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRights(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Rights
+	}{
+		{"r", R}, {"w", W}, {"l", L}, {"d", D}, {"a", A}, {"v", V},
+		{"rwl", R | W | L},
+		{"rwldav", AllRights | V},
+		{"n", 0},
+		{"-", 0},
+	}
+	for _, c := range cases {
+		got, err := ParseRights(c.in)
+		if err != nil {
+			t.Fatalf("ParseRights(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseRights(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseRights("rx"); err == nil {
+		t.Error("ParseRights accepted unknown right")
+	}
+}
+
+func TestParseSpecReserveForm(t *testing.T) {
+	rights, reserve, err := ParseSpec("v(rwla)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rights != V {
+		t.Errorf("rights = %v, want V", rights)
+	}
+	if reserve != R|W|L|A {
+		t.Errorf("reserve = %v", reserve)
+	}
+
+	rights, reserve, err = ParseSpec("rlv(rwl)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rights != R|L|V || reserve != R|W|L {
+		t.Errorf("combined spec: rights=%v reserve=%v", rights, reserve)
+	}
+
+	for _, bad := range []string{"(rwl)", "v(rwl", "x(r)", "v(v)", "rw(l)"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted malformed spec", bad)
+		}
+	}
+}
+
+func TestEntrySpecRoundTrip(t *testing.T) {
+	f := func(r uint8, hasV bool, sub uint8) bool {
+		e := Entry{Subject: "hostname:x", Rights: Rights(r) & AllRights}
+		if hasV {
+			e.Rights |= V
+			e.ReserveRights = Rights(sub) & AllRights
+		}
+		rights, reserve, err := ParseSpec(e.Spec())
+		if err != nil {
+			return false
+		}
+		return rights == e.Rights && reserve == e.ReserveRights
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		pat, sub string
+		want     bool
+	}{
+		{"hostname:*.cse.nd.edu", "hostname:laptop.cse.nd.edu", true},
+		{"hostname:*.cse.nd.edu", "hostname:laptop.cse.nd.eduX", false},
+		{"globus:/O=Notre_Dame/*", "globus:/O=Notre_Dame/CN=alice", true},
+		{"globus:/O=Notre_Dame/*", "globus:/O=Wisconsin/CN=bob", false},
+		{"*", "anything:at all", true},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"a*c", "abc", true},
+		{"a*c", "ac", true},
+		{"a*c", "abd", false},
+		{"a**b", "a-x-b", true},
+		{"", "", true},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		if got := Match(c.pat, c.sub); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pat, c.sub, got, c.want)
+		}
+	}
+}
+
+// Property: a literal pattern matches exactly itself (when it has no '*').
+func TestMatchLiteralProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, c := range s {
+			if c == '*' {
+				return true
+			}
+		}
+		return Match(s, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Paper example: root ACL granting campus machines read/write/list.
+func TestPaperExampleACL(t *testing.T) {
+	data := []byte("hostname:*.cse.nd.edu rwl\nglobus:/O=Notre_Dame/* rwl\n")
+	l, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Allows("hostname:laptop.cse.nd.edu", R|W|L) {
+		t.Error("campus host denied")
+	}
+	if l.Allows("hostname:evil.org", R) {
+		t.Error("off-campus host allowed")
+	}
+	if !l.Allows("globus:/O=Notre_Dame/CN=alice", R|W|L) {
+		t.Error("campus GSI user denied")
+	}
+	if l.Allows("hostname:laptop.cse.nd.edu", A) {
+		t.Error("admin right granted without being listed")
+	}
+}
+
+// Paper example: reservation rights in the v(...) form.
+func TestPaperReserveACL(t *testing.T) {
+	data := []byte("hostname:*.cse.nd.edu v(rwl)\nglobus:/O=Notre_Dame/* v(rwla)\n")
+	l, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rights, reserve := l.RightsFor("hostname:laptop.cse.nd.edu")
+	if rights != V {
+		t.Errorf("rights = %v, want V only", rights)
+	}
+	if reserve != R|W|L {
+		t.Errorf("reserve = %v, want rwl (no admin!)", reserve)
+	}
+	_, reserve = l.RightsFor("globus:/O=Notre_Dame/CN=alice")
+	if reserve != R|W|L|A {
+		t.Errorf("GSI reserve = %v, want rwla", reserve)
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	subjects := []string{
+		"hostname:a.b.c", "unix:alice", "globus:/O=ND/CN=a b", "kerberos:x@Y.Z", "sub with spaces",
+	}
+	for i := 0; i < 200; i++ {
+		l := &List{}
+		n := rnd.Intn(5) + 1
+		for j := 0; j < n; j++ {
+			e := Entry{
+				Subject: subjects[rnd.Intn(len(subjects))] + string(rune('a'+j)),
+				Rights:  Rights(rnd.Intn(64)),
+			}
+			if e.Rights&V != 0 {
+				e.ReserveRights = Rights(rnd.Intn(32))
+			}
+			if e.Rights == 0 && e.ReserveRights == 0 {
+				e.Rights = R
+			}
+			l.Entries = append(l.Entries, e)
+		}
+		got, err := Parse(l.Encode())
+		if err != nil {
+			t.Fatalf("round trip parse: %v\n%s", err, l.Encode())
+		}
+		if !reflect.DeepEqual(l.Entries, got.Entries) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", l.Entries, got.Entries)
+		}
+	}
+}
+
+func TestRightsForUnion(t *testing.T) {
+	l := &List{}
+	l.Set("unix:alice", R, 0)
+	l.Set("unix:*", L, 0)
+	rights, _ := l.RightsFor("unix:alice")
+	if rights != R|L {
+		t.Errorf("union rights = %v, want rl", rights)
+	}
+}
+
+func TestSetReplaceAndRevoke(t *testing.T) {
+	l := &List{}
+	l.Set("unix:alice", R|W, 0)
+	l.Set("unix:alice", R, 0)
+	if len(l.Entries) != 1 || l.Entries[0].Rights != R {
+		t.Errorf("Set did not replace: %+v", l.Entries)
+	}
+	l.Set("unix:alice", 0, 0)
+	if len(l.Entries) != 0 {
+		t.Errorf("Set did not revoke: %+v", l.Entries)
+	}
+	l.Set("unix:bob", 0, 0)
+	if len(l.Entries) != 0 {
+		t.Error("revoking a missing entry added one")
+	}
+}
+
+func TestParseIgnoresCommentsAndBlank(t *testing.T) {
+	l, err := Parse([]byte("# comment\n\nunix:alice rwl\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Entries) != 1 {
+		t.Fatalf("entries = %d", len(l.Entries))
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"onlysubject", "a b c", "unix:x zz"} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("Parse(%q) accepted malformed ACL", bad)
+		}
+	}
+}
+
+func TestHas(t *testing.T) {
+	r := R | W
+	if !r.Has(R) || !r.Has(R|W) || r.Has(R|L) || r.Has(A) {
+		t.Error("Has wrong")
+	}
+	var zero Rights
+	if !zero.Has(0) {
+		t.Error("zero.Has(0) should be true")
+	}
+}
+
+func TestSubjectEscapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		return UnescapeSubject(EscapeSubject(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	l := &List{}
+	l.Set("unix:alice", R, 0)
+	c := l.Clone()
+	c.Set("unix:alice", W, 0)
+	if r, _ := l.RightsFor("unix:alice"); r != R {
+		t.Error("Clone is not a deep copy")
+	}
+}

@@ -1,0 +1,176 @@
+// Package auth implements the virtual user space of the tactical
+// storage system (§4 of the paper).
+//
+// Identity is fully independent of the local account database: a client
+// authenticates by one of several methods and receives a free-form
+// subject name of the form "method:name", which the server's ACLs match
+// against. One user may hold several credentials, but only one is used
+// per session — the first method both sides support and that succeeds.
+//
+// Methods provided, mirroring the paper:
+//
+//	hostname — the client is identified by the domain name of the
+//	           connecting host (no dialog).
+//	unix     — a challenge/response within a shared local filesystem:
+//	           the server challenges the client to create a file and
+//	           infers identity from the created file.
+//	globus   — a simulated Grid Security Infrastructure: an Ed25519
+//	           mini-CA signs user certificates; login proves possession
+//	           of the certified key by signing a server nonce.
+//	kerberos — a simulated KDC issues tickets sealed with a service
+//	           key; login presents the ticket plus an authenticator
+//	           MACed with the ticket's session key.
+package auth
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Subject is a virtual-user-space identity, "method:name".
+type Subject string
+
+// Method returns the authentication method portion of the subject.
+func (s Subject) Method() string {
+	if i := strings.IndexByte(string(s), ':'); i >= 0 {
+		return string(s[:i])
+	}
+	return string(s)
+}
+
+// Name returns the name portion of the subject.
+func (s Subject) Name() string {
+	if i := strings.IndexByte(string(s), ':'); i >= 0 {
+		return string(s[i+1:])
+	}
+	return ""
+}
+
+// MakeSubject builds a subject from a method and name.
+func MakeSubject(method, name string) Subject {
+	return Subject(method + ":" + name)
+}
+
+// PeerInfo describes the remote endpoint of a connection, as seen by
+// the server. Host is the resolved peer hostname (used by the hostname
+// method); Addr is the raw network address.
+type PeerInfo struct {
+	Addr string
+	Host string
+}
+
+// Credential is the client side of one authentication method.
+type Credential interface {
+	// Method returns the wire name of the method.
+	Method() string
+	// Prove runs the client half of the dialog after the server has
+	// agreed to attempt this method.
+	Prove(r *bufio.Reader, w io.Writer) error
+}
+
+// Verifier is the server side of one authentication method.
+type Verifier interface {
+	Method() string
+	// Verify runs the server half of the dialog and returns the
+	// authenticated name (without the method prefix).
+	Verify(r *bufio.Reader, w io.Writer, peer PeerInfo) (name string, err error)
+}
+
+// ErrRejected reports that the server refused every offered credential.
+var ErrRejected = errors.New("auth: all authentication methods rejected")
+
+const maxLine = 64 << 10
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxLine {
+		return "", fmt.Errorf("auth: line too long")
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// Login authenticates the client end of a connection, attempting each
+// credential in order and returning the subject granted by the server.
+func Login(r *bufio.Reader, w io.Writer, creds ...Credential) (Subject, error) {
+	for _, c := range creds {
+		if _, err := fmt.Fprintf(w, "auth %s\n", c.Method()); err != nil {
+			return "", err
+		}
+		resp, err := readLine(r)
+		if err != nil {
+			return "", err
+		}
+		if resp != "yes" {
+			continue // server has no verifier for this method
+		}
+		if err := c.Prove(r, w); err != nil {
+			// The dialog failed mid-way; the server ends with a
+			// verdict line we must consume before trying the next
+			// method — but a broken dialog may have desynchronized
+			// the stream, so give up.
+			return "", fmt.Errorf("auth: %s dialog: %w", c.Method(), err)
+		}
+		verdict, err := readLine(r)
+		if err != nil {
+			return "", err
+		}
+		if strings.HasPrefix(verdict, "ok ") {
+			return Subject(verdict[3:]), nil
+		}
+		// "fail": try the next credential.
+	}
+	if _, err := fmt.Fprintf(w, "auth done\n"); err != nil {
+		return "", err
+	}
+	return "", ErrRejected
+}
+
+// Accept authenticates the server end of a connection against the given
+// verifiers and returns the established subject.
+func Accept(r *bufio.Reader, w io.Writer, peer PeerInfo, verifiers ...Verifier) (Subject, error) {
+	byMethod := make(map[string]Verifier, len(verifiers))
+	for _, v := range verifiers {
+		byMethod[v.Method()] = v
+	}
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return "", err
+		}
+		if !strings.HasPrefix(line, "auth ") {
+			return "", fmt.Errorf("auth: protocol error: expected auth request, got %q", line)
+		}
+		method := line[5:]
+		if method == "done" {
+			return "", ErrRejected
+		}
+		v, ok := byMethod[method]
+		if !ok {
+			if _, err := io.WriteString(w, "no\n"); err != nil {
+				return "", err
+			}
+			continue
+		}
+		if _, err := io.WriteString(w, "yes\n"); err != nil {
+			return "", err
+		}
+		name, err := v.Verify(r, w, peer)
+		if err != nil {
+			if _, werr := io.WriteString(w, "fail\n"); werr != nil {
+				return "", werr
+			}
+			continue
+		}
+		subject := MakeSubject(method, name)
+		if _, err := fmt.Fprintf(w, "ok %s\n", subject); err != nil {
+			return "", err
+		}
+		return subject, nil
+	}
+}

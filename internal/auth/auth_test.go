@@ -1,0 +1,259 @@
+package auth
+
+import (
+	"bufio"
+	"crypto/ed25519"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSubjectParts(t *testing.T) {
+	s := MakeSubject("globus", "/O=ND/CN=alice")
+	if s != "globus:/O=ND/CN=alice" {
+		t.Errorf("subject = %q", s)
+	}
+	if s.Method() != "globus" {
+		t.Errorf("method = %q", s.Method())
+	}
+	if s.Name() != "/O=ND/CN=alice" {
+		t.Errorf("name = %q", s.Name())
+	}
+	bare := Subject("noprefix")
+	if bare.Method() != "noprefix" || bare.Name() != "" {
+		t.Error("bare subject parsing wrong")
+	}
+}
+
+// runHandshake runs Login/Accept over an in-memory connection pair.
+func runHandshake(t *testing.T, creds []Credential, verifiers []Verifier, peer PeerInfo) (client, server Subject, cliErr, srvErr error) {
+	t.Helper()
+	cc, sc := net.Pipe()
+	defer cc.Close()
+	defer sc.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, srvErr = Accept(bufio.NewReader(sc), sc, peer, verifiers...)
+	}()
+	client, cliErr = Login(bufio.NewReader(cc), cc, creds...)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handshake deadlock")
+	}
+	return
+}
+
+func TestHostnameAuth(t *testing.T) {
+	cli, srv, cerr, serr := runHandshake(t,
+		[]Credential{HostnameCredential{}},
+		[]Verifier{&HostnameVerifier{}},
+		PeerInfo{Host: "laptop.cse.nd.edu"})
+	if cerr != nil || serr != nil {
+		t.Fatalf("errors: client=%v server=%v", cerr, serr)
+	}
+	if cli != "hostname:laptop.cse.nd.edu" || srv != cli {
+		t.Errorf("subjects: client=%q server=%q", cli, srv)
+	}
+}
+
+func TestHostnameResolveDefault(t *testing.T) {
+	if got := DefaultResolve("127.0.0.1:4567"); got != "localhost" {
+		t.Errorf("loopback resolve = %q", got)
+	}
+	if got := DefaultResolve("node5.cluster:9094"); got != "node5.cluster" {
+		t.Errorf("named resolve = %q", got)
+	}
+	if got := DefaultResolve("sim-host"); got != "sim-host" {
+		t.Errorf("symbolic resolve = %q", got)
+	}
+}
+
+func TestUnixAuth(t *testing.T) {
+	dir := t.TempDir()
+	cli, srv, cerr, serr := runHandshake(t,
+		[]Credential{UnixCredential{}},
+		[]Verifier{&UnixVerifier{ChallengeDir: dir}},
+		PeerInfo{})
+	if cerr != nil || serr != nil {
+		t.Fatalf("errors: client=%v server=%v", cerr, serr)
+	}
+	if cli != srv || cli.Method() != "unix" || cli.Name() == "" {
+		t.Errorf("subjects: client=%q server=%q", cli, srv)
+	}
+}
+
+func TestGSIAuth(t *testing.T) {
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, key, err := ca.Issue("/O=Notre_Dame/CN=alice", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, srv, cerr, serr := runHandshake(t,
+		[]Credential{&GSICredential{Cert: cert, Key: key}},
+		[]Verifier{&GSIVerifier{TrustedCAs: []ed25519.PublicKey{ca.PublicKey()}}},
+		PeerInfo{})
+	if cerr != nil || serr != nil {
+		t.Fatalf("errors: client=%v server=%v", cerr, serr)
+	}
+	if cli != "globus:/O=Notre_Dame/CN=alice" || srv != cli {
+		t.Errorf("subjects: %q / %q", cli, srv)
+	}
+}
+
+func TestGSIRejectsUntrustedCA(t *testing.T) {
+	ca, _ := NewCA()
+	rogue, _ := NewCA()
+	cert, key, _ := rogue.Issue("/O=Evil/CN=mallory", time.Hour)
+	_, _, cerr, serr := runHandshake(t,
+		[]Credential{&GSICredential{Cert: cert, Key: key}},
+		[]Verifier{&GSIVerifier{TrustedCAs: []ed25519.PublicKey{ca.PublicKey()}}},
+		PeerInfo{})
+	if cerr == nil && serr == nil {
+		t.Fatal("rogue CA certificate accepted")
+	}
+}
+
+func TestGSIRejectsExpiredCert(t *testing.T) {
+	ca, _ := NewCA()
+	cert, key, _ := ca.Issue("/O=ND/CN=alice", -time.Hour)
+	_, _, cerr, serr := runHandshake(t,
+		[]Credential{&GSICredential{Cert: cert, Key: key}},
+		[]Verifier{&GSIVerifier{TrustedCAs: []ed25519.PublicKey{ca.PublicKey()}}},
+		PeerInfo{})
+	if cerr == nil && serr == nil {
+		t.Fatal("expired certificate accepted")
+	}
+}
+
+func TestGSIRejectsWrongKey(t *testing.T) {
+	ca, _ := NewCA()
+	cert, _, _ := ca.Issue("/O=ND/CN=alice", time.Hour)
+	_, wrongKey, _ := ca.Issue("/O=ND/CN=bob", time.Hour)
+	_, _, cerr, serr := runHandshake(t,
+		[]Credential{&GSICredential{Cert: cert, Key: wrongKey}},
+		[]Verifier{&GSIVerifier{TrustedCAs: []ed25519.PublicKey{ca.PublicKey()}}},
+		PeerInfo{})
+	if cerr == nil && serr == nil {
+		t.Fatal("nonce signature with wrong key accepted")
+	}
+}
+
+func TestKerberosAuth(t *testing.T) {
+	kdc := NewKDC()
+	svcKey, err := kdc.RegisterService("host/fileserver@ND.EDU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, session, err := kdc.IssueTicket("alice@ND.EDU", "host/fileserver@ND.EDU", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, srv, cerr, serr := runHandshake(t,
+		[]Credential{&KerberosCredential{TicketWire: wire, SessionKey: session}},
+		[]Verifier{&KerberosVerifier{Service: "host/fileserver@ND.EDU", ServiceKey: svcKey}},
+		PeerInfo{})
+	if cerr != nil || serr != nil {
+		t.Fatalf("errors: client=%v server=%v", cerr, serr)
+	}
+	if cli != "kerberos:alice@ND.EDU" || srv != cli {
+		t.Errorf("subjects: %q / %q", cli, srv)
+	}
+}
+
+func TestKerberosRejectsForgedTicket(t *testing.T) {
+	kdc := NewKDC()
+	svcKey, _ := kdc.RegisterService("host/a@R")
+	wire, session, _ := kdc.IssueTicket("alice@R", "host/a@R", time.Hour)
+	// Tamper with the ticket body.
+	forged := "x" + wire[1:]
+	_, _, cerr, serr := runHandshake(t,
+		[]Credential{&KerberosCredential{TicketWire: forged, SessionKey: session}},
+		[]Verifier{&KerberosVerifier{Service: "host/a@R", ServiceKey: svcKey}},
+		PeerInfo{})
+	if cerr == nil && serr == nil {
+		t.Fatal("forged ticket accepted")
+	}
+}
+
+func TestKerberosRejectsWrongService(t *testing.T) {
+	kdc := NewKDC()
+	kdc.RegisterService("host/a@R")
+	bKey, _ := kdc.RegisterService("host/b@R")
+	wire, session, _ := kdc.IssueTicket("alice@R", "host/a@R", time.Hour)
+	_, _, cerr, serr := runHandshake(t,
+		[]Credential{&KerberosCredential{TicketWire: wire, SessionKey: session}},
+		[]Verifier{&KerberosVerifier{Service: "host/b@R", ServiceKey: bKey}},
+		PeerInfo{})
+	if cerr == nil && serr == nil {
+		t.Fatal("ticket for service a accepted by service b")
+	}
+}
+
+func TestKerberosExpiredTicket(t *testing.T) {
+	kdc := NewKDC()
+	svcKey, _ := kdc.RegisterService("host/a@R")
+	wire, session, _ := kdc.IssueTicket("alice@R", "host/a@R", -time.Minute)
+	_, _, cerr, serr := runHandshake(t,
+		[]Credential{&KerberosCredential{TicketWire: wire, SessionKey: session}},
+		[]Verifier{&KerberosVerifier{Service: "host/a@R", ServiceKey: svcKey}},
+		PeerInfo{})
+	if cerr == nil && serr == nil {
+		t.Fatal("expired ticket accepted")
+	}
+}
+
+// The client should fall through methods the server does not support
+// and succeed with the first mutually supported one (§4: "a client may
+// attempt any number of authentication methods in any order").
+func TestMethodNegotiation(t *testing.T) {
+	ca, _ := NewCA()
+	cert, key, _ := ca.Issue("/O=ND/CN=carol", time.Hour)
+	cli, _, cerr, serr := runHandshake(t,
+		[]Credential{&KerberosCredential{TicketWire: "junk", SessionKey: nil}, HostnameCredential{}, &GSICredential{Cert: cert, Key: key}},
+		[]Verifier{&GSIVerifier{TrustedCAs: []ed25519.PublicKey{ca.PublicKey()}}},
+		PeerInfo{Host: "h"})
+	if cerr != nil || serr != nil {
+		t.Fatalf("errors: client=%v server=%v", cerr, serr)
+	}
+	if cli != "globus:/O=ND/CN=carol" {
+		t.Errorf("negotiated subject = %q", cli)
+	}
+}
+
+func TestAllMethodsRejected(t *testing.T) {
+	_, _, cerr, serr := runHandshake(t,
+		[]Credential{HostnameCredential{}},
+		nil, // server supports nothing
+		PeerInfo{Host: "h"})
+	if cerr != ErrRejected {
+		t.Errorf("client error = %v, want ErrRejected", cerr)
+	}
+	if serr != ErrRejected {
+		t.Errorf("server error = %v, want ErrRejected", serr)
+	}
+}
+
+// A failed verification should let the client retry with another
+// credential on the same connection.
+func TestRetryAfterFailedVerify(t *testing.T) {
+	ca, _ := NewCA()
+	rogue, _ := NewCA()
+	badCert, badKey, _ := rogue.Issue("/O=Evil/CN=m", time.Hour)
+	goodCert, goodKey, _ := ca.Issue("/O=ND/CN=alice", time.Hour)
+	cli, _, cerr, serr := runHandshake(t,
+		[]Credential{&GSICredential{Cert: badCert, Key: badKey}, &GSICredential{Cert: goodCert, Key: goodKey}},
+		[]Verifier{&GSIVerifier{TrustedCAs: []ed25519.PublicKey{ca.PublicKey()}}},
+		PeerInfo{})
+	if cerr != nil || serr != nil {
+		t.Fatalf("errors: client=%v server=%v", cerr, serr)
+	}
+	if !strings.Contains(string(cli), "alice") {
+		t.Errorf("subject = %q, want the good credential", cli)
+	}
+}

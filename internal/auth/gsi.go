@@ -1,0 +1,182 @@
+package auth
+
+import (
+	"bufio"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// The globus method simulates the Grid Security Infrastructure used by
+// the paper's prototype: a certificate authority signs user
+// certificates binding a distinguished name to a public key, and login
+// proves possession of the private key by signing a server nonce.
+// Ed25519 stands in for RSA/X.509; the trust structure — third-party
+// CA, DN-style names matched by ACL wildcards such as
+// "globus:/O=Notre_Dame/*" — is identical.
+
+// CA is a mini certificate authority.
+type CA struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewCA generates a fresh certificate authority.
+func NewCA() (*CA, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{pub: pub, priv: priv}, nil
+}
+
+// PublicKey returns the CA verification key, which servers trust.
+func (ca *CA) PublicKey() ed25519.PublicKey { return ca.pub }
+
+// Cert binds a distinguished name to a user public key, signed by a CA.
+type Cert struct {
+	Subject   string `json:"subject"` // DN, e.g. "/O=NotreDame/CN=alice"
+	PublicKey []byte `json:"public_key"`
+	NotAfter  int64  `json:"not_after"` // Unix seconds
+	Signature []byte `json:"signature"` // CA signature over signedBytes
+}
+
+func certSignedBytes(subject string, pub []byte, notAfter int64) []byte {
+	return []byte(fmt.Sprintf("cert\x00%s\x00%x\x00%d", subject, pub, notAfter))
+}
+
+// Issue creates a certificate for subject valid for the given lifetime
+// and returns it together with the user's private key.
+func (ca *CA) Issue(subject string, lifetime time.Duration) (*Cert, ed25519.PrivateKey, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	notAfter := time.Now().Add(lifetime).Unix()
+	cert := &Cert{
+		Subject:   subject,
+		PublicKey: pub,
+		NotAfter:  notAfter,
+		Signature: ed25519.Sign(ca.priv, certSignedBytes(subject, pub, notAfter)),
+	}
+	return cert, priv, nil
+}
+
+// VerifyCert checks a certificate against a trusted CA key and the
+// current time.
+func VerifyCert(caKey ed25519.PublicKey, c *Cert, now time.Time) error {
+	if len(c.PublicKey) != ed25519.PublicKeySize {
+		return fmt.Errorf("auth/gsi: bad public key length")
+	}
+	if !ed25519.Verify(caKey, certSignedBytes(c.Subject, c.PublicKey, c.NotAfter), c.Signature) {
+		return fmt.Errorf("auth/gsi: certificate signature invalid")
+	}
+	if now.Unix() > c.NotAfter {
+		return fmt.Errorf("auth/gsi: certificate expired")
+	}
+	return nil
+}
+
+// GSICredential is the client side of the globus method.
+type GSICredential struct {
+	Cert *Cert
+	Key  ed25519.PrivateKey
+}
+
+// Method returns "globus".
+func (*GSICredential) Method() string { return "globus" }
+
+// Prove sends the certificate and a signature over the server's nonce.
+func (c *GSICredential) Prove(r *bufio.Reader, w io.Writer) error {
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(line, "nonce ") {
+		return fmt.Errorf("auth/gsi: expected nonce, got %q", line)
+	}
+	nonce, err := hex.DecodeString(line[len("nonce "):])
+	if err != nil {
+		return fmt.Errorf("auth/gsi: bad nonce: %w", err)
+	}
+	certJSON, err := json.Marshal(c.Cert)
+	if err != nil {
+		return err
+	}
+	sig := ed25519.Sign(c.Key, nonce)
+	if _, err := fmt.Fprintf(w, "cert %s\n", certJSON); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "sig %s\n", hex.EncodeToString(sig))
+	return err
+}
+
+// GSIVerifier is the server side of the globus method. It trusts
+// certificates signed by any key in TrustedCAs.
+type GSIVerifier struct {
+	TrustedCAs []ed25519.PublicKey
+	// Now supplies the clock for expiry checks; nil means time.Now.
+	Now func() time.Time
+}
+
+// Method returns "globus".
+func (*GSIVerifier) Method() string { return "globus" }
+
+// Verify issues a nonce, receives the certificate and nonce signature,
+// and returns the certified distinguished name.
+func (v *GSIVerifier) Verify(r *bufio.Reader, w io.Writer, peer PeerInfo) (string, error) {
+	var nonce [32]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return "", err
+	}
+	if _, err := fmt.Fprintf(w, "nonce %s\n", hex.EncodeToString(nonce[:])); err != nil {
+		return "", err
+	}
+	certLine, err := readLine(r)
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(certLine, "cert ") {
+		return "", fmt.Errorf("auth/gsi: expected cert, got %q", certLine)
+	}
+	var cert Cert
+	if err := json.Unmarshal([]byte(certLine[len("cert "):]), &cert); err != nil {
+		return "", fmt.Errorf("auth/gsi: bad certificate: %w", err)
+	}
+	sigLine, err := readLine(r)
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(sigLine, "sig ") {
+		return "", fmt.Errorf("auth/gsi: expected sig, got %q", sigLine)
+	}
+	sig, err := hex.DecodeString(sigLine[len("sig "):])
+	if err != nil {
+		return "", fmt.Errorf("auth/gsi: bad signature encoding: %w", err)
+	}
+	now := time.Now
+	if v.Now != nil {
+		now = v.Now
+	}
+	var verifyErr error
+	for _, caKey := range v.TrustedCAs {
+		if verifyErr = VerifyCert(caKey, &cert, now()); verifyErr == nil {
+			break
+		}
+	}
+	if len(v.TrustedCAs) == 0 {
+		verifyErr = fmt.Errorf("auth/gsi: no trusted CAs configured")
+	}
+	if verifyErr != nil {
+		return "", verifyErr
+	}
+	if !ed25519.Verify(ed25519.PublicKey(cert.PublicKey), nonce[:], sig) {
+		return "", fmt.Errorf("auth/gsi: nonce signature invalid")
+	}
+	return cert.Subject, nil
+}

@@ -1,0 +1,65 @@
+package auth
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strings"
+)
+
+// HostnameCredential authenticates by the connecting host's domain
+// name. There is no dialog: the server derives the name from the
+// connection itself, so the client merely offers the method.
+type HostnameCredential struct{}
+
+// Method returns "hostname".
+func (HostnameCredential) Method() string { return "hostname" }
+
+// Prove is a no-op; the hostname method has no client dialog.
+func (HostnameCredential) Prove(r *bufio.Reader, w io.Writer) error { return nil }
+
+// HostnameVerifier resolves the peer address to a host name. Resolve
+// may be overridden (e.g. in tests or on simulated networks); the
+// default strips the port and maps loopback addresses to "localhost".
+type HostnameVerifier struct {
+	// Resolve maps a peer network address to a hostname. Returning ""
+	// rejects the connection.
+	Resolve func(addr string) string
+}
+
+// Method returns "hostname".
+func (*HostnameVerifier) Method() string { return "hostname" }
+
+// Verify derives the subject name from the peer address.
+func (v *HostnameVerifier) Verify(r *bufio.Reader, w io.Writer, peer PeerInfo) (string, error) {
+	if peer.Host != "" {
+		return peer.Host, nil
+	}
+	resolve := v.Resolve
+	if resolve == nil {
+		resolve = DefaultResolve
+	}
+	name := resolve(peer.Addr)
+	if name == "" {
+		return "", errors.New("auth: cannot resolve peer hostname")
+	}
+	return name, nil
+}
+
+// DefaultResolve is the default peer-address-to-hostname mapping: the
+// port is stripped and loopback addresses become "localhost".
+func DefaultResolve(addr string) string {
+	host := addr
+	if h, _, err := net.SplitHostPort(addr); err == nil {
+		host = h
+	}
+	if host == "127.0.0.1" || host == "::1" {
+		return "localhost"
+	}
+	if host == "" {
+		return ""
+	}
+	// Simulated networks use symbolic addresses already.
+	return strings.Trim(host, "[]")
+}

@@ -1,0 +1,217 @@
+package auth
+
+import (
+	"bufio"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The kerberos method simulates the Kerberos flow: a key distribution
+// center shares a long-term key with each service; a client obtains a
+// ticket (sealed with the service key) and a session key, then proves
+// itself to the service with an authenticator MACed under the session
+// key. HMAC-SHA256 stands in for DES/AES sealing; the protocol shape —
+// third-party KDC, ticket + authenticator, expiry — is preserved.
+
+// Ticket is the sealed credential a client presents to a service.
+type Ticket struct {
+	User       string `json:"user"`    // principal, e.g. "alice@ND.EDU"
+	Service    string `json:"service"` // e.g. "host/fileserver@ND.EDU"
+	Expiry     int64  `json:"expiry"`  // Unix seconds
+	SessionKey []byte `json:"session_key"`
+}
+
+// KDC is a simulated key distribution center.
+type KDC struct {
+	mu          sync.Mutex
+	serviceKeys map[string][]byte
+	// Now supplies the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// NewKDC returns an empty key distribution center.
+func NewKDC() *KDC {
+	return &KDC{serviceKeys: make(map[string][]byte)}
+}
+
+func (k *KDC) now() time.Time {
+	if k.Now != nil {
+		return k.Now()
+	}
+	return time.Now()
+}
+
+// RegisterService creates and returns a fresh long-term key for the
+// named service principal. The service installs this key in its
+// KerberosVerifier.
+func (k *KDC) RegisterService(service string) ([]byte, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	k.serviceKeys[service] = key
+	k.mu.Unlock()
+	return key, nil
+}
+
+func sealTicket(t *Ticket, serviceKey []byte) (string, error) {
+	body, err := json.Marshal(t)
+	if err != nil {
+		return "", err
+	}
+	mac := hmac.New(sha256.New, serviceKey)
+	mac.Write(body)
+	return base64.StdEncoding.EncodeToString(body) + "." + hex.EncodeToString(mac.Sum(nil)), nil
+}
+
+// OpenTicket validates a sealed ticket with the service's key.
+func OpenTicket(wire string, serviceKey []byte, now time.Time) (*Ticket, error) {
+	dot := strings.IndexByte(wire, '.')
+	if dot < 0 {
+		return nil, fmt.Errorf("auth/krb: malformed ticket")
+	}
+	body, err := base64.StdEncoding.DecodeString(wire[:dot])
+	if err != nil {
+		return nil, fmt.Errorf("auth/krb: malformed ticket body: %w", err)
+	}
+	wantMAC, err := hex.DecodeString(wire[dot+1:])
+	if err != nil {
+		return nil, fmt.Errorf("auth/krb: malformed ticket MAC: %w", err)
+	}
+	mac := hmac.New(sha256.New, serviceKey)
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), wantMAC) {
+		return nil, fmt.Errorf("auth/krb: ticket MAC invalid")
+	}
+	var t Ticket
+	if err := json.Unmarshal(body, &t); err != nil {
+		return nil, fmt.Errorf("auth/krb: malformed ticket JSON: %w", err)
+	}
+	if now.Unix() > t.Expiry {
+		return nil, fmt.Errorf("auth/krb: ticket expired")
+	}
+	return &t, nil
+}
+
+// IssueTicket returns a sealed ticket for user to talk to service,
+// together with the session key (delivered to the client over the
+// in-process "secure channel" that stands in for the AS exchange).
+func (k *KDC) IssueTicket(user, service string, lifetime time.Duration) (wire string, sessionKey []byte, err error) {
+	k.mu.Lock()
+	svcKey, ok := k.serviceKeys[service]
+	k.mu.Unlock()
+	if !ok {
+		return "", nil, fmt.Errorf("auth/krb: unknown service %q", service)
+	}
+	sessionKey = make([]byte, 32)
+	if _, err := rand.Read(sessionKey); err != nil {
+		return "", nil, err
+	}
+	t := &Ticket{
+		User:       user,
+		Service:    service,
+		Expiry:     k.now().Add(lifetime).Unix(),
+		SessionKey: sessionKey,
+	}
+	wire, err = sealTicket(t, svcKey)
+	return wire, sessionKey, err
+}
+
+// KerberosCredential is the client side of the kerberos method.
+type KerberosCredential struct {
+	TicketWire string
+	SessionKey []byte
+}
+
+// Method returns "kerberos".
+func (*KerberosCredential) Method() string { return "kerberos" }
+
+// Prove sends the ticket and an authenticator over the server nonce.
+func (c *KerberosCredential) Prove(r *bufio.Reader, w io.Writer) error {
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(line, "nonce ") {
+		return fmt.Errorf("auth/krb: expected nonce, got %q", line)
+	}
+	nonce, err := hex.DecodeString(line[len("nonce "):])
+	if err != nil {
+		return fmt.Errorf("auth/krb: bad nonce: %w", err)
+	}
+	if _, err := fmt.Fprintf(w, "ticket %s\n", c.TicketWire); err != nil {
+		return err
+	}
+	mac := hmac.New(sha256.New, c.SessionKey)
+	mac.Write(nonce)
+	_, err = fmt.Fprintf(w, "authn %s\n", hex.EncodeToString(mac.Sum(nil)))
+	return err
+}
+
+// KerberosVerifier is the server side of the kerberos method.
+type KerberosVerifier struct {
+	Service    string
+	ServiceKey []byte
+	// Now supplies the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// Method returns "kerberos".
+func (*KerberosVerifier) Method() string { return "kerberos" }
+
+// Verify issues a nonce, validates the presented ticket and
+// authenticator, and returns the ticket's user principal.
+func (v *KerberosVerifier) Verify(r *bufio.Reader, w io.Writer, peer PeerInfo) (string, error) {
+	var nonce [32]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return "", err
+	}
+	if _, err := fmt.Fprintf(w, "nonce %s\n", hex.EncodeToString(nonce[:])); err != nil {
+		return "", err
+	}
+	tline, err := readLine(r)
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(tline, "ticket ") {
+		return "", fmt.Errorf("auth/krb: expected ticket, got %q", tline)
+	}
+	aline, err := readLine(r)
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(aline, "authn ") {
+		return "", fmt.Errorf("auth/krb: expected authenticator, got %q", aline)
+	}
+	now := time.Now
+	if v.Now != nil {
+		now = v.Now
+	}
+	ticket, err := OpenTicket(tline[len("ticket "):], v.ServiceKey, now())
+	if err != nil {
+		return "", err
+	}
+	if ticket.Service != v.Service {
+		return "", fmt.Errorf("auth/krb: ticket for wrong service %q", ticket.Service)
+	}
+	wantMAC, err := hex.DecodeString(aline[len("authn "):])
+	if err != nil {
+		return "", fmt.Errorf("auth/krb: malformed authenticator")
+	}
+	mac := hmac.New(sha256.New, ticket.SessionKey)
+	mac.Write(nonce[:])
+	if !hmac.Equal(mac.Sum(nil), wantMAC) {
+		return "", fmt.Errorf("auth/krb: authenticator invalid")
+	}
+	return ticket.User, nil
+}

@@ -1,0 +1,243 @@
+package auth
+
+import (
+	"bufio"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// The ticket method lets a storage owner mint bearer credentials for
+// collaborators who have no common authentication infrastructure at
+// all — the fully self-contained sharing model of a TSS. The owner
+// holds an issuing keypair whose public half is installed in the
+// server; a ticket binds a chosen subject name and expiry to a fresh
+// client keypair, signed by the issuer. Login presents the ticket and
+// proves possession of the client key by signing a server nonce.
+//
+// (Chirp grew an equivalent ticket mechanism for exactly this purpose;
+// the paper's "flexible system for authentication" is the hook.)
+
+// TicketIssuer mints tickets. Create one with NewTicketIssuer and
+// install PublicKey on the server's TicketVerifier.
+type TicketIssuer struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewTicketIssuer generates a fresh issuing keypair.
+func NewTicketIssuer() (*TicketIssuer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &TicketIssuer{pub: pub, priv: priv}, nil
+}
+
+// PublicKey returns the verification key servers trust.
+func (ti *TicketIssuer) PublicKey() ed25519.PublicKey { return ti.pub }
+
+// issuerFile is the serialized form of an issuer keypair.
+type issuerFile struct {
+	Public  string `json:"public"`
+	Private string `json:"private"`
+}
+
+// Export serializes the issuer keypair for storage in a key file.
+// Guard the result like a private key.
+func (ti *TicketIssuer) Export() ([]byte, error) {
+	return json.MarshalIndent(issuerFile{
+		Public:  hex.EncodeToString(ti.pub),
+		Private: hex.EncodeToString(ti.priv),
+	}, "", "  ")
+}
+
+// ImportTicketIssuer loads an issuer keypair exported by Export.
+func ImportTicketIssuer(data []byte) (*TicketIssuer, error) {
+	var f issuerFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("auth/ticket: bad issuer file: %w", err)
+	}
+	pub, err := hex.DecodeString(f.Public)
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("auth/ticket: bad issuer public key")
+	}
+	priv, err := hex.DecodeString(f.Private)
+	if err != nil || len(priv) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("auth/ticket: bad issuer private key")
+	}
+	return &TicketIssuer{pub: pub, priv: priv}, nil
+}
+
+// ParseIssuerPublicKey decodes the hex verification key that servers
+// configure (the public half alone; servers never hold issuer private
+// keys).
+func ParseIssuerPublicKey(hexKey string) (ed25519.PublicKey, error) {
+	pub, err := hex.DecodeString(strings.TrimSpace(hexKey))
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("auth/ticket: bad issuer public key")
+	}
+	return pub, nil
+}
+
+// bearerFile is the serialized form a ticket holder carries.
+type bearerFile struct {
+	Ticket *AuthTicket `json:"ticket"`
+	Key    string      `json:"key"`
+}
+
+// ExportBearer serializes a ticket plus its private key for the
+// holder's ticket file.
+func ExportBearer(t *AuthTicket, key ed25519.PrivateKey) ([]byte, error) {
+	return json.MarshalIndent(bearerFile{Ticket: t, Key: hex.EncodeToString(key)}, "", "  ")
+}
+
+// ImportBearer loads a ticket file into a usable credential.
+func ImportBearer(data []byte) (*TicketCredential, error) {
+	var f bearerFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("auth/ticket: bad ticket file: %w", err)
+	}
+	key, err := hex.DecodeString(f.Key)
+	if err != nil || len(key) != ed25519.PrivateKeySize || f.Ticket == nil {
+		return nil, fmt.Errorf("auth/ticket: bad ticket file contents")
+	}
+	return &TicketCredential{Ticket: f.Ticket, Key: key}, nil
+}
+
+// AuthTicket is a signed bearer credential.
+type AuthTicket struct {
+	Subject   string `json:"subject"` // name granted, without method prefix
+	PublicKey []byte `json:"public_key"`
+	NotAfter  int64  `json:"not_after"`
+	Signature []byte `json:"signature"`
+}
+
+func ticketSignedBytes(subject string, pub []byte, notAfter int64) []byte {
+	return []byte(fmt.Sprintf("ticket\x00%s\x00%x\x00%d", subject, pub, notAfter))
+}
+
+// Issue mints a ticket naming subject, valid for lifetime, returning
+// the ticket and the private key the bearer proves possession of.
+func (ti *TicketIssuer) Issue(subject string, lifetime time.Duration) (*AuthTicket, ed25519.PrivateKey, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	notAfter := time.Now().Add(lifetime).Unix()
+	t := &AuthTicket{
+		Subject:   subject,
+		PublicKey: pub,
+		NotAfter:  notAfter,
+		Signature: ed25519.Sign(ti.priv, ticketSignedBytes(subject, pub, notAfter)),
+	}
+	return t, priv, nil
+}
+
+// TicketCredential is the client side of the ticket method.
+type TicketCredential struct {
+	Ticket *AuthTicket
+	Key    ed25519.PrivateKey
+}
+
+// Method returns "ticket".
+func (*TicketCredential) Method() string { return "ticket" }
+
+// Prove sends the ticket and a nonce signature.
+func (c *TicketCredential) Prove(r *bufio.Reader, w io.Writer) error {
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(line, "nonce ") {
+		return fmt.Errorf("auth/ticket: expected nonce, got %q", line)
+	}
+	nonce, err := hex.DecodeString(line[len("nonce "):])
+	if err != nil {
+		return fmt.Errorf("auth/ticket: bad nonce: %w", err)
+	}
+	body, err := json.Marshal(c.Ticket)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "ticket %s\n", body); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "sig %s\n", hex.EncodeToString(ed25519.Sign(c.Key, nonce)))
+	return err
+}
+
+// TicketVerifier is the server side of the ticket method. Tickets
+// signed by any key in Issuers are accepted.
+type TicketVerifier struct {
+	Issuers []ed25519.PublicKey
+	// Now supplies the clock for expiry checks; nil means time.Now.
+	Now func() time.Time
+}
+
+// Method returns "ticket".
+func (*TicketVerifier) Method() string { return "ticket" }
+
+// Verify issues a nonce, checks the ticket signature, expiry, and the
+// bearer's possession proof, and returns the ticket subject.
+func (v *TicketVerifier) Verify(r *bufio.Reader, w io.Writer, peer PeerInfo) (string, error) {
+	var nonce [32]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return "", err
+	}
+	if _, err := fmt.Fprintf(w, "nonce %s\n", hex.EncodeToString(nonce[:])); err != nil {
+		return "", err
+	}
+	tline, err := readLine(r)
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(tline, "ticket ") {
+		return "", fmt.Errorf("auth/ticket: expected ticket, got %q", tline)
+	}
+	var t AuthTicket
+	if err := json.Unmarshal([]byte(tline[len("ticket "):]), &t); err != nil {
+		return "", fmt.Errorf("auth/ticket: bad ticket: %w", err)
+	}
+	sline, err := readLine(r)
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(sline, "sig ") {
+		return "", fmt.Errorf("auth/ticket: expected sig, got %q", sline)
+	}
+	sig, err := hex.DecodeString(sline[len("sig "):])
+	if err != nil {
+		return "", fmt.Errorf("auth/ticket: bad signature: %w", err)
+	}
+	if len(t.PublicKey) != ed25519.PublicKeySize {
+		return "", fmt.Errorf("auth/ticket: bad bearer key")
+	}
+	now := time.Now
+	if v.Now != nil {
+		now = v.Now
+	}
+	if now().Unix() > t.NotAfter {
+		return "", fmt.Errorf("auth/ticket: ticket expired")
+	}
+	signed := ticketSignedBytes(t.Subject, t.PublicKey, t.NotAfter)
+	trusted := false
+	for _, issuer := range v.Issuers {
+		if ed25519.Verify(issuer, signed, t.Signature) {
+			trusted = true
+			break
+		}
+	}
+	if !trusted {
+		return "", fmt.Errorf("auth/ticket: issuer not trusted")
+	}
+	if !ed25519.Verify(ed25519.PublicKey(t.PublicKey), nonce[:], sig) {
+		return "", fmt.Errorf("auth/ticket: possession proof invalid")
+	}
+	return t.Subject, nil
+}

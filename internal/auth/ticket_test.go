@@ -1,0 +1,79 @@
+package auth
+
+import (
+	"crypto/ed25519"
+	"testing"
+	"time"
+)
+
+func TestTicketAuth(t *testing.T) {
+	issuer, err := NewTicketIssuer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticket, key, err := issuer.Issue("visitor-42", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, srv, cerr, serr := runHandshake(t,
+		[]Credential{&TicketCredential{Ticket: ticket, Key: key}},
+		[]Verifier{&TicketVerifier{Issuers: []ed25519.PublicKey{issuer.PublicKey()}}},
+		PeerInfo{})
+	if cerr != nil || serr != nil {
+		t.Fatalf("errors: client=%v server=%v", cerr, serr)
+	}
+	if cli != "ticket:visitor-42" || srv != cli {
+		t.Errorf("subjects: %q / %q", cli, srv)
+	}
+}
+
+func TestTicketRejectsUnknownIssuer(t *testing.T) {
+	issuer, _ := NewTicketIssuer()
+	rogue, _ := NewTicketIssuer()
+	ticket, key, _ := rogue.Issue("mallory", time.Hour)
+	_, _, cerr, serr := runHandshake(t,
+		[]Credential{&TicketCredential{Ticket: ticket, Key: key}},
+		[]Verifier{&TicketVerifier{Issuers: []ed25519.PublicKey{issuer.PublicKey()}}},
+		PeerInfo{})
+	if cerr == nil && serr == nil {
+		t.Fatal("rogue-issued ticket accepted")
+	}
+}
+
+func TestTicketRejectsExpired(t *testing.T) {
+	issuer, _ := NewTicketIssuer()
+	ticket, key, _ := issuer.Issue("late", -time.Minute)
+	_, _, cerr, serr := runHandshake(t,
+		[]Credential{&TicketCredential{Ticket: ticket, Key: key}},
+		[]Verifier{&TicketVerifier{Issuers: []ed25519.PublicKey{issuer.PublicKey()}}},
+		PeerInfo{})
+	if cerr == nil && serr == nil {
+		t.Fatal("expired ticket accepted")
+	}
+}
+
+func TestTicketRejectsStolenTicketWithoutKey(t *testing.T) {
+	issuer, _ := NewTicketIssuer()
+	ticket, _, _ := issuer.Issue("victim", time.Hour)
+	_, wrongKey, _ := issuer.Issue("thief", time.Hour)
+	_, _, cerr, serr := runHandshake(t,
+		[]Credential{&TicketCredential{Ticket: ticket, Key: wrongKey}},
+		[]Verifier{&TicketVerifier{Issuers: []ed25519.PublicKey{issuer.PublicKey()}}},
+		PeerInfo{})
+	if cerr == nil && serr == nil {
+		t.Fatal("ticket without matching key accepted")
+	}
+}
+
+func TestTicketSubjectCannotBeTampered(t *testing.T) {
+	issuer, _ := NewTicketIssuer()
+	ticket, key, _ := issuer.Issue("lowly", time.Hour)
+	ticket.Subject = "admin" // tamper: escalate
+	_, _, cerr, serr := runHandshake(t,
+		[]Credential{&TicketCredential{Ticket: ticket, Key: key}},
+		[]Verifier{&TicketVerifier{Issuers: []ed25519.PublicKey{issuer.PublicKey()}}},
+		PeerInfo{})
+	if cerr == nil && serr == nil {
+		t.Fatal("tampered subject accepted")
+	}
+}

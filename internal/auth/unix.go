@@ -1,0 +1,95 @@
+package auth
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"os/user"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+// The unix method is a challenge/response within a filesystem shared by
+// client and server (classically /tmp on the same machine): the server
+// asks the client to create a specific file, then infers the client's
+// identity from the owner of the file that appears. Possession of a
+// local account is thereby proven without the server being root.
+
+// UnixCredential is the client side of the unix method.
+type UnixCredential struct{}
+
+// Method returns "unix".
+func (UnixCredential) Method() string { return "unix" }
+
+// Prove responds to the server's challenge by creating the named file.
+func (UnixCredential) Prove(r *bufio.Reader, w io.Writer) error {
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(line, "challenge ") {
+		return fmt.Errorf("auth/unix: expected challenge, got %q", line)
+	}
+	path := line[len("challenge "):]
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		// Still inform the server so the dialog stays in sync.
+		fmt.Fprintf(w, "failed\n")
+		return err
+	}
+	f.Close()
+	_, err = fmt.Fprintf(w, "touched\n")
+	return err
+}
+
+// UnixVerifier is the server side of the unix method. ChallengeDir is
+// the directory in which challenge files are created; it must be
+// writable by legitimate clients (the paper uses /tmp).
+type UnixVerifier struct {
+	ChallengeDir string
+}
+
+// Method returns "unix".
+func (*UnixVerifier) Method() string { return "unix" }
+
+// Verify issues a challenge file name, waits for the client to create
+// it, and derives the subject name from the file's owner.
+func (v *UnixVerifier) Verify(r *bufio.Reader, w io.Writer, peer PeerInfo) (string, error) {
+	dir := v.ChallengeDir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	var nonce [16]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, ".chirp-challenge-"+hex.EncodeToString(nonce[:]))
+	defer os.Remove(path)
+	if _, err := fmt.Fprintf(w, "challenge %s\n", path); err != nil {
+		return "", err
+	}
+	resp, err := readLine(r)
+	if err != nil {
+		return "", err
+	}
+	if resp != "touched" {
+		return "", fmt.Errorf("auth/unix: client could not touch challenge")
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return "", fmt.Errorf("auth/unix: challenge file missing: %w", err)
+	}
+	sys, ok := st.Sys().(*syscall.Stat_t)
+	if !ok {
+		return "", fmt.Errorf("auth/unix: cannot determine file owner")
+	}
+	u, err := user.LookupId(fmt.Sprint(sys.Uid))
+	if err != nil {
+		return fmt.Sprintf("uid%d", sys.Uid), nil
+	}
+	return u.Username, nil
+}

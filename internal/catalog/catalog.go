@@ -1,0 +1,249 @@
+// Package catalog implements the catalog server of the tactical
+// storage system (§4 of the paper).
+//
+// Every file server periodically reports its vital data — owner,
+// address, capacity, top-level ACL — to one or more catalogs. A catalog
+// publishes the aggregate list in several formats so users and
+// abstractions can discover storage at run time. Entries that stop
+// reporting are evicted after a configurable timeout. All catalog data
+// is necessarily stale: consumers must be prepared to revisit
+// assumptions when they contact the server itself.
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Report is one file server's periodic self-description.
+type Report struct {
+	Name       string `json:"name"`  // advertised server name
+	Addr       string `json:"addr"`  // dialable address
+	Owner      string `json:"owner"` // owner subject
+	Version    string `json:"version,omitempty"`
+	TotalBytes int64  `json:"total_bytes"`
+	FreeBytes  int64  `json:"free_bytes"`
+	RootACL    string `json:"root_acl,omitempty"`
+	// Received is stamped by the catalog, not the reporter.
+	Received time.Time `json:"received"`
+}
+
+// Server collects reports and publishes listings.
+type Server struct {
+	// Timeout evicts servers that have not reported for this long.
+	Timeout time.Duration
+	// Now supplies the clock; nil means time.Now (tests override).
+	Now func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]Report // keyed by Name
+}
+
+// NewServer returns a catalog with the given eviction timeout.
+func NewServer(timeout time.Duration) *Server {
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	return &Server{Timeout: timeout, entries: make(map[string]Report)}
+}
+
+func (s *Server) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+// Ingest records one report, replacing any previous report from the
+// same server name.
+func (s *Server) Ingest(r Report) {
+	r.Received = s.now()
+	s.mu.Lock()
+	s.entries[r.Name] = r
+	s.mu.Unlock()
+}
+
+// IngestJSON decodes and records one JSON-encoded report.
+func (s *Server) IngestJSON(data []byte) error {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("catalog: bad report: %w", err)
+	}
+	if r.Name == "" {
+		return fmt.Errorf("catalog: report missing name")
+	}
+	s.Ingest(r)
+	return nil
+}
+
+// List returns the current, non-expired entries sorted by name.
+func (s *Server) List() []Report {
+	cutoff := s.now().Add(-s.Timeout)
+	s.mu.Lock()
+	out := make([]Report, 0, len(s.entries))
+	for name, r := range s.entries {
+		if r.Received.Before(cutoff) {
+			delete(s.entries, name)
+			continue
+		}
+		out = append(out, r)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the entry for one server name.
+func (s *Server) Lookup(name string) (Report, bool) {
+	for _, r := range s.List() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Report{}, false
+}
+
+// Text renders the listing in the classic human-readable format.
+func (s *Server) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-24s %-28s %12s %12s\n", "NAME", "ADDRESS", "OWNER", "TOTAL", "FREE")
+	for _, r := range s.List() {
+		fmt.Fprintf(&b, "%-24s %-24s %-28s %12d %12d\n", r.Name, r.Addr, r.Owner, r.TotalBytes, r.FreeBytes)
+	}
+	return b.String()
+}
+
+// JSON renders the listing as a JSON array.
+func (s *Server) JSON() ([]byte, error) {
+	return json.MarshalIndent(s.List(), "", "  ")
+}
+
+// ClassAds renders the listing in the classad-style format of the
+// paper's era (Condor matchmaking): one attribute = "value"; block per
+// server, blank-line separated.
+func (s *Server) ClassAds() string {
+	var b strings.Builder
+	for _, r := range s.List() {
+		fmt.Fprintf(&b, "Name = %q\n", r.Name)
+		fmt.Fprintf(&b, "Addr = %q\n", r.Addr)
+		fmt.Fprintf(&b, "Owner = %q\n", r.Owner)
+		fmt.Fprintf(&b, "TotalBytes = %d\n", r.TotalBytes)
+		fmt.Fprintf(&b, "FreeBytes = %d\n", r.FreeBytes)
+		fmt.Fprintf(&b, "LastReport = %q\n", r.Received.UTC().Format(time.RFC3339))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ServeHTTP publishes the listing: "/" and "/text" in tabular text,
+// "/json" as JSON — "a variety of data formats" (§4).
+func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	switch req.URL.Path {
+	case "/", "/text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.Text())
+	case "/json":
+		data, err := s.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case "/classads":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.ClassAds())
+	default:
+		http.NotFound(w, req)
+	}
+}
+
+// ServeUDP ingests JSON report datagrams until the connection is
+// closed. This is the classic Chirp transport: fire-and-forget UDP so a
+// dying server cannot wedge the catalog.
+func (s *Server) ServeUDP(conn net.PacketConn) error {
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		// Malformed datagrams are dropped, as any UDP service must.
+		_ = s.IngestJSON(buf[:n])
+	}
+}
+
+// Reporter periodically sends reports describing one file server to
+// one or more catalogs.
+type Reporter struct {
+	// Describe produces the current report.
+	Describe func() Report
+	// Send delivers one encoded report to one catalog; there is one
+	// entry per catalog destination. In-process catalogs use
+	// Server.IngestJSON; UDP destinations use SendUDP.
+	Send []func(data []byte) error
+	// Interval between reports (default 15 s).
+	Interval time.Duration
+}
+
+// SendUDP returns a Send function that posts datagrams to addr.
+func SendUDP(addr string) func([]byte) error {
+	return func(data []byte) error {
+		c, err := net.Dial("udp", addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		_, err = c.Write(data)
+		return err
+	}
+}
+
+// SendLocal returns a Send function that delivers directly to an
+// in-process catalog.
+func SendLocal(s *Server) func([]byte) error {
+	return s.IngestJSON
+}
+
+// ReportOnce sends a single report to every destination, returning the
+// first error encountered (all destinations are still attempted: one
+// dead catalog must not starve the others).
+func (r *Reporter) ReportOnce() error {
+	rep := r.Describe()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	var first error
+	for _, send := range r.Send {
+		if err := send(data); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Run reports at each interval until stop is closed.
+func (r *Reporter) Run(stop <-chan struct{}) {
+	interval := r.Interval
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	r.ReportOnce()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.ReportOnce()
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package catalog
+
+import (
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock(start time.Time) (*time.Time, func() time.Time) {
+	now := start
+	return &now, func() time.Time { return now }
+}
+
+func TestIngestAndList(t *testing.T) {
+	s := NewServer(time.Minute)
+	s.Ingest(Report{Name: "b.sim", Addr: "b:9094", Owner: "unix:bob", TotalBytes: 100, FreeBytes: 50})
+	s.Ingest(Report{Name: "a.sim", Addr: "a:9094", Owner: "unix:alice"})
+	list := s.List()
+	if len(list) != 2 {
+		t.Fatalf("list = %d entries", len(list))
+	}
+	if list[0].Name != "a.sim" || list[1].Name != "b.sim" {
+		t.Errorf("not sorted: %+v", list)
+	}
+	r, ok := s.Lookup("b.sim")
+	if !ok || r.Owner != "unix:bob" {
+		t.Errorf("lookup = %+v, %v", r, ok)
+	}
+	if _, ok := s.Lookup("missing"); ok {
+		t.Error("lookup of missing server succeeded")
+	}
+}
+
+func TestReportReplacesPrevious(t *testing.T) {
+	s := NewServer(time.Minute)
+	s.Ingest(Report{Name: "a", FreeBytes: 10})
+	s.Ingest(Report{Name: "a", FreeBytes: 99})
+	list := s.List()
+	if len(list) != 1 || list[0].FreeBytes != 99 {
+		t.Errorf("list = %+v", list)
+	}
+}
+
+func TestEvictionAfterTimeout(t *testing.T) {
+	now, clock := fixedClock(time.Unix(1000000, 0))
+	s := NewServer(30 * time.Second)
+	s.Now = clock
+	s.Ingest(Report{Name: "stale"})
+	*now = now.Add(10 * time.Second)
+	s.Ingest(Report{Name: "fresh"})
+	*now = now.Add(25 * time.Second) // stale is now 35s old, fresh 25s
+	list := s.List()
+	if len(list) != 1 || list[0].Name != "fresh" {
+		t.Errorf("after timeout list = %+v", list)
+	}
+	// A re-report resurrects the entry.
+	s.Ingest(Report{Name: "stale"})
+	if len(s.List()) != 2 {
+		t.Error("re-report did not resurrect entry")
+	}
+}
+
+func TestIngestJSONValidation(t *testing.T) {
+	s := NewServer(time.Minute)
+	if err := s.IngestJSON([]byte(`{"name":"x","addr":"x:1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IngestJSON([]byte(`{not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if err := s.IngestJSON([]byte(`{"addr":"no-name:1"}`)); err == nil {
+		t.Error("report without name accepted")
+	}
+}
+
+func TestTextAndJSONFormats(t *testing.T) {
+	s := NewServer(time.Minute)
+	s.Ingest(Report{Name: "node1.nd.edu", Addr: "node1:9094", Owner: "hostname:node1", TotalBytes: 250 << 30, FreeBytes: 100 << 30})
+	text := s.Text()
+	if !strings.Contains(text, "node1.nd.edu") || !strings.Contains(text, "OWNER") {
+		t.Errorf("text listing:\n%s", text)
+	}
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Name != "node1.nd.edu" {
+		t.Errorf("json round trip = %+v", back)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := NewServer(time.Minute)
+	s.Ingest(Report{Name: "n1", Addr: "n1:9094"})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	for path, wantSub := range map[string]string{"/": "n1", "/json": `"name": "n1"`} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf [8192]byte
+		n, _ := resp.Body.Read(buf[:])
+		resp.Body.Close()
+		if !strings.Contains(string(buf[:n]), wantSub) {
+			t.Errorf("GET %s = %q, want %q inside", path, buf[:n], wantSub)
+		}
+	}
+	resp, _ := srv.Client().Get(srv.URL + "/nope")
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestUDPIngestion(t *testing.T) {
+	s := NewServer(time.Minute)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeUDP(pc)
+	defer pc.Close()
+
+	send := SendUDP(pc.LocalAddr().String())
+	if err := send([]byte(`{"name":"udpnode","addr":"u:1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(3 * time.Second)
+	for {
+		if _, ok := s.Lookup("udpnode"); ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("UDP report never arrived")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestReporterFanOut(t *testing.T) {
+	c1 := NewServer(time.Minute)
+	c2 := NewServer(time.Minute)
+	r := &Reporter{
+		Describe: func() Report { return Report{Name: "fs1", Addr: "fs1:9094", FreeBytes: 42} },
+		Send:     []func([]byte) error{SendLocal(c1), SendLocal(c2)},
+	}
+	if err := r.ReportOnce(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range []*Server{c1, c2} {
+		if _, ok := c.Lookup("fs1"); !ok {
+			t.Errorf("catalog %d missing report", i+1)
+		}
+	}
+}
+
+// One dead catalog must not prevent the others from being updated.
+func TestReporterToleratesDeadCatalog(t *testing.T) {
+	alive := NewServer(time.Minute)
+	dead := func([]byte) error { return net.ErrClosed }
+	r := &Reporter{
+		Describe: func() Report { return Report{Name: "fs1"} },
+		Send:     []func([]byte) error{dead, SendLocal(alive)},
+	}
+	if err := r.ReportOnce(); err == nil {
+		t.Error("expected error from dead catalog")
+	}
+	if _, ok := alive.Lookup("fs1"); !ok {
+		t.Error("live catalog starved by dead one")
+	}
+}
+
+func TestReporterRunPeriodic(t *testing.T) {
+	c := NewServer(time.Minute)
+	count := 0
+	r := &Reporter{
+		Describe: func() Report { count++; return Report{Name: "fs1"} },
+		Send:     []func([]byte) error{SendLocal(c)},
+		Interval: 10 * time.Millisecond,
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { r.Run(stop); close(done) }()
+	time.Sleep(60 * time.Millisecond)
+	close(stop)
+	<-done
+	if count < 3 {
+		t.Errorf("reported %d times in 60ms at 10ms interval", count)
+	}
+}
+
+func TestClassAdsFormat(t *testing.T) {
+	s := NewServer(time.Minute)
+	s.Ingest(Report{Name: "n1", Addr: "n1:9094", Owner: "unix:alice", TotalBytes: 100})
+	ads := s.ClassAds()
+	for _, want := range []string{`Name = "n1"`, `Owner = "unix:alice"`, "TotalBytes = 100"} {
+		if !strings.Contains(ads, want) {
+			t.Errorf("classads missing %q:\n%s", want, ads)
+		}
+	}
+	// Served over HTTP too.
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/classads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [4096]byte
+	n, _ := resp.Body.Read(buf[:])
+	resp.Body.Close()
+	if !strings.Contains(string(buf[:n]), `Name = "n1"`) {
+		t.Errorf("/classads = %q", buf[:n])
+	}
+}

@@ -1,0 +1,530 @@
+package chirp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tss/internal/auth"
+	"tss/internal/chirp/proto"
+	"tss/internal/vfs"
+)
+
+// ClientConfig configures a Chirp client.
+type ClientConfig struct {
+	// Dial establishes the transport connection. Required.
+	Dial func() (net.Conn, error)
+	// Credentials are offered in order during authentication.
+	Credentials []auth.Credential
+	// Timeout bounds each RPC round trip (0 = none).
+	Timeout time.Duration
+}
+
+// Client speaks the Chirp protocol to one file server. It implements
+// vfs.FileSystem, making a remote server interchangeable with a local
+// directory — the recursive storage abstraction of §3.
+//
+// A Client is safe for concurrent use; requests are serialized on the
+// single connection, exactly as the protocol requires.
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	subject auth.Subject
+	gen     uint64 // connection generation; stale fds are fenced by it
+}
+
+var (
+	_ vfs.FileSystem  = (*Client)(nil)
+	_ vfs.Closer      = (*Client)(nil)
+	_ vfs.Reconnector = (*Client)(nil)
+)
+
+// Dial connects and authenticates a new client.
+func Dial(cfg ClientConfig) (*Client, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("chirp: ClientConfig.Dial is required")
+	}
+	c := &Client{cfg: cfg}
+	if err := c.Reconnect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialTCP is a convenience for connecting over TCP.
+func DialTCP(addr string, creds []auth.Credential, timeout time.Duration) (*Client, error) {
+	return Dial(ClientConfig{
+		Dial: func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		},
+		Credentials: creds,
+		Timeout:     timeout,
+	})
+}
+
+// Reconnect (re-)establishes the transport and authenticates. Any file
+// descriptors from a previous connection become invalid, returning
+// ENOTCONN; the adapter layer is responsible for re-opening them.
+func (c *Client) Reconnect() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	conn, err := c.cfg.Dial()
+	if err != nil {
+		return vfs.ENOTCONN
+	}
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	subject, err := auth.Login(br, clientFlushWriter{bw}, c.cfg.Credentials...)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("chirp: authentication: %w", err)
+	}
+	c.conn = conn
+	c.br = br
+	c.bw = bw
+	c.subject = subject
+	c.gen++
+	return nil
+}
+
+type clientFlushWriter struct{ w *bufio.Writer }
+
+func (f clientFlushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if err == nil {
+		err = f.w.Flush()
+	}
+	return n, err
+}
+
+// Subject returns the subject granted at authentication.
+func (c *Client) Subject() auth.Subject {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.subject
+}
+
+// Close tears down the connection; the server releases all state.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// dropLocked abandons a desynchronized or failed connection.
+// Caller holds c.mu.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// rpc sends one request and reads the status line while holding the
+// connection. payload, when non-nil, is sent after the request line.
+// The handler, when non-nil, consumes any post-status response body;
+// it runs with the lock held and must fully drain the body.
+func (c *Client) rpc(req *proto.Request, payload []byte, handler func(code int64, br *bufio.Reader) error) (int64, error) {
+	line, err := req.Encode()
+	if err != nil {
+		return 0, vfs.EINVAL
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0, vfs.ENOTCONN
+	}
+	if c.cfg.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	}
+	if _, err := c.bw.WriteString(line + "\n"); err != nil {
+		c.dropLocked()
+		return 0, vfs.ENOTCONN
+	}
+	if payload != nil {
+		if _, err := c.bw.Write(payload); err != nil {
+			c.dropLocked()
+			return 0, vfs.ENOTCONN
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.dropLocked()
+		return 0, vfs.ENOTCONN
+	}
+	code, err := proto.ReadCode(c.br)
+	if err != nil {
+		c.dropLocked()
+		return 0, vfs.ENOTCONN
+	}
+	if handler != nil {
+		if err := handler(code, c.br); err != nil {
+			c.dropLocked()
+			return 0, vfs.ENOTCONN
+		}
+	}
+	if code < 0 {
+		return 0, vfs.FromCode(int(code))
+	}
+	return code, nil
+}
+
+// Open opens the named file on the server.
+func (c *Client) Open(path string, flags int, mode uint32) (vfs.File, error) {
+	f, _, err := c.OpenStat(path, flags, mode)
+	return f, err
+}
+
+// OpenStat opens the named file and returns its metadata from the same
+// round trip — the open response carries a stat line, so the adapter's
+// inode bookkeeping costs nothing extra (vfs.OpenStater).
+func (c *Client) OpenStat(path string, flags int, mode uint32) (vfs.File, vfs.FileInfo, error) {
+	var fi vfs.FileInfo
+	fd, err := c.rpc(&proto.Request{Verb: "open", Path: path, Flags: int64(flags), Mode: int64(mode)}, nil,
+		func(code int64, br *bufio.Reader) error {
+			if code < 0 {
+				return nil
+			}
+			line, err := proto.ReadLine(br)
+			if err != nil {
+				return err
+			}
+			fi, err = proto.UnmarshalStat(line)
+			return err
+		})
+	if err != nil {
+		return nil, fi, err
+	}
+	c.mu.Lock()
+	gen := c.gen
+	c.mu.Unlock()
+	return &clientFile{c: c, fd: fd, gen: gen, name: path}, fi, nil
+}
+
+// Stat returns metadata for the named file.
+func (c *Client) Stat(path string) (vfs.FileInfo, error) {
+	var fi vfs.FileInfo
+	_, err := c.rpc(&proto.Request{Verb: "stat", Path: path}, nil, func(code int64, br *bufio.Reader) error {
+		if code < 0 {
+			return nil
+		}
+		line, err := proto.ReadLine(br)
+		if err != nil {
+			return err
+		}
+		fi, err = proto.UnmarshalStat(line)
+		return err
+	})
+	return fi, err
+}
+
+// Unlink removes the named file.
+func (c *Client) Unlink(path string) error {
+	_, err := c.rpc(&proto.Request{Verb: "unlink", Path: path}, nil, nil)
+	return err
+}
+
+// Rename renames a file or directory.
+func (c *Client) Rename(oldPath, newPath string) error {
+	_, err := c.rpc(&proto.Request{Verb: "rename", Path: oldPath, Path2: newPath}, nil, nil)
+	return err
+}
+
+// Mkdir creates a directory; in a directory where the caller holds
+// only the V right this performs the reservation of §4.
+func (c *Client) Mkdir(path string, mode uint32) error {
+	_, err := c.rpc(&proto.Request{Verb: "mkdir", Path: path, Mode: int64(mode)}, nil, nil)
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(path string) error {
+	_, err := c.rpc(&proto.Request{Verb: "rmdir", Path: path}, nil, nil)
+	return err
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
+	var ents []vfs.DirEntry
+	_, err := c.rpc(&proto.Request{Verb: "getdir", Path: path}, nil, func(code int64, br *bufio.Reader) error {
+		for i := int64(0); i < code; i++ {
+			line, err := proto.ReadLine(br)
+			if err != nil {
+				return err
+			}
+			e, err := proto.UnmarshalDirEntry(line)
+			if err != nil {
+				return err
+			}
+			ents = append(ents, e)
+		}
+		return nil
+	})
+	return ents, err
+}
+
+// Truncate changes the length of the named file.
+func (c *Client) Truncate(path string, size int64) error {
+	_, err := c.rpc(&proto.Request{Verb: "truncate", Path: path, Size: size}, nil, nil)
+	return err
+}
+
+// Chmod changes permission bits of the named file.
+func (c *Client) Chmod(path string, mode uint32) error {
+	_, err := c.rpc(&proto.Request{Verb: "chmod", Path: path, Mode: int64(mode)}, nil, nil)
+	return err
+}
+
+// StatFS reports server capacity.
+func (c *Client) StatFS() (vfs.FSInfo, error) {
+	var info vfs.FSInfo
+	_, err := c.rpc(&proto.Request{Verb: "statfs"}, nil, func(code int64, br *bufio.Reader) error {
+		if code < 0 {
+			return nil
+		}
+		line, err := proto.ReadLine(br)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Sscanf(line, "%d %d", &info.TotalBytes, &info.FreeBytes)
+		return err
+	})
+	return info, err
+}
+
+// Whoami asks the server which subject this session authenticated as.
+func (c *Client) Whoami() (auth.Subject, error) {
+	var s auth.Subject
+	_, err := c.rpc(&proto.Request{Verb: "whoami"}, nil, func(code int64, br *bufio.Reader) error {
+		if code < 0 {
+			return nil
+		}
+		line, err := proto.ReadLine(br)
+		if err != nil {
+			return err
+		}
+		u, err := proto.Unescape(line)
+		s = auth.Subject(u)
+		return err
+	})
+	return s, err
+}
+
+// GetACL fetches the effective ACL of a directory, one entry per line.
+func (c *Client) GetACL(path string) ([]string, error) {
+	var lines []string
+	_, err := c.rpc(&proto.Request{Verb: "getacl", Path: path}, nil, func(code int64, br *bufio.Reader) error {
+		for i := int64(0); i < code; i++ {
+			line, err := proto.ReadLine(br)
+			if err != nil {
+				return err
+			}
+			lines = append(lines, line)
+		}
+		return nil
+	})
+	return lines, err
+}
+
+// SetACL grants subject the given rights spec (e.g. "rwl", "v(rwla)",
+// "n" to revoke) on a directory.
+func (c *Client) SetACL(path, subject, rights string) error {
+	_, err := c.rpc(&proto.Request{Verb: "setacl", Path: path, Subject: subject, Rights: rights}, nil, nil)
+	return err
+}
+
+// GetFile streams the whole named file to w (the getfile RPC): one
+// round trip regardless of size, on the same connection as control.
+func (c *Client) GetFile(path string, w io.Writer) (int64, error) {
+	var copied int64
+	var copyErr error
+	_, err := c.rpc(&proto.Request{Verb: "getfile", Path: path}, nil, func(code int64, br *bufio.Reader) error {
+		if code < 0 {
+			return nil
+		}
+		copied, copyErr = io.CopyN(w, br, code)
+		if copyErr != nil && copied < code {
+			// Stream broken mid-body: connection is desynced.
+			return copyErr
+		}
+		return nil
+	})
+	if err != nil {
+		return copied, err
+	}
+	return copied, copyErr
+}
+
+// PutFile streams size bytes from r into the named file (putfile RPC).
+func (c *Client) PutFile(path string, mode uint32, size int64, r io.Reader) error {
+	line, err := (&proto.Request{Verb: "putfile", Path: path, Mode: int64(mode), Length: size}).Encode()
+	if err != nil {
+		return vfs.EINVAL
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return vfs.ENOTCONN
+	}
+	if c.cfg.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	}
+	if _, err := c.bw.WriteString(line + "\n"); err != nil {
+		c.dropLocked()
+		return vfs.ENOTCONN
+	}
+	if _, err := io.CopyN(c.bw, r, size); err != nil {
+		c.dropLocked()
+		return vfs.ENOTCONN
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.dropLocked()
+		return vfs.ENOTCONN
+	}
+	code, err := proto.ReadCode(c.br)
+	if err != nil {
+		c.dropLocked()
+		return vfs.ENOTCONN
+	}
+	if code < 0 {
+		return vfs.FromCode(int(code))
+	}
+	return nil
+}
+
+// clientFile is an open remote file. The fd is valid only for the
+// connection generation it was opened on (§4: a descriptor is scoped
+// to its connection).
+type clientFile struct {
+	c    *Client
+	fd   int64
+	gen  uint64
+	name string
+}
+
+func (f *clientFile) checkGen() error {
+	f.c.mu.Lock()
+	ok := f.gen == f.c.gen && f.c.conn != nil
+	f.c.mu.Unlock()
+	if !ok {
+		return vfs.ENOTCONN
+	}
+	return nil
+}
+
+func (f *clientFile) Pread(p []byte, off int64) (int, error) {
+	if err := f.checkGen(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for total < len(p) {
+		chunk := len(p) - total
+		if chunk > proto.MaxIOSize {
+			chunk = proto.MaxIOSize
+		}
+		var got int64
+		_, err := f.c.rpc(&proto.Request{Verb: "pread", FD: f.fd, Length: int64(chunk), Offset: off + int64(total)}, nil,
+			func(code int64, br *bufio.Reader) error {
+				if code < 0 {
+					return nil
+				}
+				got = code
+				_, err := io.ReadFull(br, p[total:total+int(code)])
+				return err
+			})
+		if err != nil {
+			return total, err
+		}
+		if got == 0 {
+			break // EOF
+		}
+		total += int(got)
+		if got < int64(chunk) {
+			break
+		}
+	}
+	return total, nil
+}
+
+func (f *clientFile) Pwrite(p []byte, off int64) (int, error) {
+	if err := f.checkGen(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for total < len(p) {
+		chunk := len(p) - total
+		if chunk > proto.MaxIOSize {
+			chunk = proto.MaxIOSize
+		}
+		n, err := f.c.rpc(&proto.Request{Verb: "pwrite", FD: f.fd, Length: int64(chunk), Offset: off + int64(total)},
+			p[total:total+chunk], nil)
+		if err != nil {
+			return total, err
+		}
+		total += int(n)
+		if int(n) < chunk {
+			break
+		}
+	}
+	return total, nil
+}
+
+func (f *clientFile) Fstat() (vfs.FileInfo, error) {
+	if err := f.checkGen(); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	var fi vfs.FileInfo
+	_, err := f.c.rpc(&proto.Request{Verb: "fstat", FD: f.fd}, nil, func(code int64, br *bufio.Reader) error {
+		if code < 0 {
+			return nil
+		}
+		line, err := proto.ReadLine(br)
+		if err != nil {
+			return err
+		}
+		fi, err = proto.UnmarshalStat(line)
+		return err
+	})
+	return fi, err
+}
+
+func (f *clientFile) Ftruncate(size int64) error {
+	if err := f.checkGen(); err != nil {
+		return err
+	}
+	_, err := f.c.rpc(&proto.Request{Verb: "ftruncate", FD: f.fd, Size: size}, nil, nil)
+	return err
+}
+
+func (f *clientFile) Sync() error {
+	if err := f.checkGen(); err != nil {
+		return err
+	}
+	_, err := f.c.rpc(&proto.Request{Verb: "fsync", FD: f.fd}, nil, nil)
+	return err
+}
+
+func (f *clientFile) Close() error {
+	if err := f.checkGen(); err != nil {
+		// The connection that owned this descriptor is gone; the
+		// server has already released it.
+		return nil
+	}
+	_, err := f.c.rpc(&proto.Request{Verb: "close", FD: f.fd}, nil, nil)
+	return err
+}

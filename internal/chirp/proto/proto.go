@@ -1,0 +1,403 @@
+// Package proto defines the Chirp wire protocol: a line-oriented,
+// Unix-like remote procedure call protocol carried over a single
+// stream connection (§4 of the paper).
+//
+// Each request is one text line: a verb followed by space-separated,
+// percent-escaped arguments. Each response begins with one line
+// containing a decimal integer — a non-negative result value, or the
+// negated error number (vfs.Errno) on failure — optionally followed by
+// fixed-length raw data or further lines. Bulk data travels on the same
+// connection as control, so a single TCP window serves both (the paper
+// contrasts this with FTP's separate data connections).
+//
+// Requests:
+//
+//	open <path> <flags> <mode>          -> fd, then stat line
+//	pread <fd> <length> <offset>        -> n, then n raw bytes
+//	pwrite <fd> <length> <offset>       (then length raw bytes) -> n
+//	fstat <fd>                          -> 0, then stat line
+//	fsync <fd>                          -> 0
+//	ftruncate <fd> <size>               -> 0
+//	close <fd>                          -> 0
+//	stat <path>                         -> 0, then stat line
+//	unlink <path>                       -> 0
+//	rename <old> <new>                  -> 0
+//	mkdir <path> <mode>                 -> 0
+//	rmdir <path>                        -> 0
+//	getdir <path>                       -> count, then count entry lines
+//	getfile <path>                      -> size, then size raw bytes
+//	putfile <path> <mode> <size>        (then size raw bytes) -> size
+//	truncate <path> <size>              -> 0
+//	chmod <path> <mode>                 -> 0
+//	getacl <path>                       -> count, then count ACL lines
+//	setacl <path> <subject> <rights>    -> 0
+//	statfs                              -> 0, then "total free" line
+//	whoami                              -> 0, then subject line
+package proto
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tss/internal/vfs"
+)
+
+// MaxLineLen bounds a single protocol line, preventing memory
+// exhaustion from a malicious peer.
+const MaxLineLen = 64 << 10
+
+// MaxIOSize bounds a single pread/pwrite transfer. Larger application
+// requests are split by the client.
+const MaxIOSize = 8 << 20
+
+// emptyToken encodes the empty string; it is otherwise unparseable as
+// an escape (truncated), so it cannot collide with any Escape output.
+const emptyToken = "%0"
+
+// Escape percent-escapes an argument so it contains no spaces, newlines
+// or NUL bytes, and is never empty (fields must survive tokenization).
+func Escape(s string) string {
+	if s == "" {
+		return emptyToken
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '%', ' ', '\t', '\n', '\r', 0:
+			fmt.Fprintf(&b, "%%%02X", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Unescape reverses Escape.
+func Unescape(s string) (string, error) {
+	if s == emptyToken {
+		return "", nil
+	}
+	if !strings.ContainsRune(s, '%') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", fmt.Errorf("proto: truncated escape in %q", s)
+		}
+		v, err := strconv.ParseUint(s[i+1:i+3], 16, 8)
+		if err != nil {
+			return "", fmt.Errorf("proto: bad escape in %q", s)
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	return b.String(), nil
+}
+
+// asciiFields splits on runs of ASCII space and tab only. The standard
+// strings.Fields splits on all Unicode whitespace, which would corrupt
+// unescaped multibyte path arguments containing characters like U+2008.
+func asciiFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// ReadLine reads one newline-terminated line, enforcing MaxLineLen.
+func ReadLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > MaxLineLen {
+		return "", fmt.Errorf("proto: line exceeds %d bytes", MaxLineLen)
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// ReadCode reads a response status line: a decimal integer. Negative
+// values decode to the corresponding vfs.Errno.
+func ReadCode(r *bufio.Reader) (int64, error) {
+	line, err := ReadLine(r)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(line, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("proto: malformed status line %q", line)
+	}
+	return v, nil
+}
+
+// MarshalStat encodes a FileInfo as a stat line.
+func MarshalStat(fi vfs.FileInfo) string {
+	d := 0
+	if fi.IsDir {
+		d = 1
+	}
+	return fmt.Sprintf("%s %d %o %d %d %d",
+		Escape(fi.Name), fi.Size, fi.Mode, fi.MTime, fi.Inode, d)
+}
+
+// UnmarshalStat decodes a stat line.
+func UnmarshalStat(line string) (vfs.FileInfo, error) {
+	f := asciiFields(line)
+	if len(f) != 6 {
+		return vfs.FileInfo{}, fmt.Errorf("proto: malformed stat line %q", line)
+	}
+	name, err := Unescape(f[0])
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	size, err1 := strconv.ParseInt(f[1], 10, 64)
+	mode, err2 := strconv.ParseUint(f[2], 8, 32)
+	mtime, err3 := strconv.ParseInt(f[3], 10, 64)
+	inode, err4 := strconv.ParseUint(f[4], 10, 64)
+	isdir, err5 := strconv.ParseInt(f[5], 10, 8)
+	for _, e := range []error{err1, err2, err3, err4, err5} {
+		if e != nil {
+			return vfs.FileInfo{}, fmt.Errorf("proto: malformed stat line %q", line)
+		}
+	}
+	return vfs.FileInfo{
+		Name:  name,
+		Size:  size,
+		Mode:  uint32(mode),
+		MTime: mtime,
+		Inode: inode,
+		IsDir: isdir != 0,
+	}, nil
+}
+
+// MarshalDirEntry encodes one getdir response line.
+func MarshalDirEntry(e vfs.DirEntry) string {
+	d := 0
+	if e.IsDir {
+		d = 1
+	}
+	return fmt.Sprintf("%s %d", Escape(e.Name), d)
+}
+
+// UnmarshalDirEntry decodes one getdir response line.
+func UnmarshalDirEntry(line string) (vfs.DirEntry, error) {
+	f := asciiFields(line)
+	if len(f) != 2 {
+		return vfs.DirEntry{}, fmt.Errorf("proto: malformed dir entry %q", line)
+	}
+	name, err := Unescape(f[0])
+	if err != nil {
+		return vfs.DirEntry{}, err
+	}
+	return vfs.DirEntry{Name: name, IsDir: f[1] == "1"}, nil
+}
+
+// Request is a parsed protocol request. Fields are used according to
+// the verb; unused fields are zero.
+type Request struct {
+	Verb    string
+	Path    string // open, stat, unlink, mkdir, rmdir, getdir, getfile, putfile, truncate, chmod, getacl, setacl, rename (old)
+	Path2   string // rename (new)
+	Subject string // setacl
+	Rights  string // setacl
+	FD      int64  // pread, pwrite, fstat, fsync, ftruncate, close
+	Length  int64  // pread, pwrite, putfile
+	Offset  int64  // pread, pwrite
+	Flags   int64  // open
+	Mode    int64  // open, mkdir, putfile, chmod
+	Size    int64  // truncate, ftruncate
+}
+
+// Encode renders the request as a protocol line (without newline).
+func (q *Request) Encode() (string, error) {
+	switch q.Verb {
+	case "open":
+		return fmt.Sprintf("open %s %d %o", Escape(q.Path), q.Flags, q.Mode), nil
+	case "pread":
+		return fmt.Sprintf("pread %d %d %d", q.FD, q.Length, q.Offset), nil
+	case "pwrite":
+		return fmt.Sprintf("pwrite %d %d %d", q.FD, q.Length, q.Offset), nil
+	case "fstat":
+		return fmt.Sprintf("fstat %d", q.FD), nil
+	case "fsync":
+		return fmt.Sprintf("fsync %d", q.FD), nil
+	case "ftruncate":
+		return fmt.Sprintf("ftruncate %d %d", q.FD, q.Size), nil
+	case "close":
+		return fmt.Sprintf("close %d", q.FD), nil
+	case "stat":
+		return fmt.Sprintf("stat %s", Escape(q.Path)), nil
+	case "unlink":
+		return fmt.Sprintf("unlink %s", Escape(q.Path)), nil
+	case "rename":
+		return fmt.Sprintf("rename %s %s", Escape(q.Path), Escape(q.Path2)), nil
+	case "mkdir":
+		return fmt.Sprintf("mkdir %s %o", Escape(q.Path), q.Mode), nil
+	case "rmdir":
+		return fmt.Sprintf("rmdir %s", Escape(q.Path)), nil
+	case "getdir":
+		return fmt.Sprintf("getdir %s", Escape(q.Path)), nil
+	case "getfile":
+		return fmt.Sprintf("getfile %s", Escape(q.Path)), nil
+	case "putfile":
+		return fmt.Sprintf("putfile %s %o %d", Escape(q.Path), q.Mode, q.Length), nil
+	case "truncate":
+		return fmt.Sprintf("truncate %s %d", Escape(q.Path), q.Size), nil
+	case "chmod":
+		return fmt.Sprintf("chmod %s %o", Escape(q.Path), q.Mode), nil
+	case "getacl":
+		return fmt.Sprintf("getacl %s", Escape(q.Path)), nil
+	case "setacl":
+		return fmt.Sprintf("setacl %s %s %s", Escape(q.Path), Escape(q.Subject), Escape(q.Rights)), nil
+	case "statfs":
+		return "statfs", nil
+	case "whoami":
+		return "whoami", nil
+	}
+	return "", fmt.Errorf("proto: unknown verb %q", q.Verb)
+}
+
+func parseInt(s string, base int) (int64, error) {
+	return strconv.ParseInt(s, base, 64)
+}
+
+// ParseRequest parses a protocol line into a Request.
+func ParseRequest(line string) (*Request, error) {
+	fields := asciiFields(line)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("proto: empty request")
+	}
+	q := &Request{Verb: fields[0]}
+	args := fields[1:]
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("proto: %s: want %d args, got %d", q.Verb, n, len(args))
+		}
+		return nil
+	}
+	var err error
+	unescape := func(s string) string {
+		var u string
+		u, err = Unescape(s)
+		return u
+	}
+	switch q.Verb {
+	case "open":
+		if e := need(3); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+		if err == nil {
+			q.Flags, err = parseInt(args[1], 10)
+		}
+		if err == nil {
+			q.Mode, err = parseInt(args[2], 8)
+		}
+	case "pread", "pwrite":
+		if e := need(3); e != nil {
+			return nil, e
+		}
+		q.FD, err = parseInt(args[0], 10)
+		if err == nil {
+			q.Length, err = parseInt(args[1], 10)
+		}
+		if err == nil {
+			q.Offset, err = parseInt(args[2], 10)
+		}
+	case "fstat", "fsync", "close":
+		if e := need(1); e != nil {
+			return nil, e
+		}
+		q.FD, err = parseInt(args[0], 10)
+	case "ftruncate":
+		if e := need(2); e != nil {
+			return nil, e
+		}
+		q.FD, err = parseInt(args[0], 10)
+		if err == nil {
+			q.Size, err = parseInt(args[1], 10)
+		}
+	case "stat", "unlink", "rmdir", "getdir", "getfile", "getacl":
+		if e := need(1); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+	case "rename":
+		if e := need(2); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+		if err == nil {
+			q.Path2 = unescape(args[1])
+		}
+	case "mkdir", "chmod":
+		if e := need(2); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+		if err == nil {
+			q.Mode, err = parseInt(args[1], 8)
+		}
+	case "putfile":
+		if e := need(3); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+		if err == nil {
+			q.Mode, err = parseInt(args[1], 8)
+		}
+		if err == nil {
+			q.Length, err = parseInt(args[2], 10)
+		}
+	case "truncate":
+		if e := need(2); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+		if err == nil {
+			q.Size, err = parseInt(args[1], 10)
+		}
+	case "setacl":
+		if e := need(3); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+		if err == nil {
+			q.Subject = unescape(args[1])
+		}
+		if err == nil {
+			q.Rights = unescape(args[2])
+		}
+	case "statfs", "whoami":
+		if e := need(0); e != nil {
+			return nil, e
+		}
+	default:
+		return nil, fmt.Errorf("proto: unknown verb %q", q.Verb)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("proto: %s: %w", q.Verb, err)
+	}
+	return q, nil
+}

@@ -1,0 +1,396 @@
+package chirp
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tss/internal/acl"
+	"tss/internal/auth"
+	"tss/internal/chirp/proto"
+	"tss/internal/netsim"
+	"tss/internal/vfs"
+)
+
+// Property: ParseRequest never panics and either returns a request or
+// an error, for arbitrary input lines.
+func TestParseRequestNeverPanics(t *testing.T) {
+	f := func(line string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %q: %v", line, r)
+			}
+		}()
+		req, err := proto.ParseRequest(line)
+		return (req == nil) != (err == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	// Verb-shaped garbage specifically.
+	verbs := []string{"open", "pread", "pwrite", "stat", "rename", "setacl", "getdir", "putfile"}
+	args := []string{"", " ", " x", " / 9 9 9 9", " -1 -1 -1", " %zz", " " + strings.Repeat("a", 1000)}
+	for _, v := range verbs {
+		for _, a := range args {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("panic on %q: %v", v+a, r)
+					}
+				}()
+				proto.ParseRequest(v + a)
+			}()
+		}
+	}
+}
+
+// A server fed protocol garbage after authentication must not crash,
+// must answer each framed-but-invalid request with an error code, and
+// must keep serving valid requests afterwards.
+func TestServerSurvivesGarbage(t *testing.T) {
+	ts := startServer(t, nil)
+	conn, err := ts.net.DialFrom("owner.sim", "fs.sim", netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	// Authenticate by hand.
+	fmt.Fprintf(conn, "auth hostname\n")
+	if line, _ := br.ReadString('\n'); line != "yes\n" {
+		t.Fatalf("auth offer answered %q", line)
+	}
+	verdict, _ := br.ReadString('\n')
+	if !strings.HasPrefix(verdict, "ok ") {
+		t.Fatalf("auth verdict %q", verdict)
+	}
+	garbage := []string{
+		"bogusverb\n",
+		"open\n",
+		"open onlypath\n",
+		"pread notanumber x y\n",
+		"stat %zz\n",
+		"close 99999\n",
+		"setacl / subj\n",
+		"pwrite -1 -5 -9\n", // negative sizes: fatal framing, below
+	}
+	for _, g := range garbage[:len(garbage)-1] {
+		if _, err := io.WriteString(conn, g); err != nil {
+			t.Fatal(err)
+		}
+		code, err := proto.ReadCode(br)
+		if err != nil {
+			t.Fatalf("after %q: %v", g, err)
+		}
+		if code >= 0 {
+			t.Errorf("garbage %q accepted with code %d", g, code)
+		}
+	}
+	// Still alive: a valid request works on the same connection.
+	io.WriteString(conn, "whoami\n")
+	code, err := proto.ReadCode(br)
+	if err != nil || code != 0 {
+		t.Fatalf("whoami after garbage = %d, %v", code, err)
+	}
+	if line, _ := br.ReadString('\n'); !strings.Contains(line, "owner.sim") {
+		t.Errorf("whoami body = %q", line)
+	}
+}
+
+// Concurrent clients hammering one server: the per-connection sessions
+// must not interfere, and every client's data must be intact.
+func TestManyConcurrentClients(t *testing.T) {
+	ts := startServer(t, nil)
+	const clients = 16
+	const filesEach = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := Dial(ClientConfig{
+				Dial: func() (net.Conn, error) {
+					return ts.net.DialFrom("owner.sim", "fs.sim", netsim.Loopback)
+				},
+				Credentials: []auth.Credential{auth.HostnameCredential{}},
+				Timeout:     10 * time.Second,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			dir := fmt.Sprintf("/client%02d", c)
+			if err := cli.Mkdir(dir, 0o755); err != nil {
+				errs <- fmt.Errorf("client %d mkdir: %w", c, err)
+				return
+			}
+			for i := 0; i < filesEach; i++ {
+				name := fmt.Sprintf("%s/f%02d", dir, i)
+				content := []byte(fmt.Sprintf("client %d file %d", c, i))
+				if err := vfs.WriteFile(cli, name, content, 0o644); err != nil {
+					errs <- fmt.Errorf("client %d write: %w", c, err)
+					return
+				}
+				got, err := vfs.ReadFile(cli, name)
+				if err != nil || string(got) != string(content) {
+					errs <- fmt.Errorf("client %d readback %s: %q, %v", c, name, got, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The server saw every directory.
+	owner := ts.client(t, "owner.sim")
+	ents, err := owner.ReadDir("/")
+	if err != nil || len(ents) != clients {
+		t.Fatalf("root has %d entries, %v", len(ents), err)
+	}
+}
+
+// One client shared by goroutines: the protocol serializes on the
+// connection; results must still be correct.
+func TestClientConcurrencySafety(t *testing.T) {
+	ts := startServer(t, nil)
+	cli := ts.client(t, "owner.sim")
+	if err := vfs.WriteFile(cli, "/shared", []byte("0123456789abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := cli.Open("/shared", vfs.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 4)
+			for i := 0; i < 50; i++ {
+				off := int64((g*50 + i) % 13)
+				n, err := f.Pread(buf, off)
+				if err != nil || n != 4 {
+					t.Errorf("goroutine %d pread: n=%d %v", g, n, err)
+					return
+				}
+				want := "0123456789abcdef"[off : off+4]
+				if string(buf) != want {
+					t.Errorf("goroutine %d read %q at %d, want %q", g, buf, off, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// IdleTimeout severs clients that go quiet, freeing server state (§4's
+// failure semantics applied to half-dead peers).
+func TestIdleTimeoutDisconnects(t *testing.T) {
+	srv, err := NewServer(t.TempDir(), ServerConfig{
+		Name:        "fs.sim",
+		Owner:       "hostname:owner.sim",
+		Verifiers:   []auth.Verifier{&auth.HostnameVerifier{}},
+		IdleTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := netsim.NewNetwork()
+	l, _ := nw.Listen("fs.sim")
+	defer l.Close()
+	go srv.Serve(l)
+	cli, err := Dial(ClientConfig{
+		Dial:        func() (net.Conn, error) { return nw.DialFrom("owner.sim", "fs.sim", netsim.Loopback) },
+		Credentials: []auth.Credential{auth.HostnameCredential{}},
+		Timeout:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Stat("/"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(250 * time.Millisecond) // stay idle past the timeout
+	if _, err := cli.Stat("/"); vfs.AsErrno(err) != vfs.ENOTCONN {
+		t.Errorf("stat after idle disconnect = %v, want ENOTCONN", err)
+	}
+	// Reconnect restores service: recovery is the client's job.
+	if err := cli.Reconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Stat("/"); err != nil {
+		t.Errorf("stat after reconnect = %v", err)
+	}
+}
+
+// getfile and putfile are subject to the same ACL checks as open.
+func TestGetPutFileACL(t *testing.T) {
+	rootACL := mustACL(t, "hostname:reader.sim", "rl")
+	ts := startServer(t, rootACL)
+	owner := ts.client(t, "owner.sim")
+	if err := vfs.WriteFile(owner, "/data", []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reader := ts.client(t, "reader.sim")
+	var sink bytes.Buffer
+	if _, err := reader.GetFile("/data", &sink); err != nil || sink.String() != "payload" {
+		t.Errorf("reader getfile = %q, %v", sink.String(), err)
+	}
+	if err := reader.PutFile("/new", 0o644, 1, strings.NewReader("x")); vfs.AsErrno(err) != vfs.EACCES {
+		t.Errorf("reader putfile = %v, want EACCES", err)
+	}
+	stranger := ts.client(t, "evil.org")
+	if _, err := stranger.GetFile("/data", &sink); vfs.AsErrno(err) != vfs.EACCES {
+		t.Errorf("stranger getfile = %v, want EACCES", err)
+	}
+	// Crucially the connection survives the denied putfile: the data
+	// phase was consumed even though the request failed.
+	if _, err := reader.Stat("/data"); err != nil {
+		t.Errorf("connection desynced after denied putfile: %v", err)
+	}
+}
+
+func mustACL(t *testing.T, subject, spec string) *acl.List {
+	t.Helper()
+	rights, reserve, err := acl.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &acl.List{}
+	l.Set(subject, rights, reserve)
+	return l
+}
+
+// OpenStat returns metadata consistent with a subsequent Fstat, in one
+// round trip.
+func TestOpenStatConsistency(t *testing.T) {
+	ts := startServer(t, nil)
+	c := ts.client(t, "owner.sim")
+	if err := vfs.WriteFile(c, "/f", []byte("12345"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := ts.srv.Stats.Requests.Load()
+	f, fi, err := c.OpenStat("/f", vfs.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := ts.srv.Stats.Requests.Load() - before; got != 1 {
+		t.Errorf("OpenStat cost %d RPCs, want 1", got)
+	}
+	if fi.Size != 5 || fi.Inode == 0 {
+		t.Errorf("open stat = %+v", fi)
+	}
+	fi2, err := f.Fstat()
+	if err != nil || fi2.Inode != fi.Inode || fi2.Size != fi.Size {
+		t.Errorf("fstat = %+v vs openstat %+v, %v", fi2, fi, err)
+	}
+}
+
+// Remaining per-fd and namespace RPCs, end to end.
+func TestRemainingRPCSurface(t *testing.T) {
+	ts := startServer(t, nil)
+	c := ts.client(t, "owner.sim")
+	if err := vfs.WriteFile(c, "/f", []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// truncate (path), chmod (path).
+	if err := c.Truncate("/f", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Chmod("/f", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := c.Stat("/f")
+	if err != nil || fi.Size != 4 || fi.Mode != 0o600 {
+		t.Fatalf("after truncate+chmod: %+v, %v", fi, err)
+	}
+	// negative sizes rejected.
+	if err := c.Truncate("/f", -1); vfs.AsErrno(err) != vfs.EINVAL {
+		t.Errorf("negative truncate = %v", err)
+	}
+	// fd-level: ftruncate, fsync, fstat.
+	f, err := c.Open("/f", vfs.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Ftruncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ffi, err := f.Fstat()
+	if err != nil || ffi.Size != 2 {
+		t.Fatalf("fstat = %+v, %v", ffi, err)
+	}
+	if err := f.Ftruncate(-3); vfs.AsErrno(err) != vfs.EINVAL {
+		t.Errorf("negative ftruncate = %v", err)
+	}
+	// getacl of a subdirectory inherits from the root.
+	if err := vfs.MkdirAll(c, "/deep/nested", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := c.GetACL("/deep/nested")
+	if err != nil || len(lines) == 0 {
+		t.Fatalf("getacl = %v, %v", lines, err)
+	}
+	// setacl with a malformed spec is EINVAL, and the connection lives.
+	if err := c.SetACL("/deep", "unix:x", "zz"); vfs.AsErrno(err) != vfs.EINVAL {
+		t.Errorf("bad setacl spec = %v", err)
+	}
+	if _, err := c.Stat("/f"); err != nil {
+		t.Errorf("connection after bad setacl: %v", err)
+	}
+	// Revoking an entry with "n".
+	if err := c.SetACL("/deep", "hostname:friend.org", "rl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetACL("/deep", "hostname:friend.org", "n"); err != nil {
+		t.Fatal(err)
+	}
+	lines, _ = c.GetACL("/deep")
+	for _, l := range lines {
+		if strings.Contains(l, "friend.org") {
+			t.Errorf("revoked entry persists: %q", l)
+		}
+	}
+}
+
+// Unauthenticated connections cannot issue requests: the server
+// requires the auth dialog first.
+func TestNoRequestsBeforeAuth(t *testing.T) {
+	ts := startServer(t, nil)
+	conn, err := ts.net.DialFrom("owner.sim", "fs.sim", netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	io.WriteString(conn, "stat /\n") // not an auth line
+	br := bufio.NewReader(conn)
+	// The server treats it as a protocol error and drops us.
+	if _, err := br.ReadString('\n'); err == nil {
+		// Whatever came back, a subsequent valid request must fail:
+		io.WriteString(conn, "whoami\n")
+		if _, err := br.ReadString('\n'); err == nil {
+			t.Error("server answered requests without authentication")
+		}
+	}
+}

@@ -1,0 +1,849 @@
+// Package chirp implements the Chirp personal file server and client —
+// the resource layer of the tactical storage system (§4 of the paper).
+//
+// A server exports one host directory over a Unix-like protocol with
+// per-directory ACLs and virtual-user-space authentication. It can be
+// deployed by an ordinary user with a single call: no privileges,
+// kernel modules, or configuration files. The client implements
+// vfs.FileSystem, so a remote server is usable anywhere a local
+// filesystem is — the recursive storage abstraction.
+package chirp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tss/internal/acl"
+	"tss/internal/auth"
+	"tss/internal/chirp/proto"
+	"tss/internal/pathutil"
+	"tss/internal/vfs"
+)
+
+// ACLFileName is the name of the per-directory ACL file. It is hidden
+// from directory listings and unreachable through the protocol.
+const ACLFileName = ".__acl"
+
+// ServerConfig configures a file server.
+type ServerConfig struct {
+	// Name is the advertised server name (host:port or symbolic).
+	Name string
+	// Owner is the subject that receives all rights on a fresh root.
+	Owner auth.Subject
+	// Verifiers are the authentication methods the server accepts.
+	Verifiers []auth.Verifier
+	// RootACL, when non-nil, seeds the root directory ACL of a fresh
+	// root (the owner entry is always added).
+	RootACL *acl.List
+	// MaxFDs bounds open descriptors per connection (default 256).
+	MaxFDs int
+	// IdleTimeout disconnects clients idle for this long (0 = none).
+	IdleTimeout time.Duration
+	// Logf, when non-nil, receives one line per connection event.
+	Logf func(format string, args ...any)
+}
+
+// ServerStats holds monotonic counters exposed for catalogs and tests.
+type ServerStats struct {
+	Connections atomic.Int64
+	Requests    atomic.Int64
+	BytesRead   atomic.Int64
+	BytesWriten atomic.Int64
+}
+
+// Server is a Chirp file server bound to one exported directory.
+type Server struct {
+	cfg   ServerConfig
+	fs    *vfs.LocalFS
+	aclMu sync.Mutex // serializes ACL read-modify-write cycles
+
+	Stats ServerStats
+}
+
+// NewServer creates a file server exporting root. If the root has no
+// ACL yet, one is created granting the owner all rights.
+func NewServer(root string, cfg ServerConfig) (*Server, error) {
+	fs, err := vfs.NewLocalFS(root)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxFDs <= 0 {
+		cfg.MaxFDs = 256
+	}
+	if cfg.Owner == "" {
+		cfg.Owner = "unix:owner"
+	}
+	s := &Server{cfg: cfg, fs: fs}
+	if err := s.ensureRootACL(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name returns the advertised server name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Owner returns the owner subject.
+func (s *Server) Owner() auth.Subject { return s.cfg.Owner }
+
+// FS exposes the underlying confined filesystem (owner access: the
+// paper notes the owner retains access to all data on the server).
+func (s *Server) FS() *vfs.LocalFS { return s.fs }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) ensureRootACL() error {
+	s.aclMu.Lock()
+	defer s.aclMu.Unlock()
+	if _, err := s.fs.Stat("/" + ACLFileName); err == nil {
+		return nil
+	}
+	list := &acl.List{}
+	if s.cfg.RootACL != nil {
+		list = s.cfg.RootACL.Clone()
+	}
+	list.Set(string(s.cfg.Owner), acl.AllRights|acl.V, acl.AllRights)
+	return s.writeACL("/", list)
+}
+
+// readACL returns the ACL stored exactly at dir, or nil if absent.
+// Caller holds aclMu or tolerates racing writers.
+func (s *Server) readACL(dir string) (*acl.List, error) {
+	data, err := vfs.ReadFile(s.fs, pathutil.Join(dir, ACLFileName))
+	if err != nil {
+		if vfs.AsErrno(err) == vfs.ENOENT {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return acl.Parse(data)
+}
+
+func (s *Server) writeACL(dir string, list *acl.List) error {
+	return vfs.WriteFile(s.fs, pathutil.Join(dir, ACLFileName), list.Encode(), 0o644)
+}
+
+// effectiveACL walks from dir toward the root and returns the nearest
+// ACL, so directories created outside the protocol (pre-existing data
+// being exported) inherit their ancestor's policy.
+func (s *Server) effectiveACL(dir string) (*acl.List, error) {
+	for {
+		l, err := s.readACL(dir)
+		if err != nil {
+			return nil, err
+		}
+		if l != nil {
+			return l, nil
+		}
+		if pathutil.IsRoot(dir) {
+			// Root ACL is created at startup; reaching here means it
+			// was deleted out from under us.
+			return nil, vfs.EIO
+		}
+		dir = pathutil.Dir(dir)
+	}
+}
+
+// checkDir verifies that subject holds want rights in directory dir.
+func (s *Server) checkDir(subject auth.Subject, dir string, want acl.Rights) error {
+	l, err := s.effectiveACL(dir)
+	if err != nil {
+		return err
+	}
+	if !l.Allows(string(subject), want) {
+		return vfs.EACCES
+	}
+	return nil
+}
+
+// checkParent verifies rights in the parent directory of path.
+func (s *Server) checkParent(subject auth.Subject, path string, want acl.Rights) error {
+	return s.checkDir(subject, pathutil.Dir(path), want)
+}
+
+// checkEither verifies that subject holds at least one of the right
+// sets in the parent directory of path.
+func (s *Server) checkParentEither(subject auth.Subject, path string, wants ...acl.Rights) error {
+	l, err := s.effectiveACL(pathutil.Dir(path))
+	if err != nil {
+		return err
+	}
+	for _, w := range wants {
+		if l.Allows(string(subject), w) {
+			return nil
+		}
+	}
+	return vfs.EACCES
+}
+
+// normPath validates and normalizes a client path, rejecting any
+// attempt to name the ACL file directly.
+func normPath(p string) (string, error) {
+	n, err := pathutil.Norm(p)
+	if err != nil {
+		return "", vfs.EINVAL
+	}
+	for _, c := range pathutil.Split(n) {
+		if c == ACLFileName {
+			return "", vfs.EACCES
+		}
+	}
+	return n, nil
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn authenticates and serves a single connection, returning
+// when the peer disconnects. Per the paper's failure semantics, all
+// server-side state for the connection — in particular open file
+// descriptors — is released when the connection ends.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("chirp: panic serving %v: %v", conn.RemoteAddr(), r)
+		}
+		conn.Close()
+	}()
+	s.Stats.Connections.Add(1)
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	peer := auth.PeerInfo{Addr: conn.RemoteAddr().String()}
+	subject, err := auth.Accept(br, flushWriter{bw}, peer, s.cfg.Verifiers...)
+	if err != nil {
+		s.logf("chirp: auth failed for %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	s.logf("chirp: %v authenticated as %s", conn.RemoteAddr(), subject)
+
+	sess := &session{srv: s, subject: subject, files: make(map[int64]*openFD)}
+	defer sess.closeAll()
+
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		line, err := proto.ReadLine(br)
+		if err != nil {
+			return // disconnect: free everything
+		}
+		s.Stats.Requests.Add(1)
+		if err := sess.dispatch(line, br, bw); err != nil {
+			s.logf("chirp: %s: fatal: %v", subject, err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// flushWriter flushes after every write; the auth dialog is interactive
+// line-at-a-time traffic.
+type flushWriter struct{ w *bufio.Writer }
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if err == nil {
+		err = f.w.Flush()
+	}
+	return n, err
+}
+
+type openFD struct {
+	file vfs.File
+	path string
+}
+
+// session is the per-connection server state.
+type session struct {
+	srv     *Server
+	subject auth.Subject
+	files   map[int64]*openFD
+	nextFD  int64
+}
+
+func (ss *session) closeAll() {
+	for _, f := range ss.files {
+		f.file.Close()
+	}
+	ss.files = nil
+}
+
+func respondCode(bw *bufio.Writer, v int64) error {
+	_, err := fmt.Fprintf(bw, "%d\n", v)
+	return err
+}
+
+func respondErr(bw *bufio.Writer, err error) error {
+	return respondCode(bw, int64(vfs.Code(err)))
+}
+
+// dispatch handles one request. A returned error is fatal to the
+// connection (stream desync); per-request failures are reported to the
+// client as negative status codes instead.
+func (ss *session) dispatch(line string, br *bufio.Reader, bw *bufio.Writer) error {
+	req, err := proto.ParseRequest(line)
+	if err != nil {
+		// Unknown or malformed verb with no data phase: report and
+		// continue; the line framing is intact.
+		return respondErr(bw, vfs.EINVAL)
+	}
+	switch req.Verb {
+	case "open":
+		return ss.handleOpen(req, bw)
+	case "pread":
+		return ss.handlePread(req, bw)
+	case "pwrite":
+		return ss.handlePwrite(req, br, bw)
+	case "fstat":
+		return ss.handleFstat(req, bw)
+	case "fsync":
+		return ss.handleFsync(req, bw)
+	case "ftruncate":
+		return ss.handleFtruncate(req, bw)
+	case "close":
+		return ss.handleClose(req, bw)
+	case "stat":
+		return ss.handleStat(req, bw)
+	case "unlink":
+		return ss.handleUnlink(req, bw)
+	case "rename":
+		return ss.handleRename(req, bw)
+	case "mkdir":
+		return ss.handleMkdir(req, bw)
+	case "rmdir":
+		return ss.handleRmdir(req, bw)
+	case "getdir":
+		return ss.handleGetdir(req, bw)
+	case "getfile":
+		return ss.handleGetfile(req, bw)
+	case "putfile":
+		return ss.handlePutfile(req, br, bw)
+	case "truncate":
+		return ss.handleTruncate(req, bw)
+	case "chmod":
+		return ss.handleChmod(req, bw)
+	case "getacl":
+		return ss.handleGetacl(req, bw)
+	case "setacl":
+		return ss.handleSetacl(req, bw)
+	case "statfs":
+		return ss.handleStatfs(bw)
+	case "whoami":
+		if err := respondCode(bw, 0); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(bw, "%s\n", proto.Escape(string(ss.subject)))
+		return err
+	}
+	return respondErr(bw, vfs.EINVAL)
+}
+
+func (ss *session) handleOpen(req *proto.Request, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	flags := int(req.Flags)
+	want := acl.R
+	if flags&vfs.AccessModeMask != vfs.O_RDONLY || flags&(vfs.O_CREAT|vfs.O_TRUNC|vfs.O_APPEND) != 0 {
+		want = acl.W
+	}
+	if err := ss.srv.checkParent(ss.subject, path, want); err != nil {
+		return respondErr(bw, err)
+	}
+	if len(ss.files) >= ss.srv.cfg.MaxFDs {
+		return respondErr(bw, vfs.EMFILE)
+	}
+	f, err := ss.srv.fs.Open(path, flags, uint32(req.Mode))
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	// The open response carries the stat line, so clients get the
+	// metadata (notably the inode, which the adapter's recovery
+	// protocol needs) without a second round trip.
+	fi, err := f.Fstat()
+	if err != nil {
+		f.Close()
+		return respondErr(bw, err)
+	}
+	ss.nextFD++
+	fd := ss.nextFD
+	ss.files[fd] = &openFD{file: f, path: path}
+	if err := respondCode(bw, fd); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(bw, "%s\n", proto.MarshalStat(fi))
+	return err
+}
+
+func (ss *session) fd(id int64) (*openFD, error) {
+	f, ok := ss.files[id]
+	if !ok {
+		return nil, vfs.EBADF
+	}
+	return f, nil
+}
+
+func (ss *session) handlePread(req *proto.Request, bw *bufio.Writer) error {
+	f, err := ss.fd(req.FD)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if req.Length < 0 || req.Length > proto.MaxIOSize || req.Offset < 0 {
+		return respondErr(bw, vfs.EINVAL)
+	}
+	buf := make([]byte, req.Length)
+	n, err := f.file.Pread(buf, req.Offset)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	ss.srv.Stats.BytesRead.Add(int64(n))
+	if err := respondCode(bw, int64(n)); err != nil {
+		return err
+	}
+	_, err = bw.Write(buf[:n])
+	return err
+}
+
+func (ss *session) handlePwrite(req *proto.Request, br *bufio.Reader, bw *bufio.Writer) error {
+	if req.Length < 0 || req.Length > proto.MaxIOSize || req.Offset < 0 {
+		// Cannot honor the data phase safely; the stream is desynced.
+		respondErr(bw, vfs.EINVAL)
+		return fmt.Errorf("pwrite length out of range")
+	}
+	buf := make([]byte, req.Length)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return err
+	}
+	f, err := ss.fd(req.FD)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	n, err := f.file.Pwrite(buf, req.Offset)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	ss.srv.Stats.BytesWriten.Add(int64(n))
+	return respondCode(bw, int64(n))
+}
+
+func (ss *session) handleFstat(req *proto.Request, bw *bufio.Writer) error {
+	f, err := ss.fd(req.FD)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	fi, err := f.file.Fstat()
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := respondCode(bw, 0); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(bw, "%s\n", proto.MarshalStat(fi))
+	return err
+}
+
+func (ss *session) handleFsync(req *proto.Request, bw *bufio.Writer) error {
+	f, err := ss.fd(req.FD)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	return respondErr(bw, f.file.Sync())
+}
+
+func (ss *session) handleFtruncate(req *proto.Request, bw *bufio.Writer) error {
+	f, err := ss.fd(req.FD)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if req.Size < 0 {
+		return respondErr(bw, vfs.EINVAL)
+	}
+	return respondErr(bw, f.file.Ftruncate(req.Size))
+}
+
+func (ss *session) handleClose(req *proto.Request, bw *bufio.Writer) error {
+	f, err := ss.fd(req.FD)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	delete(ss.files, req.FD)
+	return respondErr(bw, f.file.Close())
+}
+
+func (ss *session) handleStat(req *proto.Request, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := ss.srv.checkParent(ss.subject, path, acl.L); err != nil {
+		return respondErr(bw, err)
+	}
+	fi, err := ss.srv.fs.Stat(path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := respondCode(bw, 0); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(bw, "%s\n", proto.MarshalStat(fi))
+	return err
+}
+
+func (ss *session) handleUnlink(req *proto.Request, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := ss.srv.checkParentEither(ss.subject, path, acl.W, acl.D); err != nil {
+		return respondErr(bw, err)
+	}
+	return respondErr(bw, ss.srv.fs.Unlink(path))
+}
+
+func (ss *session) handleRename(req *proto.Request, bw *bufio.Writer) error {
+	oldPath, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	newPath, err := normPath(req.Path2)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := ss.srv.checkParentEither(ss.subject, oldPath, acl.W, acl.D); err != nil {
+		return respondErr(bw, err)
+	}
+	if err := ss.srv.checkParent(ss.subject, newPath, acl.W); err != nil {
+		return respondErr(bw, err)
+	}
+	return respondErr(bw, ss.srv.fs.Rename(oldPath, newPath))
+}
+
+func (ss *session) handleMkdir(req *proto.Request, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if pathutil.IsRoot(path) {
+		return respondErr(bw, vfs.EEXIST)
+	}
+	ss.srv.aclMu.Lock()
+	defer ss.srv.aclMu.Unlock()
+	parent, err := ss.srv.effectiveACL(pathutil.Dir(path))
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	rights, reserve := parent.RightsFor(string(ss.subject))
+	var childACL *acl.List
+	switch {
+	case rights.Has(acl.W):
+		// Ordinary mkdir: the new directory inherits the parent policy.
+		childACL = parent.Clone()
+	case rights.Has(acl.V):
+		// Reservation (§4): the new directory belongs to the caller,
+		// with exactly the sub-rights named in the parent's v(...)
+		// entry — no more. If A was omitted there, the creator cannot
+		// extend access to anyone else.
+		childACL = &acl.List{}
+		childACL.Set(string(ss.subject), reserve, 0)
+	default:
+		return respondErr(bw, vfs.EACCES)
+	}
+	if err := ss.srv.fs.Mkdir(path, uint32(req.Mode)); err != nil {
+		return respondErr(bw, err)
+	}
+	if err := ss.srv.writeACL(path, childACL); err != nil {
+		ss.srv.fs.Rmdir(path)
+		return respondErr(bw, err)
+	}
+	return respondCode(bw, 0)
+}
+
+func (ss *session) handleRmdir(req *proto.Request, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if pathutil.IsRoot(path) {
+		return respondErr(bw, vfs.EBUSY)
+	}
+	if err := ss.srv.checkParentEither(ss.subject, path, acl.W, acl.D); err != nil {
+		return respondErr(bw, err)
+	}
+	ss.srv.aclMu.Lock()
+	defer ss.srv.aclMu.Unlock()
+	// A directory whose only remaining entry is its ACL file counts as
+	// empty; remove the ACL first, restoring it if rmdir then fails.
+	ents, err := ss.srv.fs.ReadDir(path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	hadACL := false
+	for _, e := range ents {
+		if e.Name == ACLFileName {
+			hadACL = true
+			continue
+		}
+		return respondErr(bw, vfs.ENOTEMPTY)
+	}
+	var saved *acl.List
+	if hadACL {
+		saved, _ = ss.srv.readACL(path)
+		if err := ss.srv.fs.Unlink(pathutil.Join(path, ACLFileName)); err != nil {
+			return respondErr(bw, err)
+		}
+	}
+	if err := ss.srv.fs.Rmdir(path); err != nil {
+		if saved != nil {
+			ss.srv.writeACL(path, saved)
+		}
+		return respondErr(bw, err)
+	}
+	return respondCode(bw, 0)
+}
+
+func (ss *session) handleGetdir(req *proto.Request, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := ss.srv.checkDir(ss.subject, path, acl.L); err != nil {
+		return respondErr(bw, err)
+	}
+	ents, err := ss.srv.fs.ReadDir(path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	visible := ents[:0]
+	for _, e := range ents {
+		if e.Name != ACLFileName {
+			visible = append(visible, e)
+		}
+	}
+	if err := respondCode(bw, int64(len(visible))); err != nil {
+		return err
+	}
+	for _, e := range visible {
+		if _, err := fmt.Fprintf(bw, "%s\n", proto.MarshalDirEntry(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ss *session) handleGetfile(req *proto.Request, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := ss.srv.checkParent(ss.subject, path, acl.R); err != nil {
+		return respondErr(bw, err)
+	}
+	f, err := ss.srv.fs.Open(path, vfs.O_RDONLY, 0)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	defer f.Close()
+	fi, err := f.Fstat()
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := respondCode(bw, fi.Size); err != nil {
+		return err
+	}
+	// Stream exactly fi.Size bytes: the count was already promised, so
+	// a concurrently shrinking file is padded with zeros to keep the
+	// stream in sync.
+	buf := make([]byte, 256<<10)
+	var off int64
+	for off < fi.Size {
+		want := int64(len(buf))
+		if fi.Size-off < want {
+			want = fi.Size - off
+		}
+		n, err := f.Pread(buf[:want], off)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			for i := range buf[:want] {
+				buf[i] = 0
+			}
+			n = int(want)
+		}
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		off += int64(n)
+		ss.srv.Stats.BytesRead.Add(int64(n))
+	}
+	return nil
+}
+
+func (ss *session) handlePutfile(req *proto.Request, br *bufio.Reader, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		// Must still consume the data phase to stay in sync.
+		io.CopyN(io.Discard, br, req.Length)
+		return respondErr(bw, err)
+	}
+	if req.Length < 0 {
+		respondErr(bw, vfs.EINVAL)
+		return fmt.Errorf("putfile negative length")
+	}
+	if err := ss.srv.checkParent(ss.subject, path, acl.W); err != nil {
+		io.CopyN(io.Discard, br, req.Length)
+		return respondErr(bw, err)
+	}
+	f, err := ss.srv.fs.Open(path, vfs.O_WRONLY|vfs.O_CREAT|vfs.O_TRUNC, uint32(req.Mode))
+	if err != nil {
+		io.CopyN(io.Discard, br, req.Length)
+		return respondErr(bw, err)
+	}
+	buf := make([]byte, 256<<10)
+	var off int64
+	for off < req.Length {
+		want := int64(len(buf))
+		if req.Length-off < want {
+			want = req.Length - off
+		}
+		if _, err := io.ReadFull(br, buf[:want]); err != nil {
+			f.Close()
+			return err
+		}
+		if err := vfs.WriteAll(f, buf[:want], off); err != nil {
+			f.Close()
+			io.CopyN(io.Discard, br, req.Length-off-want)
+			return respondErr(bw, err)
+		}
+		off += want
+		ss.srv.Stats.BytesWriten.Add(want)
+	}
+	if err := f.Close(); err != nil {
+		return respondErr(bw, err)
+	}
+	return respondCode(bw, req.Length)
+}
+
+func (ss *session) handleTruncate(req *proto.Request, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if req.Size < 0 {
+		return respondErr(bw, vfs.EINVAL)
+	}
+	if err := ss.srv.checkParent(ss.subject, path, acl.W); err != nil {
+		return respondErr(bw, err)
+	}
+	return respondErr(bw, ss.srv.fs.Truncate(path, req.Size))
+}
+
+func (ss *session) handleChmod(req *proto.Request, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := ss.srv.checkParent(ss.subject, path, acl.W); err != nil {
+		return respondErr(bw, err)
+	}
+	return respondErr(bw, ss.srv.fs.Chmod(path, uint32(req.Mode)))
+}
+
+func (ss *session) handleGetacl(req *proto.Request, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := ss.srv.checkDir(ss.subject, path, acl.L); err != nil {
+		return respondErr(bw, err)
+	}
+	ss.srv.aclMu.Lock()
+	list, err := ss.srv.effectiveACL(path)
+	ss.srv.aclMu.Unlock()
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := respondCode(bw, int64(len(list.Entries))); err != nil {
+		return err
+	}
+	for _, e := range list.Entries {
+		if _, err := fmt.Fprintf(bw, "%s\n", e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ss *session) handleSetacl(req *proto.Request, bw *bufio.Writer) error {
+	path, err := normPath(req.Path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := ss.srv.checkDir(ss.subject, path, acl.A); err != nil {
+		return respondErr(bw, err)
+	}
+	rights, reserve, err := acl.ParseSpec(req.Rights)
+	if err != nil {
+		return respondErr(bw, vfs.EINVAL)
+	}
+	ss.srv.aclMu.Lock()
+	defer ss.srv.aclMu.Unlock()
+	list, err := ss.srv.effectiveACL(path)
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	list = list.Clone()
+	list.Set(req.Subject, rights, reserve)
+	return respondErr(bw, ss.srv.writeACL(path, list))
+}
+
+func (ss *session) handleStatfs(bw *bufio.Writer) error {
+	info, err := ss.srv.fs.StatFS()
+	if err != nil {
+		return respondErr(bw, err)
+	}
+	if err := respondCode(bw, 0); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(bw, "%d %d\n", info.TotalBytes, info.FreeBytes)
+	return err
+}
+
+// Describe summarizes the server for catalog reports.
+func (s *Server) Describe() (name, owner string, info vfs.FSInfo, rootACL string) {
+	info, _ = s.fs.StatFS()
+	s.aclMu.Lock()
+	list, err := s.effectiveACL("/")
+	s.aclMu.Unlock()
+	if err == nil {
+		rootACL = strings.TrimRight(string(list.Encode()), "\n")
+	}
+	return s.cfg.Name, string(s.cfg.Owner), info, rootACL
+}

@@ -1,0 +1,200 @@
+// Package cluster models the hardware of the paper's evaluation
+// cluster (§7, Figures 6-8) on the deterministic simulation kernel:
+// nodes with one SATA disk (~10 MB/s sustained), 512 MB of RAM for
+// buffer cache, and a full-duplex gigabit port (~100 MB/s practical)
+// into a commodity switch whose backplane saturates near 300 MB/s.
+//
+// A DSFS workload runs on the model: files are spread round-robin over
+// the servers, and client processes repeatedly pick a file at random
+// and read it end to end. A cache hit streams from memory — the flow
+// crosses the server port, the backplane, and the client port. A miss
+// adds the server's disk to the flow's resource set (the pipelined
+// disk-to-network read), then installs the file in that server's LRU
+// cache. Aggregate client goodput over a measurement window is the
+// figure of merit, exactly as in the paper.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tss/internal/sim"
+)
+
+// MB is one binary megabyte in bytes.
+const MB = 1 << 20
+
+// Config describes one DSFS scalability experiment.
+type Config struct {
+	Servers   int
+	Clients   int
+	FileCount int
+	FileSize  int64 // bytes
+
+	// Hardware, defaulted to the paper's cluster by DefaultHardware.
+	ServerPortBW float64 // bytes/s per server NIC (egress)
+	ClientPortBW float64 // bytes/s per client NIC (ingress)
+	BackplaneBW  float64 // bytes/s shared switch backplane
+	DiskBW       float64 // bytes/s per server disk
+	CacheBytes   int64   // usable buffer cache per server
+
+	// MetadataDelay is charged per open: the stub lookup plus open
+	// round trips of the DSFS (§5).
+	MetadataDelay time.Duration
+
+	// Warmup is excluded from measurement; Measure is the window over
+	// which goodput is averaged.
+	Warmup  time.Duration
+	Measure time.Duration
+
+	// Prewarm loads each server's cache with its own files (up to
+	// capacity) before the clock starts, so the measurement sees the
+	// steady state rather than the cold fill — the paper's runs
+	// likewise measure established systems.
+	Prewarm bool
+
+	Seed int64
+}
+
+// DefaultHardware fills zero fields with the paper's cluster numbers.
+func (c *Config) DefaultHardware() {
+	if c.ServerPortBW == 0 {
+		c.ServerPortBW = 100 * MB // "just over 100 MB/s, the practical limit of TCP on a 1Gb port"
+	}
+	if c.ClientPortBW == 0 {
+		c.ClientPortBW = 100 * MB
+	}
+	if c.BackplaneBW == 0 {
+		c.BackplaneBW = 300 * MB // "saturate the switch backplane at 300 MB/s"
+	}
+	if c.DiskBW == 0 {
+		c.DiskBW = 10 * MB // "10 MB/s, the raw disk throughput"
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 480 * MB // 512 MB RAM minus the OS footprint
+	}
+	if c.Clients == 0 {
+		c.Clients = 16
+	}
+	if c.MetadataDelay == 0 {
+		c.MetadataDelay = 400 * time.Microsecond
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 20 * time.Second
+	}
+	if c.Measure == 0 {
+		c.Measure = 60 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Result reports one experiment run.
+type Result struct {
+	Servers        int
+	ThroughputMBps float64 // aggregate client goodput
+	HitRate        float64 // cache hit fraction during measurement
+	Reads          int     // completed file reads during measurement
+}
+
+// String renders one result row.
+func (r Result) String() string {
+	return fmt.Sprintf("servers=%d throughput=%.1f MB/s hitrate=%.2f reads=%d",
+		r.Servers, r.ThroughputMBps, r.HitRate, r.Reads)
+}
+
+type server struct {
+	port  *sim.Resource
+	disk  *sim.Resource
+	cache *lruCache
+}
+
+// Run executes one DSFS scalability experiment on the model.
+func Run(cfg Config) Result {
+	cfg.DefaultHardware()
+	s := sim.New()
+	defer s.Shutdown()
+	net := sim.NewFlowNet(s)
+
+	backplane := sim.NewResource("backplane", cfg.BackplaneBW)
+	servers := make([]*server, cfg.Servers)
+	for i := range servers {
+		servers[i] = &server{
+			port:  sim.NewResource(fmt.Sprintf("port%d", i), cfg.ServerPortBW),
+			disk:  sim.NewResource(fmt.Sprintf("disk%d", i), cfg.DiskBW),
+			cache: newLRU(cfg.CacheBytes),
+		}
+	}
+
+	// Files are spread round-robin, as the DSFS places them.
+	fileServer := func(fileID int) *server { return servers[fileID%cfg.Servers] }
+
+	if cfg.Prewarm {
+		for id := 0; id < cfg.FileCount; id++ {
+			srv := fileServer(id)
+			if srv.cache.Used()+cfg.FileSize <= cfg.CacheBytes {
+				srv.cache.insert(id, cfg.FileSize)
+			}
+		}
+	}
+
+	var bytesDelivered float64
+	var hits, reads int
+	measuring := false
+
+	for c := 0; c < cfg.Clients; c++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+		clientPort := sim.NewResource(fmt.Sprintf("client%d", c), cfg.ClientPortBW)
+		s.Spawn(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
+			for {
+				fileID := rng.Intn(cfg.FileCount)
+				srv := fileServer(fileID)
+				p.Wait(cfg.MetadataDelay)
+				hit := srv.cache.touch(fileID)
+				if hit {
+					net.Transfer(p, float64(cfg.FileSize), srv.port, backplane, clientPort)
+				} else {
+					// Pipelined disk read: the flow is bottlenecked by
+					// the slowest of disk and network shares.
+					net.Transfer(p, float64(cfg.FileSize), srv.disk, srv.port, backplane, clientPort)
+					srv.cache.insert(fileID, cfg.FileSize)
+				}
+				if measuring {
+					bytesDelivered += float64(cfg.FileSize)
+					reads++
+					if hit {
+						hits++
+					}
+				}
+			}
+		})
+	}
+
+	s.RunUntil(cfg.Warmup)
+	measuring = true
+	s.RunUntil(cfg.Warmup + cfg.Measure)
+
+	res := Result{
+		Servers:        cfg.Servers,
+		ThroughputMBps: bytesDelivered / cfg.Measure.Seconds() / MB,
+		Reads:          reads,
+	}
+	if reads > 0 {
+		res.HitRate = float64(hits) / float64(reads)
+	}
+	return res
+}
+
+// Sweep runs the experiment for each server count, as Figures 6-8 do
+// for 1-8 servers.
+func Sweep(base Config, serverCounts []int) []Result {
+	out := make([]Result, 0, len(serverCounts))
+	for _, n := range serverCounts {
+		cfg := base
+		cfg.Servers = n
+		out = append(out, Run(cfg))
+	}
+	return out
+}

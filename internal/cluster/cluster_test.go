@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRU(10)
+	c.insert(1, 4)
+	c.insert(2, 4)
+	if !c.touch(1) || !c.touch(2) {
+		t.Fatal("inserted entries missing")
+	}
+	c.insert(3, 4) // evicts LRU, which is 1 (2 was touched later... order: touch(1), touch(2) -> LRU is 1)
+	if c.touch(1) {
+		t.Error("LRU entry not evicted")
+	}
+	if !c.touch(2) || !c.touch(3) {
+		t.Error("wrong entry evicted")
+	}
+	if c.Used() != 8 {
+		t.Errorf("used = %d", c.Used())
+	}
+}
+
+func TestLRUOversizedFileNotCached(t *testing.T) {
+	c := newLRU(10)
+	c.insert(1, 11)
+	if c.touch(1) || c.Used() != 0 {
+		t.Error("oversized file cached")
+	}
+}
+
+func TestLRUReinsertRefreshes(t *testing.T) {
+	c := newLRU(8)
+	c.insert(1, 4)
+	c.insert(2, 4)
+	c.insert(1, 4) // refresh, not duplicate
+	if c.Used() != 8 || c.Len() != 2 {
+		t.Errorf("used=%d len=%d", c.Used(), c.Len())
+	}
+	c.insert(3, 4) // now 2 is LRU
+	if c.touch(2) {
+		t.Error("refresh did not update recency")
+	}
+	if !c.touch(1) {
+		t.Error("refreshed entry evicted")
+	}
+}
+
+// Property: used never exceeds capacity under random operations.
+func TestLRUCapacityInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := newLRU(1000)
+	for i := 0; i < 10000; i++ {
+		id := rng.Intn(100)
+		switch rng.Intn(2) {
+		case 0:
+			c.insert(id, int64(rng.Intn(400)+1))
+		case 1:
+			c.touch(id)
+		}
+		if c.Used() > 1000 {
+			t.Fatalf("cache over capacity: %d", c.Used())
+		}
+	}
+}
+
+func shortCfg() Config {
+	return Config{
+		Clients: 16,
+		Warmup:  5 * time.Second,
+		Measure: 20 * time.Second,
+		Prewarm: true,
+		Seed:    42,
+	}
+}
+
+// Figure 6 shape: all data cached; 1 server ~ port speed (100 MB/s);
+// many servers saturate the backplane (~300 MB/s).
+func TestNetBoundShape(t *testing.T) {
+	cfg := shortCfg()
+	cfg.FileCount = 128
+	cfg.FileSize = 1 * MB
+
+	cfg.Servers = 1
+	one := Run(cfg)
+	if one.ThroughputMBps < 85 || one.ThroughputMBps > 110 {
+		t.Errorf("1 server = %.1f MB/s, want ~100 (port bound)", one.ThroughputMBps)
+	}
+	cfg.Servers = 8
+	eight := Run(cfg)
+	if eight.ThroughputMBps < 260 || eight.ThroughputMBps > 310 {
+		t.Errorf("8 servers = %.1f MB/s, want ~300 (backplane bound)", eight.ThroughputMBps)
+	}
+	if one.HitRate < 0.95 || eight.HitRate < 0.95 {
+		t.Errorf("net-bound case should be all cache hits: %.2f / %.2f", one.HitRate, eight.HitRate)
+	}
+}
+
+// Figure 8 shape: dataset far exceeds cache; throughput ~ disk rate
+// times server count, scaling linearly.
+func TestDiskBoundShape(t *testing.T) {
+	cfg := shortCfg()
+	cfg.FileCount = 1280
+	cfg.FileSize = 10 * MB
+	cfg.Clients = 48
+	cfg.Warmup = 30 * time.Second
+	cfg.Measure = 120 * time.Second
+
+	results := Sweep(cfg, []int{1, 4, 8})
+	one, four, eight := results[0], results[1], results[2]
+	if one.ThroughputMBps < 7 || one.ThroughputMBps > 16 {
+		t.Errorf("1 server = %.1f MB/s, want ~10 (disk bound)", one.ThroughputMBps)
+	}
+	// Roughly linear scaling ("throughput increases roughly linearly
+	// with the number of servers" — Figure 8).
+	if ratio := four.ThroughputMBps / one.ThroughputMBps; ratio < 2.5 || ratio > 6 {
+		t.Errorf("4/1 scaling = %.2f, want ~4", ratio)
+	}
+	if ratio := eight.ThroughputMBps / one.ThroughputMBps; ratio < 5 || ratio > 12 {
+		t.Errorf("8/1 scaling = %.2f, want ~8", ratio)
+	}
+	if !(one.ThroughputMBps < four.ThroughputMBps && four.ThroughputMBps < eight.ThroughputMBps) {
+		t.Error("scaling is not monotonic")
+	}
+	if one.HitRate > 0.3 {
+		t.Errorf("disk-bound hit rate = %.2f, want low", one.HitRate)
+	}
+}
+
+// Figure 7 shape: the crossover — few servers disk-influenced, three
+// or more all-in-memory and backplane bound.
+func TestMixedBoundCrossover(t *testing.T) {
+	cfg := shortCfg()
+	cfg.FileCount = 1280
+	cfg.FileSize = 1 * MB
+	cfg.Warmup = 30 * time.Second
+
+	one := Run(withServers(cfg, 1))
+	three := Run(withServers(cfg, 3))
+	eight := Run(withServers(cfg, 8))
+
+	// 1 server: 1280MB dataset vs 480MB cache: many misses, throughput
+	// far below port speed.
+	if one.ThroughputMBps > 60 {
+		t.Errorf("1 server mixed = %.1f MB/s, want disk-limited (<60)", one.ThroughputMBps)
+	}
+	if one.HitRate > 0.6 {
+		t.Errorf("1 server mixed hit rate = %.2f, want < 0.6", one.HitRate)
+	}
+	// 3+ servers: per-server share fits in cache; backplane bound.
+	if three.ThroughputMBps < 200 {
+		t.Errorf("3 servers mixed = %.1f MB/s, want near backplane", three.ThroughputMBps)
+	}
+	if three.HitRate < 0.9 {
+		t.Errorf("3 servers mixed hit rate = %.2f, want ~1", three.HitRate)
+	}
+	if eight.ThroughputMBps < three.ThroughputMBps-30 {
+		t.Errorf("8 servers (%.1f) should hold the backplane plateau vs 3 (%.1f)",
+			eight.ThroughputMBps, three.ThroughputMBps)
+	}
+}
+
+func withServers(c Config, n int) Config {
+	c.Servers = n
+	return c
+}
+
+// Determinism: identical config and seed must give identical results.
+func TestRunIsDeterministic(t *testing.T) {
+	cfg := shortCfg()
+	cfg.FileCount = 128
+	cfg.FileSize = MB
+	cfg.Servers = 3
+	a := Run(cfg)
+	b := Run(cfg)
+	if a != b {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+	cfg.Seed = 43
+	c := Run(cfg)
+	if c.Reads == a.Reads && c.ThroughputMBps == a.ThroughputMBps {
+		t.Log("different seed gave identical result (possible but suspicious)")
+	}
+}

@@ -1,0 +1,88 @@
+package cluster
+
+// lruCache models a server's buffer cache at whole-file granularity:
+// the paper's workloads read whole large files, so per-block modeling
+// would add state without changing outcomes.
+type lruCache struct {
+	capacity int64
+	used     int64
+	entries  map[int]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+}
+
+type lruNode struct {
+	id         int
+	size       int64
+	prev, next *lruNode
+}
+
+func newLRU(capacity int64) *lruCache {
+	return &lruCache{capacity: capacity, entries: make(map[int]*lruNode)}
+}
+
+func (c *lruCache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *lruCache) pushFront(n *lruNode) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// touch reports whether file id is cached, marking it most recently
+// used if so.
+func (c *lruCache) touch(id int) bool {
+	n, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	c.pushFront(n)
+	return true
+}
+
+// insert adds file id, evicting least recently used files as needed.
+// Files larger than the whole cache are not cached at all.
+func (c *lruCache) insert(id int, size int64) {
+	if size > c.capacity {
+		return
+	}
+	if n, ok := c.entries[id]; ok {
+		c.unlink(n)
+		c.pushFront(n)
+		return
+	}
+	for c.used+size > c.capacity && c.tail != nil {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.entries, evict.id)
+		c.used -= evict.size
+	}
+	n := &lruNode{id: id, size: size}
+	c.entries[n.id] = n
+	c.pushFront(n)
+	c.used += size
+}
+
+// Used returns the bytes currently cached.
+func (c *lruCache) Used() int64 { return c.used }
+
+// Len returns the number of cached files.
+func (c *lruCache) Len() int { return len(c.entries) }

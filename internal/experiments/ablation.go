@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tss/internal/cluster"
+)
+
+// Ablation: the buffer-cache size is what positions the Figure 7
+// crossover. Sweeping it with everything else fixed shows the
+// mechanism directly: with tiny caches the mixed workload is always
+// disk-bound; with caches big enough to hold the per-server share it
+// is always switch-bound; the paper's 512 MB nodes sit in between,
+// which is why three servers is the magic number.
+
+// CacheSweepRow is one cache size's result at a fixed server count.
+type CacheSweepRow struct {
+	CacheMB int64
+	Result  cluster.Result
+}
+
+// CacheSweepResult is the full ablation.
+type CacheSweepResult struct {
+	Servers int
+	Rows    []CacheSweepRow
+}
+
+// RunCacheSweep runs the Figure 7 workload on the given number of
+// servers while sweeping the per-server cache size.
+func RunCacheSweep(servers int, cacheMBs []int64) *CacheSweepResult {
+	if len(cacheMBs) == 0 {
+		cacheMBs = []int64{64, 128, 256, 480, 1024, 2048}
+	}
+	res := &CacheSweepResult{Servers: servers}
+	for _, mb := range cacheMBs {
+		cfg := cluster.Config{
+			Servers:    servers,
+			Clients:    24,
+			FileCount:  1280,
+			FileSize:   1 * cluster.MB,
+			CacheBytes: mb * cluster.MB,
+			Warmup:     20 * time.Second,
+			Measure:    60 * time.Second,
+			Prewarm:    true,
+			Seed:       7,
+		}
+		res.Rows = append(res.Rows, CacheSweepRow{CacheMB: mb, Result: cluster.Run(cfg)})
+	}
+	return res
+}
+
+// Render prints the ablation table.
+func (r *CacheSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: buffer cache size vs throughput (Figure 7 workload, %d servers)\n", r.Servers)
+	b.WriteString("mechanism: cache >= dataset/servers flips the system from disk-bound to switch-bound\n")
+	fmt.Fprintf(&b, "%-10s %14s %10s\n", "CACHE", "THROUGHPUT", "HITRATE")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%7d MB %9.1f MB/s %10.2f\n", row.CacheMB, row.Result.ThroughputMBps, row.Result.HitRate)
+	}
+	return b.String()
+}

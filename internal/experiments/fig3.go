@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tss/internal/vfs"
+)
+
+// Figure 3 — System Call Latency: the overhead charged on individual
+// system calls by the adapter's interposition mechanism. The paper
+// traps calls with ptrace; here the adapter's trap emulator charges
+// the context-switch pair and extra data copy per call (see
+// DESIGN.md). The paper's observation to reproduce: most calls slow
+// by roughly an order of magnitude, yet Figure 4 shows this cost is
+// overwhelmed by network latency.
+
+// Fig3Row is one measured call.
+type Fig3Row struct {
+	Call     string
+	Direct   time.Duration // plain call against the local filesystem
+	Adapter  time.Duration // same call through the interposing adapter
+	Slowdown float64
+}
+
+// Fig3Result is the full figure.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// RunFig3 measures call latency with and without interposition.
+// iters controls the averaging window (use >= 1000 for stable means).
+func RunFig3(iters int) (*Fig3Result, error) {
+	env := NewEnv()
+	defer env.Close()
+
+	local, err := env.LocalFS()
+	if err != nil {
+		return nil, err
+	}
+	ad := env.AdapterOn(local, true)
+
+	// Fixture files.
+	payload := make([]byte, 8192)
+	if err := vfs.WriteFile(local, "/f", payload, 0o644); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8192)
+
+	type op struct {
+		name    string
+		direct  func() error
+		adapted func() error
+	}
+
+	directFile, err := local.Open("/f", vfs.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer directFile.Close()
+	adaptedFile, err := ad.Open("/m/f", vfs.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer adaptedFile.Close()
+
+	ops := []op{
+		{
+			name:    "stat",
+			direct:  func() error { _, err := local.Stat("/f"); return err },
+			adapted: func() error { _, err := ad.Stat("/m/f"); return err },
+		},
+		{
+			name: "open/close",
+			direct: func() error {
+				f, err := local.Open("/f", vfs.O_RDONLY, 0)
+				if err != nil {
+					return err
+				}
+				return f.Close()
+			},
+			adapted: func() error {
+				f, err := ad.Open("/m/f", vfs.O_RDONLY, 0)
+				if err != nil {
+					return err
+				}
+				return f.Close()
+			},
+		},
+		{
+			name:    "read 8KB",
+			direct:  func() error { _, err := directFile.Pread(buf, 0); return err },
+			adapted: func() error { _, err := adaptedFile.Pread(buf, 0); return err },
+		},
+		{
+			name:    "write 8KB",
+			direct:  func() error { _, err := directFile.Pwrite(payload, 0); return err },
+			adapted: func() error { _, err := adaptedFile.Pwrite(payload, 0); return err },
+		},
+	}
+
+	res := &Fig3Result{}
+	for _, o := range ops {
+		d, err := timeOp(iters, o.direct)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s direct: %w", o.name, err)
+		}
+		a, err := timeOp(iters, o.adapted)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s adapted: %w", o.name, err)
+		}
+		row := Fig3Row{Call: o.name, Direct: d, Adapter: a}
+		if d > 0 {
+			row.Slowdown = float64(a) / float64(d)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the figure as a table.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: System Call Latency (direct vs through the adapter)\n")
+	b.WriteString("paper shape: interposition slows most calls by roughly an order of magnitude\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %10s\n", "CALL", "UNIX", "ADAPTER", "SLOWDOWN")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %12s %12s %9.1fx\n",
+			row.Call, fmtDur(row.Direct), fmtDur(row.Adapter), row.Slowdown)
+	}
+	return b.String()
+}

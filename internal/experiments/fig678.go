@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tss/internal/cluster"
+)
+
+// Figures 6-8 — DSFS scalability on the modeled cluster (each node:
+// ~10 MB/s disk, 512 MB RAM, gigabit port; 300 MB/s switch backplane).
+//
+//   - Figure 6 (net-bound): 128 x 1 MB files — everything cached; one
+//     server saturates its port at ~100 MB/s, three or more saturate
+//     the backplane at ~300 MB/s.
+//   - Figure 7 (mixed): 1280 x 1 MB — below three servers the
+//     dataset misses cache and runs at disk speeds; at three or more
+//     it fits in aggregate memory and hits the backplane.
+//   - Figure 8 (disk-bound): 1280 x 10 MB — never fits; throughput is
+//     ~disk speed per server and scales roughly linearly.
+
+// ScaleResult is one figure's sweep over server counts.
+type ScaleResult struct {
+	Figure  string
+	Caption string
+	Rows    []cluster.Result
+}
+
+// scaleConfig returns the workload for one of the three figures.
+func scaleConfig(figure string) (cluster.Config, string, error) {
+	base := cluster.Config{
+		Clients: 24,
+		Warmup:  20 * time.Second,
+		Measure: 60 * time.Second,
+		Prewarm: true,
+		Seed:    7,
+	}
+	switch figure {
+	case "fig6":
+		base.FileCount, base.FileSize = 128, 1*cluster.MB
+		return base, "Net-Bound: 128 MB served from 1-8 servers", nil
+	case "fig7":
+		base.FileCount, base.FileSize = 1280, 1*cluster.MB
+		return base, "Mixed-Bound: 1280 MB served from 1-8 servers", nil
+	case "fig8":
+		base.FileCount, base.FileSize = 1280, 10*cluster.MB
+		base.Clients = 48
+		return base, "Disk-Bound: 12800 MB served from 1-8 servers", nil
+	}
+	return base, "", fmt.Errorf("unknown scalability figure %q", figure)
+}
+
+// RunScale executes the sweep for "fig6", "fig7", or "fig8".
+func RunScale(figure string) (*ScaleResult, error) {
+	cfg, caption, err := scaleConfig(figure)
+	if err != nil {
+		return nil, err
+	}
+	rows := cluster.Sweep(cfg, []int{1, 2, 3, 4, 5, 6, 7, 8})
+	return &ScaleResult{Figure: figure, Caption: caption, Rows: rows}, nil
+}
+
+// Render prints the figure as a table.
+func (r *ScaleResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — DSFS Scalability, %s\n", strings.ToUpper(r.Figure[:1])+r.Figure[1:], r.Caption)
+	switch r.Figure {
+	case "fig6":
+		b.WriteString("paper shape: ~100 MB/s at 1 server (port), plateau ~300 MB/s at >=3 (backplane)\n")
+	case "fig7":
+		b.WriteString("paper shape: disk-bound below 3 servers, backplane-bound at >=3\n")
+	case "fig8":
+		b.WriteString("paper shape: ~disk speed per server, roughly linear scaling\n")
+	}
+	fmt.Fprintf(&b, "%-8s %14s %10s %8s\n", "SERVERS", "THROUGHPUT", "HITRATE", "READS")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d %9.1f MB/s %10.2f %8d\n",
+			row.Servers, row.ThroughputMBps, row.HitRate, row.Reads)
+	}
+	return b.String()
+}

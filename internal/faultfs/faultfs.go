@@ -1,0 +1,227 @@
+// Package faultfs wraps any vfs.FileSystem with deterministic fault
+// injection, for testing the failure coherence that §3 demands of
+// every TSS component: servers that vanish mid-operation, probabilistic
+// transport errors, and operation budgets that expire at the worst
+// moment.
+package faultfs
+
+import (
+	"math/rand"
+	"sync"
+
+	"tss/internal/vfs"
+)
+
+// FS wraps an inner filesystem and injects faults according to its
+// configuration. All methods are safe for concurrent use.
+type FS struct {
+	inner vfs.FileSystem
+
+	mu        sync.Mutex
+	down      bool
+	failAfter int64 // remaining ops before permanent failure; <0 = never
+	rng       *rand.Rand
+	failProb  float64
+	err       error
+	opCount   int64
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+
+// New wraps inner with no faults armed.
+func New(inner vfs.FileSystem) *FS {
+	return &FS{inner: inner, failAfter: -1, err: vfs.ENOTCONN}
+}
+
+// SetDown makes every operation fail (true) or restores service
+// (false) — a server crash and restart.
+func (f *FS) SetDown(down bool) {
+	f.mu.Lock()
+	f.down = down
+	f.mu.Unlock()
+}
+
+// FailAfter arranges for the filesystem to go down permanently after n
+// more operations succeed — the mid-sequence crash.
+func (f *FS) FailAfter(n int64) {
+	f.mu.Lock()
+	f.failAfter = n
+	f.mu.Unlock()
+}
+
+// FailRandomly makes each operation fail with probability p, using a
+// deterministic seed.
+func (f *FS) FailRandomly(p float64, seed int64) {
+	f.mu.Lock()
+	f.failProb = p
+	f.rng = rand.New(rand.NewSource(seed))
+	f.mu.Unlock()
+}
+
+// SetError selects the error injected (default ENOTCONN).
+func (f *FS) SetError(err error) {
+	f.mu.Lock()
+	f.err = err
+	f.mu.Unlock()
+}
+
+// Ops returns the number of operations that have reached the inner
+// filesystem.
+func (f *FS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opCount
+}
+
+// gate decides whether this operation fails.
+func (f *FS) gate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return f.err
+	}
+	if f.failAfter == 0 {
+		f.down = true
+		return f.err
+	}
+	if f.failAfter > 0 {
+		f.failAfter--
+	}
+	if f.rng != nil && f.rng.Float64() < f.failProb {
+		return f.err
+	}
+	f.opCount++
+	return nil
+}
+
+// Open injects faults, then delegates. Files from a wrapped filesystem
+// also gate each I/O call, so a crash severs open handles too.
+func (f *FS) Open(path string, flags int, mode uint32) (vfs.File, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Open(path, flags, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// Stat injects faults, then delegates.
+func (f *FS) Stat(path string) (vfs.FileInfo, error) {
+	if err := f.gate(); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return f.inner.Stat(path)
+}
+
+// Unlink injects faults, then delegates.
+func (f *FS) Unlink(path string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Unlink(path)
+}
+
+// Rename injects faults, then delegates.
+func (f *FS) Rename(oldPath, newPath string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+// Mkdir injects faults, then delegates.
+func (f *FS) Mkdir(path string, mode uint32) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Mkdir(path, mode)
+}
+
+// Rmdir injects faults, then delegates.
+func (f *FS) Rmdir(path string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Rmdir(path)
+}
+
+// ReadDir injects faults, then delegates.
+func (f *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(path)
+}
+
+// Truncate injects faults, then delegates.
+func (f *FS) Truncate(path string, size int64) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(path, size)
+}
+
+// Chmod injects faults, then delegates.
+func (f *FS) Chmod(path string, mode uint32) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Chmod(path, mode)
+}
+
+// StatFS injects faults, then delegates.
+func (f *FS) StatFS() (vfs.FSInfo, error) {
+	if err := f.gate(); err != nil {
+		return vfs.FSInfo{}, err
+	}
+	return f.inner.StatFS()
+}
+
+type faultFile struct {
+	fs    *FS
+	inner vfs.File
+}
+
+func (ff *faultFile) Pread(p []byte, off int64) (int, error) {
+	if err := ff.fs.gate(); err != nil {
+		return 0, err
+	}
+	return ff.inner.Pread(p, off)
+}
+
+func (ff *faultFile) Pwrite(p []byte, off int64) (int, error) {
+	if err := ff.fs.gate(); err != nil {
+		return 0, err
+	}
+	return ff.inner.Pwrite(p, off)
+}
+
+func (ff *faultFile) Fstat() (vfs.FileInfo, error) {
+	if err := ff.fs.gate(); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return ff.inner.Fstat()
+}
+
+func (ff *faultFile) Ftruncate(size int64) error {
+	if err := ff.fs.gate(); err != nil {
+		return err
+	}
+	return ff.inner.Ftruncate(size)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.gate(); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	// Close always reaches the inner file: resources are released even
+	// on a "down" server (the kernel closes descriptors of dead
+	// connections too).
+	return ff.inner.Close()
+}

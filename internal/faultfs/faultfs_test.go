@@ -1,0 +1,145 @@
+package faultfs
+
+import (
+	"testing"
+
+	"tss/internal/vfs"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	l, err := vfs.NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(l)
+}
+
+func TestPassThroughWhenHealthy(t *testing.T) {
+	f := newFS(t)
+	if err := vfs.WriteFile(f, "/x", []byte("ok"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := vfs.ReadFile(f, "/x")
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	if f.Ops() == 0 {
+		t.Error("ops not counted")
+	}
+}
+
+func TestSetDownAndRecover(t *testing.T) {
+	f := newFS(t)
+	vfs.WriteFile(f, "/x", []byte("ok"), 0o644)
+	f.SetDown(true)
+	if _, err := f.Stat("/x"); vfs.AsErrno(err) != vfs.ENOTCONN {
+		t.Errorf("down stat = %v", err)
+	}
+	f.SetDown(false)
+	if _, err := f.Stat("/x"); err != nil {
+		t.Errorf("recovered stat = %v", err)
+	}
+}
+
+func TestFailAfterBudget(t *testing.T) {
+	f := newFS(t)
+	f.FailAfter(3)
+	var errs int
+	for i := 0; i < 6; i++ {
+		if _, err := f.StatFS(); err != nil {
+			errs++
+		}
+	}
+	if errs != 3 {
+		t.Errorf("errors = %d, want 3 (budget of 3 then permanent failure)", errs)
+	}
+}
+
+func TestOpenFileSeveredByCrash(t *testing.T) {
+	f := newFS(t)
+	vfs.WriteFile(f, "/x", []byte("content"), 0o644)
+	file, err := f.Open("/x", vfs.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	f.SetDown(true)
+	buf := make([]byte, 4)
+	if _, err := file.Pread(buf, 0); vfs.AsErrno(err) != vfs.ENOTCONN {
+		t.Errorf("read through crashed fs = %v", err)
+	}
+}
+
+func TestRandomFaultsAreDeterministic(t *testing.T) {
+	run := func() []bool {
+		f := newFS(t)
+		f.FailRandomly(0.5, 99)
+		var outcomes []bool
+		for i := 0; i < 50; i++ {
+			_, err := f.StatFS()
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault schedule not deterministic at op %d", i)
+		}
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	f := newFS(t)
+	f.SetError(vfs.EIO)
+	f.SetDown(true)
+	if _, err := f.Stat("/"); vfs.AsErrno(err) != vfs.EIO {
+		t.Errorf("custom error = %v", err)
+	}
+}
+
+// Every gated method injects; spot-check the full surface.
+func TestAllMethodsGated(t *testing.T) {
+	f := newFS(t)
+	vfs.WriteFile(f, "/x", []byte("abc"), 0o644)
+	f.Mkdir("/d", 0o755)
+	file, err := f.Open("/x", vfs.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	f.SetDown(true)
+	checks := map[string]error{
+		"stat":    errOf(func() error { _, e := f.Stat("/x"); return e }),
+		"unlink":  f.Unlink("/x"),
+		"rename":  f.Rename("/x", "/y"),
+		"mkdir":   f.Mkdir("/e", 0o755),
+		"rmdir":   f.Rmdir("/d"),
+		"readdir": errOf(func() error { _, e := f.ReadDir("/"); return e }),
+		"trunc":   f.Truncate("/x", 1),
+		"chmod":   f.Chmod("/x", 0o600),
+		"statfs":  errOf(func() error { _, e := f.StatFS(); return e }),
+		"open":    errOf(func() error { _, e := f.Open("/x", vfs.O_RDONLY, 0); return e }),
+		"pwrite":  errOf(func() error { _, e := file.Pwrite([]byte("z"), 0); return e }),
+		"fstat":   errOf(func() error { _, e := file.Fstat(); return e }),
+		"ftrunc":  file.Ftruncate(1),
+		"fsync":   file.Sync(),
+	}
+	for name, err := range checks {
+		if vfs.AsErrno(err) != vfs.ENOTCONN {
+			t.Errorf("%s while down = %v, want ENOTCONN", name, err)
+		}
+	}
+	// Close still reaches the inner file even when down.
+	if err := file.Close(); err != nil {
+		t.Errorf("close while down = %v", err)
+	}
+	// Recovery restores everything.
+	f.SetDown(false)
+	if _, err := f.ReadDir("/"); err != nil {
+		t.Errorf("readdir after recovery = %v", err)
+	}
+}
+
+func errOf(fn func() error) error { return fn() }

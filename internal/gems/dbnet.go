@@ -1,0 +1,230 @@
+package gems
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The DSDB's database server: the paper's abstraction keeps metadata
+// in a database service that clients query before accessing file
+// servers directly. The wire protocol is one JSON object per line in
+// each direction.
+
+// dbRequest is one client request.
+type dbRequest struct {
+	Op     string            `json:"op"` // insert, update, delete, get, query, list
+	Record *Record           `json:"record,omitempty"`
+	ID     string            `json:"id,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// dbResponse is one server reply.
+type dbResponse struct {
+	OK      bool     `json:"ok"`
+	Error   string   `json:"error,omitempty"`
+	Record  *Record  `json:"record,omitempty"`
+	Found   bool     `json:"found,omitempty"`
+	Records []Record `json:"records,omitempty"`
+}
+
+// DBServer exposes an Index over the network.
+type DBServer struct {
+	idx Index
+}
+
+// NewDBServer wraps idx.
+func NewDBServer(idx Index) *DBServer { return &DBServer{idx: idx} }
+
+// Serve accepts connections until the listener closes.
+func (s *DBServer) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *DBServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	bw := bufio.NewWriter(conn)
+	enc := json.NewEncoder(bw)
+	for {
+		var req dbRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *DBServer) handle(req *dbRequest) dbResponse {
+	fail := func(err error) dbResponse { return dbResponse{Error: err.Error()} }
+	switch req.Op {
+	case "insert":
+		if req.Record == nil {
+			return fail(fmt.Errorf("insert: missing record"))
+		}
+		if err := s.idx.Insert(*req.Record); err != nil {
+			return fail(err)
+		}
+		return dbResponse{OK: true}
+	case "update":
+		if req.Record == nil {
+			return fail(fmt.Errorf("update: missing record"))
+		}
+		if err := s.idx.Update(*req.Record); err != nil {
+			return fail(err)
+		}
+		return dbResponse{OK: true}
+	case "delete":
+		if err := s.idx.Delete(req.ID); err != nil {
+			return fail(err)
+		}
+		return dbResponse{OK: true}
+	case "get":
+		r, found, err := s.idx.Get(req.ID)
+		if err != nil {
+			return fail(err)
+		}
+		return dbResponse{OK: true, Found: found, Record: &r}
+	case "query":
+		rs, err := s.idx.Query(req.Attrs)
+		if err != nil {
+			return fail(err)
+		}
+		return dbResponse{OK: true, Records: rs}
+	case "list":
+		rs, err := s.idx.List()
+		if err != nil {
+			return fail(err)
+		}
+		return dbResponse{OK: true, Records: rs}
+	}
+	return fail(fmt.Errorf("unknown op %q", req.Op))
+}
+
+// DBClient speaks to a DBServer and implements Index, so local and
+// remote databases are interchangeable in the DSDB — one more instance
+// of recursive abstraction.
+type DBClient struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	dec     *json.Decoder
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	timeout time.Duration
+}
+
+var _ Index = (*DBClient)(nil)
+
+// DialDB connects to a database server.
+func DialDB(dial func() (net.Conn, error), timeout time.Duration) (*DBClient, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(conn)
+	return &DBClient{
+		conn:    conn,
+		dec:     json.NewDecoder(bufio.NewReader(conn)),
+		bw:      bw,
+		enc:     json.NewEncoder(bw),
+		timeout: timeout,
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *DBClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+func (c *DBClient) rpc(req dbRequest) (dbResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return dbResponse{}, fmt.Errorf("gems: db client closed")
+	}
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return dbResponse{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return dbResponse{}, err
+	}
+	var resp dbResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return dbResponse{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("gems: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Insert adds a record remotely.
+func (c *DBClient) Insert(r Record) error {
+	_, err := c.rpc(dbRequest{Op: "insert", Record: &r})
+	return err
+}
+
+// Update replaces a record remotely.
+func (c *DBClient) Update(r Record) error {
+	_, err := c.rpc(dbRequest{Op: "update", Record: &r})
+	return err
+}
+
+// Delete removes a record remotely.
+func (c *DBClient) Delete(id string) error {
+	_, err := c.rpc(dbRequest{Op: "delete", ID: id})
+	return err
+}
+
+// Get fetches one record remotely.
+func (c *DBClient) Get(id string) (Record, bool, error) {
+	resp, err := c.rpc(dbRequest{Op: "get", ID: id})
+	if err != nil {
+		return Record{}, false, err
+	}
+	if !resp.Found || resp.Record == nil {
+		return Record{}, false, nil
+	}
+	return *resp.Record, true, nil
+}
+
+// Query runs an attribute query remotely.
+func (c *DBClient) Query(attrs map[string]string) ([]Record, error) {
+	resp, err := c.rpc(dbRequest{Op: "query", Attrs: attrs})
+	return resp.Records, err
+}
+
+// List returns all records remotely.
+func (c *DBClient) List() ([]Record, error) {
+	resp, err := c.rpc(dbRequest{Op: "list"})
+	return resp.Records, err
+}

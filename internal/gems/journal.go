@@ -1,0 +1,259 @@
+package gems
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"tss/internal/vfs"
+)
+
+// JournalIndex is a durable Index: every mutation is appended to a
+// journal file on a filesystem (any vfs.FileSystem — a local disk or,
+// recursively, a Chirp server) before it is applied in memory, and the
+// full state is recovered by replaying the journal at open. Combined
+// with RecoverIndex (rebuild from data) this covers both halves of the
+// §9 durability story: the database survives restarts, and even a lost
+// database is recoverable from the storage pool.
+type JournalIndex struct {
+	mu   sync.Mutex
+	mem  *MemIndex
+	fs   vfs.FileSystem
+	path string
+	file vfs.File
+	off  int64
+	muts int // mutations since last compaction
+}
+
+var _ Index = (*JournalIndex)(nil)
+
+// journalEntry is one logged mutation.
+type journalEntry struct {
+	Op     string  `json:"op"` // insert, update, delete
+	Record *Record `json:"record,omitempty"`
+	ID     string  `json:"id,omitempty"`
+}
+
+// OpenJournalIndex opens (or creates) a journal at path and replays it.
+func OpenJournalIndex(fs vfs.FileSystem, path string) (*JournalIndex, error) {
+	j := &JournalIndex{mem: NewMemIndex(), fs: fs, path: path}
+	if err := j.replay(); err != nil {
+		return nil, err
+	}
+	f, err := fs.Open(path, vfs.O_WRONLY|vfs.O_CREAT, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Fstat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.file = f
+	j.off = fi.Size
+	return j, nil
+}
+
+// replay loads existing journal contents into memory. Unparseable
+// trailing lines (a torn final write) are tolerated; anything torn in
+// the middle aborts, because later entries may depend on it.
+func (j *JournalIndex) replay() error {
+	data, err := vfs.ReadFile(j.fs, j.path)
+	if vfs.AsErrno(err) == vfs.ENOENT {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var torn bool
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if torn {
+			return fmt.Errorf("gems: journal %s: entry after torn line %d", j.path, lineNo-1)
+		}
+		var e journalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			torn = true // acceptable only if it is the final line
+			continue
+		}
+		if err := j.applyMem(&e); err != nil {
+			return fmt.Errorf("gems: journal %s line %d: %w", j.path, lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+func (j *JournalIndex) applyMem(e *journalEntry) error {
+	switch e.Op {
+	case "insert":
+		if e.Record == nil {
+			return fmt.Errorf("insert without record")
+		}
+		return j.mem.Insert(*e.Record)
+	case "update":
+		if e.Record == nil {
+			return fmt.Errorf("update without record")
+		}
+		return j.mem.Update(*e.Record)
+	case "delete":
+		return j.mem.Delete(e.ID)
+	}
+	return fmt.Errorf("unknown journal op %q", e.Op)
+}
+
+// log appends one entry durably. Caller holds j.mu.
+func (j *JournalIndex) log(e *journalEntry) error {
+	body, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	if err := vfs.WriteAll(j.file, body, j.off); err != nil {
+		return err
+	}
+	if err := j.file.Sync(); err != nil {
+		return err
+	}
+	j.off += int64(len(body))
+	j.muts++
+	return nil
+}
+
+// Insert logs then applies.
+func (j *JournalIndex) Insert(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Validate first so the journal never records a failing op.
+	if _, exists, _ := j.mem.Get(r.ID); exists {
+		return fmt.Errorf("gems: record %q already exists", r.ID)
+	}
+	if err := j.log(&journalEntry{Op: "insert", Record: &r}); err != nil {
+		return err
+	}
+	return j.mem.Insert(r)
+}
+
+// Update logs then applies.
+func (j *JournalIndex) Update(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, exists, _ := j.mem.Get(r.ID); !exists {
+		return fmt.Errorf("gems: record %q does not exist", r.ID)
+	}
+	if err := j.log(&journalEntry{Op: "update", Record: &r}); err != nil {
+		return err
+	}
+	return j.mem.Update(r)
+}
+
+// Delete logs then applies.
+func (j *JournalIndex) Delete(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.log(&journalEntry{Op: "delete", ID: id}); err != nil {
+		return err
+	}
+	return j.mem.Delete(id)
+}
+
+// Get reads from memory.
+func (j *JournalIndex) Get(id string) (Record, bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.mem.Get(id)
+}
+
+// Query reads from memory.
+func (j *JournalIndex) Query(attrs map[string]string) ([]Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.mem.Query(attrs)
+}
+
+// List reads from memory.
+func (j *JournalIndex) List() ([]Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.mem.List()
+}
+
+// Mutations reports the number of journaled mutations since open or
+// the last compaction (a compaction-policy input).
+func (j *JournalIndex) Mutations() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.muts
+}
+
+// Compact rewrites the journal as a snapshot of the current state:
+// one insert per live record. The snapshot is written beside the
+// journal and renamed over it, so a crash leaves either the old or
+// the new journal, never a mix.
+func (j *JournalIndex) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	recs, err := j.mem.List()
+	if err != nil {
+		return err
+	}
+	tmp := j.path + ".compact"
+	f, err := j.fs.Open(tmp, vfs.O_WRONLY|vfs.O_CREAT|vfs.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var off int64
+	for i := range recs {
+		body, err := json.Marshal(&journalEntry{Op: "insert", Record: &recs[i]})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		body = append(body, '\n')
+		if err := vfs.WriteAll(f, body, off); err != nil {
+			f.Close()
+			return err
+		}
+		off += int64(len(body))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := j.fs.Rename(tmp, j.path); err != nil {
+		return err
+	}
+	// Reopen the live handle on the new journal.
+	j.file.Close()
+	nf, err := j.fs.Open(j.path, vfs.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	j.file = nf
+	j.off = off
+	j.muts = 0
+	return nil
+}
+
+// Close releases the journal file handle.
+func (j *JournalIndex) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.file == nil {
+		return nil
+	}
+	err := j.file.Close()
+	j.file = nil
+	return err
+}

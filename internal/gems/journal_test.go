@@ -1,0 +1,171 @@
+package gems
+
+import (
+	"fmt"
+	"testing"
+
+	"tss/internal/abstraction"
+	"tss/internal/vfs"
+)
+
+func openJournal(t *testing.T, fs vfs.FileSystem) *JournalIndex {
+	t.Helper()
+	j, err := OpenJournalIndex(fs, "/gems.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestJournalPersistsAcrossReopen(t *testing.T) {
+	fs := localFS(t)
+	j := openJournal(t, fs)
+	if err := j.Insert(Record{ID: "a", Size: 1, Attrs: map[string]string{"k": "v"},
+		Replicas: []Replica{{Server: "s", Path: "/p"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Insert(Record{ID: "b", Size: 2}); err != nil {
+		t.Fatal(err)
+	}
+	rec, _, _ := j.Get("a")
+	rec.Size = 99
+	if err := j.Update(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Reopen: replay restores exactly the final state.
+	j2 := openJournal(t, fs)
+	recs, err := j2.List()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("replayed %d records, %v", len(recs), err)
+	}
+	if recs[0].ID != "a" || recs[0].Size != 99 || recs[0].Attrs["k"] != "v" {
+		t.Errorf("replayed record = %+v", recs[0])
+	}
+	// And accepts further writes.
+	if err := j2.Insert(Record{ID: "c"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalValidation(t *testing.T) {
+	j := openJournal(t, localFS(t))
+	if err := j.Insert(Record{ID: "dup"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Insert(Record{ID: "dup"}); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	if err := j.Update(Record{ID: "ghost"}); err == nil {
+		t.Error("update of missing record accepted")
+	}
+	// Failed operations are not journaled: replay must succeed.
+	fsj := j.fs
+	j.Close()
+	if _, err := OpenJournalIndex(fsj, "/gems.journal"); err != nil {
+		t.Fatalf("replay after rejected ops: %v", err)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	fs := localFS(t)
+	j := openJournal(t, fs)
+	j.Insert(Record{ID: "whole"})
+	j.Close()
+	// Simulate a torn final write: garbage with no newline... then a
+	// valid-looking prefix of an entry.
+	f, err := fs.Open("/gems.journal", vfs.O_WRONLY|vfs.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Pwrite([]byte(`{"op":"insert","record":{"id":"to`), 0)
+	f.Close()
+	j2, err := OpenJournalIndex(fs, "/gems.journal")
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	defer j2.Close()
+	recs, _ := j2.List()
+	if len(recs) != 1 || recs[0].ID != "whole" {
+		t.Errorf("after torn tail: %+v", recs)
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	fs := localFS(t)
+	j := openJournal(t, fs)
+	for i := 0; i < 20; i++ {
+		if err := j.Insert(Record{ID: fmt.Sprintf("r%02d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 15; i++ {
+		if err := j.Delete(fmt.Sprintf("r%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := fs.Stat("/gems.journal")
+	if j.Mutations() != 35 {
+		t.Errorf("mutations = %d", j.Mutations())
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := fs.Stat("/gems.journal")
+	if after.Size >= before.Size {
+		t.Errorf("compaction did not shrink journal: %d -> %d", before.Size, after.Size)
+	}
+	if j.Mutations() != 0 {
+		t.Errorf("mutations after compact = %d", j.Mutations())
+	}
+	// Post-compaction state is intact, durable, and writable.
+	if err := j.Insert(Record{ID: "post"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2 := openJournal(t, fs)
+	recs, _ := j2.List()
+	if len(recs) != 6 { // r15..r19 + post
+		t.Errorf("after compact+reopen: %d records", len(recs))
+	}
+}
+
+// The journaled index plugs into a DSDB like any other: durability is
+// one more recursive layer.
+func TestDSDBOnJournalIndex(t *testing.T) {
+	metaFS := localFS(t)
+	j := openJournal(t, metaFS)
+	var servers []abstraction.DataServer
+	for i := 0; i < 2; i++ {
+		servers = append(servers, abstraction.DataServer{
+			Name: fmt.Sprintf("jd%d", i), FS: localFS(t), Dir: "/gems",
+		})
+	}
+	d, err := NewDSDB(j, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Put("x", map[string]string{"a": "1"}, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Restart: reopen journal, rebuild DSDB, read the data back.
+	j2 := openJournal(t, metaFS)
+	d2, err := NewDSDB(j2, d.Servers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := d2.Query(map[string]string{"a": "1"})
+	if len(recs) != 1 {
+		t.Fatalf("after restart: %d records", len(recs))
+	}
+	data, err := d2.Read(recs[0])
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("after restart read: %q, %v", data, err)
+	}
+}

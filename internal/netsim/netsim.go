@@ -1,0 +1,332 @@
+// Package netsim provides in-process network links with configurable
+// latency and bandwidth, and a registry that lets servers listen and
+// clients dial by symbolic host name.
+//
+// The paper's evaluation runs over real 100 Mb/s and 1 Gb/s Ethernet
+// and a transatlantic WAN. This package substitutes shaped in-memory
+// pipes so the same experiments run on one machine: each direction of a
+// link delays bytes by a one-way latency and meters them through a
+// serialization-rate model (store-and-forward), which reproduces the
+// round-trip amplification and bandwidth ceilings that drive Figures
+// 4-5 and the SP5 table.
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// LinkProfile describes one direction of a link.
+type LinkProfile struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth is the serialization rate in bytes per second;
+	// zero means unlimited.
+	Bandwidth int64
+}
+
+// Common profiles, matching the hardware in the paper.
+var (
+	// Loopback is an unshaped in-memory link.
+	Loopback = LinkProfile{}
+	// GigE approximates commodity gigabit Ethernet (Figures 4-6):
+	// 125 MB/s serialization, 50 µs one-way latency.
+	GigE = LinkProfile{Latency: 50 * time.Microsecond, Bandwidth: 125 << 20}
+	// Fast100 approximates 100 Mb/s Ethernet (§8, LAN runs).
+	Fast100 = LinkProfile{Latency: 100 * time.Microsecond, Bandwidth: 12_500_000}
+	// WAN100 approximates the paper's ~100 Mb/s wide-area link with
+	// transatlantic latency (§8, WAN/TSS run).
+	WAN100 = LinkProfile{Latency: 55 * time.Millisecond, Bandwidth: 12_500_000}
+)
+
+// Addr is a symbolic network address on a simulated network.
+type Addr string
+
+// Network returns "sim".
+func (Addr) Network() string { return "sim" }
+
+// String returns the symbolic address.
+func (a Addr) String() string { return string(a) }
+
+type chunk struct {
+	data  []byte
+	ready time.Time
+}
+
+// shapedQueue is one direction of a link: a byte queue whose chunks
+// become visible to the reader only after latency plus serialization
+// delay has elapsed.
+type shapedQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	prof     LinkProfile
+	chunks   []chunk
+	pos      int // read offset within chunks[0]
+	nextFree time.Time
+	closed   bool
+	deadline time.Time
+}
+
+func newShapedQueue(prof LinkProfile) *shapedQueue {
+	q := &shapedQueue{prof: prof}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *shapedQueue) write(p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, io.ErrClosedPipe
+	}
+	now := time.Now()
+	start := now
+	if q.nextFree.After(now) {
+		start = q.nextFree
+	}
+	var tx time.Duration
+	if q.prof.Bandwidth > 0 {
+		tx = time.Duration(float64(len(p)) / float64(q.prof.Bandwidth) * float64(time.Second))
+	}
+	q.nextFree = start.Add(tx)
+	ready := q.nextFree.Add(q.prof.Latency)
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	q.chunks = append(q.chunks, chunk{data: buf, ready: ready})
+	q.cond.Broadcast()
+	return len(p), nil
+}
+
+// spinThreshold is the horizon below which the reader busy-yields
+// instead of arming a timer: OS timer granularity (about a millisecond
+// on many hosts and containers) would otherwise quantize simulated
+// sub-millisecond latencies and corrupt every latency figure.
+const spinThreshold = 2 * time.Millisecond
+
+func (q *shapedQueue) read(p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		var nearest time.Time
+		if len(q.chunks) > 0 {
+			head := q.chunks[0]
+			now := time.Now()
+			if !head.ready.After(now) {
+				n := copy(p, head.data[q.pos:])
+				q.pos += n
+				if q.pos == len(head.data) {
+					q.chunks = q.chunks[1:]
+					q.pos = 0
+				}
+				return n, nil
+			}
+			nearest = head.ready
+		} else if q.closed {
+			return 0, io.EOF
+		}
+		if !q.deadline.IsZero() {
+			if !time.Now().Before(q.deadline) {
+				return 0, os.ErrDeadlineExceeded
+			}
+			if nearest.IsZero() || q.deadline.Before(nearest) {
+				nearest = q.deadline
+			}
+		}
+		if !nearest.IsZero() && time.Until(nearest) < spinThreshold {
+			// Busy-yield until the due time: precise where timers are
+			// not. New writes are observed on the next loop iteration.
+			q.mu.Unlock()
+			runtime.Gosched()
+			q.mu.Lock()
+			continue
+		}
+		if !nearest.IsZero() {
+			q.wakeAt(nearest)
+		}
+		q.cond.Wait()
+	}
+}
+
+// wakeAt arranges a broadcast at time t. Caller holds q.mu.
+func (q *shapedQueue) wakeAt(t time.Time) {
+	d := time.Until(t)
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(d, q.cond.Broadcast)
+}
+
+func (q *shapedQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *shapedQueue) setDeadline(t time.Time) {
+	q.mu.Lock()
+	q.deadline = t
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Conn is one endpoint of a simulated link. It implements net.Conn.
+type Conn struct {
+	recv, send *shapedQueue
+	local      Addr
+	remote     Addr
+	closeOnce  sync.Once
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Read reads bytes that have arrived at this endpoint.
+func (c *Conn) Read(p []byte) (int, error) { return c.recv.read(p) }
+
+// Write queues bytes toward the peer, subject to the link profile.
+func (c *Conn) Write(p []byte) (int, error) { return c.send.write(p) }
+
+// Close closes both directions of the connection. The peer drains any
+// delivered data and then reads EOF, like a TCP FIN.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.send.close()
+		c.recv.close()
+	})
+	return nil
+}
+
+// LocalAddr returns the symbolic local address.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr returns the symbolic remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline sets both read and write deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.recv.setDeadline(t)
+	return nil
+}
+
+// SetReadDeadline sets the read deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.recv.setDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline is accepted and ignored: writes never block.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return nil }
+
+// Pipe returns the two ends of a symmetric link with the given profile
+// in each direction.
+func Pipe(prof LinkProfile) (client, server *Conn) {
+	return PipeNamed(prof, "client", "server")
+}
+
+// PipeNamed is Pipe with explicit endpoint names, which appear as the
+// connection addresses (and hence in hostname authentication).
+func PipeNamed(prof LinkProfile, clientName, serverName string) (client, server *Conn) {
+	cToS := newShapedQueue(prof)
+	sToC := newShapedQueue(prof)
+	client = &Conn{recv: sToC, send: cToS, local: Addr(clientName), remote: Addr(serverName)}
+	server = &Conn{recv: cToS, send: sToC, local: Addr(serverName), remote: Addr(clientName)}
+	return client, server
+}
+
+// Network is a registry of simulated hosts: servers listen on symbolic
+// addresses and clients dial them, receiving shaped connections.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	nextID    int
+}
+
+// NewNetwork returns an empty simulated network.
+func NewNetwork() *Network {
+	return &Network{listeners: make(map[string]*Listener)}
+}
+
+// Listener accepts simulated connections. It implements net.Listener.
+type Listener struct {
+	net    *Network
+	addr   Addr
+	accept chan *Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Listen registers a listener on the symbolic address addr.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("netsim: address %q already in use", addr)
+	}
+	l := &Listener{
+		net:    n,
+		addr:   Addr(addr),
+		accept: make(chan *Conn, 16),
+		done:   make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close unregisters the listener.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, string(l.addr))
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the listener's symbolic address.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// Dial connects to addr with the given link profile, using an
+// auto-generated client host name.
+func (n *Network) Dial(addr string, prof LinkProfile) (net.Conn, error) {
+	n.mu.Lock()
+	n.nextID++
+	name := fmt.Sprintf("client%d.sim", n.nextID)
+	n.mu.Unlock()
+	return n.DialFrom(name, addr, prof)
+}
+
+// DialFrom connects to addr, presenting the given client host name
+// (visible to hostname authentication on the server).
+func (n *Network) DialFrom(clientName, addr string, prof LinkProfile) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: connection refused: no listener on %q", addr)
+	}
+	client, server := PipeNamed(prof, clientName, addr)
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("netsim: connection refused: listener on %q closed", addr)
+	}
+}

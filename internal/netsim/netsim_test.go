@@ -1,0 +1,211 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipeByteTransfer(t *testing.T) {
+	a, b := Pipe(Loopback)
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("hello over the sim link")
+	go func() {
+		a.Write(msg)
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("got %q", buf)
+	}
+}
+
+func TestPipeLatency(t *testing.T) {
+	prof := LinkProfile{Latency: 30 * time.Millisecond}
+	a, b := Pipe(prof)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	go a.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("one-way delivery took %v, want >= ~30ms", d)
+	}
+}
+
+func TestPipeBandwidth(t *testing.T) {
+	// 1 MB at 10 MB/s should take ~100 ms.
+	prof := LinkProfile{Bandwidth: 10 << 20}
+	a, b := Pipe(prof)
+	defer a.Close()
+	defer b.Close()
+	payload := make([]byte, 1<<20)
+	start := time.Now()
+	go func() {
+		for off := 0; off < len(payload); off += 64 << 10 {
+			a.Write(payload[off : off+64<<10])
+		}
+	}()
+	buf := make([]byte, 64<<10)
+	total := 0
+	for total < len(payload) {
+		n, err := b.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	d := time.Since(start)
+	if d < 70*time.Millisecond || d > 400*time.Millisecond {
+		t.Errorf("1MB at 10MB/s took %v, want ~100ms", d)
+	}
+}
+
+func TestPipeCloseGivesEOFAfterDrain(t *testing.T) {
+	a, b := Pipe(Loopback)
+	a.Write([]byte("tail"))
+	a.Close()
+	data, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "tail" {
+		t.Errorf("drained %q", data)
+	}
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Error("write on closed conn succeeded")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	a, b := Pipe(Loopback)
+	defer a.Close()
+	defer b.Close()
+	b.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	buf := make([]byte, 1)
+	start := time.Now()
+	_, err := b.Read(buf)
+	if err == nil {
+		t.Fatal("read returned without data or deadline")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("deadline ignored")
+	}
+	// Clearing the deadline allows a subsequent read.
+	b.SetReadDeadline(time.Time{})
+	go a.Write([]byte("y"))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("read after clearing deadline: %v", err)
+	}
+}
+
+func TestNetworkDialListen(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("server.sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c) // echo
+	}()
+	c, err := n.DialFrom("laptop.cse.nd.edu", "server.sim", Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RemoteAddr().String() != "server.sim" {
+		t.Errorf("remote addr = %v", c.RemoteAddr())
+	}
+	if c.LocalAddr().String() != "laptop.cse.nd.edu" {
+		t.Errorf("local addr = %v", c.LocalAddr())
+	}
+	c.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Errorf("echo = %q", buf)
+	}
+	c.Close()
+	wg.Wait()
+}
+
+func TestNetworkDialUnknown(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Dial("nowhere", Loopback); err == nil {
+		t.Error("dialing unknown address succeeded")
+	}
+}
+
+func TestNetworkDuplicateListen(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a"); err == nil {
+		t.Error("duplicate listen succeeded")
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	n := NewNetwork()
+	l, _ := n.Listen("a")
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("accept returned conn after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept did not unblock")
+	}
+	// Address is reusable after close.
+	if _, err := n.Listen("a"); err != nil {
+		t.Errorf("relisten after close: %v", err)
+	}
+}
+
+func TestRTTAmplification(t *testing.T) {
+	// A request/response over a 5 ms one-way link should take >= 10 ms;
+	// this is the mechanism behind the NFS-vs-Chirp latency figures.
+	prof := LinkProfile{Latency: 5 * time.Millisecond}
+	a, b := Pipe(prof)
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, 1)
+		io.ReadFull(b, buf)
+		b.Write(buf)
+	}()
+	start := time.Now()
+	a.Write([]byte("q"))
+	buf := make([]byte, 1)
+	io.ReadFull(a, buf)
+	if d := time.Since(start); d < 9*time.Millisecond {
+		t.Errorf("RTT = %v, want >= 10ms", d)
+	}
+}

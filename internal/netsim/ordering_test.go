@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Property: whatever the chunking on the sender side and the link
+// profile, the receiver observes exactly the sent byte stream, in
+// order — the TCP property every layer above relies on.
+func TestByteStreamIntegrityProperty(t *testing.T) {
+	profiles := []LinkProfile{
+		Loopback,
+		{Latency: 200 * time.Microsecond},
+		{Bandwidth: 4 << 20},
+		{Latency: 100 * time.Microsecond, Bandwidth: 8 << 20},
+	}
+	for pi, prof := range profiles {
+		rng := rand.New(rand.NewSource(int64(pi) + 3))
+		payload := make([]byte, 64<<10)
+		rng.Read(payload)
+		a, b := Pipe(prof)
+		go func() {
+			defer a.Close()
+			rest := payload
+			for len(rest) > 0 {
+				n := rng.Intn(4096) + 1
+				if n > len(rest) {
+					n = len(rest)
+				}
+				if _, err := a.Write(rest[:n]); err != nil {
+					return
+				}
+				rest = rest[n:]
+			}
+		}()
+		got, err := io.ReadAll(b)
+		b.Close()
+		if err != nil {
+			t.Fatalf("profile %d: %v", pi, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("profile %d: stream corrupted (%d vs %d bytes)", pi, len(got), len(payload))
+		}
+	}
+}
+
+// Bandwidth shaping is cumulative across writes: many small writes
+// take as long as one large one.
+func TestShapingIsCumulative(t *testing.T) {
+	prof := LinkProfile{Bandwidth: 5 << 20} // 5 MB/s
+	const total = 1 << 20                   // 1 MB -> ~200 ms
+	measure := func(chunk int) time.Duration {
+		a, b := Pipe(prof)
+		defer a.Close()
+		defer b.Close()
+		go func() {
+			buf := make([]byte, chunk)
+			for sent := 0; sent < total; sent += chunk {
+				a.Write(buf)
+			}
+		}()
+		start := time.Now()
+		got := 0
+		buf := make([]byte, 64<<10)
+		for got < total {
+			n, err := b.Read(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += n
+		}
+		return time.Since(start)
+	}
+	small := measure(1 << 10)
+	large := measure(256 << 10)
+	for name, d := range map[string]time.Duration{"small": small, "large": large} {
+		if d < 150*time.Millisecond || d > 600*time.Millisecond {
+			t.Errorf("%s chunks: 1MB at 5MB/s took %v, want ~200ms", name, d)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package nfsbase
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"net"
+
+	"tss/internal/netsim"
+	"tss/internal/vfs"
+)
+
+func startPair(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	srv, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := netsim.NewNetwork()
+	l, err := nw.Listen("nfs.sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { l.Close() })
+	c, err := Dial(ClientConfig{
+		Dial:    func() (net.Conn, error) { return nw.Dial("nfs.sim", netsim.Loopback) },
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, srv
+}
+
+func TestBasicCycle(t *testing.T) {
+	c, _ := startPair(t)
+	if err := c.Mkdir("/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(c, "/dir/file", []byte("nfs payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := vfs.ReadFile(c, "/dir/file")
+	if err != nil || string(data) != "nfs payload" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	fi, err := c.Stat("/dir/file")
+	if err != nil || fi.Size != 11 {
+		t.Fatalf("stat = %+v, %v", fi, err)
+	}
+	ents, err := c.ReadDir("/dir")
+	if err != nil || len(ents) != 1 || ents[0].Name != "file" {
+		t.Fatalf("readdir = %+v, %v", ents, err)
+	}
+	if err := c.Rename("/dir/file", "/dir/file2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unlink("/dir/file2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rmdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c, _ := startPair(t)
+	if _, err := c.Stat("/missing"); vfs.AsErrno(err) != vfs.ENOENT {
+		t.Errorf("stat missing = %v", err)
+	}
+	if _, err := c.Stat("/a/b/c"); vfs.AsErrno(err) != vfs.ENOENT {
+		t.Errorf("deep missing = %v", err)
+	}
+	if err := vfs.WriteFile(c, "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open("/f", vfs.O_WRONLY|vfs.O_CREAT|vfs.O_EXCL, 0o644); vfs.AsErrno(err) != vfs.EEXIST {
+		t.Errorf("O_EXCL on existing = %v", err)
+	}
+	if _, err := c.ReadDir("/f"); vfs.AsErrno(err) != vfs.ENOTDIR {
+		t.Errorf("readdir of file = %v", err)
+	}
+}
+
+func TestLargeIOSplitsInto4KPackets(t *testing.T) {
+	c, _ := startPair(t)
+	payload := bytes.Repeat([]byte{0xAB}, 3*MaxRPCData+17)
+	if err := vfs.WriteFile(c, "/big", payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(c, "/big")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("large io corrupted: %d vs %d bytes, %v", len(got), len(payload), err)
+	}
+}
+
+func TestTruncateThroughHandle(t *testing.T) {
+	c, _ := startPair(t)
+	if err := vfs.WriteFile(c, "/f", []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Truncate("/f", 3); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := vfs.ReadFile(c, "/f")
+	if string(data) != "012" {
+		t.Errorf("after truncate: %q", data)
+	}
+	f, err := c.Open("/f", vfs.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ftruncate(1); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := f.Fstat()
+	if err != nil || fi.Size != 1 {
+		t.Errorf("fstat after ftruncate = %+v, %v", fi, err)
+	}
+}
+
+func TestStatelessHandleSurvivesNewConnection(t *testing.T) {
+	// NFS semantics: handles carry no server state, so a fresh
+	// connection can use a handle obtained earlier.
+	c, srv := startPair(t)
+	if err := vfs.WriteFile(c, "/f", []byte("stateless"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Open("/f", vfs.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.(*nfsFile).h
+	_ = srv
+	// New client, same handle: must still work.
+	nw := netsim.NewNetwork()
+	_ = nw
+	c2 := &nfsFile{c: c, h: h, name: "f"}
+	buf := make([]byte, 9)
+	n, err := c2.Pread(buf, 0)
+	if err != nil || string(buf[:n]) != "stateless" {
+		t.Fatalf("handle reuse = %q, %v", buf[:n], err)
+	}
+}
+
+func TestStatFS(t *testing.T) {
+	c, _ := startPair(t)
+	info, err := c.StatFS()
+	if err != nil || info.TotalBytes <= 0 {
+		t.Fatalf("statfs = %+v, %v", info, err)
+	}
+}
+
+// The defining behaviour: path resolution costs one RPC per component.
+// Over a high-latency link, stat of a deep path must cost proportional
+// round trips, unlike Chirp's single round trip.
+func TestPerComponentLookupCost(t *testing.T) {
+	srv, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := netsim.NewNetwork()
+	l, _ := nw.Listen("nfs.sim")
+	defer l.Close()
+	go srv.Serve(l)
+	lat := 3 * time.Millisecond
+	c, err := Dial(ClientConfig{
+		Dial: func() (net.Conn, error) {
+			return nw.Dial("nfs.sim", netsim.LinkProfile{Latency: lat})
+		},
+		Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Mkdir("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/a/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(c, "/a/b/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Stat("/a/b/f"); err != nil {
+		t.Fatal(err)
+	}
+	d := time.Since(start)
+	// Three components -> three lookup RPCs -> at least 3 RTTs = 18 ms.
+	if d < 3*2*lat {
+		t.Errorf("deep stat took %v, want >= %v (3 RTTs)", d, 3*2*lat)
+	}
+}

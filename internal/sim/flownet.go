@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// FlowNet models bandwidth sharing: flows of bytes traverse sets of
+// finite-capacity resources (disks, NIC ports, a switch backplane) and
+// receive max-min fair rates, recomputed whenever a flow starts or
+// finishes. This is the standard fluid model of TCP-like sharing, and
+// it is what produces the saturation plateaus of Figures 6-8: one
+// 100 MB/s port caps one server, the 300 MB/s backplane caps the whole
+// switch, and 10 MB/s disks cap cache-miss traffic.
+type FlowNet struct {
+	sim   *Sim
+	flows []*Flow // insertion order: deterministic iteration
+	timer *Timer
+}
+
+// Resource is one capacity-limited element (bytes per second).
+type Resource struct {
+	name     string
+	capacity float64
+	served   float64 // total bytes carried, for utilization reports
+}
+
+// NewResource creates a resource with the given capacity in bytes/s.
+func NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q needs positive capacity", name))
+	}
+	return &Resource{name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the configured capacity in bytes/s.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// Served returns the total bytes this resource has carried.
+func (r *Resource) Served() float64 { return r.served }
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	remaining  float64
+	rate       float64
+	resources  []*Resource
+	done       *Event
+	lastUpdate time.Duration
+	finished   bool
+}
+
+// Done returns the event fired when the flow completes.
+func (f *Flow) Done() *Event { return f.done }
+
+// Rate returns the current allocated rate in bytes/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes left to transfer as of the last
+// recomputation.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// NewFlowNet creates a flow network bound to a simulation.
+func NewFlowNet(s *Sim) *FlowNet {
+	return &FlowNet{sim: s}
+}
+
+// Start injects a flow of the given size across the listed resources
+// and returns it. A flow crossing no resources completes immediately.
+// Rates of all flows are recomputed max-min fairly.
+func (fn *FlowNet) Start(bytes float64, resources ...*Resource) *Flow {
+	f := &Flow{
+		remaining:  bytes,
+		resources:  resources,
+		done:       fn.sim.NewEvent(),
+		lastUpdate: fn.sim.Now(),
+	}
+	if bytes <= 0 || len(resources) == 0 {
+		for _, r := range resources {
+			r.served += bytes
+		}
+		f.finished = true
+		f.done.Fire()
+		return f
+	}
+	fn.flows = append(fn.flows, f)
+	fn.rebalance()
+	return f
+}
+
+// Transfer is the blocking convenience: start a flow and wait for it.
+func (fn *FlowNet) Transfer(p *Proc, bytes float64, resources ...*Resource) {
+	f := fn.Start(bytes, resources...)
+	p.WaitEvent(f.done)
+}
+
+// settle charges elapsed time against every active flow's remaining
+// bytes and the resources it crosses.
+func (fn *FlowNet) settle() {
+	now := fn.sim.Now()
+	for _, f := range fn.flows {
+		dt := (now - f.lastUpdate).Seconds()
+		if dt > 0 && f.rate > 0 {
+			moved := f.rate * dt
+			if moved > f.remaining {
+				moved = f.remaining
+			}
+			f.remaining -= moved
+			for _, r := range f.resources {
+				r.served += moved
+			}
+		}
+		f.lastUpdate = now
+	}
+}
+
+// completionEpsilon treats flows with less than this many bytes left
+// as finished, absorbing floating point drift.
+const completionEpsilon = 1e-6
+
+// rebalance settles progress, completes finished flows, recomputes
+// max-min fair rates, and schedules the next completion.
+func (fn *FlowNet) rebalance() {
+	fn.settle()
+
+	// Complete flows that have drained.
+	live := fn.flows[:0]
+	for _, f := range fn.flows {
+		if f.remaining <= completionEpsilon {
+			f.remaining = 0
+			f.finished = true
+			f.done.Fire()
+			continue
+		}
+		live = append(live, f)
+	}
+	for i := len(live); i < len(fn.flows); i++ {
+		fn.flows[i] = nil
+	}
+	fn.flows = live
+
+	fn.computeRates()
+
+	// Schedule the next completion.
+	if fn.timer != nil {
+		fn.timer.Cancel()
+		fn.timer = nil
+	}
+	next := math.Inf(1)
+	for _, f := range fn.flows {
+		if f.rate > 0 {
+			if t := f.remaining / f.rate; t < next {
+				next = t
+			}
+		}
+	}
+	if !math.IsInf(next, 1) {
+		fn.timer = fn.sim.After(time.Duration(next*float64(time.Second))+time.Nanosecond, fn.rebalance)
+	}
+}
+
+// computeRates performs max-min fair allocation (progressive filling):
+// repeatedly find the most contended resource, freeze its flows at the
+// equal share, and subtract.
+func (fn *FlowNet) computeRates() {
+	type rstate struct {
+		capLeft float64
+		count   int
+	}
+	states := make(map[*Resource]*rstate)
+	resOrder := make([]*Resource, 0, 8) // deterministic scan order
+	for _, f := range fn.flows {
+		f.rate = -1 // unfrozen marker
+		for _, r := range f.resources {
+			st, ok := states[r]
+			if !ok {
+				st = &rstate{capLeft: r.capacity}
+				states[r] = st
+				resOrder = append(resOrder, r)
+			}
+			st.count++
+		}
+	}
+	unfrozen := len(fn.flows)
+	for unfrozen > 0 {
+		var bottleneck *Resource
+		best := math.Inf(1)
+		for _, r := range resOrder {
+			st := states[r]
+			if st.count == 0 {
+				continue
+			}
+			share := st.capLeft / float64(st.count)
+			if share < best {
+				best = share
+				bottleneck = r
+			}
+		}
+		if bottleneck == nil {
+			// Remaining flows cross only exhausted-entry resources;
+			// cannot happen with positive capacities, but guard by
+			// giving them the smallest share found so far.
+			for _, f := range fn.flows {
+				if f.rate < 0 {
+					f.rate = 0
+				}
+			}
+			return
+		}
+		if best < 0 {
+			best = 0
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		for _, f := range fn.flows {
+			if f.rate >= 0 {
+				continue
+			}
+			crosses := false
+			for _, r := range f.resources {
+				if r == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = best
+			unfrozen--
+			for _, r := range f.resources {
+				st := states[r]
+				st.capLeft -= best
+				if st.capLeft < 0 {
+					st.capLeft = 0
+				}
+				st.count--
+			}
+		}
+	}
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (fn *FlowNet) ActiveFlows() int { return len(fn.flows) }

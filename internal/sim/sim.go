@@ -1,0 +1,270 @@
+// Package sim is a deterministic discrete-event simulation kernel:
+// a virtual clock, an event queue, and cooperatively scheduled
+// processes written as ordinary Go functions.
+//
+// The DSFS scalability experiments of the paper (Figures 6-8) measure
+// hardware saturation on a 32-node cluster — disk throughput, NIC
+// ports, and the switch backplane. Package cluster rebuilds that
+// hardware as a model on top of this kernel, so an experiment that ran
+// for minutes on the physical cluster completes in milliseconds of
+// wall time, deterministically.
+//
+// Determinism comes from two rules: exactly one process executes at a
+// time (the scheduler hands control to a process and waits for it to
+// block or finish before touching the next event), and simultaneous
+// events fire in schedule order. No wall-clock time or map iteration
+// order influences execution.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Sim is one simulation universe.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+	yield  chan struct{} // a running process signals it has blocked/finished
+	killed chan struct{} // closed at Shutdown to release blocked processes
+	nprocs int           // live process count (diagnostics)
+}
+
+// New returns an empty simulation at time zero.
+func New() *Sim {
+	return &Sim{
+		yield:  make(chan struct{}),
+		killed: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// event is one heap entry: either a process resumption or a callback.
+type event struct {
+	at       time.Duration
+	seq      int64
+	proc     *Proc  // non-nil: resume this process
+	fn       func() // non-nil: run this callback inline
+	canceled *bool  // timers: skip if set
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func (s *Sim) schedule(e *event) {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.events, e)
+}
+
+// Proc is a simulated process. Its function runs on a dedicated
+// goroutine but only ever one at a time, under scheduler control.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Spawn creates a process that starts at the current virtual time.
+func (s *Sim) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.nprocs++
+	go func() {
+		defer func() {
+			s.nprocs--
+			// Returning (or Goexit after kill) must hand control
+			// back to the scheduler exactly once.
+			select {
+			case s.yield <- struct{}{}:
+			case <-s.killed:
+			}
+		}()
+		p.block()
+		fn(p)
+	}()
+	s.schedule(&event{at: s.now, proc: p})
+	return p
+}
+
+// block parks the calling process until the scheduler resumes it.
+// If the simulation is shut down first, the goroutine exits.
+func (p *Proc) block() {
+	select {
+	case <-p.resume:
+	case <-p.sim.killed:
+		runtime.Goexit()
+	}
+}
+
+// yieldToScheduler hands control back to the scheduler.
+func (p *Proc) yieldToScheduler() {
+	select {
+	case p.sim.yield <- struct{}{}:
+	case <-p.sim.killed:
+		runtime.Goexit()
+	}
+}
+
+// Wait suspends the process for d of virtual time.
+func (p *Proc) Wait(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.schedule(&event{at: p.sim.now + d, proc: p})
+	p.yieldToScheduler()
+	p.block()
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+// The returned Timer can be canceled.
+func (s *Sim) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	canceled := new(bool)
+	s.schedule(&event{at: t, fn: fn, canceled: canceled})
+	return &Timer{canceled: canceled}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Timer is a cancelable scheduled callback.
+type Timer struct {
+	canceled *bool
+}
+
+// Cancel prevents the callback from running if it has not yet fired.
+func (t *Timer) Cancel() {
+	if t != nil && t.canceled != nil {
+		*t.canceled = true
+	}
+}
+
+// Event is a broadcast signal processes can wait on.
+type Event struct {
+	sim     *Sim
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func (s *Sim) NewEvent() *Event { return &Event{sim: s} }
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Fire wakes every waiter at the current virtual time. Firing twice is
+// a no-op.
+func (e *Event) Fire() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	for _, p := range e.waiters {
+		e.sim.schedule(&event{at: e.sim.now, proc: p})
+	}
+	e.waiters = nil
+}
+
+// WaitEvent suspends the process until the event fires. It returns
+// immediately if the event already fired.
+func (p *Proc) WaitEvent(e *Event) {
+	if e.fired {
+		return
+	}
+	e.waiters = append(e.waiters, p)
+	p.yieldToScheduler()
+	p.block()
+}
+
+// step executes the earliest pending event. It reports false when the
+// queue is empty or the earliest event lies beyond limit (limit < 0
+// means no bound).
+func (s *Sim) step(limit time.Duration) bool {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if e.canceled != nil && *e.canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if limit >= 0 && e.at > limit {
+			return false
+		}
+		heap.Pop(&s.events)
+		if e.at > s.now {
+			s.now = e.at
+		}
+		if e.fn != nil {
+			e.fn()
+			return true
+		}
+		// Hand control to the process; regain it when the process
+		// blocks or finishes.
+		e.proc.resume <- struct{}{}
+		<-s.yield
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain. Processes blocked on events
+// that never fire do not stop Run from returning.
+func (s *Sim) Run() {
+	for s.step(-1) {
+	}
+}
+
+// RunUntil executes all events at or before t, then advances the clock
+// to exactly t.
+func (s *Sim) RunUntil(t time.Duration) {
+	for s.step(t) {
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Shutdown releases every parked process goroutine. The simulation
+// must not be used afterwards.
+func (s *Sim) Shutdown() {
+	close(s.killed)
+}
+
+// Pending returns the number of queued events (diagnostics).
+func (s *Sim) Pending() int { return len(s.events) }
+
+// String describes the simulation state.
+func (s *Sim) String() string {
+	return fmt.Sprintf("sim(t=%v, events=%d, procs=%d)", s.now, len(s.events), s.nprocs)
+}

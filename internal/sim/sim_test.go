@@ -1,0 +1,378 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestClockAdvancesWithWaits(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	var times []time.Duration
+	s.Spawn("p", func(p *Proc) {
+		times = append(times, p.Now())
+		p.Wait(10 * time.Millisecond)
+		times = append(times, p.Now())
+		p.Wait(5 * time.Millisecond)
+		times = append(times, p.Now())
+	})
+	s.Run()
+	want := []time.Duration{0, 10 * time.Millisecond, 15 * time.Millisecond}
+	if len(times) != 3 {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times[%d] = %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		s := New()
+		defer s.Shutdown()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			s.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					log = append(log, name)
+					p.Wait(time.Millisecond)
+				}
+			})
+		}
+		s.Run()
+		return log
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("nondeterministic length")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("nondeterministic order at %d: %v vs %v", j, first, again)
+			}
+		}
+	}
+	// Same-time events run in spawn order.
+	if first[0] != "a" || first[1] != "b" || first[2] != "c" {
+		t.Errorf("spawn order not preserved: %v", first)
+	}
+}
+
+func TestEventsWakeWaiters(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	e := s.NewEvent()
+	var woke []time.Duration
+	for i := 0; i < 3; i++ {
+		s.Spawn("w", func(p *Proc) {
+			p.WaitEvent(e)
+			woke = append(woke, p.Now())
+		})
+	}
+	s.Spawn("firer", func(p *Proc) {
+		p.Wait(7 * time.Millisecond)
+		e.Fire()
+	})
+	s.Run()
+	if len(woke) != 3 {
+		t.Fatalf("woke = %v", woke)
+	}
+	for _, w := range woke {
+		if w != 7*time.Millisecond {
+			t.Errorf("waiter woke at %v", w)
+		}
+	}
+	// Waiting on a fired event returns immediately.
+	done := false
+	s2 := New()
+	defer s2.Shutdown()
+	e2 := s2.NewEvent()
+	e2.Fire()
+	s2.Spawn("late", func(p *Proc) {
+		p.WaitEvent(e2)
+		done = true
+	})
+	s2.Run()
+	if !done {
+		t.Error("late waiter never resumed")
+	}
+}
+
+func TestTimersAndCancel(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	var fired []string
+	s.After(5*time.Millisecond, func() { fired = append(fired, "a") })
+	tm := s.After(3*time.Millisecond, func() { fired = append(fired, "b") })
+	tm.Cancel()
+	s.At(time.Millisecond, func() { fired = append(fired, "c") })
+	s.Run()
+	if len(fired) != 2 || fired[0] != "c" || fired[1] != "a" {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestRunUntilBounds(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	count := 0
+	s.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Wait(time.Second)
+			count++
+		}
+	})
+	s.RunUntil(10 * time.Second)
+	if count != 10 {
+		t.Errorf("ticks = %d, want 10", count)
+	}
+	if s.Now() != 10*time.Second {
+		t.Errorf("now = %v", s.Now())
+	}
+	s.RunUntil(15 * time.Second)
+	if count != 15 {
+		t.Errorf("ticks after resume = %d, want 15", count)
+	}
+}
+
+func TestClockIsMonotonicProperty(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	rng := rand.New(rand.NewSource(1))
+	last := time.Duration(-1)
+	violations := 0
+	for i := 0; i < 50; i++ {
+		s.Spawn("p", func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				p.Wait(time.Duration(rng.Intn(1000)) * time.Microsecond)
+				if p.Now() < last {
+					violations++
+				}
+				last = p.Now()
+			}
+		})
+	}
+	s.Run()
+	if violations > 0 {
+		t.Errorf("clock went backwards %d times", violations)
+	}
+}
+
+// --- FlowNet ---
+
+const MB = 1 << 20
+
+func TestSingleFlowUsesFullCapacity(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	net := NewFlowNet(s)
+	link := NewResource("link", 100*MB)
+	var done time.Duration
+	s.Spawn("xfer", func(p *Proc) {
+		net.Transfer(p, 200*MB, link)
+		done = p.Now()
+	})
+	s.Run()
+	want := 2 * time.Second
+	if diff := (done - want).Abs(); diff > 50*time.Millisecond {
+		t.Errorf("200MB over 100MB/s took %v, want ~%v", done, want)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	net := NewFlowNet(s)
+	link := NewResource("link", 100*MB)
+	var t1, t2 time.Duration
+	s.Spawn("a", func(p *Proc) {
+		net.Transfer(p, 100*MB, link)
+		t1 = p.Now()
+	})
+	s.Spawn("b", func(p *Proc) {
+		net.Transfer(p, 100*MB, link)
+		t2 = p.Now()
+	})
+	s.Run()
+	// Both share 50 MB/s and finish together at ~2s.
+	for _, d := range []time.Duration{t1, t2} {
+		if diff := (d - 2*time.Second).Abs(); diff > 100*time.Millisecond {
+			t.Errorf("fair share completion at %v, want ~2s", d)
+		}
+	}
+}
+
+func TestShortFlowReleasesBandwidth(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	net := NewFlowNet(s)
+	link := NewResource("link", 100*MB)
+	var tLong time.Duration
+	s.Spawn("long", func(p *Proc) {
+		net.Transfer(p, 150*MB, link)
+		tLong = p.Now()
+	})
+	s.Spawn("short", func(p *Proc) {
+		net.Transfer(p, 50*MB, link)
+	})
+	s.Run()
+	// Phase 1: both at 50 MB/s until short finishes at t=1s (50MB each).
+	// Phase 2: long alone at 100 MB/s for remaining 100MB -> 1s more.
+	want := 2 * time.Second
+	if diff := (tLong - want).Abs(); diff > 100*time.Millisecond {
+		t.Errorf("long flow done at %v, want ~%v", tLong, want)
+	}
+}
+
+func TestBottleneckAcrossResources(t *testing.T) {
+	// Two flows from different servers (own 100MB/s ports) through a
+	// shared 150MB/s backplane: each gets 75MB/s (backplane-bound).
+	s := New()
+	defer s.Shutdown()
+	net := NewFlowNet(s)
+	portA := NewResource("portA", 100*MB)
+	portB := NewResource("portB", 100*MB)
+	backplane := NewResource("bp", 150*MB)
+	var tA time.Duration
+	s.Spawn("a", func(p *Proc) {
+		net.Transfer(p, 75*MB, portA, backplane)
+		tA = p.Now()
+	})
+	s.Spawn("b", func(p *Proc) {
+		net.Transfer(p, 75*MB, portB, backplane)
+	})
+	s.Run()
+	if diff := (tA - time.Second).Abs(); diff > 100*time.Millisecond {
+		t.Errorf("backplane-bound flow done at %v, want ~1s", tA)
+	}
+}
+
+// Max-min property: no resource exceeds capacity, and a flow's rate is
+// limited by at least one saturated resource (otherwise it could take
+// more — not max-min).
+func TestMaxMinInvariants(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	net := NewFlowNet(s)
+	rng := rand.New(rand.NewSource(99))
+	var resources []*Resource
+	for i := 0; i < 5; i++ {
+		resources = append(resources, NewResource("r", float64(10+rng.Intn(100))*MB))
+	}
+	var flows []*Flow
+	for i := 0; i < 20; i++ {
+		// Random subset of resources.
+		var rs []*Resource
+		for _, r := range resources {
+			if rng.Intn(2) == 0 {
+				rs = append(rs, r)
+			}
+		}
+		if len(rs) == 0 {
+			rs = append(rs, resources[0])
+		}
+		flows = append(flows, net.Start(1e12, rs...)) // huge: stays active
+	}
+	// Check the allocation computed right now.
+	usage := map[*Resource]float64{}
+	for _, f := range flows {
+		if f.rate < 0 {
+			t.Fatal("unallocated flow")
+		}
+		for _, r := range f.resources {
+			usage[r] += f.rate
+		}
+	}
+	for _, r := range resources {
+		if usage[r] > r.capacity*(1+1e-9) {
+			t.Errorf("resource over capacity: %.2f > %.2f", usage[r], r.capacity)
+		}
+	}
+	for _, f := range flows {
+		bottlenecked := false
+		for _, r := range f.resources {
+			if usage[r] >= r.capacity*(1-1e-6) {
+				bottlenecked = true
+			}
+		}
+		if !bottlenecked {
+			t.Errorf("flow with rate %.2f crosses no saturated resource", f.rate)
+		}
+	}
+}
+
+func TestZeroByteFlowCompletesImmediately(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	net := NewFlowNet(s)
+	link := NewResource("l", MB)
+	f := net.Start(0, link)
+	if !f.Done().Fired() {
+		t.Error("zero-byte flow did not complete")
+	}
+	f2 := net.Start(100)
+	if !f2.Done().Fired() {
+		t.Error("resource-free flow did not complete")
+	}
+}
+
+func TestServedAccounting(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	net := NewFlowNet(s)
+	link := NewResource("l", 10*MB)
+	s.Spawn("x", func(p *Proc) {
+		net.Transfer(p, 25*MB, link)
+	})
+	s.Run()
+	if math.Abs(link.Served()-25*MB) > 1 {
+		t.Errorf("served = %.0f, want %d", link.Served(), 25*MB)
+	}
+}
+
+func TestManyFlowsConvergeAndFinish(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	net := NewFlowNet(s)
+	link := NewResource("l", 100*MB)
+	finished := 0
+	for i := 0; i < 50; i++ {
+		size := float64((i + 1) * MB)
+		s.Spawn("f", func(p *Proc) {
+			net.Transfer(p, size, link)
+			finished++
+		})
+	}
+	s.Run()
+	if finished != 50 {
+		t.Errorf("finished = %d, want 50", finished)
+	}
+	if net.ActiveFlows() != 0 {
+		t.Errorf("active flows remain: %d", net.ActiveFlows())
+	}
+	// Total = sum 1..50 MB = 1275 MB at 100MB/s -> 12.75s regardless of
+	// interleaving (work conservation).
+	want := 12750 * time.Millisecond
+	if diff := (s.Now() - want).Abs(); diff > 200*time.Millisecond {
+		t.Errorf("makespan = %v, want ~%v (work conservation)", s.Now(), want)
+	}
+}
+
+func TestShutdownReleasesBlockedProcs(t *testing.T) {
+	s := New()
+	e := s.NewEvent()
+	s.Spawn("stuck", func(p *Proc) {
+		p.WaitEvent(e) // never fires
+	})
+	s.Run() // returns despite the stuck proc
+	s.Shutdown()
+	// Nothing to assert beyond "does not deadlock"; the goroutine
+	// exits via the killed channel.
+}

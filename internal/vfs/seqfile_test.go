@@ -1,0 +1,90 @@
+package vfs
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func seqFixture(t *testing.T) *SeqFile {
+	t.Helper()
+	l := newLocal(t)
+	if err := WriteFile(l, "/f", []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := l.Open("/f", O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := NewSeqFile(f)
+	t.Cleanup(func() { sf.Close() })
+	return sf
+}
+
+func TestSeqFileReadAdvances(t *testing.T) {
+	sf := seqFixture(t)
+	buf := make([]byte, 4)
+	n, err := sf.Read(buf)
+	if err != nil || n != 4 || string(buf) != "0123" {
+		t.Fatalf("first read = %q, %d, %v", buf, n, err)
+	}
+	n, err = sf.Read(buf)
+	if err != nil || string(buf[:n]) != "4567" {
+		t.Fatalf("second read = %q, %v", buf[:n], err)
+	}
+	if sf.Offset() != 8 {
+		t.Errorf("offset = %d", sf.Offset())
+	}
+}
+
+func TestSeqFileEOF(t *testing.T) {
+	sf := seqFixture(t)
+	if _, err := sf.Seek(10, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := sf.Read(buf); err != io.EOF {
+		t.Errorf("read at end = %v, want io.EOF", err)
+	}
+	// io.ReadAll style consumption works.
+	sf.Seek(0, io.SeekStart)
+	data, err := io.ReadAll(sf)
+	if err != nil || string(data) != "0123456789" {
+		t.Fatalf("ReadAll = %q, %v", data, err)
+	}
+}
+
+func TestSeqFileSeekWhence(t *testing.T) {
+	sf := seqFixture(t)
+	if off, err := sf.Seek(2, io.SeekStart); err != nil || off != 2 {
+		t.Errorf("SeekStart = %d, %v", off, err)
+	}
+	if off, err := sf.Seek(3, io.SeekCurrent); err != nil || off != 5 {
+		t.Errorf("SeekCurrent = %d, %v", off, err)
+	}
+	if off, err := sf.Seek(-2, io.SeekEnd); err != nil || off != 8 {
+		t.Errorf("SeekEnd = %d, %v", off, err)
+	}
+	if _, err := sf.Seek(0, 99); err == nil {
+		t.Error("bad whence accepted")
+	}
+	if _, err := sf.Seek(-100, io.SeekStart); err == nil {
+		t.Error("negative seek accepted")
+	}
+}
+
+func TestSeqFileWriteAppendsSequentially(t *testing.T) {
+	sf := seqFixture(t)
+	sf.Seek(0, io.SeekEnd)
+	if _, err := io.Copy(sf, strings.NewReader("abc")); err != nil {
+		t.Fatal(err)
+	}
+	sf.Seek(0, io.SeekStart)
+	data, _ := io.ReadAll(sf)
+	if string(data) != "0123456789abc" {
+		t.Errorf("after append = %q", data)
+	}
+	if sf.File() == nil {
+		t.Error("File() accessor nil")
+	}
+}

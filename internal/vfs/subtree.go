@@ -1,0 +1,198 @@
+package vfs
+
+import (
+	"io"
+
+	"tss/internal/pathutil"
+)
+
+// SubtreeFS exposes a subdirectory of another FileSystem as a complete
+// filesystem of its own. It is the glue of recursive abstraction: a
+// DSFS can keep its directory tree inside any directory of any Chirp
+// server, and the adapter can mount any subtree anywhere.
+type SubtreeFS struct {
+	inner  FileSystem
+	prefix string
+}
+
+var _ FileSystem = (*SubtreeFS)(nil)
+
+// Subtree returns a view of inner rooted at prefix. The prefix is
+// normalized; it is not required to exist yet.
+func Subtree(inner FileSystem, prefix string) (*SubtreeFS, error) {
+	n, err := pathutil.Norm(prefix)
+	if err != nil {
+		return nil, EINVAL
+	}
+	return &SubtreeFS{inner: inner, prefix: n}, nil
+}
+
+func (s *SubtreeFS) translate(path string) (string, error) {
+	n, err := pathutil.Norm(path)
+	if err != nil {
+		return "", EINVAL
+	}
+	if s.prefix == "/" {
+		return n, nil
+	}
+	if n == "/" {
+		return s.prefix, nil
+	}
+	return s.prefix + n, nil
+}
+
+// Open opens a file within the subtree.
+func (s *SubtreeFS) Open(path string, flags int, mode uint32) (File, error) {
+	p, err := s.translate(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.inner.Open(p, flags, mode)
+}
+
+// Stat stats a file within the subtree.
+func (s *SubtreeFS) Stat(path string) (FileInfo, error) {
+	p, err := s.translate(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return s.inner.Stat(p)
+}
+
+// Unlink removes a file within the subtree.
+func (s *SubtreeFS) Unlink(path string) error {
+	p, err := s.translate(path)
+	if err != nil {
+		return err
+	}
+	return s.inner.Unlink(p)
+}
+
+// Rename renames within the subtree.
+func (s *SubtreeFS) Rename(oldPath, newPath string) error {
+	op, err := s.translate(oldPath)
+	if err != nil {
+		return err
+	}
+	np, err := s.translate(newPath)
+	if err != nil {
+		return err
+	}
+	return s.inner.Rename(op, np)
+}
+
+// Mkdir creates a directory within the subtree.
+func (s *SubtreeFS) Mkdir(path string, mode uint32) error {
+	p, err := s.translate(path)
+	if err != nil {
+		return err
+	}
+	return s.inner.Mkdir(p, mode)
+}
+
+// Rmdir removes a directory within the subtree.
+func (s *SubtreeFS) Rmdir(path string) error {
+	p, err := s.translate(path)
+	if err != nil {
+		return err
+	}
+	return s.inner.Rmdir(p)
+}
+
+// ReadDir lists a directory within the subtree.
+func (s *SubtreeFS) ReadDir(path string) ([]DirEntry, error) {
+	p, err := s.translate(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.inner.ReadDir(p)
+}
+
+// Truncate truncates a file within the subtree.
+func (s *SubtreeFS) Truncate(path string, size int64) error {
+	p, err := s.translate(path)
+	if err != nil {
+		return err
+	}
+	return s.inner.Truncate(p, size)
+}
+
+// Chmod changes modes within the subtree.
+func (s *SubtreeFS) Chmod(path string, mode uint32) error {
+	p, err := s.translate(path)
+	if err != nil {
+		return err
+	}
+	return s.inner.Chmod(p, mode)
+}
+
+// StatFS reports the capacity of the underlying filesystem.
+func (s *SubtreeFS) StatFS() (FSInfo, error) { return s.inner.StatFS() }
+
+// Reconnect forwards to the inner filesystem when it supports
+// reconnection, so recovery works through subtree views.
+func (s *SubtreeFS) Reconnect() error {
+	if rc, ok := s.inner.(Reconnector); ok {
+		return rc.Reconnect()
+	}
+	return nil
+}
+
+// OpenStat forwards the open-with-stat fast path when the inner
+// filesystem provides one.
+func (s *SubtreeFS) OpenStat(path string, flags int, mode uint32) (File, FileInfo, error) {
+	p, err := s.translate(path)
+	if err != nil {
+		return nil, FileInfo{}, err
+	}
+	if o, ok := s.inner.(OpenStater); ok {
+		return o.OpenStat(p, flags, mode)
+	}
+	f, err := s.inner.Open(p, flags, mode)
+	if err != nil {
+		return nil, FileInfo{}, err
+	}
+	fi, err := f.Fstat()
+	if err != nil {
+		f.Close()
+		return nil, FileInfo{}, err
+	}
+	return f, fi, nil
+}
+
+// GetFile forwards the whole-file fast path when the inner filesystem
+// provides one; otherwise it falls back to open/pread/close.
+func (s *SubtreeFS) GetFile(path string, w io.Writer) (int64, error) {
+	p, err := s.translate(path)
+	if err != nil {
+		return 0, err
+	}
+	if g, ok := s.inner.(FileGetter); ok {
+		return g.GetFile(p, w)
+	}
+	data, err := ReadFile(s.inner, p)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// MkdirAll creates every missing directory along path on fs.
+func MkdirAll(fs FileSystem, path string, mode uint32) error {
+	n, err := pathutil.Norm(path)
+	if err != nil {
+		return EINVAL
+	}
+	if n == "/" {
+		return nil
+	}
+	cur := ""
+	for _, comp := range pathutil.Split(n) {
+		cur += "/" + comp
+		if err := fs.Mkdir(cur, mode); err != nil && AsErrno(err) != EEXIST {
+			return err
+		}
+	}
+	return nil
+}

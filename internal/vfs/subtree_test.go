@@ -1,0 +1,142 @@
+package vfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSubtreeBasicOps(t *testing.T) {
+	base := newLocal(t)
+	if err := MkdirAll(base, "/vol/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Subtree(base, "/vol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(sub, "/a/f", []byte("deep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Visible on the base under the prefix.
+	data, err := ReadFile(base, "/vol/a/f")
+	if err != nil || string(data) != "deep" {
+		t.Fatalf("base view = %q, %v", data, err)
+	}
+	// All namespace ops translate.
+	if err := sub.Mkdir("/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := sub.ReadDir("/")
+	if err != nil || len(ents) != 2 {
+		t.Fatalf("readdir / = %+v, %v", ents, err)
+	}
+	if err := sub.Rename("/a/f", "/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := sub.Stat("/b/g")
+	if err != nil || fi.Size != 4 {
+		t.Fatalf("stat = %+v, %v", fi, err)
+	}
+	if err := sub.Truncate("/b/g", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Chmod("/b/g", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Unlink("/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Rmdir("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.StatFS(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A subtree view cannot escape its prefix, even with "..".
+func TestSubtreeConfinement(t *testing.T) {
+	base := newLocal(t)
+	if err := WriteFile(base, "/secret", []byte("outside"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MkdirAll(base, "/vol", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Subtree(base, "/vol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/../secret", "/a/../../secret"} {
+		if _, err := sub.Stat(p); AsErrno(err) != ENOENT {
+			t.Errorf("escape via %q = %v, want ENOENT (clamped inside /vol)", p, err)
+		}
+	}
+	// Bare ".." clamps to the subtree root itself, not the parent.
+	fi, err := sub.Stat("/..")
+	if err != nil || !fi.IsDir {
+		t.Errorf("stat /.. = %+v, %v; want the subtree root dir", fi, err)
+	}
+}
+
+func TestSubtreeOfSubtree(t *testing.T) {
+	base := newLocal(t)
+	if err := MkdirAll(base, "/a/b/c", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := Subtree(base, "/a")
+	s2, err := Subtree(s1, "/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(s2, "/c/f", []byte("nested"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadFile(base, "/a/b/c/f")
+	if err != nil || string(data) != "nested" {
+		t.Fatalf("nested subtree: %q, %v", data, err)
+	}
+}
+
+func TestSubtreeFastPaths(t *testing.T) {
+	base := newLocal(t)
+	if err := MkdirAll(base, "/vol", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := Subtree(base, "/vol")
+	payload := bytes.Repeat([]byte("x"), 1000)
+	if err := WriteFile(sub, "/f", payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// GetFile fallback path (local fs is not a FileGetter).
+	var buf bytes.Buffer
+	n, err := sub.GetFile("/f", &buf)
+	if err != nil || n != 1000 || !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatalf("GetFile = %d, %v", n, err)
+	}
+	// OpenStat fallback path.
+	f, fi, err := sub.OpenStat("/f", O_RDONLY, 0)
+	if err != nil || fi.Size != 1000 {
+		t.Fatalf("OpenStat = %+v, %v", fi, err)
+	}
+	f.Close()
+	// GetWholeFile helper prefers the fast path when available.
+	data, err := GetWholeFile(sub, "/f")
+	if err != nil || len(data) != 1000 {
+		t.Fatalf("GetWholeFile = %d, %v", len(data), err)
+	}
+}
+
+func TestSubtreeRootPrefix(t *testing.T) {
+	base := newLocal(t)
+	sub, err := Subtree(base, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(sub, "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !Exists(base, "/f") {
+		t.Error("root subtree did not pass through")
+	}
+}

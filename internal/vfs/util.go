@@ -1,0 +1,123 @@
+package vfs
+
+import "io"
+
+// ReadFile reads the entire named file through fs.
+func ReadFile(fs FileSystem, path string) ([]byte, error) {
+	f, err := fs.Open(path, O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []byte
+	buf := make([]byte, 64<<10)
+	var off int64
+	for {
+		n, err := f.Pread(buf, off)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		out = append(out, buf[:n]...)
+		off += int64(n)
+	}
+}
+
+// WriteFile creates or replaces the named file with data.
+func WriteFile(fs FileSystem, path string, data []byte, mode uint32) error {
+	f, err := fs.Open(path, O_WRONLY|O_CREAT|O_TRUNC, mode)
+	if err != nil {
+		return err
+	}
+	var off int64
+	for len(data) > 0 {
+		n, err := f.Pwrite(data, off)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		data = data[n:]
+		off += int64(n)
+	}
+	return f.Close()
+}
+
+// CopyFile streams the file at srcPath on src to dstPath on dst using
+// blockSize transfers, returning the number of bytes copied.
+func CopyFile(dst FileSystem, dstPath string, src FileSystem, srcPath string, blockSize int) (int64, error) {
+	if blockSize <= 0 {
+		blockSize = 64 << 10
+	}
+	in, err := src.Open(srcPath, O_RDONLY, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	out, err := dst.Open(dstPath, O_WRONLY|O_CREAT|O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, blockSize)
+	var off int64
+	for {
+		n, err := in.Pread(buf, off)
+		if err != nil {
+			out.Close()
+			return off, err
+		}
+		if n == 0 {
+			break
+		}
+		w := buf[:n]
+		woff := off
+		for len(w) > 0 {
+			m, err := out.Pwrite(w, woff)
+			if err != nil {
+				out.Close()
+				return woff, err
+			}
+			w = w[m:]
+			woff += int64(m)
+		}
+		off += int64(n)
+	}
+	return off, out.Close()
+}
+
+// Exists reports whether the named path exists on fs.
+func Exists(fs FileSystem, path string) bool {
+	_, err := fs.Stat(path)
+	return err == nil
+}
+
+// WriteAll writes all of p at off, looping over short writes.
+func WriteAll(f File, p []byte, off int64) error {
+	for len(p) > 0 {
+		n, err := f.Pwrite(p, off)
+		if err != nil {
+			return err
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// ReadFull reads exactly len(p) bytes at off, or returns an error.
+// Premature end of file yields io.ErrUnexpectedEOF.
+func ReadFull(f File, p []byte, off int64) error {
+	for len(p) > 0 {
+		n, err := f.Pread(p, off)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return io.ErrUnexpectedEOF
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Package vfs defines the Unix-like filesystem interface that every
+// layer of the tactical storage system exports and consumes.
+//
+// This single interface is the paper's "recursive storage abstraction"
+// (§3) made literal: the local filesystem under a Chirp server, the
+// Chirp client that talks to it, every abstraction built from multiple
+// servers (CFS, DPFS, DSFS), and the adapter that applications use all
+// implement FileSystem. Because the interface recurs at every layer,
+// any abstraction can be stacked on any other.
+package vfs
+
+import (
+	"bytes"
+	"io"
+	"time"
+)
+
+// Open flags, defined independently of the host platform because they
+// travel over the wire. The access mode occupies the low two bits.
+const (
+	O_RDONLY = 0x0
+	O_WRONLY = 0x1
+	O_RDWR   = 0x2
+
+	O_CREAT  = 0x40
+	O_EXCL   = 0x80
+	O_TRUNC  = 0x200
+	O_APPEND = 0x400
+	O_SYNC   = 0x1000
+
+	// AccessModeMask extracts the access mode from a flag word.
+	AccessModeMask = 0x3
+)
+
+// FileInfo describes a file or directory. It is the portable subset of
+// a Unix stat structure that the Chirp protocol carries.
+type FileInfo struct {
+	Name  string // final path component
+	Size  int64  // length in bytes
+	Mode  uint32 // permission bits (no type bits)
+	MTime int64  // modification time, Unix seconds
+	Inode uint64 // identity within one server; used for ESTALE checks
+	IsDir bool
+}
+
+// ModTime returns the modification time as a time.Time.
+func (fi FileInfo) ModTime() time.Time { return time.Unix(fi.MTime, 0) }
+
+// DirEntry is one directory listing entry.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+}
+
+// FSInfo describes the capacity of a filesystem, as reported by statfs
+// and published to catalogs.
+type FSInfo struct {
+	TotalBytes int64
+	FreeBytes  int64
+}
+
+// File is an open file. I/O is positional (pread/pwrite with explicit
+// offsets), matching the Chirp protocol: the client, not the server,
+// owns the notion of a current offset.
+type File interface {
+	// Pread reads up to len(p) bytes at offset off. It returns the
+	// number of bytes read; n == 0 with nil error means end of file.
+	Pread(p []byte, off int64) (n int, err error)
+	// Pwrite writes len(p) bytes at offset off.
+	Pwrite(p []byte, off int64) (n int, err error)
+	// Fstat returns metadata for the open file.
+	Fstat() (FileInfo, error)
+	// Ftruncate changes the file length.
+	Ftruncate(size int64) error
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Close releases the descriptor.
+	Close() error
+}
+
+// FileSystem is the recursive abstraction interface. All paths are
+// absolute, slash-separated, and interpreted within the filesystem's
+// own namespace.
+type FileSystem interface {
+	Open(path string, flags int, mode uint32) (File, error)
+	Stat(path string) (FileInfo, error)
+	Unlink(path string) error
+	Rename(oldPath, newPath string) error
+	Mkdir(path string, mode uint32) error
+	Rmdir(path string) error
+	ReadDir(path string) ([]DirEntry, error)
+	Truncate(path string, size int64) error
+	Chmod(path string, mode uint32) error
+	StatFS() (FSInfo, error)
+}
+
+// Closer is implemented by filesystems that hold external resources
+// (network connections); callers should close them when done.
+type Closer interface {
+	Close() error
+}
+
+// Reconnector is implemented by network-backed filesystems that can
+// re-establish a lost connection. The adapter uses it to drive the
+// recovery protocol of §6.
+type Reconnector interface {
+	Reconnect() error
+}
+
+// OpenStater is the optional open fast path: open and stat in one
+// round trip, as the Chirp open response carries a stat line. The
+// adapter uses it to record the inode for ESTALE detection without an
+// extra RPC.
+type OpenStater interface {
+	OpenStat(path string, flags int, mode uint32) (File, FileInfo, error)
+}
+
+// FileGetter is the optional whole-file fetch fast path, matching the
+// Chirp getfile RPC: one round trip regardless of size. Layers that
+// read small whole files (DSFS stub resolution) use it when available,
+// which is what keeps DSFS metadata operations at twice — not many
+// times — the latency of CFS (Figure 4).
+type FileGetter interface {
+	GetFile(path string, w io.Writer) (int64, error)
+}
+
+// GetWholeFile reads an entire file, using the FileGetter fast path
+// when fs provides it and open/pread/close otherwise.
+func GetWholeFile(fs FileSystem, path string) ([]byte, error) {
+	if g, ok := fs.(FileGetter); ok {
+		var buf bytes.Buffer
+		if _, err := g.GetFile(path, &buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	return ReadFile(fs, path)
+}

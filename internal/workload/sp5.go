@@ -1,0 +1,195 @@
+// Package workload provides the synthetic application workloads used
+// by the benchmark harness.
+//
+// SP5 models the BaBar simulation component of §8. The real SP5 is a
+// collection of scripts, executables, and dynamic libraries whose
+// configuration and output data live behind a commercial I/O library;
+// what matters for the paper's table is its *phase structure*:
+//
+//   - an initialization phase dominated by metadata traffic — the
+//     dynamic linker and script interpreters search many paths and
+//     open many small files, so init time is governed by per-operation
+//     latency and explodes by an order of magnitude on any remote
+//     filesystem (446 s locally vs ~4500 s on LAN in the paper);
+//   - an event loop dominated by compute with bounded I/O per event,
+//     so per-event time suffers only a small factor (64 s vs 113 s).
+//
+// This package reproduces that structure at an adjustable scale.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"tss/internal/vfs"
+)
+
+// SP5Config scales the synthetic SP5.
+type SP5Config struct {
+	// Libraries is the number of shared objects and scripts the init
+	// phase loads.
+	Libraries int
+	// LibSize is the size of each library in bytes.
+	LibSize int
+	// SearchMisses is the number of failed path probes per library
+	// (the dynamic linker searching its path list).
+	SearchMisses int
+	// ConfigFiles is the number of small configuration/lock files read
+	// at init (the commercial I/O library's configuration database).
+	ConfigFiles int
+	// Events is the number of simulation events to process.
+	Events int
+	// EventRead and EventWrite are the bytes of input read and output
+	// written per event.
+	EventRead  int
+	EventWrite int
+	// EventCompute is the pure computation time per event.
+	EventCompute time.Duration
+}
+
+// DefaultSP5 is the scale used by the benchmark harness: large enough
+// that latency structure dominates timing noise, small enough to run
+// in seconds.
+func DefaultSP5() SP5Config {
+	return SP5Config{
+		Libraries:    120,
+		LibSize:      16 << 10,
+		SearchMisses: 4,
+		ConfigFiles:  60,
+		Events:       30,
+		EventRead:    16 << 10,
+		EventWrite:   8 << 10,
+		EventCompute: 4 * time.Millisecond,
+	}
+}
+
+// SP5Result reports one run.
+type SP5Result struct {
+	InitTime     time.Duration
+	TimePerEvent time.Duration
+}
+
+// String renders the result like the paper's table rows.
+func (r SP5Result) String() string {
+	return fmt.Sprintf("init %v, %v/event", r.InitTime.Round(time.Millisecond), r.TimePerEvent.Round(time.Millisecond))
+}
+
+// SetupSP5 builds the application install tree on fs: the library
+// directory, the scripts, and the configuration database. It also
+// creates the event input data.
+func SetupSP5(fs vfs.FileSystem, cfg SP5Config) error {
+	for _, dir := range []string{"/sp5", "/sp5/lib", "/sp5/etc", "/sp5/data", "/sp5/out"} {
+		if err := vfs.MkdirAll(fs, dir, 0o755); err != nil {
+			return err
+		}
+	}
+	lib := make([]byte, cfg.LibSize)
+	for i := range lib {
+		lib[i] = byte(i)
+	}
+	for i := 0; i < cfg.Libraries; i++ {
+		if err := vfs.WriteFile(fs, fmt.Sprintf("/sp5/lib/lib%03d.so", i), lib, 0o755); err != nil {
+			return err
+		}
+	}
+	conf := []byte("# sp5 configuration fragment\nkey value\n")
+	for i := 0; i < cfg.ConfigFiles; i++ {
+		if err := vfs.WriteFile(fs, fmt.Sprintf("/sp5/etc/conf%03d", i), conf, 0o644); err != nil {
+			return err
+		}
+	}
+	input := make([]byte, cfg.EventRead)
+	for i := range input {
+		input[i] = byte(i * 13)
+	}
+	return vfs.WriteFile(fs, "/sp5/data/events.in", input, 0o644)
+}
+
+// spin burns CPU for roughly d, standing in for the event physics.
+// A sleep would be descheduled identically under every filesystem, so
+// spinning keeps the compute share honest across configurations.
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	x := 1.0
+	for time.Now().Before(end) {
+		for i := 0; i < 1000; i++ {
+			x = x*1.0000001 + 0.0000001
+		}
+	}
+	_ = x
+}
+
+// RunSP5 executes the synthetic application against fs, which must
+// have been prepared by SetupSP5, and reports the phase timings.
+func RunSP5(fs vfs.FileSystem, cfg SP5Config) (SP5Result, error) {
+	var res SP5Result
+
+	// --- Initialization: the metadata storm. ---
+	start := time.Now()
+	buf := make([]byte, 64<<10)
+	for i := 0; i < cfg.Libraries; i++ {
+		// The linker probes SearchMisses wrong directories first.
+		for m := 0; m < cfg.SearchMisses; m++ {
+			fs.Stat(fmt.Sprintf("/sp5/searchpath%d/lib%03d.so", m, i))
+		}
+		path := fmt.Sprintf("/sp5/lib/lib%03d.so", i)
+		if _, err := fs.Stat(path); err != nil {
+			return res, fmt.Errorf("sp5 init: %s: %w", path, err)
+		}
+		f, err := fs.Open(path, vfs.O_RDONLY, 0)
+		if err != nil {
+			return res, fmt.Errorf("sp5 init: %s: %w", path, err)
+		}
+		var off int64
+		for {
+			n, err := f.Pread(buf, off)
+			if err != nil {
+				f.Close()
+				return res, err
+			}
+			if n == 0 {
+				break
+			}
+			off += int64(n)
+		}
+		f.Close()
+	}
+	for i := 0; i < cfg.ConfigFiles; i++ {
+		if _, err := vfs.ReadFile(fs, fmt.Sprintf("/sp5/etc/conf%03d", i)); err != nil {
+			return res, fmt.Errorf("sp5 init: conf%03d: %w", i, err)
+		}
+	}
+	res.InitTime = time.Since(start)
+
+	// --- Event loop: compute plus bounded I/O. ---
+	in, err := fs.Open("/sp5/data/events.in", vfs.O_RDONLY, 0)
+	if err != nil {
+		return res, err
+	}
+	defer in.Close()
+	out, err := fs.Open("/sp5/out/events.out", vfs.O_WRONLY|vfs.O_CREAT|vfs.O_TRUNC, 0o644)
+	if err != nil {
+		return res, err
+	}
+	defer out.Close()
+
+	readBuf := make([]byte, cfg.EventRead)
+	writeBuf := make([]byte, cfg.EventWrite)
+	evStart := time.Now()
+	for ev := 0; ev < cfg.Events; ev++ {
+		if err := vfs.ReadFull(in, readBuf, 0); err != nil {
+			return res, fmt.Errorf("sp5 event %d read: %w", ev, err)
+		}
+		spin(cfg.EventCompute)
+		for i := range writeBuf {
+			writeBuf[i] = readBuf[i%len(readBuf)] ^ byte(ev)
+		}
+		if err := vfs.WriteAll(out, writeBuf, int64(ev)*int64(cfg.EventWrite)); err != nil {
+			return res, fmt.Errorf("sp5 event %d write: %w", ev, err)
+		}
+	}
+	if cfg.Events > 0 {
+		res.TimePerEvent = time.Since(evStart) / time.Duration(cfg.Events)
+	}
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"tss/internal/vfs"
+)
+
+func smallCfg() SP5Config {
+	return SP5Config{
+		Libraries:    10,
+		LibSize:      4 << 10,
+		SearchMisses: 2,
+		ConfigFiles:  5,
+		Events:       4,
+		EventRead:    4 << 10,
+		EventWrite:   2 << 10,
+		EventCompute: 200 * time.Microsecond,
+	}
+}
+
+func TestSetupCreatesInstallTree(t *testing.T) {
+	fs, err := vfs.NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	if err := SetupSP5(fs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	libs, err := fs.ReadDir("/sp5/lib")
+	if err != nil || len(libs) != cfg.Libraries {
+		t.Fatalf("libs = %d, %v", len(libs), err)
+	}
+	confs, err := fs.ReadDir("/sp5/etc")
+	if err != nil || len(confs) != cfg.ConfigFiles {
+		t.Fatalf("confs = %d, %v", len(confs), err)
+	}
+	fi, err := fs.Stat("/sp5/data/events.in")
+	if err != nil || fi.Size != int64(cfg.EventRead) {
+		t.Fatalf("input = %+v, %v", fi, err)
+	}
+}
+
+func TestRunProducesOutput(t *testing.T) {
+	fs, err := vfs.NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	if err := SetupSP5(fs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSP5(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitTime <= 0 {
+		t.Error("init time not measured")
+	}
+	if res.TimePerEvent < cfg.EventCompute {
+		t.Errorf("time/event %v below pure compute %v", res.TimePerEvent, cfg.EventCompute)
+	}
+	fi, err := fs.Stat("/sp5/out/events.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(cfg.Events * cfg.EventWrite)
+	if fi.Size != want {
+		t.Errorf("output size = %d, want %d", fi.Size, want)
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunFailsWithoutSetup(t *testing.T) {
+	fs, err := vfs.NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSP5(fs, smallCfg()); err == nil {
+		t.Error("run without setup succeeded")
+	}
+}
+
+func TestDefaultSP5IsRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default scale takes seconds")
+	}
+	fs, err := vfs.NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSP5()
+	cfg.Events = 2
+	if err := SetupSP5(fs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSP5(fs, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

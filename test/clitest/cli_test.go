@@ -1,0 +1,422 @@
+// Package clitest builds the real command binaries and drives them
+// end to end over TCP loopback: a catalog, a file server reporting to
+// it, the tss client tool, and the tssfs DSFS tool — the full §4
+// deployment story as a test.
+package clitest
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "tss-cli-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binDir = dir
+	for _, tool := range []string{"chirpd", "catalogd", "tss", "tssfs", "tssh", "gems", "tssticket"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "tss/cmd/"+tool)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n", tool, err)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func bin(name string) string { return filepath.Join(binDir, name) }
+
+// freePort reserves a TCP port on loopback.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDaemon launches a binary and kills it at cleanup.
+func startDaemon(t *testing.T, name string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin(name), args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+}
+
+// waitTCP blocks until the address accepts connections.
+func waitTCP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s never came up", addr)
+}
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin(name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func runExpectFail(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin(name), args...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", name, args, out)
+	}
+	return string(out)
+}
+
+func TestFileServerAndClientTool(t *testing.T) {
+	root := t.TempDir()
+	addr := freePort(t)
+	user := os.Getenv("USER")
+	if user == "" {
+		user = "root"
+	}
+	startDaemon(t, "chirpd",
+		"-root", root,
+		"-addr", addr,
+		"-acl", "hostname:localhost=rwlda",
+		"-acl", "unix:"+user+"=rwlda",
+	)
+	waitTCP(t, addr)
+
+	// whoami: loopback resolves to the localhost subject.
+	who := run(t, "tss", "whoami", addr)
+	if !strings.Contains(who, "hostname:localhost") && !strings.Contains(who, "unix:") {
+		t.Errorf("whoami = %q", who)
+	}
+
+	// put / ls / cat / get / stat round trip.
+	local := filepath.Join(t.TempDir(), "up.txt")
+	if err := os.WriteFile(local, []byte("over the wire\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run(t, "tss", "mkdir", addr, "/inbox")
+	run(t, "tss", "put", addr, "/inbox/up.txt", local)
+	if ls := run(t, "tss", "ls", addr, "/inbox"); !strings.Contains(ls, "up.txt") {
+		t.Errorf("ls = %q", ls)
+	}
+	if cat := run(t, "tss", "cat", addr, "/inbox/up.txt"); cat != "over the wire\n" {
+		t.Errorf("cat = %q", cat)
+	}
+	down := filepath.Join(t.TempDir(), "down.txt")
+	run(t, "tss", "get", addr, "/inbox/up.txt", down)
+	got, _ := os.ReadFile(down)
+	if string(got) != "over the wire\n" {
+		t.Errorf("get = %q", got)
+	}
+	if st := run(t, "tss", "stat", addr, "/inbox/up.txt"); !strings.Contains(st, "size=14") {
+		t.Errorf("stat = %q", st)
+	}
+
+	// ACL management through the tool.
+	run(t, "tss", "setacl", addr, "/inbox", "hostname:*.collab.org", "rl")
+	if acl := run(t, "tss", "getacl", addr, "/inbox"); !strings.Contains(acl, "hostname:*.collab.org rl") {
+		t.Errorf("getacl = %q", acl)
+	}
+
+	// statfs and cleanup paths.
+	if sf := run(t, "tss", "statfs", addr); !strings.Contains(sf, "total") {
+		t.Errorf("statfs = %q", sf)
+	}
+	run(t, "tss", "mv", addr, "/inbox/up.txt", "/inbox/moved.txt")
+	run(t, "tss", "rm", addr, "/inbox/moved.txt")
+	run(t, "tss", "rmdir", addr, "/inbox")
+	runExpectFail(t, "tss", "cat", addr, "/inbox/moved.txt")
+}
+
+func TestCatalogReporting(t *testing.T) {
+	udpAddr := freePort(t)
+	httpAddr := freePort(t)
+	startDaemon(t, "catalogd", "-udp", udpAddr, "-http", httpAddr)
+
+	root := t.TempDir()
+	fsAddr := freePort(t)
+	startDaemon(t, "chirpd",
+		"-root", root,
+		"-addr", fsAddr,
+		"-name", "cli-test-server",
+		"-catalog", udpAddr,
+		"-catalog-interval", "100ms",
+	)
+	waitTCP(t, fsAddr)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + httpAddr + "/")
+		if err == nil {
+			buf := make([]byte, 1<<16)
+			n, _ := resp.Body.Read(buf)
+			resp.Body.Close()
+			if strings.Contains(string(buf[:n]), "cli-test-server") {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never appeared in the catalog listing")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// JSON and classads formats also answer.
+	for _, path := range []string{"/json", "/classads"} {
+		resp, err := http.Get("http://" + httpAddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(buf)
+		resp.Body.Close()
+		if !strings.Contains(string(buf[:n]), "cli-test-server") {
+			t.Errorf("%s missing server: %q", path, buf[:n])
+		}
+	}
+}
+
+func TestTssfsAssemblesDSFS(t *testing.T) {
+	user := os.Getenv("USER")
+	if user == "" {
+		user = "root"
+	}
+	aclArgs := []string{"-acl", "hostname:localhost=rwlda", "-acl", "unix:" + user + "=rwlda"}
+
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		addr := freePort(t)
+		args := append([]string{"-root", t.TempDir(), "-addr", addr}, aclArgs...)
+		startDaemon(t, "chirpd", args...)
+		addrs = append(addrs, addr)
+	}
+	for _, a := range addrs {
+		waitTCP(t, a)
+	}
+	base := []string{
+		"-meta", addrs[0] + "/tree",
+		"-data", "n0=" + addrs[0] + "/vol",
+		"-data", "n1=" + addrs[1] + "/vol",
+		"-data", "n2=" + addrs[2] + "/vol",
+	}
+	tssfs := func(args ...string) string {
+		return run(t, "tssfs", append(append([]string{}, base...), args...)...)
+	}
+
+	local := filepath.Join(t.TempDir(), "chunk.bin")
+	if err := os.WriteFile(local, []byte(strings.Repeat("spread me ", 100)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tssfs("mkdir", "/run1")
+	tssfs("put", "/run1/chunk.bin", local)
+	if ls := tssfs("ls", "/run1"); !strings.Contains(ls, "chunk.bin") {
+		t.Errorf("tssfs ls = %q", ls)
+	}
+	if st := tssfs("stat", "/run1/chunk.bin"); !strings.Contains(st, "data on n") {
+		t.Errorf("tssfs stat = %q", st)
+	}
+	out := filepath.Join(t.TempDir(), "back.bin")
+	tssfs("get", "/run1/chunk.bin", out)
+	got, _ := os.ReadFile(out)
+	if len(got) != 1000 {
+		t.Errorf("tssfs get = %d bytes", len(got))
+	}
+	if fsck := tssfs("fsck"); !strings.Contains(fsck, "dangling=0 orphaned=0") {
+		t.Errorf("tssfs fsck = %q", fsck)
+	}
+	if sf := tssfs("statfs"); !strings.Contains(sf, "over 3 servers") {
+		t.Errorf("tssfs statfs = %q", sf)
+	}
+	tssfs("rm", "/run1/chunk.bin")
+	tssfs("rmdir", "/run1")
+}
+
+func TestTsshScripted(t *testing.T) {
+	user := os.Getenv("USER")
+	if user == "" {
+		user = "root"
+	}
+	addr := freePort(t)
+	startDaemon(t, "chirpd",
+		"-root", t.TempDir(), "-addr", addr,
+		"-acl", "hostname:localhost=rwlda", "-acl", "unix:"+user+"=rwlda")
+	waitTCP(t, addr)
+
+	local := filepath.Join(t.TempDir(), "up.bin")
+	if err := os.WriteFile(local, []byte("shell payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	down := filepath.Join(t.TempDir(), "down.bin")
+	script := strings.Join([]string{
+		"mount /srv chirp://" + addr,
+		"mounts",
+		"cd /srv",
+		"mkdir docs",
+		"put " + local + " docs/up.bin",
+		"ls docs",
+		"stat docs/up.bin",
+		"cat docs/up.bin",
+		"get docs/up.bin " + down,
+		"mv docs/up.bin docs/renamed.bin",
+		"rm docs/renamed.bin",
+		"rmdir docs",
+		"pwd",
+		"df",
+		"exit",
+	}, "\n") + "\n"
+
+	cmd := exec.Command(bin("tssh"))
+	cmd.Stdin = strings.NewReader(script)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tssh script failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"mounted chirp://", "up.bin", "size=13", "shell payload", "/srv"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tssh output missing %q:\n%s", want, s)
+		}
+	}
+	got, err := os.ReadFile(down)
+	if err != nil || string(got) != "shell payload" {
+		t.Errorf("get through shell = %q, %v", got, err)
+	}
+}
+
+func TestGemsCLI(t *testing.T) {
+	user := os.Getenv("USER")
+	if user == "" {
+		user = "root"
+	}
+	aclArgs := []string{"-acl", "hostname:localhost=rwlda", "-acl", "unix:" + user + "=rwlda"}
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		addr := freePort(t)
+		args := append([]string{"-root", t.TempDir(), "-addr", addr}, aclArgs...)
+		startDaemon(t, "chirpd", args...)
+		addrs = append(addrs, addr)
+	}
+	for _, a := range addrs {
+		waitTCP(t, a)
+	}
+	indexDir := t.TempDir()
+	base := []string{
+		"-index", indexDir,
+		"-data", "d0=" + addrs[0] + "/gems",
+		"-data", "d1=" + addrs[1] + "/gems",
+	}
+	gemsRun := func(stdin string, args ...string) string {
+		cmd := exec.Command(bin("gems"), append(append([]string{}, base...), args...)...)
+		if stdin != "" {
+			cmd.Stdin = strings.NewReader(stdin)
+		}
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("gems %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	gemsRun("trajectory bits", "put", "sim042", "protein=villin", "temp=300")
+	if q := gemsRun("", "query", "protein=villin"); !strings.Contains(q, "sim042") {
+		t.Errorf("query = %q", q)
+	}
+	if got := gemsRun("", "get", "sim042"); got != "trajectory bits" {
+		t.Errorf("get = %q", got)
+	}
+	if a := gemsRun("", "audit"); !strings.Contains(a, "0 missing") {
+		t.Errorf("audit = %q", a)
+	}
+	if r := gemsRun("", "replicate", "1000000"); !strings.Contains(r, "made 1 copies") {
+		t.Errorf("replicate = %q", r)
+	}
+	// The journal persists across invocations (each CLI call reopens it).
+	if l := gemsRun("", "list"); !strings.Contains(l, "2 replicas") {
+		t.Errorf("list = %q", l)
+	}
+	// Wipe the index and recover from the pool.
+	os.RemoveAll(indexDir)
+	if rec := gemsRun("", "recover"); !strings.Contains(rec, "recovered 1 records") {
+		t.Errorf("recover = %q", rec)
+	}
+	if got := gemsRun("", "get", "sim042"); got != "trajectory bits" {
+		t.Errorf("get after recover = %q", got)
+	}
+	gemsRun("", "rm", "sim042")
+	if l := gemsRun("", "list"); strings.Contains(l, "sim042") {
+		t.Errorf("rm did not remove: %q", l)
+	}
+}
+
+// The full ticket flow through the CLIs: keygen, issue, a server that
+// trusts the issuer, and a client authenticating by ticket alone.
+func TestTicketFlow(t *testing.T) {
+	dir := t.TempDir()
+	issuerFile := filepath.Join(dir, "issuer.json")
+	out := run(t, "tssticket", "keygen", issuerFile)
+	if !strings.Contains(out, "public key:") {
+		t.Fatalf("keygen output = %q", out)
+	}
+	pub := strings.TrimSpace(run(t, "tssticket", "pubkey", issuerFile))
+
+	ticketFile := filepath.Join(dir, "collab.ticket")
+	run(t, "tssticket", "issue", issuerFile, "collab-7", "1h", ticketFile)
+	if show := run(t, "tssticket", "show", ticketFile); !strings.Contains(show, "ticket:collab-7") {
+		t.Errorf("show = %q", show)
+	}
+
+	addr := freePort(t)
+	startDaemon(t, "chirpd",
+		"-root", t.TempDir(), "-addr", addr,
+		"-acl", "ticket:collab-*=rwl",
+		"-ticket-issuer", pub,
+	)
+	waitTCP(t, addr)
+
+	// Ticket-only rights: whoami shows the ticket subject, write works.
+	who := run(t, "tss", "-ticket", ticketFile, "whoami", addr)
+	if !strings.Contains(who, "ticket:collab-7") {
+		t.Errorf("whoami = %q", who)
+	}
+	local := filepath.Join(dir, "f.txt")
+	os.WriteFile(local, []byte("ticketed"), 0o644)
+	run(t, "tss", "-ticket", ticketFile, "mkdir", addr, "/drop")
+	run(t, "tss", "-ticket", ticketFile, "put", addr, "/drop/f.txt", local)
+	if cat := run(t, "tss", "-ticket", ticketFile, "cat", addr, "/drop/f.txt"); cat != "ticketed" {
+		t.Errorf("cat = %q", cat)
+	}
+	// Without the ticket the client falls back to hostname/unix, which
+	// this server's ACL does not admit.
+	runExpectFail(t, "tss", "cat", addr, "/drop/f.txt")
+}
