@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tss/internal/acl"
@@ -38,6 +41,7 @@ func main() {
 		owner    = flag.String("owner", "", "owner subject (default: unix:$USER)")
 		interval = flag.Duration("catalog-interval", 15*time.Second, "catalog report period")
 		idle     = flag.Duration("idle-timeout", 0, "disconnect idle clients after this long (0 = never)")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, let in-flight requests finish for this long before force-closing (0 = wait forever)")
 		verbose  = flag.Bool("v", false, "log connections")
 	)
 	var acls, catalogs, ticketIssuers multiFlag
@@ -125,8 +129,34 @@ func main() {
 		go rep.Run(make(chan struct{}))
 	}
 
+	// A signal starts a graceful drain: the listener closes (Serve
+	// returns), in-flight requests run to completion within the drain
+	// budget, and stragglers are force-closed when it expires.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		sig := <-sigc
+		log.Printf("chirpd: %v: draining (budget %v)", sig, *drain)
+		ctx := context.Background()
+		if *drain > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *drain)
+			defer cancel()
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("chirpd: drain incomplete: %v (%d connections force-closed)",
+				err, srv.Stats.DrainForced.Load())
+		}
+	}()
+
 	fmt.Printf("chirpd: exporting %s on %s as %s (owner %s)\n", *root, l.Addr(), cfg.Name, ownerSubject)
 	if err := srv.Serve(l); err != nil {
 		log.Fatalf("chirpd: %v", err)
 	}
+	<-drained
+	fmt.Printf("chirpd: drained: %d connections, %d requests, %d force-closed\n",
+		srv.Stats.Connections.Load(), srv.Stats.Requests.Load(),
+		srv.Stats.DrainForced.Load())
 }

@@ -18,18 +18,27 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"time"
 
 	"tss/internal/auth"
 	"tss/internal/chirp"
+	"tss/internal/resilient"
 	"tss/internal/vfs"
 )
 
+// errDone ends leading-flag parsing when the verb is reached.
+var errDone = errors.New("done")
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tss [-ticket FILE] <ls|cat|put|get|mkdir|rm|rmdir|mv|stat|statfs|whoami|getacl|setacl> host:port [args...]")
+	fmt.Fprintln(os.Stderr, "usage: tss [-ticket FILE] [-timeout DUR] [-retries N] [-retry-base DUR] <ls|cat|put|get|mkdir|rm|rmdir|mv|stat|statfs|whoami|getacl|setacl> host:port [args...]")
+	fmt.Fprintln(os.Stderr, "  -timeout DUR     per-RPC deadline (default 30s)")
+	fmt.Fprintln(os.Stderr, "  -retries N       reconnect-and-retry idempotent reads N times on transport failure (default 2)")
+	fmt.Fprintln(os.Stderr, "  -retry-base DUR  first retry backoff, doubled per attempt with jitter (default 100ms)")
 	os.Exit(2)
 }
 
@@ -39,18 +48,38 @@ func main() {
 		auth.HostnameCredential{},
 		auth.UnixCredential{},
 	}
-	// Optional leading -ticket FILE: authenticate with a minted ticket
-	// (see tssticket) before falling back to hostname/unix.
-	if len(argv) >= 2 && argv[0] == "-ticket" {
-		data, err := os.ReadFile(argv[1])
-		if err != nil {
-			fatal(err)
+	timeout := 30 * time.Second
+	retries := 2
+	retryBase := 100 * time.Millisecond
+	// Leading flags, parsed by hand so the verb-first grammar survives.
+	for len(argv) >= 2 {
+		var err error
+		switch argv[0] {
+		case "-ticket":
+			// Authenticate with a minted ticket (see tssticket) before
+			// falling back to hostname/unix.
+			var data []byte
+			if data, err = os.ReadFile(argv[1]); err == nil {
+				var cred auth.Credential
+				if cred, err = auth.ImportBearer(data); err == nil {
+					creds = append([]auth.Credential{cred}, creds...)
+				}
+			}
+		case "-timeout":
+			timeout, err = time.ParseDuration(argv[1])
+		case "-retries":
+			retries, err = strconv.Atoi(argv[1])
+		case "-retry-base":
+			retryBase, err = time.ParseDuration(argv[1])
+		default:
+			err = errDone
 		}
-		cred, err := auth.ImportBearer(data)
-		if err != nil {
-			fatal(err)
+		if err == errDone {
+			break
 		}
-		creds = append([]auth.Credential{cred}, creds...)
+		if err != nil {
+			fatal(fmt.Errorf("%s %s: %v", argv[0], argv[1], err))
+		}
 		argv = argv[2:]
 	}
 	if len(argv) < 2 {
@@ -58,11 +87,27 @@ func main() {
 	}
 	verb, addr, args := argv[0], argv[1], argv[2:]
 
-	client, err := chirp.DialTCP(addr, creds, 30*time.Second)
+	client, err := chirp.DialTCP(addr, creds, timeout)
 	if err != nil {
 		fatal(err)
 	}
 	defer client.Close()
+
+	// retry reconnects and re-issues idempotent operations on transport
+	// failure, with jittered exponential backoff; exhaustion surfaces as
+	// ETIMEDOUT (§6). Non-idempotent verbs (put, mkdir, mv, ...) run
+	// once: blind replay could double-apply.
+	policy := resilient.Policy{Attempts: retries, Base: retryBase, Jitter: 0.2}
+	retry := func(op func() error) error {
+		if retries <= 0 {
+			return op()
+		}
+		err, exhausted := policy.Do(op, client.Reconnect, resilient.Retryable)
+		if exhausted {
+			return vfs.ETIMEDOUT
+		}
+		return err
+	}
 
 	need := func(n int) {
 		if len(args) != n {
@@ -73,7 +118,12 @@ func main() {
 	switch verb {
 	case "ls":
 		need(1)
-		ents, err := client.ReadDir(args[0])
+		var ents []vfs.DirEntry
+		err := retry(func() error {
+			var e error
+			ents, e = client.ReadDir(args[0])
+			return e
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -138,28 +188,48 @@ func main() {
 		}
 	case "stat":
 		need(1)
-		fi, err := client.Stat(args[0])
+		var fi vfs.FileInfo
+		err := retry(func() error {
+			var e error
+			fi, e = client.Stat(args[0])
+			return e
+		})
 		if err != nil {
 			fatal(err)
 		}
 		printStat(os.Stdout, fi)
 	case "statfs":
 		need(0)
-		info, err := client.StatFS()
+		var info vfs.FSInfo
+		err := retry(func() error {
+			var e error
+			info, e = client.StatFS()
+			return e
+		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("total %d bytes, free %d bytes\n", info.TotalBytes, info.FreeBytes)
 	case "whoami":
 		need(0)
-		who, err := client.Whoami()
+		var who auth.Subject
+		err := retry(func() error {
+			var e error
+			who, e = client.Whoami()
+			return e
+		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(who)
 	case "getacl":
 		need(1)
-		lines, err := client.GetACL(args[0])
+		var lines []string
+		err := retry(func() error {
+			var e error
+			lines, e = client.GetACL(args[0])
+			return e
+		})
 		if err != nil {
 			fatal(err)
 		}

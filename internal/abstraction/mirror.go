@@ -2,7 +2,10 @@ package abstraction
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"tss/internal/resilient"
 	"tss/internal/vfs"
 )
 
@@ -15,42 +18,272 @@ import (
 // Semantics, kept as simple as the paper's direct-access philosophy
 // demands: modifying operations are applied to every *reachable*
 // replica and succeed if they succeed everywhere reachable (with at
-// least one reachable); reads are served by the first reachable
-// replica. A replica that was down during writes is stale until
-// re-synchronized — continuous repair is the job of GEMS-style
-// auditing, not of the mirror itself.
+// least one reachable); reads are served by the healthiest replica. A
+// replica that was down during writes is stale until re-synchronized —
+// continuous repair is the job of GEMS-style auditing, not of the
+// mirror itself.
+//
+// Health is tracked with one circuit breaker per replica: after enough
+// consecutive transport failures the replica is demoted and skipped,
+// so reads stop paying a dead replica's connect timeout on every
+// operation. Demoted replicas are re-admitted by background half-open
+// probes on a jittered exponential schedule; the probes piggyback on
+// regular traffic (TryProbe) but run in their own goroutines so no
+// user operation ever waits on a probe. With Hedge > 0, a read that
+// has not answered within the hedge delay is raced against the next
+// healthy replica.
 type MirrorFS struct {
 	replicas []vfs.FileSystem
+	breakers []*resilient.Breaker
+	hedge    time.Duration
+	probe    func(fs vfs.FileSystem) error
+
+	// Stats exposes health and hedging counters.
+	Stats MirrorStats
+}
+
+// MirrorStats counts mirror health activity; all fields are safe to
+// read concurrently. The paper's users distrust transparent layers
+// (§3) — counters make this one observable.
+type MirrorStats struct {
+	// Trips counts breaker Closed→Open transitions across replicas.
+	Trips atomic.Int64
+	// Probes counts half-open probes launched.
+	Probes atomic.Int64
+	// Readmits counts replicas re-admitted by a successful probe.
+	Readmits atomic.Int64
+	// Hedges counts hedged requests launched.
+	Hedges atomic.Int64
+	// HedgeWins counts reads answered first by the hedge.
+	HedgeWins atomic.Int64
+	// FastFails counts operations refused immediately because every
+	// replica's breaker was open.
+	FastFails atomic.Int64
+}
+
+// MirrorOptions configures the mirror's health layer. The zero value
+// gives breaker defaults and no hedging.
+type MirrorOptions struct {
+	// Breaker configures the per-replica circuit breakers.
+	Breaker resilient.BreakerConfig
+	// Hedge, when > 0, launches the same read on the next healthy
+	// replica if the first has not answered within this delay.
+	Hedge time.Duration
+	// Probe is the half-open health check run against a demoted
+	// replica; nil means Stat of the root.
+	Probe func(fs vfs.FileSystem) error
 }
 
 var _ vfs.FileSystem = (*MirrorFS)(nil)
 
-// NewMirror mirrors across the given filesystems.
+// NewMirror mirrors across the given filesystems with default options.
 func NewMirror(replicas ...vfs.FileSystem) (*MirrorFS, error) {
+	return NewMirrorOptions(MirrorOptions{}, replicas...)
+}
+
+// NewMirrorOptions mirrors across the given filesystems with explicit
+// health options.
+func NewMirrorOptions(opts MirrorOptions, replicas ...vfs.FileSystem) (*MirrorFS, error) {
 	if len(replicas) == 0 {
 		return nil, vfs.EINVAL
 	}
-	return &MirrorFS{replicas: replicas}, nil
+	probe := opts.Probe
+	if probe == nil {
+		// Probes only run against demoted replicas, whose transport is
+		// presumed dead — clients like chirp's never redial on their
+		// own (recovery belongs to the caller, §6), so re-establish
+		// the connection before asking for proof of life.
+		probe = func(fs vfs.FileSystem) error {
+			if rc, ok := fs.(vfs.Reconnector); ok {
+				if err := rc.Reconnect(); err != nil {
+					return err
+				}
+			}
+			_, err := fs.Stat("/")
+			return err
+		}
+	}
+	m := &MirrorFS{
+		replicas: replicas,
+		breakers: make([]*resilient.Breaker, len(replicas)),
+		hedge:    opts.Hedge,
+		probe:    probe,
+	}
+	for i := range replicas {
+		m.breakers[i] = resilient.NewBreaker(opts.Breaker)
+	}
+	return m, nil
+}
+
+// Health returns a breaker snapshot per replica, in replica order.
+func (m *MirrorFS) Health() []resilient.BreakerStats {
+	out := make([]resilient.BreakerStats, len(m.breakers))
+	for i, b := range m.breakers {
+		out[i] = b.Stats()
+	}
+	return out
 }
 
 // unreachable reports whether err means the replica (not the request)
 // failed, so the operation should carry on with the other replicas.
+// ESTALE counts too: a replica that restarted and invalidated its
+// handles cannot serve this operation, even though its server answers.
 func unreachable(err error) bool {
-	switch vfs.AsErrno(err) {
-	case vfs.ENOTCONN, vfs.ETIMEDOUT, vfs.EIO:
-		return true
-	}
-	return false
+	return resilient.TransportError(err) || vfs.AsErrno(err) == vfs.ESTALE
 }
 
-// applyAll runs op on every replica. Unreachable replicas are skipped;
-// the first *semantic* error (EEXIST, EACCES, ...) is returned; if no
-// replica was reachable the last transport error is returned.
-func (m *MirrorFS) applyAll(op func(fs vfs.FileSystem) error) error {
+// record reports an operation outcome against replica i's breaker.
+func (m *MirrorFS) record(i int, err error) {
+	if m.breakers[i].Record(err) {
+		m.Stats.Trips.Add(1)
+	}
+}
+
+// order partitions replica indices into those ready for traffic
+// (breaker closed, index order preserved) and those demoted.
+func (m *MirrorFS) order() (ready, demoted []int) {
+	for i, b := range m.breakers {
+		if b.Ready() {
+			ready = append(ready, i)
+		} else {
+			demoted = append(demoted, i)
+		}
+	}
+	return ready, demoted
+}
+
+// maybeProbe launches a background half-open probe of replica i if its
+// breaker grants one. Regular traffic never waits on the probe; the
+// goroutine reports back to the breaker when the backend answers (or
+// its timeout expires).
+func (m *MirrorFS) maybeProbe(i int) {
+	if !m.breakers[i].TryProbe() {
+		return
+	}
+	m.Stats.Probes.Add(1)
+	go func() {
+		err := m.probe(m.replicas[i])
+		if m.breakers[i].RecordProbe(err) {
+			m.Stats.Readmits.Add(1)
+		}
+	}()
+}
+
+// read runs op against the healthiest replica, failing over in health
+// order on transport errors and optionally hedging. It returns the
+// result and the replica index that produced it. discard releases the
+// result of a losing hedge (a File that must be closed); nil when the
+// result holds no resources.
+func (m *MirrorFS) read(op func(fs vfs.FileSystem) (any, error), discard func(v any)) (any, int, error) {
+	ready, demoted := m.order()
+	for _, i := range demoted {
+		m.maybeProbe(i)
+	}
+	if len(ready) == 0 {
+		m.Stats.FastFails.Add(1)
+		return nil, -1, vfs.ENOTCONN
+	}
+	if m.hedge > 0 && len(ready) > 1 {
+		return m.hedgedRead(ready, op, discard)
+	}
+	var lastErr error = vfs.ENOTCONN
+	for _, i := range ready {
+		v, err := op(m.replicas[i])
+		m.record(i, err)
+		if err == nil || !unreachable(err) {
+			return v, i, err
+		}
+		lastErr = err
+	}
+	return nil, -1, lastErr
+}
+
+// hedgedRead races op across the ready replicas: the first starts
+// immediately, the next is hedged in after the hedge delay, and any
+// transport failure immediately starts the next candidate. The first
+// answer wins; straggler results are discarded in the background.
+func (m *MirrorFS) hedgedRead(ready []int, op func(fs vfs.FileSystem) (any, error), discard func(v any)) (any, int, error) {
+	type result struct {
+		idx    int
+		hedged bool
+		v      any
+		err    error
+	}
+	ch := make(chan result, len(ready))
+	launch := func(pos int, hedged bool) {
+		i := ready[pos]
+		go func() {
+			v, err := op(m.replicas[i])
+			m.record(i, err)
+			ch <- result{idx: i, hedged: hedged, v: v, err: err}
+		}()
+	}
+	launched, pending := 1, 1
+	launch(0, false)
+	timer := time.NewTimer(m.hedge)
+	defer timer.Stop()
+	// reap drains straggler results in the background, releasing any
+	// resources they carry.
+	reap := func(n int) {
+		if n == 0 {
+			return
+		}
+		go func() {
+			for j := 0; j < n; j++ {
+				if r := <-ch; r.err == nil && discard != nil {
+					discard(r.v)
+				}
+			}
+		}()
+	}
+	var lastErr error = vfs.ENOTCONN
+	for pending > 0 {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil || !unreachable(r.err) {
+				if r.hedged && r.err == nil {
+					m.Stats.HedgeWins.Add(1)
+				}
+				reap(pending)
+				return r.v, r.idx, r.err
+			}
+			lastErr = r.err
+			if launched < len(ready) {
+				launch(launched, false) // failover, not a hedge
+				launched++
+				pending++
+			}
+		case <-timer.C:
+			if launched < len(ready) {
+				m.Stats.Hedges.Add(1)
+				launch(launched, true)
+				launched++
+				pending++
+			}
+		}
+	}
+	return nil, -1, lastErr
+}
+
+// applyAll runs op on every ready replica. Unreachable replicas are
+// skipped (and charged to their breakers); the first *semantic* error
+// (EEXIST, EACCES, ...) is returned; if no replica was reachable the
+// last transport error is returned.
+func (m *MirrorFS) applyAll(op func(i int, fs vfs.FileSystem) error) error {
+	ready, demoted := m.order()
+	for _, i := range demoted {
+		m.maybeProbe(i)
+	}
+	if len(ready) == 0 {
+		m.Stats.FastFails.Add(1)
+		return vfs.ENOTCONN
+	}
 	reached := false
 	var transportErr error
-	for _, r := range m.replicas {
-		err := op(r)
+	for _, i := range ready {
+		err := op(i, m.replicas[i])
+		m.record(i, err)
 		switch {
 		case err == nil:
 			reached = true
@@ -62,46 +295,42 @@ func (m *MirrorFS) applyAll(op func(fs vfs.FileSystem) error) error {
 	}
 	if !reached {
 		if transportErr == nil {
-			transportErr = vfs.EIO
+			transportErr = vfs.ENOTCONN
 		}
 		return transportErr
 	}
 	return nil
 }
 
-// firstReachable runs op on replicas in order until one answers.
-func (m *MirrorFS) firstReachable(op func(fs vfs.FileSystem) error) error {
-	var lastErr error = vfs.EIO
-	for _, r := range m.replicas {
-		err := op(r)
-		if err == nil || !unreachable(err) {
-			return err
-		}
-		lastErr = err
-	}
-	return lastErr
-}
-
 // Open opens the file on every reachable replica for writing, or on
-// the first reachable replica for read-only access.
+// the healthiest reachable replica for read-only access. Read-only
+// files transparently fail over to another replica when theirs dies
+// mid-read.
 func (m *MirrorFS) Open(path string, flags int, mode uint32) (vfs.File, error) {
 	if flags&vfs.AccessModeMask == vfs.O_RDONLY && flags&(vfs.O_CREAT|vfs.O_TRUNC) == 0 {
-		var f vfs.File
-		err := m.firstReachable(func(fs vfs.FileSystem) error {
-			var e error
-			f, e = fs.Open(path, flags, mode)
-			return e
-		})
+		v, idx, err := m.read(func(fs vfs.FileSystem) (any, error) {
+			return fs.Open(path, flags, mode)
+		}, func(v any) { v.(vfs.File).Close() })
 		if err != nil {
 			return nil, err
 		}
-		return &mirrorFile{files: []vfs.File{f}}, nil
+		return &mirrorFile{
+			m:        m,
+			files:    []vfs.File{v.(vfs.File)},
+			idxs:     []int{idx},
+			readOnly: true,
+			path:     path,
+			flags:    flags,
+			mode:     mode,
+		}, nil
 	}
 	var files []vfs.File
-	err := m.applyAll(func(fs vfs.FileSystem) error {
+	var idxs []int
+	err := m.applyAll(func(i int, fs vfs.FileSystem) error {
 		f, e := fs.Open(path, flags, mode)
 		if e == nil {
 			files = append(files, f)
+			idxs = append(idxs, i)
 		}
 		return e
 	})
@@ -111,59 +340,59 @@ func (m *MirrorFS) Open(path string, flags int, mode uint32) (vfs.File, error) {
 		}
 		return nil, err
 	}
-	return &mirrorFile{files: files}, nil
+	return &mirrorFile{m: m, files: files, idxs: idxs}, nil
 }
 
-// Stat reads from the first reachable replica.
+// Stat reads from the healthiest reachable replica.
 func (m *MirrorFS) Stat(path string) (vfs.FileInfo, error) {
-	var fi vfs.FileInfo
-	err := m.firstReachable(func(fs vfs.FileSystem) error {
-		var e error
-		fi, e = fs.Stat(path)
-		return e
-	})
-	return fi, err
+	v, _, err := m.read(func(fs vfs.FileSystem) (any, error) {
+		return fs.Stat(path)
+	}, nil)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return v.(vfs.FileInfo), nil
 }
 
 // Unlink removes the file from every reachable replica.
 func (m *MirrorFS) Unlink(path string) error {
-	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Unlink(path) })
+	return m.applyAll(func(_ int, fs vfs.FileSystem) error { return fs.Unlink(path) })
 }
 
 // Rename renames on every reachable replica.
 func (m *MirrorFS) Rename(oldPath, newPath string) error {
-	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Rename(oldPath, newPath) })
+	return m.applyAll(func(_ int, fs vfs.FileSystem) error { return fs.Rename(oldPath, newPath) })
 }
 
 // Mkdir creates the directory on every reachable replica.
 func (m *MirrorFS) Mkdir(path string, mode uint32) error {
-	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Mkdir(path, mode) })
+	return m.applyAll(func(_ int, fs vfs.FileSystem) error { return fs.Mkdir(path, mode) })
 }
 
 // Rmdir removes the directory from every reachable replica.
 func (m *MirrorFS) Rmdir(path string) error {
-	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Rmdir(path) })
+	return m.applyAll(func(_ int, fs vfs.FileSystem) error { return fs.Rmdir(path) })
 }
 
-// ReadDir lists from the first reachable replica.
+// ReadDir lists from the healthiest reachable replica.
 func (m *MirrorFS) ReadDir(path string) ([]vfs.DirEntry, error) {
-	var ents []vfs.DirEntry
-	err := m.firstReachable(func(fs vfs.FileSystem) error {
-		var e error
-		ents, e = fs.ReadDir(path)
-		return e
-	})
-	return ents, err
+	v, _, err := m.read(func(fs vfs.FileSystem) (any, error) {
+		return fs.ReadDir(path)
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]vfs.DirEntry), nil
 }
 
 // Truncate truncates on every reachable replica.
 func (m *MirrorFS) Truncate(path string, size int64) error {
-	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Truncate(path, size) })
+	return m.applyAll(func(_ int, fs vfs.FileSystem) error { return fs.Truncate(path, size) })
 }
 
 // Chmod applies to every reachable replica.
 func (m *MirrorFS) Chmod(path string, mode uint32) error {
-	return m.applyAll(func(fs vfs.FileSystem) error { return fs.Chmod(path, mode) })
+	return m.applyAll(func(_ int, fs vfs.FileSystem) error { return fs.Chmod(path, mode) })
 }
 
 // StatFS reports the minimum capacity over reachable replicas: the
@@ -171,8 +400,13 @@ func (m *MirrorFS) Chmod(path string, mode uint32) error {
 func (m *MirrorFS) StatFS() (vfs.FSInfo, error) {
 	var out vfs.FSInfo
 	found := false
-	for _, r := range m.replicas {
+	for i, r := range m.replicas {
+		if !m.breakers[i].Ready() {
+			m.maybeProbe(i)
+			continue
+		}
 		info, err := r.StatFS()
+		m.record(i, err)
 		if err != nil {
 			continue
 		}
@@ -230,14 +464,80 @@ func Sync(dst, src vfs.FileSystem, root string) error {
 }
 
 // mirrorFile is an open file on one or more replicas: writes fan out,
-// reads come from the first.
+// reads come from the first. A read-only mirrorFile remembers how it
+// was opened so a mid-read transport failure can fail over: reopen on
+// the next healthy replica and retry there.
 type mirrorFile struct {
-	mu    sync.Mutex
+	m  *MirrorFS
+	mu sync.Mutex
+
 	files []vfs.File
+	idxs  []int // replica index backing each file
+
+	readOnly bool
+	path     string
+	flags    int
+	mode     uint32
+}
+
+// readOp runs op against the current replica's file, failing over to
+// other healthy replicas on transport errors. Read-mode operations
+// serialize on mf.mu so failover can swap the backing file safely.
+func (mf *mirrorFile) readOp(op func(f vfs.File) error) error {
+	mf.mu.Lock()
+	defer mf.mu.Unlock()
+	err := op(mf.files[0])
+	mf.m.record(mf.idxs[0], err)
+	if err == nil || !unreachable(err) {
+		return err
+	}
+	failed := mf.idxs[0]
+	lastErr := err
+	ready, demoted := mf.m.order()
+	for _, i := range demoted {
+		mf.m.maybeProbe(i)
+	}
+	for _, i := range ready {
+		if i == failed {
+			continue
+		}
+		g, err := mf.m.replicas[i].Open(mf.path, mf.flags, mf.mode)
+		mf.m.record(i, err)
+		if err != nil {
+			if unreachable(err) {
+				lastErr = err
+				continue
+			}
+			return err
+		}
+		err = op(g)
+		mf.m.record(i, err)
+		if err == nil || !unreachable(err) {
+			old := mf.files[0]
+			mf.files[0], mf.idxs[0] = g, i
+			old.Close()
+			return err
+		}
+		g.Close()
+		lastErr = err
+	}
+	return lastErr
 }
 
 func (mf *mirrorFile) Pread(p []byte, off int64) (int, error) {
-	return mf.files[0].Pread(p, off)
+	if !mf.readOnly {
+		return mf.files[0].Pread(p, off)
+	}
+	var n int
+	err := mf.readOp(func(f vfs.File) error {
+		var e error
+		n, e = f.Pread(p, off)
+		return e
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 func (mf *mirrorFile) Pwrite(p []byte, off int64) (int, error) {
@@ -246,6 +546,7 @@ func (mf *mirrorFile) Pwrite(p []byte, off int64) (int, error) {
 	n := 0
 	for i, f := range mf.files {
 		m, err := f.Pwrite(p, off)
+		mf.m.record(mf.idxs[i], err)
 		if err != nil {
 			return m, err
 		}
@@ -259,7 +560,19 @@ func (mf *mirrorFile) Pwrite(p []byte, off int64) (int, error) {
 }
 
 func (mf *mirrorFile) Fstat() (vfs.FileInfo, error) {
-	return mf.files[0].Fstat()
+	if !mf.readOnly {
+		return mf.files[0].Fstat()
+	}
+	var fi vfs.FileInfo
+	err := mf.readOp(func(f vfs.File) error {
+		var e error
+		fi, e = f.Fstat()
+		return e
+	})
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return fi, nil
 }
 
 func (mf *mirrorFile) Ftruncate(size int64) error {

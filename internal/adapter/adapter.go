@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"tss/internal/pathutil"
+	"tss/internal/resilient"
 	"tss/internal/vfs"
 )
 
@@ -43,6 +44,14 @@ type Config struct {
 	// RetryBase is the first backoff delay; it doubles per attempt
 	// (§6: "exponentially increasing delay"). Default 10 ms.
 	RetryBase time.Duration
+	// RetryJitter randomizes each backoff delay by ±this fraction so a
+	// fleet of recovering clients does not reconnect in lockstep.
+	// Default 0 (deterministic backoff).
+	RetryJitter float64
+	// RetryBudget caps the total wall-clock time one operation may
+	// spend retrying; once the next backoff would cross it, recovery
+	// gives up with ETIMEDOUT. 0 means attempts alone bound recovery.
+	RetryBudget time.Duration
 	// Resolve maps a default-namespace entry (/<scheme>/<host>/...) to
 	// a filesystem; nil disables the default namespace.
 	Resolve func(scheme, host string) (vfs.FileSystem, error)
@@ -72,6 +81,8 @@ type Stats struct {
 	Stale atomic.Int64
 	// GaveUp counts operations that exhausted their retry budget.
 	GaveUp atomic.Int64
+	// Retries counts individual retry attempts across all operations.
+	Retries atomic.Int64
 }
 
 // Adapter assembles abstractions into one namespace and transparently
@@ -239,32 +250,41 @@ func (a *Adapter) trap(n int) {
 	}
 }
 
-// retry runs op, driving the §6 recovery protocol when the abstraction
-// reports a lost connection: exponential backoff, reconnect, retry.
-func (a *Adapter) retry(fs vfs.FileSystem, op func() error) error {
-	err := op()
-	if vfs.AsErrno(err) != vfs.ENOTCONN {
-		return err
+// policy builds the shared retry policy (internal/resilient) from the
+// adapter configuration: §6's "exponentially increasing delay", bounded
+// by attempts and optionally by wall-clock budget.
+func (a *Adapter) policy() resilient.Policy {
+	return resilient.Policy{
+		Attempts: a.cfg.MaxRetries,
+		Base:     a.cfg.RetryBase,
+		Jitter:   a.cfg.RetryJitter,
+		Budget:   a.cfg.RetryBudget,
+		Sleep:    a.cfg.Sleep,
+		OnRetry:  func(int, error) { a.Stats.Retries.Add(1) },
 	}
+}
+
+// retry runs op, driving the §6 recovery protocol when the abstraction
+// reports a lost or timed-out connection: backoff, reconnect, retry.
+func (a *Adapter) retry(fs vfs.FileSystem, op func() error) error {
 	rc, ok := fs.(vfs.Reconnector)
 	if !ok {
-		return err
+		// No recovery path: one shot, errors surface unchanged.
+		return op()
 	}
-	delay := a.cfg.RetryBase
-	for attempt := 0; attempt < a.cfg.MaxRetries; attempt++ {
-		a.cfg.Sleep(delay)
-		delay *= 2
+	prepare := func() error {
 		if rerr := rc.Reconnect(); rerr != nil {
-			continue
+			return rerr
 		}
 		a.Stats.Reconnects.Add(1)
-		err = op()
-		if vfs.AsErrno(err) != vfs.ENOTCONN {
-			return err
-		}
+		return nil
 	}
-	a.Stats.GaveUp.Add(1)
-	return vfs.ETIMEDOUT
+	err, exhausted := a.policy().Do(op, prepare, resilient.Retryable)
+	if exhausted {
+		a.Stats.GaveUp.Add(1)
+		return vfs.ETIMEDOUT
+	}
+	return err
 }
 
 // Open opens a file anywhere in the assembled namespace. The returned
@@ -513,37 +533,30 @@ func (af *adapterFile) do(op func(f vfs.File) error) error {
 	if af.stale {
 		return vfs.ESTALE
 	}
-	err := op(af.f)
-	if vfs.AsErrno(err) != vfs.ENOTCONN {
-		return err
-	}
 	rc, canReconnect := af.fs.(vfs.Reconnector)
-	delay := af.a.cfg.RetryBase
-	for attempt := 0; attempt < af.a.cfg.MaxRetries; attempt++ {
-		af.a.cfg.Sleep(delay)
-		delay *= 2
+	prepare := func() error {
 		if canReconnect {
 			if rerr := rc.Reconnect(); rerr != nil {
-				continue
+				return rerr
 			}
-		}
-		if canReconnect {
 			af.a.Stats.Reconnects.Add(1)
 		}
 		if rerr := af.recoverFile(); rerr != nil {
 			if rerr == vfs.ESTALE {
 				af.a.Stats.Stale.Add(1)
-				return vfs.ESTALE
+				// A stale handle is unrecoverable: abort the loop.
+				return resilient.Permanent(vfs.ESTALE)
 			}
-			continue
+			return rerr
 		}
-		err = op(af.f)
-		if vfs.AsErrno(err) != vfs.ENOTCONN {
-			return err
-		}
+		return nil
 	}
-	af.a.Stats.GaveUp.Add(1)
-	return vfs.ETIMEDOUT
+	err, exhausted := af.a.policy().Do(func() error { return op(af.f) }, prepare, resilient.Retryable)
+	if exhausted {
+		af.a.Stats.GaveUp.Add(1)
+		return vfs.ETIMEDOUT
+	}
+	return err
 }
 
 func (af *adapterFile) Pread(p []byte, off int64) (int, error) {

@@ -131,9 +131,27 @@ func (c *Client) Close() error {
 // Caller holds c.mu.
 func (c *Client) dropLocked() {
 	if c.conn != nil {
+		// Clear any per-RPC deadline before abandoning: the net.Conn
+		// may be shared with in-flight readers that should see the
+		// close, not a stale deadline error.
+		c.conn.SetDeadline(time.Time{})
 		c.conn.Close()
 		c.conn = nil
 	}
+}
+
+// failLocked abandons the connection after a transport error and fences
+// every descriptor opened on it, so stale fds fail fast instead of
+// being replayed against a future connection. The returned errno keeps
+// the §6 failure vocabulary: an expired RPC deadline is ETIMEDOUT,
+// everything else ENOTCONN. Caller holds c.mu.
+func (c *Client) failLocked(err error) vfs.Errno {
+	c.dropLocked()
+	c.gen++
+	if vfs.AsErrno(err) == vfs.ETIMEDOUT {
+		return vfs.ETIMEDOUT
+	}
+	return vfs.ENOTCONN
 }
 
 // rpc sends one request and reads the status line while holding the
@@ -154,28 +172,23 @@ func (c *Client) rpc(req *proto.Request, payload []byte, handler func(code int64
 		c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 	}
 	if _, err := c.bw.WriteString(line + "\n"); err != nil {
-		c.dropLocked()
-		return 0, vfs.ENOTCONN
+		return 0, c.failLocked(err)
 	}
 	if payload != nil {
 		if _, err := c.bw.Write(payload); err != nil {
-			c.dropLocked()
-			return 0, vfs.ENOTCONN
+			return 0, c.failLocked(err)
 		}
 	}
 	if err := c.bw.Flush(); err != nil {
-		c.dropLocked()
-		return 0, vfs.ENOTCONN
+		return 0, c.failLocked(err)
 	}
 	code, err := proto.ReadCode(c.br)
 	if err != nil {
-		c.dropLocked()
-		return 0, vfs.ENOTCONN
+		return 0, c.failLocked(err)
 	}
 	if handler != nil {
 		if err := handler(code, c.br); err != nil {
-			c.dropLocked()
-			return 0, vfs.ENOTCONN
+			return 0, c.failLocked(err)
 		}
 	}
 	if code < 0 {
@@ -385,21 +398,17 @@ func (c *Client) PutFile(path string, mode uint32, size int64, r io.Reader) erro
 		c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 	}
 	if _, err := c.bw.WriteString(line + "\n"); err != nil {
-		c.dropLocked()
-		return vfs.ENOTCONN
+		return c.failLocked(err)
 	}
 	if _, err := io.CopyN(c.bw, r, size); err != nil {
-		c.dropLocked()
-		return vfs.ENOTCONN
+		return c.failLocked(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		c.dropLocked()
-		return vfs.ENOTCONN
+		return c.failLocked(err)
 	}
 	code, err := proto.ReadCode(c.br)
 	if err != nil {
-		c.dropLocked()
-		return vfs.ENOTCONN
+		return c.failLocked(err)
 	}
 	if code < 0 {
 		return vfs.FromCode(int(code))

@@ -1,0 +1,273 @@
+package chirp
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tss/internal/auth"
+	"tss/internal/chirp/proto"
+	"tss/internal/netsim"
+	"tss/internal/vfs"
+)
+
+// slowReader feeds data in small chunks with a delay per chunk, to
+// hold a putfile data phase open while a drain begins.
+type slowReader struct {
+	data  []byte
+	chunk int
+	delay time.Duration
+}
+
+func (r *slowReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	time.Sleep(r.delay)
+	n := r.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// Shutdown lets an in-flight request finish — the putfile's data phase
+// streams to completion and the response comes back — while idle
+// connections are released and new ones refused.
+func TestShutdownDrainsInFlightRequest(t *testing.T) {
+	ts := startServer(t, nil)
+	busy := ts.client(t, "owner.sim")
+	idle := ts.client(t, "owner.sim")
+	if _, err := idle.Stat("/"); err != nil {
+		t.Fatal(err)
+	}
+
+	content := bytes.Repeat([]byte("drain me "), 8<<10) // ~72 KiB
+	base := ts.srv.Stats.Requests.Load()
+	putDone := make(chan error, 1)
+	go func() {
+		putDone <- busy.PutFile("/big", 0o644, int64(len(content)),
+			&slowReader{data: content, chunk: 4 << 10, delay: 2 * time.Millisecond})
+	}()
+	// Wait until the putfile is in flight on the server.
+	for ts.srv.Stats.Requests.Load() == base {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ts.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if err := <-putDone; err != nil {
+		t.Fatalf("in-flight putfile aborted by drain: %v", err)
+	}
+	got, err := vfs.ReadFile(ts.srv.FS(), "/big")
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("drained putfile stored %d bytes, want %d (%v)", len(got), len(content), err)
+	}
+	if ts.srv.Stats.Drains.Load() != 1 {
+		t.Errorf("drains = %d, want 1", ts.srv.Stats.Drains.Load())
+	}
+	if ts.srv.Stats.DrainForced.Load() != 0 {
+		t.Errorf("drain force-closed %d connections", ts.srv.Stats.DrainForced.Load())
+	}
+
+	// The idle connection was released; the busy one got this request as
+	// its last. Both now fail fast.
+	if _, err := idle.Stat("/"); vfs.AsErrno(err) != vfs.ENOTCONN {
+		t.Errorf("idle client after drain = %v, want ENOTCONN", err)
+	}
+	if _, err := busy.Stat("/"); vfs.AsErrno(err) != vfs.ENOTCONN {
+		t.Errorf("busy client after drain = %v, want ENOTCONN", err)
+	}
+	// New connections are refused: the listener is closed and ServeConn
+	// turns late arrivals away.
+	if _, err := ts.net.DialFrom("owner.sim", "fs.sim", netsim.Loopback); err == nil {
+		c2, c1 := net.Pipe()
+		go ts.srv.ServeConn(c1)
+		buf := make([]byte, 1)
+		c2.SetReadDeadline(time.Now().Add(time.Second))
+		if _, err := c2.Read(buf); err == nil {
+			t.Error("draining server still serves new connections")
+		}
+		c2.Close()
+	}
+}
+
+// slowWriter delays each write and counts bytes, so a getfile body
+// stays in flight (the server blocks on the synchronous pipe) while a
+// drain begins.
+type slowWriter struct {
+	w     io.Writer
+	delay time.Duration
+	n     atomic.Int64
+}
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	n, err := s.w.Write(p)
+	s.n.Add(int64(n))
+	return n, err
+}
+
+// A getfile mid-stream when Shutdown begins runs to completion: the
+// drain waits for the full body and the client sees every byte. Uses
+// net.Pipe rather than netsim because the drain must observe real
+// write backpressure to catch the server mid-stream.
+func TestShutdownDrainsInFlightGetfile(t *testing.T) {
+	srv, err := NewServer(t.TempDir(), ServerConfig{
+		Name:      "pipe.sim",
+		Owner:     "hostname:peer",
+		Verifiers: []auth.Verifier{&auth.HostnameVerifier{Resolve: func(string) string { return "peer" }}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("streamed body "), 32<<10) // ~448 KiB
+	if err := vfs.WriteFile(srv.FS(), "/big", content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cliConn, srvConn := net.Pipe()
+	go srv.ServeConn(srvConn)
+	c, err := Dial(ClientConfig{
+		Dial:        func() (net.Conn, error) { return cliConn, nil },
+		Credentials: []auth.Credential{auth.HostnameCredential{}},
+		Timeout:     30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var sink bytes.Buffer
+	sw := &slowWriter{w: &sink, delay: time.Millisecond}
+	getDone := make(chan error, 1)
+	go func() {
+		_, err := c.GetFile("/big", sw)
+		getDone <- err
+	}()
+	// Wait until the body is actually streaming.
+	for sw.n.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if err := <-getDone; err != nil {
+		t.Fatalf("in-flight getfile aborted by drain: %v", err)
+	}
+	if !bytes.Equal(sink.Bytes(), content) {
+		t.Fatalf("drained getfile delivered %d bytes, want %d", sink.Len(), len(content))
+	}
+	if srv.Stats.DrainForced.Load() != 0 {
+		t.Errorf("drain force-closed %d connections", srv.Stats.DrainForced.Load())
+	}
+}
+
+// A drain with an expired context force-closes connections that will
+// not finish, instead of hanging forever.
+func TestShutdownForceClosesOnContextExpiry(t *testing.T) {
+	ts := startServer(t, nil)
+	busy := ts.client(t, "owner.sim")
+	content := bytes.Repeat([]byte("x"), 64<<10)
+	base := ts.srv.Stats.Requests.Load()
+	putDone := make(chan error, 1)
+	go func() {
+		// 16 chunks x 50ms: far longer than the drain budget below.
+		putDone <- busy.PutFile("/slow", 0o644, int64(len(content)),
+			&slowReader{data: content, chunk: 4 << 10, delay: 50 * time.Millisecond})
+	}()
+	for ts.srv.Stats.Requests.Load() == base {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := ts.srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	if ts.srv.Stats.DrainForced.Load() == 0 {
+		t.Error("no connection was force-closed")
+	}
+	if err := <-putDone; err == nil {
+		t.Error("putfile survived a force-close")
+	}
+}
+
+// stallServer speaks just enough protocol over a pipe to authenticate
+// a hostname client and serve scripted responses, then goes silent —
+// the half-dead server that §6's timeouts exist for.
+func stallServer(t *testing.T, conn net.Conn, script func(br *bufio.Reader, w net.Conn)) {
+	t.Helper()
+	go func() {
+		br := bufio.NewReader(conn)
+		line, err := br.ReadString('\n')
+		if err != nil || line != "auth hostname\n" {
+			return
+		}
+		io.WriteString(conn, "yes\n")
+		io.WriteString(conn, "ok hostname:peer\n")
+		if script != nil {
+			script(br, conn)
+		}
+		// Fall silent: never answer again, never close.
+	}()
+}
+
+// An expired RPC deadline surfaces as ETIMEDOUT — not EIO, not a hang —
+// and fences every descriptor opened on the dead connection.
+func TestClientDeadlineMapsToTimedout(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	defer srvConn.Close()
+	stallServer(t, srvConn, func(br *bufio.Reader, w net.Conn) {
+		// Serve exactly one open, then stall.
+		if _, err := br.ReadString('\n'); err != nil {
+			return
+		}
+		fmt.Fprintf(w, "1\n%s\n", proto.MarshalStat(vfs.FileInfo{Name: "f", Size: 5, Mode: 0o644, Inode: 7}))
+	})
+	c, err := Dial(ClientConfig{
+		Dial:        func() (net.Conn, error) { return cliConn, nil },
+		Credentials: []auth.Credential{auth.HostnameCredential{}},
+		Timeout:     50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Open("/f", vfs.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server has fallen silent: the next RPC must time out.
+	start := time.Now()
+	_, err = c.Stat("/f")
+	if vfs.AsErrno(err) != vfs.ETIMEDOUT {
+		t.Fatalf("stat on stalled server = %v, want ETIMEDOUT", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	// The descriptor from the dead connection is fenced: no RPC is even
+	// attempted for it (ENOTCONN immediately, not another timeout).
+	start = time.Now()
+	if _, err := f.Pread(make([]byte, 4), 0); vfs.AsErrno(err) != vfs.ENOTCONN {
+		t.Errorf("fenced fd pread = %v, want ENOTCONN", err)
+	}
+	if elapsed := time.Since(start); elapsed > 25*time.Millisecond {
+		t.Errorf("fenced fd still touched the network (%v)", elapsed)
+	}
+}

@@ -11,6 +11,7 @@ package chirp
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -57,6 +58,11 @@ type ServerStats struct {
 	Requests    atomic.Int64
 	BytesRead   atomic.Int64
 	BytesWriten atomic.Int64
+	// Drains counts completed Shutdown calls.
+	Drains atomic.Int64
+	// DrainForced counts connections force-closed because the drain
+	// context expired before they finished.
+	DrainForced atomic.Int64
 }
 
 // Server is a Chirp file server bound to one exported directory.
@@ -65,7 +71,22 @@ type Server struct {
 	fs    *vfs.LocalFS
 	aclMu sync.Mutex // serializes ACL read-modify-write cycles
 
+	draining  atomic.Bool
+	connMu    sync.Mutex
+	conns     map[net.Conn]*connState
+	listeners map[net.Listener]struct{}
+	connWG    sync.WaitGroup
+
 	Stats ServerStats
+}
+
+// connState tracks one connection's drain-relevant state: whether a
+// request is mid-flight (never interrupt it) and whether Shutdown has
+// nudged the connection's read deadline to unblock an idle ReadLine.
+type connState struct {
+	mu     sync.Mutex
+	busy   bool
+	nudged bool
 }
 
 // NewServer creates a file server exporting root. If the root has no
@@ -203,8 +224,25 @@ func normPath(p string) (string, error) {
 	return n, nil
 }
 
-// Serve accepts connections until the listener is closed.
+// Serve accepts connections until the listener is closed (directly or
+// by Shutdown).
 func (s *Server) Serve(l net.Listener) error {
+	s.connMu.Lock()
+	if s.draining.Load() {
+		s.connMu.Unlock()
+		l.Close()
+		return nil
+	}
+	if s.listeners == nil {
+		s.listeners = make(map[net.Listener]struct{})
+	}
+	s.listeners[l] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.listeners, l)
+		s.connMu.Unlock()
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -217,16 +255,98 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// track registers a connection for drain accounting; it returns nil
+// when the server is already draining and the connection must be
+// refused.
+func (s *Server) track(conn net.Conn) *connState {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining.Load() {
+		return nil
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]*connState)
+	}
+	st := &connState{}
+	s.conns[conn] = st
+	s.connWG.Add(1)
+	return st
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	s.connWG.Done()
+}
+
+// Draining reports whether Shutdown has been initiated.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown gracefully drains the server: it stops accepting new
+// connections, lets requests already in flight run to completion, and
+// unblocks connections idle between requests. When ctx expires before
+// the drain completes, remaining connections are force-closed and the
+// context error is returned. After Shutdown the server refuses new
+// connections permanently.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.connMu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c, st := range s.conns {
+		st.mu.Lock()
+		if !st.busy {
+			// Idle between requests (or mid-auth): interrupt the blocked
+			// read. A request line racing this nudge is saved by the
+			// serving loop, which clears the deadline once the line
+			// lands.
+			st.nudged = true
+			c.SetReadDeadline(time.Unix(1, 0))
+		}
+		st.mu.Unlock()
+	}
+	s.connMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.Stats.Drains.Add(1)
+		return nil
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for c := range s.conns {
+			s.Stats.DrainForced.Add(1)
+			c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+		s.Stats.Drains.Add(1)
+		return ctx.Err()
+	}
+}
+
 // ServeConn authenticates and serves a single connection, returning
 // when the peer disconnects. Per the paper's failure semantics, all
 // server-side state for the connection — in particular open file
 // descriptors — is released when the connection ends.
 func (s *Server) ServeConn(conn net.Conn) {
+	st := s.track(conn)
+	if st == nil {
+		// Already draining: refuse.
+		conn.Close()
+		return
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			log.Printf("chirp: panic serving %v: %v", conn.RemoteAddr(), r)
 		}
 		conn.Close()
+		s.untrack(conn)
 	}()
 	s.Stats.Connections.Add(1)
 
@@ -251,6 +371,16 @@ func (s *Server) ServeConn(conn net.Conn) {
 		if err != nil {
 			return // disconnect: free everything
 		}
+		// The request is now in flight: a drain must let it finish. If a
+		// drain nudge raced the arriving request line, clear the poisoned
+		// read deadline so the data phase and response go through.
+		st.mu.Lock()
+		st.busy = true
+		if st.nudged {
+			conn.SetReadDeadline(time.Time{})
+			st.nudged = false
+		}
+		st.mu.Unlock()
 		s.Stats.Requests.Add(1)
 		if err := sess.dispatch(line, br, bw); err != nil {
 			s.logf("chirp: %s: fatal: %v", subject, err)
@@ -258,6 +388,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		if err := bw.Flush(); err != nil {
 			return
+		}
+		st.mu.Lock()
+		st.busy = false
+		st.mu.Unlock()
+		if s.draining.Load() {
+			return // drain: this request was the connection's last
 		}
 	}
 }

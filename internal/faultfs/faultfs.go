@@ -8,6 +8,7 @@ package faultfs
 import (
 	"math/rand"
 	"sync"
+	"time"
 
 	"tss/internal/vfs"
 )
@@ -20,17 +21,23 @@ type FS struct {
 	mu        sync.Mutex
 	down      bool
 	failAfter int64 // remaining ops before permanent failure; <0 = never
+	flakyLeft int64 // remaining ops of the current flaky window
 	rng       *rand.Rand
 	failProb  float64
 	err       error
 	opCount   int64
+	callCount int64
+	latency   time.Duration
+	latJitter time.Duration
+	latRng    *rand.Rand
+	sleep     func(time.Duration)
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
 
 // New wraps inner with no faults armed.
 func New(inner vfs.FileSystem) *FS {
-	return &FS{inner: inner, failAfter: -1, err: vfs.ENOTCONN}
+	return &FS{inner: inner, failAfter: -1, err: vfs.ENOTCONN, sleep: time.Sleep}
 }
 
 // SetDown makes every operation fail (true) or restores service
@@ -49,12 +56,52 @@ func (f *FS) FailAfter(n int64) {
 	f.mu.Unlock()
 }
 
+// FailNext arranges a "flaky window": the next n operations fail, then
+// service recovers on its own — the transient brown-out that drives a
+// circuit breaker open and lets half-open probes re-admit the backend
+// without any test choreography around SetDown.
+func (f *FS) FailNext(n int64) {
+	f.mu.Lock()
+	f.flakyLeft = n
+	f.mu.Unlock()
+}
+
 // FailRandomly makes each operation fail with probability p, using a
 // deterministic seed.
 func (f *FS) FailRandomly(p float64, seed int64) {
 	f.mu.Lock()
 	f.failProb = p
 	f.rng = rand.New(rand.NewSource(seed))
+	f.mu.Unlock()
+}
+
+// SetLatency delays every operation (including failing ones: a dead
+// server charges its timeout) by d. Breaker and hedging tests use this
+// to put a deterministic price on touching a given backend without
+// shaping a real network path.
+func (f *FS) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	f.latency = d
+	f.mu.Unlock()
+}
+
+// SetLatencyJitter adds up to j of extra, deterministically seeded
+// delay per operation on top of SetLatency.
+func (f *FS) SetLatencyJitter(j time.Duration, seed int64) {
+	f.mu.Lock()
+	f.latJitter = j
+	f.latRng = rand.New(rand.NewSource(seed))
+	f.mu.Unlock()
+}
+
+// SetSleep replaces the sleep function used for latency injection
+// (tests that count delays rather than pay them).
+func (f *FS) SetSleep(sleep func(time.Duration)) {
+	f.mu.Lock()
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	f.sleep = sleep
 	f.mu.Unlock()
 }
 
@@ -73,11 +120,41 @@ func (f *FS) Ops() int64 {
 	return f.opCount
 }
 
-// gate decides whether this operation fails.
-func (f *FS) gate() error {
+// Calls returns the number of operations attempted against this
+// filesystem, whether or not a fault swallowed them. Breaker tests use
+// it to assert that an open circuit stops traffic from even arriving.
+func (f *FS) Calls() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.callCount
+}
+
+// gate decides whether this operation fails, charging any configured
+// latency either way. The sleep happens outside the lock so concurrent
+// operations (hedged reads racing two replicas) do not serialize.
+func (f *FS) gate() error {
+	f.mu.Lock()
+	f.callCount++
+	delay := f.latency
+	if f.latJitter > 0 && f.latRng != nil {
+		delay += time.Duration(f.latRng.Int63n(int64(f.latJitter)))
+	}
+	sleep := f.sleep
+	err := f.decideLocked()
+	f.mu.Unlock()
+	if delay > 0 {
+		sleep(delay)
+	}
+	return err
+}
+
+// decideLocked applies the fault schedule. Caller holds f.mu.
+func (f *FS) decideLocked() error {
 	if f.down {
+		return f.err
+	}
+	if f.flakyLeft > 0 {
+		f.flakyLeft--
 		return f.err
 	}
 	if f.failAfter == 0 {

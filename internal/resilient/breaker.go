@@ -1,0 +1,218 @@
+package resilient
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker state.
+type State int32
+
+const (
+	// Closed: the backend is believed healthy; traffic flows.
+	Closed State = iota
+	// Open: the backend is believed down; traffic is refused until the
+	// re-probe timer expires.
+	Open
+	// HalfOpen: one probe is in flight to test the backend; regular
+	// traffic is still refused until the probe reports.
+	HalfOpen
+)
+
+// String returns the conventional state name.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig configures a circuit breaker. The zero value picks the
+// defaults noted on each field.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive transport failures that
+	// trips the breaker open (default 3).
+	Threshold int
+	// ReprobeBase is the first open→probe delay (default 1s). Each
+	// failed probe doubles it, up to ReprobeMax.
+	ReprobeBase time.Duration
+	// ReprobeMax caps the re-probe delay (default 30s).
+	ReprobeMax time.Duration
+	// Jitter randomizes each re-probe delay by ±Jitter fraction, so a
+	// fleet of clients does not re-probe a recovering server in
+	// lockstep (default 0.1; negative disables).
+	Jitter float64
+	// Now replaces time.Now (tests).
+	Now func() time.Time
+	// Rand is a uniform [0,1) source for jitter (tests).
+	Rand func() float64
+}
+
+// Breaker is a per-backend circuit breaker keyed on transport errors.
+// All methods are safe for concurrent use.
+//
+// Lifecycle: Closed → (Threshold consecutive transport failures) →
+// Open → (re-probe delay elapses, TryProbe) → HalfOpen → probe
+// succeeds → Closed, or probe fails → Open with doubled delay.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     State
+	fails     int           // consecutive transport failures while Closed
+	interval  time.Duration // current (pre-jitter) re-probe delay
+	reprobeAt time.Time     // when the next probe may run
+	trips     int64
+	probes    int64
+	readmits  int64
+}
+
+// NewBreaker returns a breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.ReprobeBase <= 0 {
+		cfg.ReprobeBase = time.Second
+	}
+	if cfg.ReprobeMax <= 0 {
+		cfg.ReprobeMax = 30 * time.Second
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Rand == nil && cfg.Jitter > 0 {
+		cfg.Rand = lockedRand()
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// State returns the current state.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Ready reports whether regular traffic may be routed to the backend:
+// true only in the Closed state. While Open or HalfOpen the caller
+// should skip this backend (and call TryProbe to arrange re-admission).
+func (b *Breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == Closed
+}
+
+// Record observes the outcome of a regular (non-probe) operation
+// against the backend. A success — or any semantic error — resets the
+// failure count and closes the breaker; a transport failure counts
+// toward Threshold and may trip it. It returns true when this call
+// tripped the breaker open.
+func (b *Breaker) Record(err error) (tripped bool) {
+	transport := TransportError(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !transport {
+		// The backend answered; whatever it said, it is reachable.
+		b.fails = 0
+		if b.state != Closed {
+			b.state = Closed
+			b.readmits++
+		}
+		return false
+	}
+	switch b.state {
+	case Closed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.trip()
+			return true
+		}
+	case HalfOpen:
+		// A straggling regular operation failed while a probe is in
+		// flight; treat it like a failed probe.
+		b.reopen()
+	}
+	return false
+}
+
+// TryProbe reports whether the caller has won the right to probe the
+// backend: true at most once per re-probe interval, transitioning the
+// breaker to HalfOpen. The caller must follow up with RecordProbe.
+func (b *Breaker) TryProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open || b.cfg.Now().Before(b.reprobeAt) {
+		return false
+	}
+	b.state = HalfOpen
+	b.probes++
+	return true
+}
+
+// RecordProbe reports a probe outcome won via TryProbe. Success (or a
+// semantic error: the backend answered) closes the breaker and
+// re-admits the backend; a transport failure re-opens it with a doubled
+// re-probe delay. It returns true when the backend was re-admitted.
+func (b *Breaker) RecordProbe(err error) (readmitted bool) {
+	transport := TransportError(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != HalfOpen {
+		return false
+	}
+	if transport {
+		b.interval *= 2
+		if b.interval > b.cfg.ReprobeMax {
+			b.interval = b.cfg.ReprobeMax
+		}
+		b.reopen()
+		return false
+	}
+	b.state = Closed
+	b.fails = 0
+	b.interval = 0
+	b.readmits++
+	return true
+}
+
+// trip moves Closed→Open. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.interval = b.cfg.ReprobeBase
+	b.reprobeAt = b.cfg.Now().Add(jittered(b.interval, b.cfg.Jitter, b.cfg.Rand))
+	b.trips++
+}
+
+// reopen moves HalfOpen→Open after a failed probe, keeping the current
+// interval (already adjusted by the caller). Caller holds b.mu.
+func (b *Breaker) reopen() {
+	b.state = Open
+	if b.interval <= 0 {
+		b.interval = b.cfg.ReprobeBase
+	}
+	b.reprobeAt = b.cfg.Now().Add(jittered(b.interval, b.cfg.Jitter, b.cfg.Rand))
+}
+
+// BreakerStats is a snapshot of a breaker's counters.
+type BreakerStats struct {
+	State    State
+	Trips    int64 // Closed→Open transitions
+	Probes   int64 // half-open probes granted
+	Readmits int64 // Open/HalfOpen→Closed transitions
+}
+
+// Stats returns a consistent snapshot of the breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{State: b.state, Trips: b.trips, Probes: b.probes, Readmits: b.readmits}
+}

@@ -1,0 +1,82 @@
+// Package resilient is the health layer shared by every component of
+// the tactical storage system: a per-backend circuit breaker, a common
+// retry policy, and the transport-error classification they both key
+// on.
+//
+// The paper's §3 "failure coherence" requirement says every TSS layer
+// must present failures the same way the Unix interface does. The seed
+// implementation honored that for error *values* but not for error
+// *behavior*: only the adapter retried, the mirror re-probed a dead
+// replica on every read, and nothing remembered that a backend was
+// down. This package centralizes that memory so the adapter, the
+// mirror, and the stripe all recover the same way:
+//
+//   - Transport failures (ENOTCONN, ETIMEDOUT, EIO) mean "the backend,
+//     not the request, failed" — they are candidates for retry,
+//     failover, and breaker accounting. Semantic errors (ENOENT,
+//     EACCES, EEXIST, ...) always surface unchanged.
+//   - A Breaker watches consecutive transport failures per backend and
+//     trips open, so callers stop paying a dead backend's timeout on
+//     every operation. It re-admits the backend through half-open
+//     probes on a jittered exponential schedule.
+//   - A Policy bounds retries by attempt count and by wall-clock
+//     budget, with jittered exponential backoff between attempts.
+package resilient
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"tss/internal/vfs"
+)
+
+// TransportError reports whether err indicates the backend (not the
+// request) failed: the errnos a lost server produces. These are the
+// errors the circuit breaker counts and the mirror fails over on.
+func TransportError(err error) bool {
+	switch vfs.AsErrno(err) {
+	case vfs.ENOTCONN, vfs.ETIMEDOUT, vfs.EIO:
+		return true
+	}
+	return false
+}
+
+// Retryable reports whether an operation that failed with err may be
+// re-driven against the same backend after reconnecting. It is the
+// subset of TransportError that excludes EIO: a hard I/O error from a
+// reachable server is not cured by retrying, while a severed or
+// timed-out connection may be.
+func Retryable(err error) bool {
+	switch vfs.AsErrno(err) {
+	case vfs.ENOTCONN, vfs.ETIMEDOUT:
+		return true
+	}
+	return false
+}
+
+// jittered perturbs d by ±frac, using the given uniform [0,1) source.
+// A nil source or zero fraction returns d unchanged.
+func jittered(d time.Duration, frac float64, rnd func() float64) time.Duration {
+	if frac <= 0 || rnd == nil || d <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*rnd()-1)
+	out := time.Duration(float64(d) * f)
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// lockedRand returns a mutex-guarded uniform [0,1) source seeded from
+// the global generator; math/rand.Rand is not safe for concurrent use.
+func lockedRand() func() float64 {
+	var mu sync.Mutex
+	r := rand.New(rand.NewSource(rand.Int63()))
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return r.Float64()
+	}
+}

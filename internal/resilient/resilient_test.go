@@ -1,0 +1,284 @@
+package resilient
+
+import (
+	"testing"
+	"time"
+
+	"tss/internal/vfs"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker and
+// budget tests — no real time on any code path.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTransportClassification(t *testing.T) {
+	for _, err := range []error{vfs.ENOTCONN, vfs.ETIMEDOUT, vfs.EIO} {
+		if !TransportError(err) {
+			t.Errorf("TransportError(%v) = false", err)
+		}
+	}
+	for _, err := range []error{nil, vfs.ENOENT, vfs.EACCES, vfs.EEXIST, vfs.ESTALE} {
+		if TransportError(err) {
+			t.Errorf("TransportError(%v) = true", err)
+		}
+	}
+	if Retryable(vfs.EIO) {
+		t.Error("EIO must not be retryable against the same backend")
+	}
+	if !Retryable(vfs.ENOTCONN) || !Retryable(vfs.ETIMEDOUT) {
+		t.Error("ENOTCONN/ETIMEDOUT must be retryable")
+	}
+}
+
+func newTestBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Threshold:   3,
+		ReprobeBase: time.Second,
+		ReprobeMax:  8 * time.Second,
+		Jitter:      -1, // deterministic schedule
+		Now:         clk.now,
+	})
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	if !b.Ready() || b.State() != Closed {
+		t.Fatal("fresh breaker not closed")
+	}
+	b.Record(vfs.ENOTCONN)
+	b.Record(vfs.ENOTCONN)
+	if !b.Ready() {
+		t.Fatal("breaker tripped below threshold")
+	}
+	if tripped := b.Record(vfs.ENOTCONN); !tripped {
+		t.Fatal("third consecutive failure did not trip")
+	}
+	if b.Ready() || b.State() != Open {
+		t.Fatal("tripped breaker still ready")
+	}
+	if got := b.Stats().Trips; got != 1 {
+		t.Errorf("trips = %d, want 1", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	b.Record(vfs.ENOTCONN)
+	b.Record(vfs.ENOTCONN)
+	b.Record(nil) // backend answered: count resets
+	b.Record(vfs.ENOTCONN)
+	b.Record(vfs.ENOTCONN)
+	if !b.Ready() {
+		t.Error("breaker tripped despite an intervening success")
+	}
+	// A semantic error also proves reachability.
+	b.Record(vfs.ENOENT)
+	b.Record(vfs.ENOTCONN)
+	b.Record(vfs.ENOTCONN)
+	if !b.Ready() {
+		t.Error("semantic error did not reset the failure count")
+	}
+}
+
+func TestBreakerProbeSchedule(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Record(vfs.ENOTCONN)
+	}
+	// Open, re-probe due at +1s: no probe before then.
+	if b.TryProbe() {
+		t.Fatal("probe granted before the re-probe delay elapsed")
+	}
+	clk.advance(time.Second)
+	if !b.TryProbe() {
+		t.Fatal("probe not granted after the re-probe delay")
+	}
+	if b.TryProbe() {
+		t.Fatal("second concurrent probe granted")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	// Failed probe: doubled delay.
+	b.RecordProbe(vfs.ENOTCONN)
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	clk.advance(time.Second)
+	if b.TryProbe() {
+		t.Fatal("probe granted before the doubled delay elapsed")
+	}
+	clk.advance(time.Second)
+	if !b.TryProbe() {
+		t.Fatal("probe not granted after the doubled delay")
+	}
+	// Successful probe: closed, re-admitted.
+	if readmitted := b.RecordProbe(nil); !readmitted {
+		t.Fatal("successful probe did not re-admit")
+	}
+	if !b.Ready() {
+		t.Fatal("breaker not ready after re-admission")
+	}
+	st := b.Stats()
+	if st.Probes != 2 || st.Readmits != 1 {
+		t.Errorf("stats = %+v, want 2 probes, 1 readmit", st)
+	}
+}
+
+func TestBreakerReprobeDelayCapped(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Record(vfs.ENOTCONN)
+	}
+	// Fail probes until the delay caps at ReprobeMax (8s): 1,2,4,8,8...
+	delays := []time.Duration{1 * time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second, 8 * time.Second}
+	for i, d := range delays {
+		clk.advance(d - time.Millisecond)
+		if b.TryProbe() {
+			t.Fatalf("probe %d granted %v early", i, time.Millisecond)
+		}
+		clk.advance(time.Millisecond)
+		if !b.TryProbe() {
+			t.Fatalf("probe %d not granted after %v", i, d)
+		}
+		b.RecordProbe(vfs.ETIMEDOUT)
+	}
+}
+
+func TestPolicyBackoffShape(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestPolicyDoRetriesAndSucceeds(t *testing.T) {
+	fails := 3
+	ops, prepares := 0, 0
+	p := Policy{Attempts: 5, Base: time.Millisecond, Sleep: func(time.Duration) {}}
+	err, exhausted := p.Do(func() error {
+		ops++
+		if fails > 0 {
+			fails--
+			return vfs.ENOTCONN
+		}
+		return nil
+	}, func() error { prepares++; return nil }, Retryable)
+	if err != nil || exhausted {
+		t.Fatalf("Do = %v, exhausted=%v", err, exhausted)
+	}
+	if ops != 4 || prepares != 3 {
+		t.Errorf("ops=%d prepares=%d, want 4/3", ops, prepares)
+	}
+}
+
+func TestPolicyDoExhaustsBudget(t *testing.T) {
+	var retries []int
+	p := Policy{
+		Attempts: 3,
+		Base:     time.Millisecond,
+		Sleep:    func(time.Duration) {},
+		OnRetry:  func(attempt int, err error) { retries = append(retries, attempt) },
+	}
+	err, exhausted := p.Do(func() error { return vfs.ENOTCONN }, nil, Retryable)
+	if vfs.AsErrno(err) != vfs.ENOTCONN || !exhausted {
+		t.Fatalf("Do = %v, exhausted=%v; want ENOTCONN, true", err, exhausted)
+	}
+	if len(retries) != 3 {
+		t.Errorf("OnRetry fired %d times, want 3", len(retries))
+	}
+}
+
+func TestPolicyDoSemanticErrorStopsImmediately(t *testing.T) {
+	ops := 0
+	p := Policy{Attempts: 5, Base: time.Millisecond, Sleep: func(time.Duration) {}}
+	err, exhausted := p.Do(func() error { ops++; return vfs.ENOENT }, nil, Retryable)
+	if vfs.AsErrno(err) != vfs.ENOENT || exhausted || ops != 1 {
+		t.Errorf("Do = %v exhausted=%v ops=%d; want ENOENT, false, 1", err, exhausted, ops)
+	}
+}
+
+func TestPolicyDoPrepareFailureConsumesAttempt(t *testing.T) {
+	ops, prepares := 0, 0
+	p := Policy{Attempts: 3, Base: time.Millisecond, Sleep: func(time.Duration) {}}
+	err, exhausted := p.Do(
+		func() error { ops++; return vfs.ENOTCONN },
+		func() error { prepares++; return vfs.ENOTCONN },
+		Retryable)
+	if vfs.AsErrno(err) != vfs.ENOTCONN || !exhausted {
+		t.Fatalf("Do = %v, exhausted=%v", err, exhausted)
+	}
+	// Failed prepares never re-ran the op.
+	if ops != 1 || prepares != 3 {
+		t.Errorf("ops=%d prepares=%d, want 1/3", ops, prepares)
+	}
+}
+
+func TestPolicyDoPermanentAborts(t *testing.T) {
+	ops := 0
+	p := Policy{Attempts: 5, Base: time.Millisecond, Sleep: func(time.Duration) {}}
+	err, exhausted := p.Do(
+		func() error { ops++; return vfs.ENOTCONN },
+		func() error { return Permanent(vfs.ESTALE) },
+		Retryable)
+	if vfs.AsErrno(err) != vfs.ESTALE || exhausted || ops != 1 {
+		t.Errorf("Do = %v exhausted=%v ops=%d; want ESTALE, false, 1", err, exhausted, ops)
+	}
+}
+
+func TestPolicyDoDeadlineBudget(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var slept time.Duration
+	p := Policy{
+		Attempts: 100,
+		Base:     100 * time.Millisecond,
+		Max:      100 * time.Millisecond,
+		Budget:   350 * time.Millisecond,
+		Now:      clk.now,
+		Sleep:    func(d time.Duration) { slept += d; clk.advance(d) },
+	}
+	err, exhausted := p.Do(func() error { return vfs.ENOTCONN }, nil, Retryable)
+	if !exhausted || vfs.AsErrno(err) != vfs.ENOTCONN {
+		t.Fatalf("Do = %v, exhausted=%v", err, exhausted)
+	}
+	// 3 sleeps of 100ms fit in 350ms; the 4th would cross the budget.
+	if slept != 300*time.Millisecond {
+		t.Errorf("slept %v, want 300ms", slept)
+	}
+}
+
+func TestPolicyJitterBounds(t *testing.T) {
+	seq := []float64{0, 0.5, 1 - 1e-9}
+	i := 0
+	p := Policy{
+		Attempts: 3,
+		Base:     100 * time.Millisecond,
+		Max:      100 * time.Millisecond,
+		Jitter:   0.5,
+		Rand:     func() float64 { v := seq[i%len(seq)]; i++; return v },
+	}
+	var delays []time.Duration
+	p.Sleep = func(d time.Duration) { delays = append(delays, d) }
+	p.Do(func() error { return vfs.ENOTCONN }, nil, Retryable)
+	for _, d := range delays {
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Errorf("jittered delay %v outside ±50%% of 100ms", d)
+		}
+	}
+	if len(delays) != 3 {
+		t.Fatalf("delays = %v", delays)
+	}
+	if delays[0] != 50*time.Millisecond {
+		t.Errorf("rand=0 should give the -jitter edge, got %v", delays[0])
+	}
+}

@@ -1,0 +1,111 @@
+package resilient
+
+import (
+	"errors"
+	"time"
+)
+
+// Policy is the shared retry policy: a budget of attempts, a jittered
+// exponential backoff between them, and an optional wall-clock budget
+// that caps the total time spent retrying. The zero value retries
+// nothing (Do runs the operation exactly once).
+//
+// A Policy value is immutable once configured and safe to share.
+type Policy struct {
+	// Attempts is the number of retries after the first try.
+	Attempts int
+	// Base is the delay before the first retry; it doubles per retry.
+	Base time.Duration
+	// Max caps the (pre-jitter) backoff delay; 0 means uncapped.
+	Max time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction (0 = none).
+	Jitter float64
+	// Budget caps the total wall-clock time spent on retries; once the
+	// next backoff would cross it, Do gives up. 0 means no time cap.
+	Budget time.Duration
+	// OnRetry, when non-nil, observes each retry about to be made: the
+	// 0-based retry index and the error that provoked it.
+	OnRetry func(attempt int, err error)
+	// Sleep replaces time.Sleep (tests). Nil means time.Sleep.
+	Sleep func(time.Duration)
+	// Now replaces time.Now for the Budget clock (tests).
+	Now func() time.Time
+	// Rand is a uniform [0,1) source for jitter. Nil picks a private
+	// seeded source on first use with jitter enabled.
+	Rand func() float64
+}
+
+// permanentError aborts a retry loop from inside a prepare func.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so that a prepare function can abort Do: the
+// loop stops immediately and Do returns the wrapped error.
+func Permanent(err error) error { return &permanentError{err: err} }
+
+// Backoff returns the (pre-jitter) delay before retry i: Base doubled
+// i times, capped at Max.
+func (p Policy) Backoff(i int) time.Duration {
+	d := p.Base
+	for ; i > 0 && (p.Max <= 0 || d < p.Max); i-- {
+		d *= 2
+	}
+	if p.Max > 0 && d > p.Max {
+		d = p.Max
+	}
+	return d
+}
+
+// Do runs op under the policy. While retryable(err) holds and budget
+// remains, it sleeps the backoff for the attempt, then calls prepare
+// (when non-nil) and re-runs op. prepare is the recovery step —
+// typically a reconnect; a prepare error consumes the attempt without
+// re-running op, except a Permanent error, which aborts the loop and
+// is returned unwrapped.
+//
+// Do returns the final error and whether the loop gave up with a
+// retryable error still standing (budget exhausted). Callers map
+// exhaustion to their layer's error — the adapter, mirror, and stripe
+// all use ETIMEDOUT, the value §6 gives for abandoned recovery.
+func (p Policy) Do(op func() error, prepare func() error, retryable func(error) bool) (err error, exhausted bool) {
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	now := p.Now
+	if now == nil {
+		now = time.Now
+	}
+	rnd := p.Rand
+	if rnd == nil && p.Jitter > 0 {
+		rnd = lockedRand()
+	}
+	var deadline time.Time
+	if p.Budget > 0 {
+		deadline = now().Add(p.Budget)
+	}
+	err = op()
+	for attempt := 0; attempt < p.Attempts && retryable(err); attempt++ {
+		delay := jittered(p.Backoff(attempt), p.Jitter, rnd)
+		if !deadline.IsZero() && now().Add(delay).After(deadline) {
+			return err, true
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		sleep(delay)
+		if prepare != nil {
+			if perr := prepare(); perr != nil {
+				var pe *permanentError
+				if errors.As(perr, &pe) {
+					return pe.err, false
+				}
+				continue
+			}
+		}
+		err = op()
+	}
+	return err, retryable(err)
+}

@@ -20,6 +20,7 @@ import (
 	"container/heap"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,7 +31,9 @@ type Sim struct {
 	seq    int64
 	yield  chan struct{} // a running process signals it has blocked/finished
 	killed chan struct{} // closed at Shutdown to release blocked processes
-	nprocs int           // live process count (diagnostics)
+	// nprocs is atomic: Shutdown releases every parked process at
+	// once, and their exit paths decrement it concurrently.
+	nprocs atomic.Int64 // live process count (diagnostics)
 }
 
 // New returns an empty simulation at time zero.
@@ -96,10 +99,10 @@ func (p *Proc) Now() time.Duration { return p.sim.now }
 // Spawn creates a process that starts at the current virtual time.
 func (s *Sim) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
-	s.nprocs++
+	s.nprocs.Add(1)
 	go func() {
 		defer func() {
-			s.nprocs--
+			s.nprocs.Add(-1)
 			// Returning (or Goexit after kill) must hand control
 			// back to the scheduler exactly once.
 			select {
@@ -266,5 +269,5 @@ func (s *Sim) Pending() int { return len(s.events) }
 
 // String describes the simulation state.
 func (s *Sim) String() string {
-	return fmt.Sprintf("sim(t=%v, events=%d, procs=%d)", s.now, len(s.events), s.nprocs)
+	return fmt.Sprintf("sim(t=%v, events=%d, procs=%d)", s.now, len(s.events), s.nprocs.Load())
 }

@@ -300,6 +300,24 @@ func NewMirror(replicas ...FileSystem) (FileSystem, error) {
 	return abstraction.NewMirror(replicas...)
 }
 
+// MirrorOptions tunes a mirror's resilience machinery: circuit-breaker
+// thresholds and re-probe schedule, the hedged-read delay, and the
+// health probe issued to demoted replicas.
+type MirrorOptions = abstraction.MirrorOptions
+
+// MirrorFS is the replicating filesystem returned by NewMirrorOptions;
+// beyond FileSystem it exposes Health() and resilience counters.
+type MirrorFS = abstraction.MirrorFS
+
+// NewMirrorOptions builds a mirror with explicit resilience options:
+// per-replica circuit breakers stop reads from paying a dead replica's
+// timeout, background half-open probes re-admit recovered replicas,
+// and an optional hedge races a second replica after a latency
+// threshold (§6: recovery without manual intervention).
+func NewMirrorOptions(opts MirrorOptions, replicas ...FileSystem) (*MirrorFS, error) {
+	return abstraction.NewMirrorOptions(opts, replicas...)
+}
+
 // NewStriped stripes file data across servers in fixed-size blocks
 // (§10: "filesystems that transparently stripe ... data"), reading and
 // writing all members concurrently.
