@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify
+.PHONY: build test verify bench
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,17 @@ build:
 test:
 	$(GO) test ./...
 
-# verify runs the tier-1 gate (build + test) plus static analysis and
-# the full suite under the race detector.
+# verify runs the tier-1 gate (build + test) plus formatting, static
+# analysis, and the full suite under the race detector.
 verify: build
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./...
+
+# bench runs the quick observability benchmark and captures the
+# per-layer latency decomposition as a JSON artifact.
+bench:
+	$(GO) run ./cmd/tssbench -quick -json > BENCH_chirp.json
+	@echo "wrote BENCH_chirp.json"

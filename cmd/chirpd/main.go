@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -26,6 +27,7 @@ import (
 	"tss/internal/auth"
 	"tss/internal/catalog"
 	"tss/internal/chirp"
+	"tss/internal/obs"
 )
 
 type multiFlag []string
@@ -35,14 +37,15 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	var (
-		root     = flag.String("root", ".", "directory to export")
-		addr     = flag.String("addr", ":9094", "TCP listen address")
-		name     = flag.String("name", "", "advertised server name (default: listen address)")
-		owner    = flag.String("owner", "", "owner subject (default: unix:$USER)")
-		interval = flag.Duration("catalog-interval", 15*time.Second, "catalog report period")
-		idle     = flag.Duration("idle-timeout", 0, "disconnect idle clients after this long (0 = never)")
-		drain    = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, let in-flight requests finish for this long before force-closing (0 = wait forever)")
-		verbose  = flag.Bool("v", false, "log connections")
+		root      = flag.String("root", ".", "directory to export")
+		addr      = flag.String("addr", ":9094", "TCP listen address")
+		name      = flag.String("name", "", "advertised server name (default: listen address)")
+		owner     = flag.String("owner", "", "owner subject (default: unix:$USER)")
+		interval  = flag.Duration("catalog-interval", 15*time.Second, "catalog report period")
+		idle      = flag.Duration("idle-timeout", 0, "disconnect idle clients after this long (0 = never)")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, let in-flight requests finish for this long before force-closing (0 = wait forever)")
+		debugAddr = flag.String("debug-addr", "", "HTTP address serving /metrics (JSON registry snapshot) and /healthz (503 while draining); empty disables")
+		verbose   = flag.Bool("v", false, "log connections")
 	)
 	var acls, catalogs, ticketIssuers multiFlag
 	flag.Var(&acls, "acl", "root ACL entry as subject=rights (repeatable)")
@@ -72,11 +75,13 @@ func main() {
 		rootACL.Set(subj, rights, reserve)
 	}
 
+	metrics := obs.NewRegistry()
 	cfg := chirp.ServerConfig{
 		Name:        *name,
 		Owner:       auth.Subject(ownerSubject),
 		RootACL:     rootACL,
 		IdleTimeout: *idle,
+		Metrics:     metrics,
 		Verifiers: []auth.Verifier{
 			&auth.HostnameVerifier{},
 			&auth.UnixVerifier{},
@@ -109,6 +114,25 @@ func main() {
 		log.Fatalf("chirpd: %v", err)
 	}
 
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("chirpd: -debug-addr: %v", err)
+		}
+		handler := obs.Handler(metrics, func() (bool, string) {
+			if srv.Draining() {
+				return false, "draining"
+			}
+			return true, "ok"
+		})
+		fmt.Printf("chirpd: debug endpoints on http://%s/metrics\n", dl.Addr())
+		go func() {
+			if err := http.Serve(dl, handler); err != nil {
+				log.Printf("chirpd: debug server: %v", err)
+			}
+		}()
+	}
+
 	if len(catalogs) > 0 {
 		var sends []func([]byte) error
 		for _, c := range catalogs {
@@ -120,7 +144,11 @@ func main() {
 				return catalog.Report{
 					Name: n, Addr: l.Addr().String(), Owner: o,
 					TotalBytes: info.TotalBytes, FreeBytes: info.FreeBytes,
-					RootACL: rootACL,
+					RootACL:      rootACL,
+					Connections:  srv.Stats.Connections.Load(),
+					Requests:     srv.Stats.Requests.Load(),
+					BytesRead:    srv.Stats.BytesRead.Load(),
+					BytesWritten: srv.Stats.BytesWriten.Load(),
 				}
 			},
 			Send:     sends,

@@ -97,7 +97,14 @@ func main() {
 	// failure, with jittered exponential backoff; exhaustion surfaces as
 	// ETIMEDOUT (§6). Non-idempotent verbs (put, mkdir, mv, ...) run
 	// once: blind replay could double-apply.
-	policy := resilient.Policy{Attempts: retries, Base: retryBase, Jitter: 0.2}
+	policy, err := resilient.NewPolicy(
+		resilient.WithAttempts(retries),
+		resilient.WithBase(retryBase),
+		resilient.WithJitter(0.2),
+	)
+	if err != nil {
+		fatal(err)
+	}
 	retry := func(op func() error) error {
 		if retries <= 0 {
 			return op()
@@ -150,7 +157,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := client.PutFile(args[0], 0o644, st.Size(), f); err != nil {
+		// PutReader routes through the one-round-trip putfile fast path
+		// (vfs.FilePutter) when the server offers it, falling back to
+		// open/pwrite otherwise.
+		if err := vfs.PutReader(client, args[0], 0o644, st.Size(), f); err != nil {
 			fatal(err)
 		}
 	case "get":

@@ -24,10 +24,25 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiments (fig3..fig9, sp5) or 'all'")
-		quick = flag.Bool("quick", false, "reduced iteration counts and WAN latency for a fast pass")
+		run     = flag.String("run", "all", "comma-separated experiments (fig3..fig9, sp5, obs) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced iteration counts and WAN latency for a fast pass")
+		jsonOut = flag.Bool("json", false, "run the instrumented chirp benchmark and emit its JSON report to stdout (for BENCH_chirp.json)")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		res, err := experiments.RunObsBench(experiments.DefaultObsBench(*quick))
+		if err != nil {
+			log.Fatalf("tssbench: obs: %v", err)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			log.Fatalf("tssbench: obs: %v", err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		fmt.Fprint(os.Stderr, res.Render())
+		return
+	}
 
 	all := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "sp5", "fig9"}
 	var list []string
@@ -99,6 +114,12 @@ func runOne(name string, quick bool) (string, error) {
 		return res.Render(), nil
 	case "cachesweep":
 		return experiments.RunCacheSweep(3, nil).Render(), nil
+	case "obs":
+		res, err := experiments.RunObsBench(experiments.DefaultObsBench(quick))
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
 	}
 	return "", fmt.Errorf("unknown experiment %q", name)
 }

@@ -313,13 +313,13 @@ func (d *Dist) ReadStub(path string) (Stub, error) {
 // failure coherence tolerates them staying down.
 func (d *Dist) Reconnect() error {
 	var firstErr error
-	if rc, ok := d.meta.(vfs.Reconnector); ok {
+	if rc := vfs.Capabilities(d.meta).Reconnector; rc != nil {
 		if err := rc.Reconnect(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	for i := range d.servers {
-		if rc, ok := d.servers[i].FS.(vfs.Reconnector); ok {
+		if rc := vfs.Capabilities(d.servers[i].FS).Reconnector; rc != nil {
 			if err := rc.Reconnect(); err != nil && firstErr == nil {
 				firstErr = err
 			}

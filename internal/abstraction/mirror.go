@@ -1,10 +1,12 @@
 package abstraction
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tss/internal/obs"
 	"tss/internal/resilient"
 	"tss/internal/vfs"
 )
@@ -38,6 +40,16 @@ type MirrorFS struct {
 	hedge    time.Duration
 	probe    func(fs vfs.FileSystem) error
 
+	// Registry counters shadowing Stats (nil without a registry): the
+	// same numbers, visible on /metrics next to the latency histograms.
+	mTrips       *obs.Counter
+	mProbes      *obs.Counter
+	mReadmits    *obs.Counter
+	mHedges      *obs.Counter
+	mHedgeWins   *obs.Counter
+	mHedgeLosses *obs.Counter
+	mFastFails   *obs.Counter
+
 	// Stats exposes health and hedging counters.
 	Stats MirrorStats
 }
@@ -56,6 +68,11 @@ type MirrorStats struct {
 	Hedges atomic.Int64
 	// HedgeWins counts reads answered first by the hedge.
 	HedgeWins atomic.Int64
+	// HedgeLosses counts hedged requests that lost the race (their
+	// result was reaped after another replica answered first). Together
+	// with HedgeWins this tells whether the hedge delay is earning its
+	// extra load.
+	HedgeLosses atomic.Int64
 	// FastFails counts operations refused immediately because every
 	// replica's breaker was open.
 	FastFails atomic.Int64
@@ -72,6 +89,12 @@ type MirrorOptions struct {
 	// Probe is the half-open health check run against a demoted
 	// replica; nil means Stat of the root.
 	Probe func(fs vfs.FileSystem) error
+	// Metrics, when non-nil, receives per-replica breaker state gauges
+	// ("<layer>.replica<i>.breaker_state": 0 closed, 1 open, 2
+	// half-open) and health counters under the layer prefix.
+	Metrics *obs.Registry
+	// Layer tags this mirror's metrics (default "mirror").
+	Layer string
 }
 
 var _ vfs.FileSystem = (*MirrorFS)(nil)
@@ -94,7 +117,7 @@ func NewMirrorOptions(opts MirrorOptions, replicas ...vfs.FileSystem) (*MirrorFS
 		// own (recovery belongs to the caller, §6), so re-establish
 		// the connection before asking for proof of life.
 		probe = func(fs vfs.FileSystem) error {
-			if rc, ok := fs.(vfs.Reconnector); ok {
+			if rc := vfs.Capabilities(fs).Reconnector; rc != nil {
 				if err := rc.Reconnect(); err != nil {
 					return err
 				}
@@ -109,8 +132,35 @@ func NewMirrorOptions(opts MirrorOptions, replicas ...vfs.FileSystem) (*MirrorFS
 		hedge:    opts.Hedge,
 		probe:    probe,
 	}
+	layer := opts.Layer
+	if layer == "" {
+		layer = "mirror"
+	}
+	if reg := opts.Metrics; reg != nil {
+		m.mTrips = reg.Counter(layer + ".trips")
+		m.mProbes = reg.Counter(layer + ".probes")
+		m.mReadmits = reg.Counter(layer + ".readmits")
+		m.mHedges = reg.Counter(layer + ".hedges")
+		m.mHedgeWins = reg.Counter(layer + ".hedge_wins")
+		m.mHedgeLosses = reg.Counter(layer + ".hedge_losses")
+		m.mFastFails = reg.Counter(layer + ".fast_fails")
+	}
 	for i := range replicas {
-		m.breakers[i] = resilient.NewBreaker(opts.Breaker)
+		cfg := opts.Breaker
+		if reg := opts.Metrics; reg != nil {
+			// Chain a state gauge onto any observer the caller installed:
+			// each transition lands the new state in
+			// "<layer>.replica<i>.breaker_state".
+			gauge := reg.Gauge(fmt.Sprintf("%s.replica%d.breaker_state", layer, i))
+			user := cfg.OnStateChange
+			cfg.OnStateChange = func(from, to resilient.State) {
+				gauge.Set(int64(to))
+				if user != nil {
+					user(from, to)
+				}
+			}
+		}
+		m.breakers[i] = resilient.NewBreaker(cfg)
 	}
 	return m, nil
 }
@@ -136,6 +186,7 @@ func unreachable(err error) bool {
 func (m *MirrorFS) record(i int, err error) {
 	if m.breakers[i].Record(err) {
 		m.Stats.Trips.Add(1)
+		m.mTrips.Inc()
 	}
 }
 
@@ -161,10 +212,12 @@ func (m *MirrorFS) maybeProbe(i int) {
 		return
 	}
 	m.Stats.Probes.Add(1)
+	m.mProbes.Inc()
 	go func() {
 		err := m.probe(m.replicas[i])
 		if m.breakers[i].RecordProbe(err) {
 			m.Stats.Readmits.Add(1)
+			m.mReadmits.Inc()
 		}
 	}()
 }
@@ -181,6 +234,7 @@ func (m *MirrorFS) read(op func(fs vfs.FileSystem) (any, error), discard func(v 
 	}
 	if len(ready) == 0 {
 		m.Stats.FastFails.Add(1)
+		m.mFastFails.Inc()
 		return nil, -1, vfs.ENOTCONN
 	}
 	if m.hedge > 0 && len(ready) > 1 {
@@ -223,14 +277,19 @@ func (m *MirrorFS) hedgedRead(ready []int, op func(fs vfs.FileSystem) (any, erro
 	timer := time.NewTimer(m.hedge)
 	defer timer.Stop()
 	// reap drains straggler results in the background, releasing any
-	// resources they carry.
+	// resources they carry and counting hedges that lost the race.
 	reap := func(n int) {
 		if n == 0 {
 			return
 		}
 		go func() {
 			for j := 0; j < n; j++ {
-				if r := <-ch; r.err == nil && discard != nil {
+				r := <-ch
+				if r.hedged {
+					m.Stats.HedgeLosses.Add(1)
+					m.mHedgeLosses.Inc()
+				}
+				if r.err == nil && discard != nil {
 					discard(r.v)
 				}
 			}
@@ -244,6 +303,7 @@ func (m *MirrorFS) hedgedRead(ready []int, op func(fs vfs.FileSystem) (any, erro
 			if r.err == nil || !unreachable(r.err) {
 				if r.hedged && r.err == nil {
 					m.Stats.HedgeWins.Add(1)
+					m.mHedgeWins.Inc()
 				}
 				reap(pending)
 				return r.v, r.idx, r.err
@@ -257,6 +317,7 @@ func (m *MirrorFS) hedgedRead(ready []int, op func(fs vfs.FileSystem) (any, erro
 		case <-timer.C:
 			if launched < len(ready) {
 				m.Stats.Hedges.Add(1)
+				m.mHedges.Inc()
 				launch(launched, true)
 				launched++
 				pending++
@@ -277,6 +338,7 @@ func (m *MirrorFS) applyAll(op func(i int, fs vfs.FileSystem) error) error {
 	}
 	if len(ready) == 0 {
 		m.Stats.FastFails.Add(1)
+		m.mFastFails.Inc()
 		return vfs.ENOTCONN
 	}
 	reached := false
@@ -425,7 +487,7 @@ func (m *MirrorFS) StatFS() (vfs.FSInfo, error) {
 func (m *MirrorFS) Reconnect() error {
 	var firstErr error
 	for _, r := range m.replicas {
-		if rc, ok := r.(vfs.Reconnector); ok {
+		if rc := vfs.Capabilities(r).Reconnector; rc != nil {
 			if err := rc.Reconnect(); err != nil && firstErr == nil {
 				firstErr = err
 			}

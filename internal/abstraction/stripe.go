@@ -59,7 +59,7 @@ func retryMember(p resilient.Policy, fs vfs.FileSystem, op func() error) error {
 		return op()
 	}
 	var prepare func() error
-	if rc, ok := fs.(vfs.Reconnector); ok {
+	if rc := vfs.Capabilities(fs).Reconnector; rc != nil {
 		prepare = rc.Reconnect
 	}
 	err, exhausted := p.Do(op, prepare, resilient.Retryable)

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tss/internal/obs"
 	"tss/internal/pathutil"
 	"tss/internal/resilient"
 	"tss/internal/vfs"
@@ -61,6 +62,11 @@ type Config struct {
 	// Sleep replaces time.Sleep in backoff loops (tests). Nil means
 	// time.Sleep.
 	Sleep func(time.Duration)
+	// Metrics, when non-nil, shadows Stats into registry counters
+	// ("adapter.ops", "adapter.retries", "adapter.reconnects",
+	// "adapter.stale", "adapter.gave_up") so per-process syscall counts
+	// appear on /metrics. Nil disables instrumentation at zero cost.
+	Metrics *obs.Registry
 }
 
 // Mount binds a logical path prefix to an abstraction.
@@ -90,6 +96,13 @@ type Stats struct {
 type Adapter struct {
 	cfg Config
 
+	// Registry counters shadowing Stats; all nil without a registry.
+	mOps        *obs.Counter
+	mRetries    *obs.Counter
+	mReconnects *obs.Counter
+	mStale      *obs.Counter
+	mGaveUp     *obs.Counter
+
 	// Stats exposes operation and recovery counters.
 	Stats Stats
 
@@ -111,7 +124,15 @@ func New(cfg Config) *Adapter {
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
 	}
-	return &Adapter{cfg: cfg, resolved: make(map[string]vfs.FileSystem)}
+	a := &Adapter{cfg: cfg, resolved: make(map[string]vfs.FileSystem)}
+	if reg := cfg.Metrics; reg != nil {
+		a.mOps = reg.Counter("adapter.ops")
+		a.mRetries = reg.Counter("adapter.retries")
+		a.mReconnects = reg.Counter("adapter.reconnects")
+		a.mStale = reg.Counter("adapter.stale")
+		a.mGaveUp = reg.Counter("adapter.gave_up")
+	}
+	return a
 }
 
 // MountFS binds prefix to fs; longer prefixes shadow shorter ones.
@@ -245,6 +266,7 @@ func (a *Adapter) resolve(path string) (vfs.FileSystem, string, error) {
 // and counts the operation.
 func (a *Adapter) trap(n int) {
 	a.Stats.Ops.Add(1)
+	a.mOps.Inc()
 	if a.cfg.Trap != nil {
 		a.cfg.Trap.Trap(n)
 	}
@@ -260,15 +282,18 @@ func (a *Adapter) policy() resilient.Policy {
 		Jitter:   a.cfg.RetryJitter,
 		Budget:   a.cfg.RetryBudget,
 		Sleep:    a.cfg.Sleep,
-		OnRetry:  func(int, error) { a.Stats.Retries.Add(1) },
+		OnRetry: func(int, error) {
+			a.Stats.Retries.Add(1)
+			a.mRetries.Inc()
+		},
 	}
 }
 
 // retry runs op, driving the §6 recovery protocol when the abstraction
 // reports a lost or timed-out connection: backoff, reconnect, retry.
 func (a *Adapter) retry(fs vfs.FileSystem, op func() error) error {
-	rc, ok := fs.(vfs.Reconnector)
-	if !ok {
+	rc := vfs.Capabilities(fs).Reconnector
+	if rc == nil {
 		// No recovery path: one shot, errors surface unchanged.
 		return op()
 	}
@@ -277,11 +302,13 @@ func (a *Adapter) retry(fs vfs.FileSystem, op func() error) error {
 			return rerr
 		}
 		a.Stats.Reconnects.Add(1)
+		a.mReconnects.Inc()
 		return nil
 	}
 	err, exhausted := a.policy().Do(op, prepare, resilient.Retryable)
 	if exhausted {
 		a.Stats.GaveUp.Add(1)
+		a.mGaveUp.Inc()
 		return vfs.ETIMEDOUT
 	}
 	return err
@@ -302,7 +329,8 @@ func (a *Adapter) Open(path string, flags int, mode uint32) (vfs.File, error) {
 	}
 	var f vfs.File
 	var inode uint64
-	opener, hasOpenStat := fs.(vfs.OpenStater)
+	opener := vfs.Capabilities(fs).OpenStater
+	hasOpenStat := opener != nil
 	err = a.retry(fs, func() error {
 		var e error
 		if hasOpenStat {
@@ -533,17 +561,19 @@ func (af *adapterFile) do(op func(f vfs.File) error) error {
 	if af.stale {
 		return vfs.ESTALE
 	}
-	rc, canReconnect := af.fs.(vfs.Reconnector)
+	rc := vfs.Capabilities(af.fs).Reconnector
 	prepare := func() error {
-		if canReconnect {
+		if rc != nil {
 			if rerr := rc.Reconnect(); rerr != nil {
 				return rerr
 			}
 			af.a.Stats.Reconnects.Add(1)
+			af.a.mReconnects.Inc()
 		}
 		if rerr := af.recoverFile(); rerr != nil {
 			if rerr == vfs.ESTALE {
 				af.a.Stats.Stale.Add(1)
+				af.a.mStale.Inc()
 				// A stale handle is unrecoverable: abort the loop.
 				return resilient.Permanent(vfs.ESTALE)
 			}
@@ -554,6 +584,7 @@ func (af *adapterFile) do(op func(f vfs.File) error) error {
 	err, exhausted := af.a.policy().Do(func() error { return op(af.f) }, prepare, resilient.Retryable)
 	if exhausted {
 		af.a.Stats.GaveUp.Add(1)
+		af.a.mGaveUp.Inc()
 		return vfs.ETIMEDOUT
 	}
 	return err

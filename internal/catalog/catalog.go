@@ -30,6 +30,12 @@ type Report struct {
 	TotalBytes int64  `json:"total_bytes"`
 	FreeBytes  int64  `json:"free_bytes"`
 	RootACL    string `json:"root_acl,omitempty"`
+	// Load summary, filled from the server's counters so a catalog
+	// listing doubles as a fleet dashboard (zeroes omitted).
+	Connections  int64 `json:"connections,omitempty"`
+	Requests     int64 `json:"requests,omitempty"`
+	BytesRead    int64 `json:"bytes_read,omitempty"`
+	BytesWritten int64 `json:"bytes_written,omitempty"`
 	// Received is stamped by the catalog, not the reporter.
 	Received time.Time `json:"received"`
 }
@@ -135,6 +141,12 @@ func (s *Server) ClassAds() string {
 		fmt.Fprintf(&b, "Owner = %q\n", r.Owner)
 		fmt.Fprintf(&b, "TotalBytes = %d\n", r.TotalBytes)
 		fmt.Fprintf(&b, "FreeBytes = %d\n", r.FreeBytes)
+		if r.Requests > 0 || r.Connections > 0 {
+			fmt.Fprintf(&b, "Connections = %d\n", r.Connections)
+			fmt.Fprintf(&b, "Requests = %d\n", r.Requests)
+			fmt.Fprintf(&b, "BytesRead = %d\n", r.BytesRead)
+			fmt.Fprintf(&b, "BytesWritten = %d\n", r.BytesWritten)
+		}
 		fmt.Fprintf(&b, "LastReport = %q\n", r.Received.UTC().Format(time.RFC3339))
 		b.WriteString("\n")
 	}

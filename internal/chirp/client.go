@@ -10,6 +10,7 @@ import (
 
 	"tss/internal/auth"
 	"tss/internal/chirp/proto"
+	"tss/internal/obs"
 	"tss/internal/vfs"
 )
 
@@ -21,6 +22,10 @@ type ClientConfig struct {
 	Credentials []auth.Credential
 	// Timeout bounds each RPC round trip (0 = none).
 	Timeout time.Duration
+	// Metrics, when non-nil, receives round-trip latency histograms
+	// ("chirp_client.rpc.<verb>") and reconnect/error counters. Nil
+	// disables instrumentation at zero cost.
+	Metrics *obs.Registry
 }
 
 // Client speaks the Chirp protocol to one file server. It implements
@@ -31,6 +36,12 @@ type ClientConfig struct {
 // single connection, exactly as the protocol requires.
 type Client struct {
 	cfg ClientConfig
+
+	// Per-verb round-trip histograms and connection-health counters,
+	// pre-resolved at Dial; all nil without a registry.
+	rpcHist     map[string]*obs.Histogram
+	mRPCErrors  *obs.Counter
+	mReconnects *obs.Counter
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -44,6 +55,9 @@ var (
 	_ vfs.FileSystem  = (*Client)(nil)
 	_ vfs.Closer      = (*Client)(nil)
 	_ vfs.Reconnector = (*Client)(nil)
+	_ vfs.FileGetter  = (*Client)(nil)
+	_ vfs.FilePutter  = (*Client)(nil)
+	_ vfs.OpenStater  = (*Client)(nil)
 )
 
 // Dial connects and authenticates a new client.
@@ -52,10 +66,30 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("chirp: ClientConfig.Dial is required")
 	}
 	c := &Client{cfg: cfg}
+	if reg := cfg.Metrics; reg != nil {
+		c.rpcHist = make(map[string]*obs.Histogram, len(rpcVerbs))
+		for _, v := range rpcVerbs {
+			c.rpcHist[v] = reg.Histogram("chirp_client.rpc." + v)
+		}
+		c.mRPCErrors = reg.Counter("chirp_client.rpc_errors")
+		c.mReconnects = reg.Counter("chirp_client.reconnects")
+	}
 	if err := c.Reconnect(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// observeRPC times one round trip into the per-verb histogram and
+// counts failures. No-op when metrics are disabled.
+func (c *Client) observeRPC(verb string, start time.Time, err error) {
+	if c.rpcHist == nil {
+		return
+	}
+	c.rpcHist[verb].Observe(time.Since(start))
+	if err != nil {
+		c.mRPCErrors.Inc()
+	}
 }
 
 // DialTCP is a convenience for connecting over TCP.
@@ -95,6 +129,10 @@ func (c *Client) Reconnect() error {
 	c.bw = bw
 	c.subject = subject
 	c.gen++
+	if c.gen > 1 {
+		// The first connection is a dial; everything after is a repair.
+		c.mReconnects.Inc()
+	}
 	return nil
 }
 
@@ -158,7 +196,10 @@ func (c *Client) failLocked(err error) vfs.Errno {
 // connection. payload, when non-nil, is sent after the request line.
 // The handler, when non-nil, consumes any post-status response body;
 // it runs with the lock held and must fully drain the body.
-func (c *Client) rpc(req *proto.Request, payload []byte, handler func(code int64, br *bufio.Reader) error) (int64, error) {
+func (c *Client) rpc(req *proto.Request, payload []byte, handler func(code int64, br *bufio.Reader) error) (_ int64, rpcErr error) {
+	if c.rpcHist != nil {
+		defer func(start time.Time) { c.observeRPC(req.Verb, start, rpcErr) }(time.Now())
+	}
 	line, err := req.Encode()
 	if err != nil {
 		return 0, vfs.EINVAL
@@ -383,8 +424,13 @@ func (c *Client) GetFile(path string, w io.Writer) (int64, error) {
 	return copied, copyErr
 }
 
-// PutFile streams size bytes from r into the named file (putfile RPC).
-func (c *Client) PutFile(path string, mode uint32, size int64, r io.Reader) error {
+// PutFile streams size bytes from r into the named file (putfile RPC):
+// one round trip regardless of size (vfs.FilePutter), symmetric with
+// GetFile.
+func (c *Client) PutFile(path string, mode uint32, size int64, r io.Reader) (rpcErr error) {
+	if c.rpcHist != nil {
+		defer func(start time.Time) { c.observeRPC("putfile", start, rpcErr) }(time.Now())
+	}
 	line, err := (&proto.Request{Verb: "putfile", Path: path, Mode: int64(mode), Length: size}).Encode()
 	if err != nil {
 		return vfs.EINVAL

@@ -25,6 +25,7 @@ import (
 	"tss/internal/acl"
 	"tss/internal/auth"
 	"tss/internal/chirp/proto"
+	"tss/internal/obs"
 	"tss/internal/pathutil"
 	"tss/internal/vfs"
 )
@@ -50,6 +51,10 @@ type ServerConfig struct {
 	IdleTimeout time.Duration
 	// Logf, when non-nil, receives one line per connection event.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives per-RPC counts, latency
+	// histograms ("chirp_server.rpc.<verb>"), byte counters, and the
+	// drain gauge. Nil disables instrumentation at zero cost.
+	Metrics *obs.Registry
 }
 
 // ServerStats holds monotonic counters exposed for catalogs and tests.
@@ -77,7 +82,27 @@ type Server struct {
 	listeners map[net.Listener]struct{}
 	connWG    sync.WaitGroup
 
+	// Per-RPC metrics, pre-resolved at construction so the serving
+	// loop pays one map lookup per request; all nil without a registry.
+	rpcHist       map[string]*obs.Histogram
+	mRPCUnknown   *obs.Counter
+	mRPCErrors    *obs.Counter
+	mConnections  *obs.Counter
+	mRequests     *obs.Counter
+	mBytesRead    *obs.Counter
+	mBytesWritten *obs.Counter
+	mDraining     *obs.Gauge
+
 	Stats ServerStats
+}
+
+// rpcVerbs is every verb the dispatch loop understands; the histogram
+// set is fixed at construction so /metrics shows all RPCs from boot.
+var rpcVerbs = []string{
+	"open", "pread", "pwrite", "fstat", "fsync", "ftruncate", "close",
+	"stat", "unlink", "rename", "mkdir", "rmdir", "getdir",
+	"getfile", "putfile", "truncate", "chmod", "getacl", "setacl",
+	"statfs", "whoami",
 }
 
 // connState tracks one connection's drain-relevant state: whether a
@@ -103,10 +128,32 @@ func NewServer(root string, cfg ServerConfig) (*Server, error) {
 		cfg.Owner = "unix:owner"
 	}
 	s := &Server{cfg: cfg, fs: fs}
+	if reg := cfg.Metrics; reg != nil {
+		s.rpcHist = make(map[string]*obs.Histogram, len(rpcVerbs))
+		for _, v := range rpcVerbs {
+			s.rpcHist[v] = reg.Histogram("chirp_server.rpc." + v)
+		}
+		s.mRPCUnknown = reg.Counter("chirp_server.rpc_unknown")
+		s.mRPCErrors = reg.Counter("chirp_server.rpc_errors")
+		s.mConnections = reg.Counter("chirp_server.connections")
+		s.mRequests = reg.Counter("chirp_server.requests")
+		s.mBytesRead = reg.Counter("chirp_server.bytes_read")
+		s.mBytesWritten = reg.Counter("chirp_server.bytes_written")
+		s.mDraining = reg.Gauge("chirp_server.draining")
+	}
 	if err := s.ensureRootACL(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// observeRPC times one dispatched request into the per-verb histogram.
+func (s *Server) observeRPC(verb string, start time.Time) {
+	if h, ok := s.rpcHist[verb]; ok {
+		h.Observe(time.Since(start))
+		return
+	}
+	s.mRPCUnknown.Inc()
 }
 
 // Name returns the advertised server name.
@@ -291,6 +338,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // connections permanently.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.mDraining.Set(1)
 	s.connMu.Lock()
 	for l := range s.listeners {
 		l.Close()
@@ -349,6 +397,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		s.untrack(conn)
 	}()
 	s.Stats.Connections.Add(1)
+	s.mConnections.Inc()
 
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
@@ -382,6 +431,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		st.mu.Unlock()
 		s.Stats.Requests.Add(1)
+		s.mRequests.Inc()
 		if err := sess.dispatch(line, br, bw); err != nil {
 			s.logf("chirp: %s: fatal: %v", subject, err)
 			return
@@ -435,8 +485,14 @@ func respondCode(bw *bufio.Writer, v int64) error {
 	return err
 }
 
-func respondErr(bw *bufio.Writer, err error) error {
-	return respondCode(bw, int64(vfs.Code(err)))
+// respondErr reports a per-request status to the client, counting
+// failed requests into the server metrics.
+func (ss *session) respondErr(bw *bufio.Writer, err error) error {
+	code := vfs.Code(err)
+	if code != 0 {
+		ss.srv.mRPCErrors.Inc()
+	}
+	return respondCode(bw, int64(code))
 }
 
 // dispatch handles one request. A returned error is fatal to the
@@ -447,7 +503,10 @@ func (ss *session) dispatch(line string, br *bufio.Reader, bw *bufio.Writer) err
 	if err != nil {
 		// Unknown or malformed verb with no data phase: report and
 		// continue; the line framing is intact.
-		return respondErr(bw, vfs.EINVAL)
+		return ss.respondErr(bw, vfs.EINVAL)
+	}
+	if ss.srv.rpcHist != nil {
+		defer ss.srv.observeRPC(req.Verb, time.Now())
 	}
 	switch req.Verb {
 	case "open":
@@ -497,13 +556,13 @@ func (ss *session) dispatch(line string, br *bufio.Reader, bw *bufio.Writer) err
 		_, err := fmt.Fprintf(bw, "%s\n", proto.Escape(string(ss.subject)))
 		return err
 	}
-	return respondErr(bw, vfs.EINVAL)
+	return ss.respondErr(bw, vfs.EINVAL)
 }
 
 func (ss *session) handleOpen(req *proto.Request, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	flags := int(req.Flags)
 	want := acl.R
@@ -511,14 +570,14 @@ func (ss *session) handleOpen(req *proto.Request, bw *bufio.Writer) error {
 		want = acl.W
 	}
 	if err := ss.srv.checkParent(ss.subject, path, want); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if len(ss.files) >= ss.srv.cfg.MaxFDs {
-		return respondErr(bw, vfs.EMFILE)
+		return ss.respondErr(bw, vfs.EMFILE)
 	}
 	f, err := ss.srv.fs.Open(path, flags, uint32(req.Mode))
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	// The open response carries the stat line, so clients get the
 	// metadata (notably the inode, which the adapter's recovery
@@ -526,7 +585,7 @@ func (ss *session) handleOpen(req *proto.Request, bw *bufio.Writer) error {
 	fi, err := f.Fstat()
 	if err != nil {
 		f.Close()
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	ss.nextFD++
 	fd := ss.nextFD
@@ -549,17 +608,18 @@ func (ss *session) fd(id int64) (*openFD, error) {
 func (ss *session) handlePread(req *proto.Request, bw *bufio.Writer) error {
 	f, err := ss.fd(req.FD)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if req.Length < 0 || req.Length > proto.MaxIOSize || req.Offset < 0 {
-		return respondErr(bw, vfs.EINVAL)
+		return ss.respondErr(bw, vfs.EINVAL)
 	}
 	buf := make([]byte, req.Length)
 	n, err := f.file.Pread(buf, req.Offset)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	ss.srv.Stats.BytesRead.Add(int64(n))
+	ss.srv.mBytesRead.Add(int64(n))
 	if err := respondCode(bw, int64(n)); err != nil {
 		return err
 	}
@@ -570,7 +630,7 @@ func (ss *session) handlePread(req *proto.Request, bw *bufio.Writer) error {
 func (ss *session) handlePwrite(req *proto.Request, br *bufio.Reader, bw *bufio.Writer) error {
 	if req.Length < 0 || req.Length > proto.MaxIOSize || req.Offset < 0 {
 		// Cannot honor the data phase safely; the stream is desynced.
-		respondErr(bw, vfs.EINVAL)
+		ss.respondErr(bw, vfs.EINVAL)
 		return fmt.Errorf("pwrite length out of range")
 	}
 	buf := make([]byte, req.Length)
@@ -579,24 +639,25 @@ func (ss *session) handlePwrite(req *proto.Request, br *bufio.Reader, bw *bufio.
 	}
 	f, err := ss.fd(req.FD)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	n, err := f.file.Pwrite(buf, req.Offset)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	ss.srv.Stats.BytesWriten.Add(int64(n))
+	ss.srv.mBytesWritten.Add(int64(n))
 	return respondCode(bw, int64(n))
 }
 
 func (ss *session) handleFstat(req *proto.Request, bw *bufio.Writer) error {
 	f, err := ss.fd(req.FD)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	fi, err := f.file.Fstat()
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := respondCode(bw, 0); err != nil {
 		return err
@@ -608,42 +669,42 @@ func (ss *session) handleFstat(req *proto.Request, bw *bufio.Writer) error {
 func (ss *session) handleFsync(req *proto.Request, bw *bufio.Writer) error {
 	f, err := ss.fd(req.FD)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
-	return respondErr(bw, f.file.Sync())
+	return ss.respondErr(bw, f.file.Sync())
 }
 
 func (ss *session) handleFtruncate(req *proto.Request, bw *bufio.Writer) error {
 	f, err := ss.fd(req.FD)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if req.Size < 0 {
-		return respondErr(bw, vfs.EINVAL)
+		return ss.respondErr(bw, vfs.EINVAL)
 	}
-	return respondErr(bw, f.file.Ftruncate(req.Size))
+	return ss.respondErr(bw, f.file.Ftruncate(req.Size))
 }
 
 func (ss *session) handleClose(req *proto.Request, bw *bufio.Writer) error {
 	f, err := ss.fd(req.FD)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	delete(ss.files, req.FD)
-	return respondErr(bw, f.file.Close())
+	return ss.respondErr(bw, f.file.Close())
 }
 
 func (ss *session) handleStat(req *proto.Request, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := ss.srv.checkParent(ss.subject, path, acl.L); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	fi, err := ss.srv.fs.Stat(path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := respondCode(bw, 0); err != nil {
 		return err
@@ -655,45 +716,45 @@ func (ss *session) handleStat(req *proto.Request, bw *bufio.Writer) error {
 func (ss *session) handleUnlink(req *proto.Request, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := ss.srv.checkParentEither(ss.subject, path, acl.W, acl.D); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
-	return respondErr(bw, ss.srv.fs.Unlink(path))
+	return ss.respondErr(bw, ss.srv.fs.Unlink(path))
 }
 
 func (ss *session) handleRename(req *proto.Request, bw *bufio.Writer) error {
 	oldPath, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	newPath, err := normPath(req.Path2)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := ss.srv.checkParentEither(ss.subject, oldPath, acl.W, acl.D); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := ss.srv.checkParent(ss.subject, newPath, acl.W); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
-	return respondErr(bw, ss.srv.fs.Rename(oldPath, newPath))
+	return ss.respondErr(bw, ss.srv.fs.Rename(oldPath, newPath))
 }
 
 func (ss *session) handleMkdir(req *proto.Request, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if pathutil.IsRoot(path) {
-		return respondErr(bw, vfs.EEXIST)
+		return ss.respondErr(bw, vfs.EEXIST)
 	}
 	ss.srv.aclMu.Lock()
 	defer ss.srv.aclMu.Unlock()
 	parent, err := ss.srv.effectiveACL(pathutil.Dir(path))
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	rights, reserve := parent.RightsFor(string(ss.subject))
 	var childACL *acl.List
@@ -709,14 +770,14 @@ func (ss *session) handleMkdir(req *proto.Request, bw *bufio.Writer) error {
 		childACL = &acl.List{}
 		childACL.Set(string(ss.subject), reserve, 0)
 	default:
-		return respondErr(bw, vfs.EACCES)
+		return ss.respondErr(bw, vfs.EACCES)
 	}
 	if err := ss.srv.fs.Mkdir(path, uint32(req.Mode)); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := ss.srv.writeACL(path, childACL); err != nil {
 		ss.srv.fs.Rmdir(path)
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	return respondCode(bw, 0)
 }
@@ -724,13 +785,13 @@ func (ss *session) handleMkdir(req *proto.Request, bw *bufio.Writer) error {
 func (ss *session) handleRmdir(req *proto.Request, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if pathutil.IsRoot(path) {
-		return respondErr(bw, vfs.EBUSY)
+		return ss.respondErr(bw, vfs.EBUSY)
 	}
 	if err := ss.srv.checkParentEither(ss.subject, path, acl.W, acl.D); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	ss.srv.aclMu.Lock()
 	defer ss.srv.aclMu.Unlock()
@@ -738,7 +799,7 @@ func (ss *session) handleRmdir(req *proto.Request, bw *bufio.Writer) error {
 	// empty; remove the ACL first, restoring it if rmdir then fails.
 	ents, err := ss.srv.fs.ReadDir(path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	hadACL := false
 	for _, e := range ents {
@@ -746,20 +807,20 @@ func (ss *session) handleRmdir(req *proto.Request, bw *bufio.Writer) error {
 			hadACL = true
 			continue
 		}
-		return respondErr(bw, vfs.ENOTEMPTY)
+		return ss.respondErr(bw, vfs.ENOTEMPTY)
 	}
 	var saved *acl.List
 	if hadACL {
 		saved, _ = ss.srv.readACL(path)
 		if err := ss.srv.fs.Unlink(pathutil.Join(path, ACLFileName)); err != nil {
-			return respondErr(bw, err)
+			return ss.respondErr(bw, err)
 		}
 	}
 	if err := ss.srv.fs.Rmdir(path); err != nil {
 		if saved != nil {
 			ss.srv.writeACL(path, saved)
 		}
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	return respondCode(bw, 0)
 }
@@ -767,14 +828,14 @@ func (ss *session) handleRmdir(req *proto.Request, bw *bufio.Writer) error {
 func (ss *session) handleGetdir(req *proto.Request, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := ss.srv.checkDir(ss.subject, path, acl.L); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	ents, err := ss.srv.fs.ReadDir(path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	visible := ents[:0]
 	for _, e := range ents {
@@ -796,19 +857,19 @@ func (ss *session) handleGetdir(req *proto.Request, bw *bufio.Writer) error {
 func (ss *session) handleGetfile(req *proto.Request, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := ss.srv.checkParent(ss.subject, path, acl.R); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	f, err := ss.srv.fs.Open(path, vfs.O_RDONLY, 0)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	defer f.Close()
 	fi, err := f.Fstat()
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := respondCode(bw, fi.Size); err != nil {
 		return err
@@ -838,6 +899,7 @@ func (ss *session) handleGetfile(req *proto.Request, bw *bufio.Writer) error {
 		}
 		off += int64(n)
 		ss.srv.Stats.BytesRead.Add(int64(n))
+		ss.srv.mBytesRead.Add(int64(n))
 	}
 	return nil
 }
@@ -847,20 +909,20 @@ func (ss *session) handlePutfile(req *proto.Request, br *bufio.Reader, bw *bufio
 	if err != nil {
 		// Must still consume the data phase to stay in sync.
 		io.CopyN(io.Discard, br, req.Length)
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if req.Length < 0 {
-		respondErr(bw, vfs.EINVAL)
+		ss.respondErr(bw, vfs.EINVAL)
 		return fmt.Errorf("putfile negative length")
 	}
 	if err := ss.srv.checkParent(ss.subject, path, acl.W); err != nil {
 		io.CopyN(io.Discard, br, req.Length)
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	f, err := ss.srv.fs.Open(path, vfs.O_WRONLY|vfs.O_CREAT|vfs.O_TRUNC, uint32(req.Mode))
 	if err != nil {
 		io.CopyN(io.Discard, br, req.Length)
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	buf := make([]byte, 256<<10)
 	var off int64
@@ -876,13 +938,14 @@ func (ss *session) handlePutfile(req *proto.Request, br *bufio.Reader, bw *bufio
 		if err := vfs.WriteAll(f, buf[:want], off); err != nil {
 			f.Close()
 			io.CopyN(io.Discard, br, req.Length-off-want)
-			return respondErr(bw, err)
+			return ss.respondErr(bw, err)
 		}
 		off += want
 		ss.srv.Stats.BytesWriten.Add(want)
+		ss.srv.mBytesWritten.Add(want)
 	}
 	if err := f.Close(); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	return respondCode(bw, req.Length)
 }
@@ -890,41 +953,41 @@ func (ss *session) handlePutfile(req *proto.Request, br *bufio.Reader, bw *bufio
 func (ss *session) handleTruncate(req *proto.Request, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if req.Size < 0 {
-		return respondErr(bw, vfs.EINVAL)
+		return ss.respondErr(bw, vfs.EINVAL)
 	}
 	if err := ss.srv.checkParent(ss.subject, path, acl.W); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
-	return respondErr(bw, ss.srv.fs.Truncate(path, req.Size))
+	return ss.respondErr(bw, ss.srv.fs.Truncate(path, req.Size))
 }
 
 func (ss *session) handleChmod(req *proto.Request, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := ss.srv.checkParent(ss.subject, path, acl.W); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
-	return respondErr(bw, ss.srv.fs.Chmod(path, uint32(req.Mode)))
+	return ss.respondErr(bw, ss.srv.fs.Chmod(path, uint32(req.Mode)))
 }
 
 func (ss *session) handleGetacl(req *proto.Request, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := ss.srv.checkDir(ss.subject, path, acl.L); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	ss.srv.aclMu.Lock()
 	list, err := ss.srv.effectiveACL(path)
 	ss.srv.aclMu.Unlock()
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := respondCode(bw, int64(len(list.Entries))); err != nil {
 		return err
@@ -940,30 +1003,30 @@ func (ss *session) handleGetacl(req *proto.Request, bw *bufio.Writer) error {
 func (ss *session) handleSetacl(req *proto.Request, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := ss.srv.checkDir(ss.subject, path, acl.A); err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	rights, reserve, err := acl.ParseSpec(req.Rights)
 	if err != nil {
-		return respondErr(bw, vfs.EINVAL)
+		return ss.respondErr(bw, vfs.EINVAL)
 	}
 	ss.srv.aclMu.Lock()
 	defer ss.srv.aclMu.Unlock()
 	list, err := ss.srv.effectiveACL(path)
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	list = list.Clone()
 	list.Set(req.Subject, rights, reserve)
-	return respondErr(bw, ss.srv.writeACL(path, list))
+	return ss.respondErr(bw, ss.srv.writeACL(path, list))
 }
 
 func (ss *session) handleStatfs(bw *bufio.Writer) error {
 	info, err := ss.srv.fs.StatFS()
 	if err != nil {
-		return respondErr(bw, err)
+		return ss.respondErr(bw, err)
 	}
 	if err := respondCode(bw, 0); err != nil {
 		return err

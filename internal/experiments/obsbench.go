@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"tss/internal/abstraction"
+	"tss/internal/adapter"
+	"tss/internal/auth"
+	"tss/internal/chirp"
+	"tss/internal/netsim"
+	"tss/internal/obs"
+	"tss/internal/vfs"
+)
+
+// ObsBenchConfig sizes the observability benchmark.
+type ObsBenchConfig struct {
+	// Files is the number of files seeded into the stack.
+	Files int
+	// FileSize is the size of each file in bytes.
+	FileSize int
+	// Reads is the number of whole-file reads driven through the
+	// adapter.
+	Reads int
+	// Link shapes the client↔server links.
+	Link netsim.LinkProfile
+	// Quick marks the reduced configuration in the report.
+	Quick bool
+}
+
+// DefaultObsBench returns the full-size configuration; quick shrinks it
+// for a fast pass.
+func DefaultObsBench(quick bool) ObsBenchConfig {
+	cfg := ObsBenchConfig{
+		Files:    32,
+		FileSize: 64 << 10,
+		Reads:    256,
+		Link:     netsim.GigE,
+	}
+	if quick {
+		cfg.Files, cfg.FileSize, cfg.Reads = 8, 16<<10, 64
+		cfg.Quick = true
+	}
+	return cfg
+}
+
+// ObsLayerSummary condenses one layer's operation histogram for the
+// benchmark report.
+type ObsLayerSummary struct {
+	Metric string  `json:"metric"` // "<layer>.<op>"
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+// ObsBenchReport is the result of the observability benchmark: the
+// per-layer latency decomposition of a CFS-over-mirror-over-chirp
+// stack, plus the full registry snapshot it was computed from.
+type ObsBenchReport struct {
+	Name     string            `json:"name"`
+	Quick    bool              `json:"quick"`
+	Files    int               `json:"files"`
+	FileSize int               `json:"file_size"`
+	Reads    int               `json:"reads"`
+	Layers   []ObsLayerSummary `json:"layers"`
+	Metrics  obs.Snapshot      `json:"metrics"`
+}
+
+// JSON renders the report for BENCH_chirp.json.
+func (r *ObsBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render renders the per-layer decomposition as a table.
+func (r *ObsBenchReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability bench: %d files × %d B, %d reads\n", r.Files, r.FileSize, r.Reads)
+	fmt.Fprintf(&b, "%-28s %8s %10s %10s %10s\n", "METRIC", "COUNT", "MEAN", "P50", "P99")
+	for _, l := range r.Layers {
+		fmt.Fprintf(&b, "%-28s %8d %9.1fµs %9.1fµs %9.1fµs\n", l.Metric, l.Count, l.MeanUS, l.P50US, l.P99US)
+	}
+	return b.String()
+}
+
+// RunObsBench drives an instrumented adapter-over-mirror-over-chirp
+// stack and reports where each microsecond went: the same read passes
+// through the "cfs" (adapter), "mirror", and "chirp" layers, each
+// timed separately into one shared registry — the per-layer latency
+// decomposition the paper's figures make by hand.
+func RunObsBench(cfg ObsBenchConfig) (*ObsBenchReport, error) {
+	env := NewEnv()
+	defer env.Close()
+	reg := obs.NewRegistry()
+
+	// Two replica servers, both instrumented into the shared registry.
+	var replicas []vfs.FileSystem
+	for i := 0; i < 2; i++ {
+		cli, err := startChirpObs(env, fmt.Sprintf("obs-rep%d", i), cfg.Link, reg)
+		if err != nil {
+			return nil, err
+		}
+		replicas = append(replicas, obs.Instrument(cli, reg, "chirp"))
+	}
+
+	mirror, err := abstraction.NewMirrorOptions(abstraction.MirrorOptions{
+		Metrics: reg,
+		Layer:   "mirror",
+	}, replicas...)
+	if err != nil {
+		return nil, err
+	}
+
+	a := adapter.New(adapter.Config{Metrics: reg})
+	if err := a.MountFS("/m", obs.Instrument(mirror, reg, "mirror")); err != nil {
+		return nil, err
+	}
+	cfs := obs.Instrument(a, reg, "cfs")
+
+	// Seed the files through the stack (writes fan out to both
+	// replicas), then drive whole-file reads through every layer.
+	payload := bytes.Repeat([]byte("tactical-storage "), cfg.FileSize/17+1)[:cfg.FileSize]
+	for i := 0; i < cfg.Files; i++ {
+		p := fmt.Sprintf("/m/f%04d", i)
+		if err := vfs.PutReader(cfs, p, 0o644, int64(cfg.FileSize), bytes.NewReader(payload)); err != nil {
+			return nil, fmt.Errorf("seed %s: %w", p, err)
+		}
+	}
+	buf := make([]byte, 32<<10)
+	for i := 0; i < cfg.Reads; i++ {
+		p := fmt.Sprintf("/m/f%04d", i%cfg.Files)
+		f, err := cfs.Open(p, vfs.O_RDONLY, 0)
+		if err != nil {
+			return nil, err
+		}
+		var off int64
+		for {
+			n, err := f.Pread(buf, off)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			if n == 0 {
+				break
+			}
+			off += int64(n)
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	snap := reg.Snapshot()
+	rep := &ObsBenchReport{
+		Name:     "chirp-observability",
+		Quick:    cfg.Quick,
+		Files:    cfg.Files,
+		FileSize: cfg.FileSize,
+		Reads:    cfg.Reads,
+		Metrics:  snap,
+	}
+	for name, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		rep.Layers = append(rep.Layers, ObsLayerSummary{
+			Metric: name,
+			Count:  h.Count,
+			MeanUS: float64(h.Mean()) / float64(time.Microsecond),
+			P50US:  float64(h.Quantile(0.5)) / float64(time.Microsecond),
+			P99US:  float64(h.Quantile(0.99)) / float64(time.Microsecond),
+		})
+	}
+	sort.Slice(rep.Layers, func(i, j int) bool { return rep.Layers[i].Metric < rep.Layers[j].Metric })
+	return rep, nil
+}
+
+// startChirpObs deploys one Chirp server on the simulated network with
+// server- and client-side metrics wired into reg, returning the
+// authenticated client.
+func startChirpObs(e *Env, name string, prof netsim.LinkProfile, reg *obs.Registry) (*chirp.Client, error) {
+	dir, err := e.TempDir()
+	if err != nil {
+		return nil, err
+	}
+	srv, err := chirp.NewServer(dir, chirp.ServerConfig{
+		Name:      name,
+		Owner:     "hostname:bench-client",
+		Verifiers: []auth.Verifier{&auth.HostnameVerifier{}},
+		Metrics:   reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l, err := e.Net.Listen(name)
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(l)
+	e.onClose(func() { l.Close() })
+	cli, err := chirp.Dial(chirp.ClientConfig{
+		Dial: func() (net.Conn, error) {
+			return e.Net.DialFrom("bench-client", name, prof)
+		},
+		Credentials: []auth.Credential{auth.HostnameCredential{}},
+		Timeout:     30 * time.Second,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.onClose(func() { cli.Close() })
+	return cli, nil
+}

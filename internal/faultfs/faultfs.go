@@ -6,6 +6,7 @@
 package faultfs
 
 import (
+	"io"
 	"math/rand"
 	"sync"
 	"time"
@@ -33,7 +34,10 @@ type FS struct {
 	sleep     func(time.Duration)
 }
 
-var _ vfs.FileSystem = (*FS)(nil)
+var (
+	_ vfs.FileSystem = (*FS)(nil)
+	_ vfs.Capabler   = (*FS)(nil)
+)
 
 // New wraps inner with no faults armed.
 func New(inner vfs.FileSystem) *FS {
@@ -254,6 +258,83 @@ func (f *FS) StatFS() (vfs.FSInfo, error) {
 		return vfs.FSInfo{}, err
 	}
 	return f.inner.StatFS()
+}
+
+// Capabilities forwards the inner filesystem's optional fast paths,
+// each behind the same fault gate as a regular operation: a layer that
+// probes vfs.Capabilities sees exactly the capabilities — and the
+// failures — of the wrapped backend. Absent inner capabilities stay
+// absent. Close is forwarded ungated, matching faultFile.Close:
+// resources are released even on a "down" server.
+func (f *FS) Capabilities() vfs.Capability {
+	inner := vfs.Capabilities(f.inner)
+	var c vfs.Capability
+	if inner.OpenStater != nil {
+		c.OpenStater = &faultOpenStater{fs: f, inner: inner.OpenStater}
+	}
+	if inner.FileGetter != nil {
+		c.FileGetter = &faultFileGetter{fs: f, inner: inner.FileGetter}
+	}
+	if inner.FilePutter != nil {
+		c.FilePutter = &faultFilePutter{fs: f, inner: inner.FilePutter}
+	}
+	if inner.Reconnector != nil {
+		c.Reconnector = &faultReconnector{fs: f, inner: inner.Reconnector}
+	}
+	c.Closer = inner.Closer
+	return c
+}
+
+type faultOpenStater struct {
+	fs    *FS
+	inner vfs.OpenStater
+}
+
+func (o *faultOpenStater) OpenStat(path string, flags int, mode uint32) (vfs.File, vfs.FileInfo, error) {
+	if err := o.fs.gate(); err != nil {
+		return nil, vfs.FileInfo{}, err
+	}
+	file, fi, err := o.inner.OpenStat(path, flags, mode)
+	if err != nil {
+		return nil, fi, err
+	}
+	return &faultFile{fs: o.fs, inner: file}, fi, nil
+}
+
+type faultFileGetter struct {
+	fs    *FS
+	inner vfs.FileGetter
+}
+
+func (g *faultFileGetter) GetFile(path string, w io.Writer) (int64, error) {
+	if err := g.fs.gate(); err != nil {
+		return 0, err
+	}
+	return g.inner.GetFile(path, w)
+}
+
+type faultFilePutter struct {
+	fs    *FS
+	inner vfs.FilePutter
+}
+
+func (p *faultFilePutter) PutFile(path string, mode uint32, size int64, r io.Reader) error {
+	if err := p.fs.gate(); err != nil {
+		return err
+	}
+	return p.inner.PutFile(path, mode, size, r)
+}
+
+type faultReconnector struct {
+	fs    *FS
+	inner vfs.Reconnector
+}
+
+func (r *faultReconnector) Reconnect() error {
+	if err := r.fs.gate(); err != nil {
+		return err
+	}
+	return r.inner.Reconnect()
 }
 
 type faultFile struct {

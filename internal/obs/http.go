@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the debugd-style endpoints:
+//
+//	/metrics  — the registry snapshot as JSON
+//	/healthz  — 200 "ok" while healthy(), 503 with the reason otherwise
+//
+// healthy may be nil, in which case /healthz always reports ok. A
+// server command wires its drain state here so orchestrators stop
+// routing to a draining process before its connections finish.
+func Handler(reg *Registry, healthy func() (ok bool, reason string)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		ok, reason := true, "ok"
+		if healthy != nil {
+			ok, reason = healthy()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if reason == "" {
+			reason = "ok"
+		}
+		w.Write([]byte(reason + "\n"))
+	})
+	return mux
+}

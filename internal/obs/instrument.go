@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"io"
+	"time"
+
+	"tss/internal/vfs"
+)
+
+// Instrument wraps fs so every operation is timed into reg under
+// "<layer>.<op>" histograms, with "<layer>.ops", "<layer>.errors",
+// "<layer>.bytes_read", and "<layer>.bytes_written" counters. Stacked
+// layers instrumented with distinct layer tags decompose end-to-end
+// latency the way the paper's figures do: a CFS-over-mirror-over-chirp
+// stack reports where each microsecond went.
+//
+// The wrapper forwards the wrapped layer's capabilities (vfs.Capabler):
+// a getfile or openstat fast path below stays reachable — and timed —
+// above, so instrumentation never distorts the measurement it exists to
+// take. A nil registry returns fs unchanged: disabled instrumentation
+// costs nothing, not even an allocation on the pread path.
+func Instrument(fs vfs.FileSystem, reg *Registry, layer string) vfs.FileSystem {
+	if fs == nil || reg == nil {
+		return fs
+	}
+	i := &instrumentedFS{fs: fs, hists: make(map[string]*Histogram, len(instrumentedOps))}
+	for _, op := range instrumentedOps {
+		i.hists[op] = reg.Histogram(layer + "." + op)
+	}
+	i.ops = reg.Counter(layer + ".ops")
+	i.errs = reg.Counter(layer + ".errors")
+	i.bytesRead = reg.Counter(layer + ".bytes_read")
+	i.bytesWritten = reg.Counter(layer + ".bytes_written")
+	return i
+}
+
+// instrumentedOps enumerates every metric the wrapper emits, so all
+// histograms exist (at zero) from the moment of instrumentation rather
+// than appearing when first exercised.
+var instrumentedOps = []string{
+	"open", "stat", "unlink", "rename", "mkdir", "rmdir", "readdir",
+	"truncate", "chmod", "statfs",
+	"pread", "pwrite", "fstat", "ftruncate", "sync", "close",
+	"openstat", "getfile", "putfile", "reconnect",
+}
+
+type instrumentedFS struct {
+	fs           vfs.FileSystem
+	hists        map[string]*Histogram
+	ops          *Counter
+	errs         *Counter
+	bytesRead    *Counter
+	bytesWritten *Counter
+}
+
+var (
+	_ vfs.FileSystem = (*instrumentedFS)(nil)
+	_ vfs.Capabler   = (*instrumentedFS)(nil)
+)
+
+// observe charges one operation: latency into the op histogram, and
+// the error counter when it failed.
+func (i *instrumentedFS) observe(op string, start time.Time, err error) {
+	i.hists[op].Observe(time.Since(start))
+	i.ops.Inc()
+	if err != nil {
+		i.errs.Inc()
+	}
+}
+
+func (i *instrumentedFS) Open(path string, flags int, mode uint32) (vfs.File, error) {
+	start := time.Now()
+	f, err := i.fs.Open(path, flags, mode)
+	i.observe("open", start, err)
+	if err != nil {
+		return nil, err
+	}
+	return &instrumentedFile{i: i, f: f}, nil
+}
+
+func (i *instrumentedFS) Stat(path string) (vfs.FileInfo, error) {
+	start := time.Now()
+	fi, err := i.fs.Stat(path)
+	i.observe("stat", start, err)
+	return fi, err
+}
+
+func (i *instrumentedFS) Unlink(path string) error {
+	start := time.Now()
+	err := i.fs.Unlink(path)
+	i.observe("unlink", start, err)
+	return err
+}
+
+func (i *instrumentedFS) Rename(oldPath, newPath string) error {
+	start := time.Now()
+	err := i.fs.Rename(oldPath, newPath)
+	i.observe("rename", start, err)
+	return err
+}
+
+func (i *instrumentedFS) Mkdir(path string, mode uint32) error {
+	start := time.Now()
+	err := i.fs.Mkdir(path, mode)
+	i.observe("mkdir", start, err)
+	return err
+}
+
+func (i *instrumentedFS) Rmdir(path string) error {
+	start := time.Now()
+	err := i.fs.Rmdir(path)
+	i.observe("rmdir", start, err)
+	return err
+}
+
+func (i *instrumentedFS) ReadDir(path string) ([]vfs.DirEntry, error) {
+	start := time.Now()
+	ents, err := i.fs.ReadDir(path)
+	i.observe("readdir", start, err)
+	return ents, err
+}
+
+func (i *instrumentedFS) Truncate(path string, size int64) error {
+	start := time.Now()
+	err := i.fs.Truncate(path, size)
+	i.observe("truncate", start, err)
+	return err
+}
+
+func (i *instrumentedFS) Chmod(path string, mode uint32) error {
+	start := time.Now()
+	err := i.fs.Chmod(path, mode)
+	i.observe("chmod", start, err)
+	return err
+}
+
+func (i *instrumentedFS) StatFS() (vfs.FSInfo, error) {
+	start := time.Now()
+	info, err := i.fs.StatFS()
+	i.observe("statfs", start, err)
+	return info, err
+}
+
+// Capabilities forwards the wrapped layer's capabilities, each wrapped
+// so the fast path is timed like any other operation. Absent inner
+// capabilities stay absent: instrumentation adds measurements, never
+// round-trip behavior.
+func (i *instrumentedFS) Capabilities() vfs.Capability {
+	inner := vfs.Capabilities(i.fs)
+	var c vfs.Capability
+	if inner.OpenStater != nil {
+		c.OpenStater = &instrumentedOpenStater{i: i, inner: inner.OpenStater}
+	}
+	if inner.FileGetter != nil {
+		c.FileGetter = &instrumentedFileGetter{i: i, inner: inner.FileGetter}
+	}
+	if inner.FilePutter != nil {
+		c.FilePutter = &instrumentedFilePutter{i: i, inner: inner.FilePutter}
+	}
+	if inner.Reconnector != nil {
+		c.Reconnector = &instrumentedReconnector{i: i, inner: inner.Reconnector}
+	}
+	c.Closer = inner.Closer
+	return c
+}
+
+type instrumentedOpenStater struct {
+	i     *instrumentedFS
+	inner vfs.OpenStater
+}
+
+func (o *instrumentedOpenStater) OpenStat(path string, flags int, mode uint32) (vfs.File, vfs.FileInfo, error) {
+	start := time.Now()
+	f, fi, err := o.inner.OpenStat(path, flags, mode)
+	o.i.observe("openstat", start, err)
+	if err != nil {
+		return nil, fi, err
+	}
+	return &instrumentedFile{i: o.i, f: f}, fi, nil
+}
+
+type instrumentedFileGetter struct {
+	i     *instrumentedFS
+	inner vfs.FileGetter
+}
+
+func (g *instrumentedFileGetter) GetFile(path string, w io.Writer) (int64, error) {
+	start := time.Now()
+	n, err := g.inner.GetFile(path, w)
+	g.i.observe("getfile", start, err)
+	g.i.bytesRead.Add(n)
+	return n, err
+}
+
+type instrumentedFilePutter struct {
+	i     *instrumentedFS
+	inner vfs.FilePutter
+}
+
+func (p *instrumentedFilePutter) PutFile(path string, mode uint32, size int64, r io.Reader) error {
+	start := time.Now()
+	err := p.inner.PutFile(path, mode, size, r)
+	p.i.observe("putfile", start, err)
+	if err == nil {
+		p.i.bytesWritten.Add(size)
+	}
+	return err
+}
+
+type instrumentedReconnector struct {
+	i     *instrumentedFS
+	inner vfs.Reconnector
+}
+
+func (r *instrumentedReconnector) Reconnect() error {
+	start := time.Now()
+	err := r.inner.Reconnect()
+	r.i.observe("reconnect", start, err)
+	return err
+}
+
+// instrumentedFile times per-descriptor I/O into the layer's metrics.
+type instrumentedFile struct {
+	i *instrumentedFS
+	f vfs.File
+}
+
+func (f *instrumentedFile) Pread(p []byte, off int64) (int, error) {
+	start := time.Now()
+	n, err := f.f.Pread(p, off)
+	f.i.observe("pread", start, err)
+	f.i.bytesRead.Add(int64(n))
+	return n, err
+}
+
+func (f *instrumentedFile) Pwrite(p []byte, off int64) (int, error) {
+	start := time.Now()
+	n, err := f.f.Pwrite(p, off)
+	f.i.observe("pwrite", start, err)
+	f.i.bytesWritten.Add(int64(n))
+	return n, err
+}
+
+func (f *instrumentedFile) Fstat() (vfs.FileInfo, error) {
+	start := time.Now()
+	fi, err := f.f.Fstat()
+	f.i.observe("fstat", start, err)
+	return fi, err
+}
+
+func (f *instrumentedFile) Ftruncate(size int64) error {
+	start := time.Now()
+	err := f.f.Ftruncate(size)
+	f.i.observe("ftruncate", start, err)
+	return err
+}
+
+func (f *instrumentedFile) Sync() error {
+	start := time.Now()
+	err := f.f.Sync()
+	f.i.observe("sync", start, err)
+	return err
+}
+
+func (f *instrumentedFile) Close() error {
+	start := time.Now()
+	err := f.f.Close()
+	f.i.observe("close", start, err)
+	return err
+}

@@ -51,6 +51,12 @@ type BreakerConfig struct {
 	Now func() time.Time
 	// Rand is a uniform [0,1) source for jitter (tests).
 	Rand func() float64
+	// OnStateChange, when non-nil, observes every state transition.
+	// It is called after the breaker's lock is released, in the
+	// goroutine that caused the transition; implementations may call
+	// back into the breaker. Observability layers hang state gauges
+	// here.
+	OnStateChange func(from, to State)
 }
 
 // Breaker is a per-backend circuit breaker keyed on transport errors.
@@ -119,7 +125,7 @@ func (b *Breaker) Ready() bool {
 func (b *Breaker) Record(err error) (tripped bool) {
 	transport := TransportError(err)
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	if !transport {
 		// The backend answered; whatever it said, it is reachable.
 		b.fails = 0
@@ -127,21 +133,24 @@ func (b *Breaker) Record(err error) (tripped bool) {
 			b.state = Closed
 			b.readmits++
 		}
-		return false
-	}
-	switch b.state {
-	case Closed:
-		b.fails++
-		if b.fails >= b.cfg.Threshold {
-			b.trip()
-			return true
+	} else {
+		switch b.state {
+		case Closed:
+			b.fails++
+			if b.fails >= b.cfg.Threshold {
+				b.trip()
+				tripped = true
+			}
+		case HalfOpen:
+			// A straggling regular operation failed while a probe is in
+			// flight; treat it like a failed probe.
+			b.reopen()
 		}
-	case HalfOpen:
-		// A straggling regular operation failed while a probe is in
-		// flight; treat it like a failed probe.
-		b.reopen()
 	}
-	return false
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+	return tripped
 }
 
 // TryProbe reports whether the caller has won the right to probe the
@@ -149,12 +158,14 @@ func (b *Breaker) Record(err error) (tripped bool) {
 // breaker to HalfOpen. The caller must follow up with RecordProbe.
 func (b *Breaker) TryProbe() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.state != Open || b.cfg.Now().Before(b.reprobeAt) {
+		b.mu.Unlock()
 		return false
 	}
 	b.state = HalfOpen
 	b.probes++
+	b.mu.Unlock()
+	b.notify(Open, HalfOpen)
 	return true
 }
 
@@ -165,8 +176,8 @@ func (b *Breaker) TryProbe() bool {
 func (b *Breaker) RecordProbe(err error) (readmitted bool) {
 	transport := TransportError(err)
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.state != HalfOpen {
+		b.mu.Unlock()
 		return false
 	}
 	if transport {
@@ -175,13 +186,25 @@ func (b *Breaker) RecordProbe(err error) (readmitted bool) {
 			b.interval = b.cfg.ReprobeMax
 		}
 		b.reopen()
+		b.mu.Unlock()
+		b.notify(HalfOpen, Open)
 		return false
 	}
 	b.state = Closed
 	b.fails = 0
 	b.interval = 0
 	b.readmits++
+	b.mu.Unlock()
+	b.notify(HalfOpen, Closed)
 	return true
+}
+
+// notify reports a state transition to the configured observer. Caller
+// must not hold b.mu.
+func (b *Breaker) notify(from, to State) {
+	if from != to && b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(from, to)
+	}
 }
 
 // trip moves Closed→Open. Caller holds b.mu.

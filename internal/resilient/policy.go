@@ -1,0 +1,125 @@
+package resilient
+
+import (
+	"fmt"
+	"time"
+)
+
+// Default policy knobs applied by NewPolicy. The zero-value Policy{}
+// literal still retries nothing — these defaults exist only behind the
+// constructor, so struct-literal call sites (and tests) keep their
+// exact semantics.
+const (
+	// DefaultAttempts is the retry budget after the first try.
+	DefaultAttempts = 3
+	// DefaultBase is the first backoff delay.
+	DefaultBase = 50 * time.Millisecond
+	// DefaultMax caps the (pre-jitter) backoff delay.
+	DefaultMax = 2 * time.Second
+	// DefaultJitter is the ± randomization fraction per delay.
+	DefaultJitter = 0.2
+)
+
+// PolicyOption adjusts one knob of a policy under construction.
+type PolicyOption func(*Policy) error
+
+// WithAttempts sets the number of retries after the first try. Zero is
+// legal ("run once"); negative is rejected.
+func WithAttempts(n int) PolicyOption {
+	return func(p *Policy) error {
+		if n < 0 {
+			return fmt.Errorf("resilient: attempts must be >= 0, got %d", n)
+		}
+		p.Attempts = n
+		return nil
+	}
+}
+
+// WithBase sets the first backoff delay; it must be positive.
+func WithBase(d time.Duration) PolicyOption {
+	return func(p *Policy) error {
+		if d <= 0 {
+			return fmt.Errorf("resilient: base delay must be > 0, got %v", d)
+		}
+		p.Base = d
+		return nil
+	}
+}
+
+// WithMax caps the pre-jitter backoff delay; zero means uncapped.
+func WithMax(d time.Duration) PolicyOption {
+	return func(p *Policy) error {
+		if d < 0 {
+			return fmt.Errorf("resilient: max delay must be >= 0, got %v", d)
+		}
+		p.Max = d
+		return nil
+	}
+}
+
+// WithJitter sets the ± randomization fraction, in [0, 1).
+func WithJitter(f float64) PolicyOption {
+	return func(p *Policy) error {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("resilient: jitter must be in [0, 1), got %v", f)
+		}
+		p.Jitter = f
+		return nil
+	}
+}
+
+// WithBudget caps the total wall-clock time spent on retries; zero
+// means attempts alone bound the loop.
+func WithBudget(d time.Duration) PolicyOption {
+	return func(p *Policy) error {
+		if d < 0 {
+			return fmt.Errorf("resilient: budget must be >= 0, got %v", d)
+		}
+		p.Budget = d
+		return nil
+	}
+}
+
+// WithOnRetry installs an observer for each retry about to be made.
+func WithOnRetry(f func(attempt int, err error)) PolicyOption {
+	return func(p *Policy) error {
+		p.OnRetry = f
+		return nil
+	}
+}
+
+// NewPolicy builds a retry policy from sane defaults (DefaultAttempts
+// retries, DefaultBase backoff doubling to DefaultMax, DefaultJitter
+// randomization) adjusted by the given options, validating each one.
+// It exists because the zero-value Policy{} means "0 attempts": callers
+// that forget to configure a literal silently retry nothing, while
+// NewPolicy() can never hand back a policy that does less than it says.
+// Struct literals remain fully supported for tests and callers that
+// want exact control.
+func NewPolicy(opts ...PolicyOption) (Policy, error) {
+	p := Policy{
+		Attempts: DefaultAttempts,
+		Base:     DefaultBase,
+		Max:      DefaultMax,
+		Jitter:   DefaultJitter,
+	}
+	for _, opt := range opts {
+		if err := opt(&p); err != nil {
+			return Policy{}, err
+		}
+	}
+	if p.Max > 0 && p.Max < p.Base {
+		return Policy{}, fmt.Errorf("resilient: max delay %v is below base delay %v", p.Max, p.Base)
+	}
+	return p, nil
+}
+
+// MustPolicy is NewPolicy for statically known options; it panics on a
+// validation error.
+func MustPolicy(opts ...PolicyOption) Policy {
+	p, err := NewPolicy(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,177 @@
+package resilient
+
+import (
+	"testing"
+	"time"
+
+	"tss/internal/obs"
+	"tss/internal/vfs"
+)
+
+func TestNewPolicyDefaults(t *testing.T) {
+	p, err := NewPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Attempts != DefaultAttempts || p.Base != DefaultBase || p.Max != DefaultMax || p.Jitter != DefaultJitter {
+		t.Errorf("defaults = %+v", p)
+	}
+}
+
+func TestNewPolicyOptions(t *testing.T) {
+	var seen int
+	p, err := NewPolicy(
+		WithAttempts(7),
+		WithBase(5*time.Millisecond),
+		WithMax(time.Second),
+		WithJitter(0.5),
+		WithBudget(10*time.Second),
+		WithOnRetry(func(int, error) { seen++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Attempts != 7 || p.Base != 5*time.Millisecond || p.Max != time.Second || p.Jitter != 0.5 || p.Budget != 10*time.Second {
+		t.Errorf("options not applied: %+v", p)
+	}
+	p.OnRetry(1, nil)
+	if seen != 1 {
+		t.Error("OnRetry not installed")
+	}
+}
+
+func TestNewPolicyValidation(t *testing.T) {
+	bad := [][]PolicyOption{
+		{WithAttempts(-1)},
+		{WithBase(0)},
+		{WithBase(-time.Second)},
+		{WithMax(-time.Second)},
+		{WithJitter(-0.1)},
+		{WithJitter(1.0)},
+		{WithBudget(-time.Second)},
+		{WithBase(time.Second), WithMax(time.Millisecond)}, // max below base
+	}
+	for i, opts := range bad {
+		if _, err := NewPolicy(opts...); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	// WithMax(0) means uncapped and must pass the cross-check.
+	if _, err := NewPolicy(WithMax(0)); err != nil {
+		t.Errorf("WithMax(0): %v", err)
+	}
+}
+
+func TestMustPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPolicy with invalid options must panic")
+		}
+	}()
+	MustPolicy(WithAttempts(-1))
+}
+
+func TestZeroValuePolicyStillRetriesNothing(t *testing.T) {
+	calls := 0
+	err, exhausted := (Policy{}).Do(func() error {
+		calls++
+		return vfs.ENOTCONN
+	}, nil, Retryable)
+	if calls != 1 || !exhausted || err == nil {
+		t.Errorf("zero policy: calls=%d exhausted=%v err=%v, want 1/true/non-nil", calls, exhausted, err)
+	}
+}
+
+// TestBreakerStateChangeGauge walks a breaker through the full
+// closed→open→half-open→closed lifecycle and checks that an
+// OnStateChange observer wiring an obs.Gauge sees every transition —
+// the hookup the mirror uses for "<layer>.replica<i>.breaker_state".
+func TestBreakerStateChangeGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	gauge := reg.Gauge("replica0.breaker_state")
+	var transitions [][2]State
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		Threshold:   2,
+		ReprobeBase: time.Second,
+		Jitter:      -1,
+		Now:         clk.now,
+		OnStateChange: func(from, to State) {
+			transitions = append(transitions, [2]State{from, to})
+			gauge.Set(int64(to))
+		},
+	})
+
+	if gauge.Value() != int64(Closed) {
+		t.Fatalf("initial gauge = %d", gauge.Value())
+	}
+	// Two consecutive transport failures trip the breaker.
+	b.Record(vfs.ENOTCONN)
+	if gauge.Value() != int64(Closed) {
+		t.Fatal("gauge moved before threshold")
+	}
+	if !b.Record(vfs.ENOTCONN) {
+		t.Fatal("threshold failure did not trip")
+	}
+	if gauge.Value() != int64(Open) {
+		t.Fatalf("gauge after trip = %d, want %d (open)", gauge.Value(), Open)
+	}
+
+	// The re-probe delay elapses; winning the probe is half-open.
+	clk.advance(2 * time.Second)
+	if !b.TryProbe() {
+		t.Fatal("probe not granted after re-probe delay")
+	}
+	if gauge.Value() != int64(HalfOpen) {
+		t.Fatalf("gauge during probe = %d, want %d (half-open)", gauge.Value(), HalfOpen)
+	}
+
+	// A failed probe re-opens with a doubled delay...
+	b.RecordProbe(vfs.ENOTCONN)
+	if gauge.Value() != int64(Open) {
+		t.Fatalf("gauge after failed probe = %d, want %d (open)", gauge.Value(), Open)
+	}
+	// ...and a successful probe after the next window re-admits.
+	clk.advance(3 * time.Second)
+	if !b.TryProbe() {
+		t.Fatal("second probe not granted")
+	}
+	if !b.RecordProbe(nil) {
+		t.Fatal("successful probe did not re-admit")
+	}
+	if gauge.Value() != int64(Closed) {
+		t.Fatalf("gauge after re-admit = %d, want %d (closed)", gauge.Value(), Closed)
+	}
+
+	want := [][2]State{
+		{Closed, Open},
+		{Open, HalfOpen},
+		{HalfOpen, Open},
+		{Open, HalfOpen},
+		{HalfOpen, Closed},
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Errorf("transition %d = %v, want %v", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestBreakerObserverMayReenter guards the documented contract that
+// OnStateChange runs outside the breaker's lock.
+func TestBreakerObserverMayReenter(t *testing.T) {
+	var b *Breaker
+	b = NewBreaker(BreakerConfig{
+		Threshold: 1,
+		OnStateChange: func(from, to State) {
+			_ = b.State() // would deadlock if called under the lock
+		},
+	})
+	b.Record(vfs.ENOTCONN)
+	if b.State() != Open {
+		t.Fatal("breaker did not open")
+	}
+}

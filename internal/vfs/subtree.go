@@ -167,7 +167,7 @@ func (s *SubtreeFS) GetFile(path string, w io.Writer) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if g, ok := s.inner.(FileGetter); ok {
+	if g := Capabilities(s.inner).FileGetter; g != nil {
 		return g.GetFile(p, w)
 	}
 	data, err := ReadFile(s.inner, p)
@@ -176,6 +176,38 @@ func (s *SubtreeFS) GetFile(path string, w io.Writer) (int64, error) {
 	}
 	n, err := w.Write(data)
 	return int64(n), err
+}
+
+// PutFile forwards the whole-file store fast path when the inner
+// filesystem provides one; otherwise it falls back to open/pwrite.
+func (s *SubtreeFS) PutFile(path string, mode uint32, size int64, r io.Reader) error {
+	p, err := s.translate(path)
+	if err != nil {
+		return err
+	}
+	return PutReader(s.inner, p, mode, size, r)
+}
+
+// Capabilities reports the capabilities of the inner filesystem,
+// re-rooted at the subtree: a fast path exists through the view exactly
+// when the wrapped layer has it. Closing is deliberately absent — the
+// view does not own the inner filesystem's connection.
+func (s *SubtreeFS) Capabilities() Capability {
+	inner := Capabilities(s.inner)
+	var c Capability
+	if inner.OpenStater != nil {
+		c.OpenStater = s
+	}
+	if inner.FileGetter != nil {
+		c.FileGetter = s
+	}
+	if inner.FilePutter != nil {
+		c.FilePutter = s
+	}
+	if inner.Reconnector != nil {
+		c.Reconnector = s
+	}
+	return c
 }
 
 // MkdirAll creates every missing directory along path on fs.

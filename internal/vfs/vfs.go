@@ -124,10 +124,65 @@ type FileGetter interface {
 	GetFile(path string, w io.Writer) (int64, error)
 }
 
+// FilePutter is the optional whole-file store fast path, symmetric
+// with FileGetter and matching the Chirp putfile RPC: the file is
+// created (or replaced) and written in one round trip regardless of
+// size. size is the exact number of bytes that will be read from r.
+type FilePutter interface {
+	PutFile(path string, mode uint32, size int64, r io.Reader) error
+}
+
+// Capability collects the optional fast paths and lifecycle hooks a
+// filesystem offers beyond the core FileSystem interface. Each field is
+// nil when the capability is unavailable. Callers obtain one through
+// Capabilities rather than by ad-hoc type assertion, so that layered
+// filesystems can forward the capabilities of the stack they wrap.
+type Capability struct {
+	// OpenStater opens and stats in one round trip.
+	OpenStater OpenStater
+	// FileGetter fetches a whole file in one round trip.
+	FileGetter FileGetter
+	// FilePutter stores a whole file in one round trip.
+	FilePutter FilePutter
+	// Reconnector re-establishes a lost transport connection.
+	Reconnector Reconnector
+	// Closer releases external resources held by the filesystem.
+	Closer Closer
+}
+
+// Capabler is implemented by layered filesystems — instrumentation,
+// subtree views, fault injectors — that wrap another filesystem and
+// want to report (and decorate) the wrapped layer's capabilities
+// instead of their own method set. A wrapper that merely embeds its
+// inner filesystem would otherwise silently drop fast paths like
+// getfile, doubling the round trips of every stub read (Figure 4).
+type Capabler interface {
+	Capabilities() Capability
+}
+
+// Capabilities probes fs for its optional capabilities. A filesystem
+// that implements Capabler answers for itself (typically by forwarding
+// its inner layer's capabilities); otherwise each capability is
+// discovered by interface assertion. This is the single sanctioned way
+// to reach an optional interface — the probe result is authoritative
+// even when the concrete type would also satisfy the assertion.
+func Capabilities(fs FileSystem) Capability {
+	if c, ok := fs.(Capabler); ok {
+		return c.Capabilities()
+	}
+	var caps Capability
+	caps.OpenStater, _ = fs.(OpenStater)
+	caps.FileGetter, _ = fs.(FileGetter)
+	caps.FilePutter, _ = fs.(FilePutter)
+	caps.Reconnector, _ = fs.(Reconnector)
+	caps.Closer, _ = fs.(Closer)
+	return caps
+}
+
 // GetWholeFile reads an entire file, using the FileGetter fast path
 // when fs provides it and open/pread/close otherwise.
 func GetWholeFile(fs FileSystem, path string) ([]byte, error) {
-	if g, ok := fs.(FileGetter); ok {
+	if g := Capabilities(fs).FileGetter; g != nil {
 		var buf bytes.Buffer
 		if _, err := g.GetFile(path, &buf); err != nil {
 			return nil, err
@@ -135,4 +190,35 @@ func GetWholeFile(fs FileSystem, path string) ([]byte, error) {
 		return buf.Bytes(), nil
 	}
 	return ReadFile(fs, path)
+}
+
+// PutReader stores exactly size bytes from r as the named file, using
+// the FilePutter one-round-trip fast path when fs provides it and
+// open/pwrite/close otherwise.
+func PutReader(fs FileSystem, path string, mode uint32, size int64, r io.Reader) error {
+	if p := Capabilities(fs).FilePutter; p != nil {
+		return p.PutFile(path, mode, size, r)
+	}
+	f, err := fs.Open(path, O_WRONLY|O_CREAT|O_TRUNC, mode)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 256<<10)
+	var off int64
+	for off < size {
+		want := int64(len(buf))
+		if size-off < want {
+			want = size - off
+		}
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			f.Close()
+			return err
+		}
+		if err := WriteAll(f, buf[:want], off); err != nil {
+			f.Close()
+			return err
+		}
+		off += want
+	}
+	return f.Close()
 }
