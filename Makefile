@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test verify bench
+.PHONY: build test verify lint fuzz-short bench
 
 build:
 	$(GO) build ./...
@@ -8,14 +9,30 @@ build:
 test:
 	$(GO) test ./...
 
+# lint runs tsslint, the repo-invariant static analyzer (see DESIGN.md
+# §9 for the enforced invariants).
+lint:
+	$(GO) run ./cmd/tsslint ./...
+
 # verify runs the tier-1 gate (build + test) plus formatting, static
-# analysis, and the full suite under the race detector.
-verify: build
+# analysis (go vet and tsslint), and the full suite under the race
+# detector.
+verify: build lint
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./...
+
+# fuzz-short runs every fuzz target for FUZZTIME each — a cheap gate
+# that replays and extends the checked-in corpora for the wire parser,
+# ACL grammar, and the software chroot.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeRequest$$' -fuzztime=$(FUZZTIME) ./internal/chirp/proto/
+	$(GO) test -run='^$$' -fuzz='^FuzzEncodeDecode$$' -fuzztime=$(FUZZTIME) ./internal/chirp/proto/
+	$(GO) test -run='^$$' -fuzz='^FuzzEscape$$' -fuzztime=$(FUZZTIME) ./internal/chirp/proto/
+	$(GO) test -run='^$$' -fuzz='^FuzzACLParse$$' -fuzztime=$(FUZZTIME) ./internal/acl/
+	$(GO) test -run='^$$' -fuzz='^FuzzConfine$$' -fuzztime=$(FUZZTIME) ./internal/pathutil/
 
 # bench runs the quick observability benchmark and captures the
 # per-layer latency decomposition as a JSON artifact.

@@ -1,0 +1,42 @@
+// Tsslint is the repo-invariant static analyzer of the tactical
+// storage system. It loads every package named on the command line
+// (default ./...) with go/parser + go/types — no external dependencies
+// — and runs the checkers in internal/lint, each of which enforces a
+// contract the recursive storage stack relies on:
+//
+//	capprobe   optional vfs interfaces are reached via vfs.Capabilities
+//	lockheld   no blocking I/O while a sync mutex is held
+//	sleepseam  no bare time.Sleep outside the injectable sleep seams
+//	errnowrap  errors crossing vfs methods keep their errno (%w)
+//	ctxleak    received contexts are forwarded, not re-minted
+//
+// Diagnostics print as file:line:col: [check] message and the exit
+// status is nonzero when any are found. A finding that is wrong by
+// design at one site is silenced with an explained suppression:
+//
+//	//lint:ignore <check> <reason>
+//
+// on the offending line or the line above it. The reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tss/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered checkers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tsslint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		lint.ListCheckers(os.Stdout)
+		return
+	}
+	os.Exit(lint.Main(os.Stdout, ".", flag.Args()...))
+}

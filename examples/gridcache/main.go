@@ -42,7 +42,9 @@ func main() {
 		stops = append(stops, stop)
 		defer stop()
 	}
-	time.Sleep(100 * time.Millisecond) // first reports arrive
+	if !cat.WaitFor(6, 2*time.Second) { // first reports arrive
+		log.Fatal("file servers never registered with the catalog")
+	}
 
 	// Discover what storage exists right now.
 	fmt.Println("catalog listing:")

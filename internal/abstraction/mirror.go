@@ -222,12 +222,15 @@ func (m *MirrorFS) maybeProbe(i int) {
 	}()
 }
 
-// read runs op against the healthiest replica, failing over in health
-// order on transport errors and optionally hedging. It returns the
-// result and the replica index that produced it. discard releases the
-// result of a losing hedge (a File that must be closed); nil when the
-// result holds no resources.
-func (m *MirrorFS) read(op func(fs vfs.FileSystem) (any, error), discard func(v any)) (any, int, error) {
+// mirrorRead runs op against the healthiest replica, failing over in
+// health order on transport errors and optionally hedging. It returns
+// the result and the replica index that produced it. discard releases
+// the result of a losing hedge (a File that must be closed); nil when
+// the result holds no resources. It is generic so that callers get
+// typed results back — no `v.(vfs.File)` assertions that the capprobe
+// discipline (and plain type safety) frowns on.
+func mirrorRead[T any](m *MirrorFS, op func(fs vfs.FileSystem) (T, error), discard func(v T)) (T, int, error) {
+	var zero T
 	ready, demoted := m.order()
 	for _, i := range demoted {
 		m.maybeProbe(i)
@@ -235,10 +238,10 @@ func (m *MirrorFS) read(op func(fs vfs.FileSystem) (any, error), discard func(v 
 	if len(ready) == 0 {
 		m.Stats.FastFails.Add(1)
 		m.mFastFails.Inc()
-		return nil, -1, vfs.ENOTCONN
+		return zero, -1, vfs.ENOTCONN
 	}
 	if m.hedge > 0 && len(ready) > 1 {
-		return m.hedgedRead(ready, op, discard)
+		return hedgedRead(m, ready, op, discard)
 	}
 	var lastErr error = vfs.ENOTCONN
 	for _, i := range ready {
@@ -249,18 +252,19 @@ func (m *MirrorFS) read(op func(fs vfs.FileSystem) (any, error), discard func(v 
 		}
 		lastErr = err
 	}
-	return nil, -1, lastErr
+	return zero, -1, lastErr
 }
 
 // hedgedRead races op across the ready replicas: the first starts
 // immediately, the next is hedged in after the hedge delay, and any
 // transport failure immediately starts the next candidate. The first
 // answer wins; straggler results are discarded in the background.
-func (m *MirrorFS) hedgedRead(ready []int, op func(fs vfs.FileSystem) (any, error), discard func(v any)) (any, int, error) {
+func hedgedRead[T any](m *MirrorFS, ready []int, op func(fs vfs.FileSystem) (T, error), discard func(v T)) (T, int, error) {
+	var zero T
 	type result struct {
 		idx    int
 		hedged bool
-		v      any
+		v      T
 		err    error
 	}
 	ch := make(chan result, len(ready))
@@ -324,7 +328,7 @@ func (m *MirrorFS) hedgedRead(ready []int, op func(fs vfs.FileSystem) (any, erro
 			}
 		}
 	}
-	return nil, -1, lastErr
+	return zero, -1, lastErr
 }
 
 // applyAll runs op on every ready replica. Unreachable replicas are
@@ -370,15 +374,15 @@ func (m *MirrorFS) applyAll(op func(i int, fs vfs.FileSystem) error) error {
 // mid-read.
 func (m *MirrorFS) Open(path string, flags int, mode uint32) (vfs.File, error) {
 	if flags&vfs.AccessModeMask == vfs.O_RDONLY && flags&(vfs.O_CREAT|vfs.O_TRUNC) == 0 {
-		v, idx, err := m.read(func(fs vfs.FileSystem) (any, error) {
+		f, idx, err := mirrorRead(m, func(fs vfs.FileSystem) (vfs.File, error) {
 			return fs.Open(path, flags, mode)
-		}, func(v any) { v.(vfs.File).Close() })
+		}, func(f vfs.File) { f.Close() })
 		if err != nil {
 			return nil, err
 		}
 		return &mirrorFile{
 			m:        m,
-			files:    []vfs.File{v.(vfs.File)},
+			files:    []vfs.File{f},
 			idxs:     []int{idx},
 			readOnly: true,
 			path:     path,
@@ -407,13 +411,13 @@ func (m *MirrorFS) Open(path string, flags int, mode uint32) (vfs.File, error) {
 
 // Stat reads from the healthiest reachable replica.
 func (m *MirrorFS) Stat(path string) (vfs.FileInfo, error) {
-	v, _, err := m.read(func(fs vfs.FileSystem) (any, error) {
+	fi, _, err := mirrorRead(m, func(fs vfs.FileSystem) (vfs.FileInfo, error) {
 		return fs.Stat(path)
 	}, nil)
 	if err != nil {
 		return vfs.FileInfo{}, err
 	}
-	return v.(vfs.FileInfo), nil
+	return fi, nil
 }
 
 // Unlink removes the file from every reachable replica.
@@ -438,13 +442,13 @@ func (m *MirrorFS) Rmdir(path string) error {
 
 // ReadDir lists from the healthiest reachable replica.
 func (m *MirrorFS) ReadDir(path string) ([]vfs.DirEntry, error) {
-	v, _, err := m.read(func(fs vfs.FileSystem) (any, error) {
+	ents, _, err := mirrorRead(m, func(fs vfs.FileSystem) ([]vfs.DirEntry, error) {
 		return fs.ReadDir(path)
 	}, nil)
 	if err != nil {
 		return nil, err
 	}
-	return v.([]vfs.DirEntry), nil
+	return ents, nil
 }
 
 // Truncate truncates on every reachable replica.

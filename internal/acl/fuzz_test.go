@@ -1,0 +1,42 @@
+package acl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzACLParse feeds arbitrary bytes to the ACL file parser. The parser
+// must never panic, and any list it accepts must re-encode to a stable
+// canonical form: Encode -> Parse -> Encode is a fixed point, and the
+// reparsed list must grant exactly the same rights.
+func FuzzACLParse(f *testing.F) {
+	f.Add([]byte("unix:alice rwla\n"))
+	f.Add([]byte("hostname:*.cse.nd.edu rl\nunix:btovar v(rwla)\n"))
+	f.Add([]byte("# comment\n\nunix:%20odd rwldav\n"))
+	f.Add([]byte("subject v()\n"))
+	f.Add([]byte("unix:alice q\n"))
+	f.Add([]byte("unix:alice v(rwla"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Parse(data)
+		if err != nil {
+			return
+		}
+		enc := l.Encode()
+		l2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-parse: %q: %v", enc, err)
+		}
+		enc2 := l2.Encode()
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not canonical:\nfirst  %q\nsecond %q", enc, enc2)
+		}
+		for _, e := range l.Entries {
+			r1, v1 := l.RightsFor(e.Subject)
+			r2, v2 := l2.RightsFor(e.Subject)
+			if r1 != r2 || v1 != v2 {
+				t.Fatalf("rights for %q changed in round trip: %v/%v -> %v/%v",
+					e.Subject, r1, v1, r2, v2)
+			}
+		}
+	})
+}

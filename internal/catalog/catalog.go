@@ -49,6 +49,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	entries map[string]Report // keyed by Name
+	changed chan struct{}     // closed on ingest; lazily (re)created by WaitFor
 }
 
 // NewServer returns a catalog with the given eviction timeout.
@@ -72,7 +73,37 @@ func (s *Server) Ingest(r Report) {
 	r.Received = s.now()
 	s.mu.Lock()
 	s.entries[r.Name] = r
+	if s.changed != nil {
+		close(s.changed)
+		s.changed = nil
+	}
 	s.mu.Unlock()
+}
+
+// WaitFor blocks until the catalog lists at least n live servers or
+// the timeout elapses, reporting whether the quota was met. It is
+// event-driven — each ingested report re-checks the count — so callers
+// waiting for a fleet to finish registering need no polling sleeps
+// (the sleepseam invariant enforced by tsslint).
+func (s *Server) WaitFor(n int, timeout time.Duration) bool {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		if len(s.List()) >= n {
+			return true
+		}
+		s.mu.Lock()
+		if s.changed == nil {
+			s.changed = make(chan struct{})
+		}
+		ch := s.changed
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return len(s.List()) >= n
+		}
+	}
 }
 
 // IngestJSON decodes and records one JSON-encoded report.

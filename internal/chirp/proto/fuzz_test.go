@@ -1,0 +1,111 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeRequest feeds arbitrary protocol lines to ParseRequest. The
+// parser must never panic, and any line it accepts must survive a full
+// re-encode/re-parse round trip unchanged: the parsed form is the
+// canonical meaning of the request.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add("open /etc/motd 2 644")
+	f.Add("pread 3 65536 0")
+	f.Add("pwrite 3 8 1024")
+	f.Add("rename /a%20b %0")
+	f.Add("setacl / hostname:*.cse.nd.edu rwla")
+	f.Add("putfile /data/blob 755 1048576")
+	f.Add("close -1")
+	f.Add("whoami")
+	f.Add("open %GG 0 0")
+	f.Add("stat %2")
+	f.Fuzz(func(t *testing.T, line string) {
+		q, err := ParseRequest(line)
+		if err != nil {
+			return
+		}
+		enc, err := q.Encode()
+		if err != nil {
+			t.Fatalf("accepted request %+v does not re-encode: %v", q, err)
+		}
+		q2, err := ParseRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded line %q does not re-parse: %v", enc, err)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("round trip changed request:\nline   %q\nfirst  %+v\nencode %q\nsecond %+v", line, q, enc, q2)
+		}
+	})
+}
+
+// FuzzEncodeDecode drives the opposite direction: a Request built from
+// arbitrary field values must encode to a line that parses back to the
+// same canonical encoding, no matter what bytes the path, subject or
+// rights carry. This is the injection check — a hostile path must not
+// be able to smuggle extra fields or verbs through Escape.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint8(0), "/etc/motd", "", "", "", int64(0), int64(0), int64(0), int64(2), int64(0644), int64(0))
+	f.Add(uint8(1), "", "", "", "", int64(3), int64(65536), int64(0), int64(0), int64(0), int64(0))
+	f.Add(uint8(9), "/a b", "/c\td", "", "", int64(0), int64(0), int64(0), int64(0), int64(0), int64(0))
+	f.Add(uint8(17), "/", "", "unix:alice", "rwla", int64(0), int64(0), int64(0), int64(0), int64(0), int64(0))
+	f.Add(uint8(13), "/data/%00", "", "", "", int64(0), int64(9), int64(0), int64(0), int64(0755), int64(0))
+	f.Fuzz(func(t *testing.T, verbSel uint8, path, path2, subject, rights string,
+		fd, length, offset, flags, mode, size int64) {
+		verbs := []string{
+			"open", "pread", "pwrite", "fstat", "fsync", "ftruncate",
+			"close", "stat", "unlink", "rename", "mkdir", "rmdir",
+			"getdir", "getfile", "putfile", "truncate", "chmod",
+			"getacl", "setacl", "statfs", "whoami",
+		}
+		q := &Request{
+			Verb: verbs[int(verbSel)%len(verbs)], Path: path, Path2: path2,
+			Subject: subject, Rights: rights, FD: fd, Length: length,
+			Offset: offset, Flags: flags, Mode: mode, Size: size,
+		}
+		enc, err := q.Encode()
+		if err != nil {
+			t.Fatalf("known verb %q does not encode: %v", q.Verb, err)
+		}
+		q2, err := ParseRequest(enc)
+		if err != nil {
+			t.Fatalf("encoding of %+v does not parse: %q: %v", q, enc, err)
+		}
+		if q2.Verb != q.Verb {
+			t.Fatalf("verb changed in round trip: %q -> %q (line %q)", q.Verb, q2.Verb, enc)
+		}
+		enc2, err := q2.Encode()
+		if err != nil {
+			t.Fatalf("re-parse of %q does not re-encode: %v", enc, err)
+		}
+		if enc != enc2 {
+			t.Fatalf("encoding not canonical:\nfirst  %q\nsecond %q", enc, enc2)
+		}
+	})
+}
+
+// FuzzEscape asserts the token escaping is lossless and that its output
+// honors the tokenizer contract: never empty, never containing the
+// separators asciiFields splits on.
+func FuzzEscape(f *testing.F) {
+	f.Add("")
+	f.Add("/plain/path")
+	f.Add("a b\tc\nd\re%f\x00g")
+	f.Add("\xff\xfe")
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := Escape(s)
+		if esc == "" {
+			t.Fatalf("Escape(%q) produced an empty token", s)
+		}
+		if fields := asciiFields(esc); len(fields) != 1 || fields[0] != esc {
+			t.Fatalf("Escape(%q) = %q is not a single token", s, esc)
+		}
+		got, err := Unescape(esc)
+		if err != nil {
+			t.Fatalf("Unescape(Escape(%q)) failed: %v", s, err)
+		}
+		if got != s {
+			t.Fatalf("escape round trip changed value: %q -> %q -> %q", s, esc, got)
+		}
+	})
+}

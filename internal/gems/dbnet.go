@@ -174,6 +174,7 @@ func (c *DBClient) rpc(req dbRequest) (dbResponse, error) {
 	if err := c.enc.Encode(req); err != nil {
 		return dbResponse{}, err
 	}
+	//lint:ignore lockheld the DB protocol serializes request/response pairs on one connection; c.mu is the connection owner
 	if err := c.bw.Flush(); err != nil {
 		return dbResponse{}, err
 	}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CapProbe enforces the capability-probe contract introduced with
+// vfs.Capabilities: outside package vfs itself, no code may reach an
+// optional vfs interface (Reconnector, OpenStater, FileGetter,
+// FilePutter, Closer, Capabler) by direct type assertion or type
+// switch. Ad-hoc assertions see only the outermost layer of a stacked
+// filesystem and silently drop the fast paths of the layers it wraps —
+// the exact bug class vfs.Capabilities was built to end (DESIGN.md §8).
+type CapProbe struct {
+	// VFSPath is the import path of the vfs package.
+	VFSPath string
+	// Interfaces are the optional-capability interface names that must
+	// be reached through the probe.
+	Interfaces map[string]bool
+}
+
+// NewCapProbe returns the checker configured for this repository.
+func NewCapProbe() *CapProbe {
+	return &CapProbe{
+		VFSPath: "tss/internal/vfs",
+		Interfaces: map[string]bool{
+			"Reconnector": true,
+			"OpenStater":  true,
+			"FileGetter":  true,
+			"FilePutter":  true,
+			"Closer":      true,
+			"Capabler":    true,
+		},
+	}
+}
+
+// Name implements Checker.
+func (c *CapProbe) Name() string { return "capprobe" }
+
+// Doc implements Checker.
+func (c *CapProbe) Doc() string {
+	return "optional vfs interfaces must be reached via vfs.Capabilities, not type assertion"
+}
+
+// Check implements Checker.
+func (c *CapProbe) Check(pkg *Package) []Diagnostic {
+	if pkg.Path == c.VFSPath {
+		// The probe itself is the one sanctioned place for the
+		// assertions.
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var typeExprs []ast.Expr
+			switch x := n.(type) {
+			case *ast.TypeAssertExpr:
+				if x.Type != nil { // x.(type) switches are handled below
+					typeExprs = append(typeExprs, x.Type)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, cl := range x.Body.List {
+					typeExprs = append(typeExprs, cl.(*ast.CaseClause).List...)
+				}
+			default:
+				return true
+			}
+			for _, te := range typeExprs {
+				tv, ok := pkg.Info.Types[te]
+				if !ok {
+					continue
+				}
+				name, ok := namedFrom(tv.Type, c.VFSPath)
+				if !ok || !c.Interfaces[name] {
+					continue
+				}
+				pos := pkg.Fset.Position(te.Pos())
+				if isTestFile(pos) {
+					continue
+				}
+				diags = append(diags, pkg.diag(c.Name(), te.Pos(),
+					"type assertion to vfs.%s bypasses the capability probe; use vfs.Capabilities(fs).%s",
+					name, name))
+			}
+			return true
+		})
+	}
+	return diags
+}

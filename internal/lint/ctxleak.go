@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxLeak enforces context plumbing: a function that receives a
+// context.Context must forward it. Calling context.Background() or
+// context.TODO() inside such a function severs the cancellation chain
+// — the callee outlives the caller's deadline, which in this codebase
+// means a drain (chirp Server.Shutdown) or an adapter retry budget
+// silently stops propagating.
+type CtxLeak struct{}
+
+// NewCtxLeak returns the checker.
+func NewCtxLeak() *CtxLeak { return &CtxLeak{} }
+
+// Name implements Checker.
+func (c *CtxLeak) Name() string { return "ctxleak" }
+
+// Doc implements Checker.
+func (c *CtxLeak) Doc() string {
+	return "a function taking a context.Context must forward it, not mint context.Background()"
+}
+
+// Check implements Checker.
+func (c *CtxLeak) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !hasCtxParam(pkg, ftype) {
+				return true
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				// A nested function with its own ctx parameter is
+				// judged on its own terms by the outer Inspect.
+				if lit, ok := n.(*ast.FuncLit); ok && hasCtxParam(pkg, lit.Type) {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(pkg.Info, call)
+				if name != "context.Background" && name != "context.TODO" {
+					return true
+				}
+				pos := pkg.Fset.Position(call.Pos())
+				if isTestFile(pos) {
+					return true
+				}
+				diags = append(diags, pkg.diag(c.Name(), call.Pos(),
+					"%s inside a function that already receives a context.Context; forward the caller's ctx", name))
+				return true
+			})
+			// Keep descending: a nested literal with its own ctx
+			// parameter was skipped above and is picked up when the
+			// outer traversal reaches it. (Ctx-less literals were
+			// already covered — they close over this ctx — and the
+			// outer callback ignores plain calls, so nothing is
+			// reported twice.)
+			return true
+		})
+	}
+	return diags
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pkg *Package, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if name, ok := namedFrom(tv.Type, "context"); ok && name == "Context" {
+			return true
+		}
+	}
+	return false
+}

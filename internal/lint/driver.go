@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// Exit codes of the driver, in the convention of go vet: 0 clean,
+// 1 diagnostics found, 2 the analysis itself failed.
+const (
+	ExitClean = 0
+	ExitDiags = 1
+	ExitError = 2
+)
+
+// Main is the tsslint entry point, factored out of cmd/tsslint so the
+// driver is testable in-process: it loads the packages matching
+// patterns (relative to dir), runs every registered checker, writes
+// file:line:col diagnostics to out, and returns the exit code.
+func Main(out io.Writer, dir string, patterns ...string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		fmt.Fprintf(out, "tsslint: %v\n", err)
+		return ExitError
+	}
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(out, "tsslint: %v\n", err)
+		return ExitError
+	}
+	diags := Run(pkgs, Checkers())
+	for _, d := range diags {
+		d.Pos.Filename = relPath(dir, d.Pos.Filename)
+		fmt.Fprintf(out, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "tsslint: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
+		return ExitDiags
+	}
+	return ExitClean
+}
+
+// ListCheckers writes the checker table — name and enforced invariant
+// — to out (the `tsslint -list` output).
+func ListCheckers(out io.Writer) {
+	for _, c := range Checkers() {
+		fmt.Fprintf(out, "%-10s %s\n", c.Name(), c.Doc())
+	}
+}
+
+func relPath(dir, path string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(abs, path)
+	if err != nil || filepath.IsAbs(rel) {
+		return path
+	}
+	return rel
+}

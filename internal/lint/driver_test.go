@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDriverDirty lints a synthetic violating package through the same
+// entry point cmd/tsslint uses and asserts the exit status and the
+// file:line:col diagnostic format.
+func TestDriverDirty(t *testing.T) {
+	var buf bytes.Buffer
+	code := Main(&buf, ".", "./testdata/driver/bad")
+	if code != ExitDiags {
+		t.Fatalf("exit code = %d, want %d\noutput:\n%s", code, ExitDiags, buf.String())
+	}
+	out := strings.TrimSpace(buf.String())
+	lines := strings.Split(out, "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d output lines, want 2 (diagnostic + summary):\n%s", len(lines), out)
+	}
+	diagRe := regexp.MustCompile(`^testdata[/\\]driver[/\\]bad[/\\]bad\.go:\d+:\d+: \[sleepseam\] .+$`)
+	if !diagRe.MatchString(lines[0]) {
+		t.Errorf("diagnostic line %q does not match %v", lines[0], diagRe)
+	}
+	if want := "tsslint: 1 issue(s) in 1 package(s)"; lines[1] != want {
+		t.Errorf("summary = %q, want %q", lines[1], want)
+	}
+}
+
+// TestDriverClean asserts a clean package produces no output and exit 0.
+func TestDriverClean(t *testing.T) {
+	var buf bytes.Buffer
+	code := Main(&buf, ".", "./testdata/driver/good")
+	if code != ExitClean {
+		t.Fatalf("exit code = %d, want %d\noutput:\n%s", code, ExitClean, buf.String())
+	}
+	if buf.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", buf.String())
+	}
+}
+
+// TestDriverBadPattern asserts loader failures map to the error exit
+// code, distinct from "found diagnostics".
+func TestDriverBadPattern(t *testing.T) {
+	var buf bytes.Buffer
+	code := Main(&buf, ".", filepath.Join("testdata", "no", "such", "dir"))
+	if code != ExitError {
+		t.Fatalf("exit code = %d, want %d\noutput:\n%s", code, ExitError, buf.String())
+	}
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrnoWrap enforces the errno discipline at the recursive-abstraction
+// boundary: an error returned from a vfs.FileSystem or vfs.File method
+// must be a vfs.Errno or wrap one (so vfs.AsErrno can recover it).
+// Constructing an opaque error with errors.New, or with fmt.Errorf and
+// no %w verb, destroys the error number: by the time it crosses two
+// layers, a precise ENOENT has collapsed into a generic EIO and the
+// adapter's recovery protocol (§6) can no longer tell a missing file
+// from a dead server.
+//
+// The check is intra-procedural: it flags opaque error construction
+// anywhere inside the body of an interface method on a type that
+// implements vfs.FileSystem or vfs.File.
+type ErrnoWrap struct {
+	// VFSPath is the import path of the vfs package.
+	VFSPath string
+	// Methods maps interface name -> method names whose bodies are
+	// checked.
+	Methods map[string][]string
+}
+
+// NewErrnoWrap returns the checker configured for this repository.
+func NewErrnoWrap() *ErrnoWrap {
+	return &ErrnoWrap{
+		VFSPath: "tss/internal/vfs",
+		Methods: map[string][]string{
+			"FileSystem": {
+				"Open", "Stat", "Unlink", "Rename", "Mkdir", "Rmdir",
+				"ReadDir", "Truncate", "Chmod", "StatFS",
+			},
+			"File": {
+				"Pread", "Pwrite", "Fstat", "Ftruncate", "Sync", "Close",
+			},
+		},
+	}
+}
+
+// Name implements Checker.
+func (c *ErrnoWrap) Name() string { return "errnowrap" }
+
+// Doc implements Checker.
+func (c *ErrnoWrap) Doc() string {
+	return "errors leaving vfs.FileSystem/vfs.File methods must be vfs errnos or wrap one with %w"
+}
+
+// Check implements Checker.
+func (c *ErrnoWrap) Check(pkg *Package) []Diagnostic {
+	ifaces := c.interfaces(pkg)
+	if len(ifaces) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			iface := c.matches(pkg, fn, ifaces)
+			if iface == "" {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(pkg.Info, call)
+				var bad bool
+				switch name {
+				case "errors.New":
+					bad = true
+				case "fmt.Errorf":
+					bad = !errorfWraps(call)
+				}
+				if !bad {
+					return true
+				}
+				pos := pkg.Fset.Position(call.Pos())
+				if isTestFile(pos) {
+					return true
+				}
+				diags = append(diags, pkg.diag(c.Name(), call.Pos(),
+					"%s inside vfs.%s method %s loses the errno; return a vfs errno or wrap one with %%w",
+					name, iface, fn.Name.Name))
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// errorfWraps reports whether a fmt.Errorf call's literal format
+// string contains a %w verb. Non-literal formats cannot be decided
+// statically and are accepted.
+func errorfWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return true
+	}
+	return strings.Contains(lit.Value, "%w")
+}
+
+// interfaces resolves the checked vfs interfaces, whether pkg imports
+// vfs or is vfs itself.
+func (c *ErrnoWrap) interfaces(pkg *Package) map[string]*types.Interface {
+	var vfsPkg *types.Package
+	if pkg.Path == c.VFSPath {
+		vfsPkg = pkg.Types
+	} else {
+		for _, imp := range pkg.Types.Imports() {
+			if imp.Path() == c.VFSPath {
+				vfsPkg = imp
+				break
+			}
+		}
+	}
+	if vfsPkg == nil {
+		return nil
+	}
+	out := make(map[string]*types.Interface, len(c.Methods))
+	for name := range c.Methods {
+		obj := vfsPkg.Scope().Lookup(name)
+		if obj == nil {
+			continue
+		}
+		if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+			out[name] = iface
+		}
+	}
+	return out
+}
+
+// matches reports which checked interface (if any) fn is a method of:
+// the receiver type must implement the interface and the method name
+// must belong to it.
+func (c *ErrnoWrap) matches(pkg *Package, fn *ast.FuncDecl, ifaces map[string]*types.Interface) string {
+	if len(fn.Recv.List) == 0 {
+		return ""
+	}
+	tv, ok := pkg.Info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return ""
+	}
+	recv := tv.Type
+	for name, iface := range ifaces {
+		found := false
+		for _, m := range c.Methods[name] {
+			if m == fn.Name.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+			return name
+		}
+	}
+	return ""
+}

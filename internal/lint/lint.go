@@ -1,0 +1,188 @@
+// Package lint is a dependency-free static-analysis framework for the
+// tactical storage system. The paper's central claim — one Unix
+// filesystem interface serving as both the resource interface and the
+// abstraction interface (§3) — only holds while every layer of the
+// recursive stack obeys the same contracts. The checkers in this
+// package turn those contracts (capability probing, injectable sleep
+// seams, errno discipline, lock hygiene, context plumbing) into
+// machine-checked invariants that run on every `make verify`.
+//
+// The framework is built directly on go/parser and go/types so that
+// go.mod stays empty: the analyzer is as self-hosted as the storage
+// system it checks.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package presented to checkers.
+type Package struct {
+	// Path is the import path ("tss/internal/vfs").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions all files.
+	Fset *token.FileSet
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's fact tables.
+	Info *types.Info
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the diagnostic in the canonical file:line:col form the
+// driver prints and the golden tests assert against.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Checker is one repo-invariant analysis. Checkers are pure functions
+// of a type-checked package; the framework owns suppression handling,
+// ordering and output.
+type Checker interface {
+	// Name is the short identifier used in diagnostics and in
+	// //lint:ignore comments.
+	Name() string
+	// Doc is a one-line description of the enforced invariant.
+	Doc() string
+	// Check analyzes one package.
+	Check(pkg *Package) []Diagnostic
+}
+
+// Checkers returns the full table of repo invariants, in the order
+// they are documented in DESIGN.md §9.
+func Checkers() []Checker {
+	return []Checker{
+		NewCapProbe(),
+		NewLockHeld(),
+		NewSleepSeam(),
+		NewErrnoWrap(),
+		NewCtxLeak(),
+	}
+}
+
+// Run applies every checker to every package, drops diagnostics that
+// are suppressed by a well-formed //lint:ignore comment, reports
+// malformed suppressions, and returns the remainder sorted by
+// position.
+func Run(pkgs []*Package, checkers []Checker) []Diagnostic {
+	known := make(map[string]bool, len(checkers))
+	for _, c := range checkers {
+		known[c.Name()] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup, bad := suppressions(pkg, known)
+		diags = append(diags, bad...)
+		for _, c := range checkers {
+			for _, d := range c.Check(pkg) {
+				if sup.covers(d) {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// diag builds a Diagnostic at the given node.
+func (p *Package) diag(check string, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// calleeName resolves a call expression to the fully qualified name of
+// the called function or method, e.g. "time.Sleep",
+// "(*sync.Mutex).Lock", "(net.Conn).Read". Calls through function
+// values, conversions and builtins resolve to "".
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return ""
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// namedFrom reports whether t (after unwrapping pointers and aliases)
+// is the named type pkgPath.name, returning the resolved name.
+func namedFrom(t types.Type, pkgPath string) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// exprString renders a (small) expression for diagnostics, e.g. the
+// receiver of a mutex: "c.mu".
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	}
+	return "expr"
+}
+
+// isTestFile reports whether the position is in a _test.go file. The
+// loader never parses test files, but checkers guard anyway so they
+// stay correct if fed a richer file set.
+func isTestFile(pos token.Position) bool {
+	return strings.HasSuffix(pos.Filename, "_test.go")
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader amortizes stdlib type-checking (the expensive part)
+// across all tests in the package.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loader
+}
+
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	pkg, err := testLoader(t).LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return pkg
+}
+
+// format renders diagnostics with basenames so golden files are
+// independent of where the repository is checked out.
+func format(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		d.Pos.Filename = filepath.Base(d.Pos.Filename)
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// TestCheckerGolden runs each checker against its positive fixture and
+// compares the diagnostics against the checked-in golden file, then
+// asserts the negative fixture is clean. Every checker must prove both
+// that it fires and that it stays quiet.
+func TestCheckerGolden(t *testing.T) {
+	for _, c := range Checkers() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			base := filepath.Join("testdata", c.Name())
+
+			bad := loadFixture(t, filepath.Join(base, "bad"))
+			got := format(Run([]*Package{bad}, []Checker{c}))
+			wantData, err := os.ReadFile(filepath.Join(base, "bad", "expected.txt"))
+			if err != nil {
+				t.Fatalf("reading golden file: %v", err)
+			}
+			want := strings.Split(strings.TrimSpace(string(wantData)), "\n")
+			if len(got) == 0 {
+				t.Fatalf("checker %s found nothing in its positive fixture", c.Name())
+			}
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("diagnostics mismatch\ngot:\n  %s\nwant:\n  %s",
+					strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+			}
+
+			good := loadFixture(t, filepath.Join(base, "good"))
+			if diags := Run([]*Package{good}, []Checker{c}); len(diags) != 0 {
+				t.Errorf("negative fixture not clean: %v", format(diags))
+			}
+		})
+	}
+}
+
+// TestSuppressions exercises the //lint:ignore grammar: a well-formed
+// suppression silences its diagnostic, a reason-less one is rejected
+// (and reported), and an unknown check name is reported.
+func TestSuppressions(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "suppress", "bad"))
+	got := format(Run([]*Package{pkg}, Checkers()))
+	want := []string{
+		"bad.go:16:2: [lint] malformed suppression: want //lint:ignore <check> <reason>",
+		"bad.go:17:2: [sleepseam] bare time.Sleep call; route the delay through an injectable sleep seam or an event (channel, Ticker, catalog WaitFor)",
+		"bad.go:22:2: [lint] suppression names unknown check \"nosuchcheck\"",
+		"bad.go:23:2: [sleepseam] bare time.Sleep call; route the delay through an injectable sleep seam or an event (channel, Ticker, catalog WaitFor)",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("suppression handling mismatch\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// TestCheckerTable pins the registered checker set: DESIGN.md §9
+// documents exactly these five invariants.
+func TestCheckerTable(t *testing.T) {
+	want := []string{"capprobe", "lockheld", "sleepseam", "errnowrap", "ctxleak"}
+	cs := Checkers()
+	if len(cs) != len(want) {
+		t.Fatalf("got %d checkers, want %d", len(cs), len(want))
+	}
+	for i, c := range cs {
+		if c.Name() != want[i] {
+			t.Errorf("checker %d = %q, want %q", i, c.Name(), want[i])
+		}
+		if c.Doc() == "" {
+			t.Errorf("checker %s has no doc", c.Name())
+		}
+	}
+}

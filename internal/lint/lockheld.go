@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// LockHeld forbids blocking calls — network I/O, RPC round trips,
+// time.Sleep — while a sync.Mutex or sync.RWMutex is held in the same
+// function body. A blocked goroutine that owns a mutex convoys every
+// other goroutine behind a network peer's latency; in a storage stack
+// where each layer serializes on locks, one slow replica can freeze an
+// entire abstraction. Sites where holding the lock across I/O *is* the
+// design (the chirp client serializes RPCs on its single connection)
+// carry a //lint:ignore lockheld comment explaining exactly that.
+//
+// The analysis is intra-procedural and source-ordered: a mutex is held
+// from X.Lock() until X.Unlock() on the same receiver expression;
+// `defer X.Unlock()` holds it to the end of the function. Function
+// literals (including goroutine bodies) are analyzed as independent
+// functions, since they generally run outside the critical section.
+type LockHeld struct {
+	// Blocking is the deny-list of fully qualified callee names
+	// considered blocking.
+	Blocking map[string]bool
+}
+
+// NewLockHeld returns the checker configured for this repository.
+func NewLockHeld() *LockHeld {
+	return &LockHeld{
+		Blocking: map[string]bool{
+			// Sleeping.
+			"time.Sleep": true,
+			// Dialing and listening.
+			"net.Dial":                  true,
+			"net.DialTimeout":           true,
+			"net.DialTCP":               true,
+			"net.DialUDP":               true,
+			"net.DialUnix":              true,
+			"net.DialIP":                true,
+			"net.Listen":                true,
+			"net.ListenTCP":             true,
+			"net.ListenPacket":          true,
+			"(*net.Dialer).Dial":        true,
+			"(*net.Dialer).DialContext": true,
+			// Stream I/O on sockets.
+			"(net.Conn).Read":           true,
+			"(net.Conn).Write":          true,
+			"(*net.TCPConn).Read":       true,
+			"(*net.TCPConn).Write":      true,
+			"(net.PacketConn).ReadFrom": true,
+			"(net.PacketConn).WriteTo":  true,
+			// Buffered readers block on their underlying source; Flush
+			// pushes buffered bytes into the socket. (Buffered writes
+			// themselves usually complete in memory and are not listed.)
+			"(*bufio.Reader).Read":       true,
+			"(*bufio.Reader).ReadString": true,
+			"(*bufio.Reader).ReadBytes":  true,
+			"(*bufio.Reader).ReadByte":   true,
+			"(*bufio.Reader).ReadRune":   true,
+			"(*bufio.Reader).ReadLine":   true,
+			"(*bufio.Reader).ReadSlice":  true,
+			"(*bufio.Writer).Flush":      true,
+			// Chirp protocol round trips read from the connection.
+			"tss/internal/chirp/proto.ReadLine": true,
+			"tss/internal/chirp/proto.ReadCode": true,
+			// The authentication dialog is a multi-round network
+			// exchange.
+			"tss/internal/auth.Login": true,
+		},
+	}
+}
+
+// Name implements Checker.
+func (c *LockHeld) Name() string { return "lockheld" }
+
+// Doc implements Checker.
+func (c *LockHeld) Doc() string {
+	return "no blocking call (net I/O, RPC, time.Sleep) while a sync mutex is held"
+}
+
+// Check implements Checker.
+func (c *LockHeld) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					diags = append(diags, c.checkBody(pkg, fn.Body)...)
+				}
+				return false // checkBody descends, including into literals
+			case *ast.FuncLit:
+				// Only reached for literals outside any declaration
+				// (package-level var initializers).
+				diags = append(diags, c.checkBody(pkg, fn.Body)...)
+				return false
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// lockWalker tracks the set of held mutexes through one function body
+// in source order. The analysis is deliberately conservative inside
+// branches: state mutations in an if/for/switch arm persist after it,
+// which can over-approximate "held" but never under-approximates an
+// unconditional Lock.
+type lockWalker struct {
+	c     *LockHeld
+	pkg   *Package
+	held  map[string]bool // receiver expression -> held
+	diags []Diagnostic
+}
+
+func (c *LockHeld) checkBody(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	w := &lockWalker{c: c, pkg: pkg, held: make(map[string]bool)}
+	w.stmt(body)
+	return w.diags
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, s2 := range st.List {
+			w.stmt(s2)
+		}
+	case *ast.IfStmt:
+		w.stmt(st.Init)
+		w.expr(st.Cond)
+		w.stmt(st.Body)
+		w.stmt(st.Else)
+	case *ast.ForStmt:
+		w.stmt(st.Init)
+		w.expr(st.Cond)
+		w.stmt(st.Body)
+		w.stmt(st.Post)
+	case *ast.RangeStmt:
+		w.expr(st.X)
+		w.stmt(st.Body)
+	case *ast.SwitchStmt:
+		w.stmt(st.Init)
+		w.expr(st.Tag)
+		w.stmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(st.Init)
+		w.stmt(st.Assign)
+		w.stmt(st.Body)
+	case *ast.SelectStmt:
+		w.stmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			w.expr(e)
+		}
+		for _, s2 := range st.Body {
+			w.stmt(s2)
+		}
+	case *ast.CommClause:
+		w.stmt(st.Comm)
+		for _, s2 := range st.Body {
+			w.stmt(s2)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	case *ast.ExprStmt:
+		w.expr(st.X)
+	case *ast.SendStmt:
+		w.expr(st.Chan)
+		w.expr(st.Value)
+	case *ast.IncDecStmt:
+		w.expr(st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// `defer X.Unlock()` keeps X held to function end: do not clear.
+		// Any other deferred call runs at exit — analyze its arguments
+		// now (they evaluate here) but treat a deferred function
+		// literal as an independent body.
+		if name, recv := w.mutexOp(st.Call); name != "" {
+			_ = recv
+			return
+		}
+		for _, a := range st.Call.Args {
+			w.expr(a)
+		}
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			w.diags = append(w.diags, w.c.checkBody(w.pkg, lit.Body)...)
+		}
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			w.expr(a)
+		}
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			w.diags = append(w.diags, w.c.checkBody(w.pkg, lit.Body)...)
+		}
+	}
+}
+
+func (w *lockWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Independent function: analyzed with a fresh lock state.
+			w.diags = append(w.diags, w.c.checkBody(w.pkg, x.Body)...)
+			return false
+		case *ast.CallExpr:
+			w.call(x)
+		}
+		return true
+	})
+}
+
+// mutexOp classifies call as a sync lock/unlock operation, returning
+// the method name and receiver expression string, or "".
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (op, recv string) {
+	name := calleeName(w.pkg.Info, call)
+	switch name {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock",
+		"(*sync.Mutex).TryLock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).Unlock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).RUnlock",
+		"(*sync.RWMutex).TryLock", "(*sync.RWMutex).TryRLock":
+	default:
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	return name[strings.LastIndexByte(name, '.')+1:], exprString(sel.X)
+}
+
+func (w *lockWalker) call(call *ast.CallExpr) {
+	if op, recv := w.mutexOp(call); op != "" {
+		switch op {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			w.held[recv] = true
+		case "Unlock", "RUnlock":
+			delete(w.held, recv)
+		}
+		return
+	}
+	name := calleeName(w.pkg.Info, call)
+	if name == "" || !w.c.Blocking[name] || len(w.held) == 0 {
+		return
+	}
+	pos := w.pkg.Fset.Position(call.Pos())
+	if isTestFile(pos) {
+		return
+	}
+	var held []string
+	for m := range w.held {
+		held = append(held, m)
+	}
+	sort.Strings(held)
+	w.diags = append(w.diags, w.pkg.diag(w.c.Name(), call.Pos(),
+		"blocking call %s while holding %s", name, strings.Join(held, ", ")))
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SleepSeam forbids direct calls to time.Sleep in non-test code. PR 1
+// introduced injectable sleep seams (resilient.Policy.Sleep,
+// adapter.Config.Sleep, faultfs latency knobs) precisely so that
+// backoff and settling delays are (a) testable without wall-clock
+// waits and (b) visible in one place per layer. A bare time.Sleep
+// call re-opens the hole: it cannot be faked, cannot be observed, and
+// usually papers over a missing synchronization primitive.
+//
+// Referencing time.Sleep as a *value* — wiring it in as the default
+// for a seam field, `sleep = time.Sleep` — is allowed everywhere; only
+// direct calls are flagged.
+type SleepSeam struct{}
+
+// NewSleepSeam returns the checker.
+func NewSleepSeam() *SleepSeam { return &SleepSeam{} }
+
+// Name implements Checker.
+func (c *SleepSeam) Name() string { return "sleepseam" }
+
+// Doc implements Checker.
+func (c *SleepSeam) Doc() string {
+	return "no bare time.Sleep in non-test code; use the layer's injectable sleep seam"
+}
+
+// Check implements Checker.
+func (c *SleepSeam) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if calleeName(pkg.Info, call) != "time.Sleep" {
+				return true
+			}
+			pos := pkg.Fset.Position(call.Pos())
+			if isTestFile(pos) {
+				return true
+			}
+			diags = append(diags, pkg.diag(c.Name(), call.Pos(),
+				"bare time.Sleep call; route the delay through an injectable sleep seam or an event (channel, Ticker, catalog WaitFor)"))
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// A suppression is declared in source as
+//
+//	//lint:ignore <check> <reason>
+//
+// either on the line immediately above the offending line or as a
+// trailing comment on the offending line itself. The reason is
+// mandatory: a suppression documents *why* the invariant does not
+// apply at this site, and the driver rejects bare ignores.
+type suppressSet map[suppressKey]bool
+
+type suppressKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// covers reports whether d is suppressed: a matching //lint:ignore on
+// the diagnostic's own line or the line above it.
+func (s suppressSet) covers(d Diagnostic) bool {
+	return s[suppressKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
+		s[suppressKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}]
+}
+
+// suppressions scans the package's comments for //lint:ignore
+// directives. Malformed directives — a missing reason, or a check name
+// the driver does not know — are themselves diagnostics: a suppression
+// that silently matched nothing would hide regressions.
+func suppressions(pkg *Package, known map[string]bool) (suppressSet, []Diagnostic) {
+	set := make(suppressSet)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						Check:   "lint",
+						Message: "malformed suppression: want //lint:ignore <check> <reason>",
+					})
+					continue
+				}
+				check := fields[0]
+				if !known[check] {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						Check:   "lint",
+						Message: "suppression names unknown check " + strconv.Quote(check),
+					})
+					continue
+				}
+				set[suppressKey{pos.Filename, pos.Line, check}] = true
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,24 @@
+// Package bad reaches optional vfs interfaces by direct assertion,
+// which sees only the outermost layer of a stacked filesystem.
+package bad
+
+import "tss/internal/vfs"
+
+// Reconnect sniffs the capability the forbidden way.
+func Reconnect(fs vfs.FileSystem) error {
+	if rc, ok := fs.(vfs.Reconnector); ok {
+		return rc.Reconnect()
+	}
+	return nil
+}
+
+// Fetch switches on optional interfaces.
+func Fetch(fs vfs.FileSystem) bool {
+	switch fs.(type) {
+	case vfs.FileGetter:
+		return true
+	case vfs.FilePutter:
+		return true
+	}
+	return false
+}

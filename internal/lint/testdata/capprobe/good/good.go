@@ -1,0 +1,22 @@
+// Package good reaches optional vfs interfaces through the probe and
+// asserts freely to its own interfaces.
+package good
+
+import "tss/internal/vfs"
+
+// Reconnect goes through the sanctioned probe.
+func Reconnect(fs vfs.FileSystem) error {
+	if rc := vfs.Capabilities(fs).Reconnector; rc != nil {
+		return rc.Reconnect()
+	}
+	return nil
+}
+
+// sizer is a local interface; asserting to it is fine.
+type sizer interface{ Size() int64 }
+
+// Sniff asserts to a non-vfs interface.
+func Sniff(v any) bool {
+	_, ok := v.(sizer)
+	return ok
+}

@@ -1,0 +1,22 @@
+// Package bad receives contexts and then severs the cancellation
+// chain by minting fresh ones.
+package bad
+
+import "context"
+
+func lookup(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// Resolve receives a context but forwards a minted one.
+func Resolve(ctx context.Context, name string) error {
+	return lookup(context.Background(), name)
+}
+
+// Drain hides the mint inside a closure that closes over ctx.
+func Drain(ctx context.Context) error {
+	do := func() error {
+		return lookup(context.TODO(), "drain")
+	}
+	return do()
+}

@@ -1,0 +1,21 @@
+// Package good forwards received contexts; only context-free roots
+// mint their own.
+package good
+
+import "context"
+
+func lookup(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// Resolve forwards its context, possibly derived.
+func Resolve(ctx context.Context, name string) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return lookup(ctx, name)
+}
+
+// Root has no incoming context and may legitimately mint one.
+func Root(name string) error {
+	return lookup(context.Background(), name)
+}

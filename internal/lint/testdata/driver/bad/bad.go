@@ -1,0 +1,9 @@
+// Package bad is the driver test's synthetic violating package.
+package bad
+
+import "time"
+
+// Wait violates the sleepseam invariant.
+func Wait() {
+	time.Sleep(time.Second)
+}

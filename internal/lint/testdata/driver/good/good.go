@@ -1,0 +1,7 @@
+// Package good is the driver test's synthetic clean package.
+package good
+
+// Answer is exemplary code.
+func Answer() int {
+	return 42
+}

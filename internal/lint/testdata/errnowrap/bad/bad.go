@@ -1,0 +1,32 @@
+// Package bad constructs opaque errors inside vfs interface methods,
+// destroying the errno that the layers above need for recovery.
+package bad
+
+import (
+	"errors"
+	"fmt"
+
+	"tss/internal/vfs"
+)
+
+// FS wraps another filesystem and mangles its errors.
+type FS struct {
+	vfs.FileSystem
+}
+
+// Stat loses the errno entirely.
+func (f *FS) Stat(path string) (vfs.FileInfo, error) {
+	fi, err := f.FileSystem.Stat(path)
+	if err != nil {
+		return vfs.FileInfo{}, errors.New("stat failed")
+	}
+	return fi, nil
+}
+
+// Unlink formats the error away instead of wrapping it.
+func (f *FS) Unlink(path string) error {
+	if err := f.FileSystem.Unlink(path); err != nil {
+		return fmt.Errorf("unlink %s: %v", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+// Package good keeps the errno intact across the vfs boundary: return
+// vfs errnos directly or wrap them with %w so vfs.AsErrno recovers
+// them. Types outside the vfs interfaces may build errors freely.
+package good
+
+import (
+	"errors"
+	"fmt"
+
+	"tss/internal/vfs"
+)
+
+// FS wraps another filesystem and preserves its errors.
+type FS struct {
+	vfs.FileSystem
+}
+
+// Stat returns a vfs errno on failure.
+func (f *FS) Stat(path string) (vfs.FileInfo, error) {
+	fi, err := f.FileSystem.Stat(path)
+	if err != nil {
+		return vfs.FileInfo{}, vfs.EIO
+	}
+	return fi, nil
+}
+
+// Unlink wraps with %w so the errno survives.
+func (f *FS) Unlink(path string) error {
+	if err := f.FileSystem.Unlink(path); err != nil {
+		return fmt.Errorf("unlink %s: %w", path, err)
+	}
+	return nil
+}
+
+// parser is not a vfs implementation; its errors are its own business.
+type parser struct{}
+
+// Parse may use opaque errors freely.
+func (parser) Parse(s string) error {
+	if s == "" {
+		return errors.New("empty input")
+	}
+	return nil
+}

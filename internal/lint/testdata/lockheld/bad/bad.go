@@ -1,0 +1,35 @@
+// Package bad blocks on the network and the clock while holding a
+// mutex, convoying every other goroutine behind a peer's latency.
+package bad
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Pool is a connection pool with one lock.
+type Pool struct {
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+// Refill dials while holding the pool lock.
+func (p *Pool) Refill(addr string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	p.conns = append(p.conns, c)
+	return nil
+}
+
+// Throttle sleeps inside the critical section, then (legally) after it.
+func (p *Pool) Throttle() {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond)
+	p.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,36 @@
+// Package good keeps blocking calls outside critical sections.
+package good
+
+import (
+	"net"
+	"sync"
+)
+
+// Pool is a connection pool with one lock.
+type Pool struct {
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+// Refill dials before taking the lock; the critical section only
+// touches memory.
+func (p *Pool) Refill(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.conns = append(p.conns, c)
+	p.mu.Unlock()
+	return nil
+}
+
+// Async dials from a goroutine that does not hold the lock — the
+// spawned body is its own function with its own (empty) lock state.
+func (p *Pool) Async(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		net.Dial("tcp", addr)
+	}()
+}

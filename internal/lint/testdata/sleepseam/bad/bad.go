@@ -1,0 +1,9 @@
+// Package bad settles with a wall-clock sleep that no test can fake.
+package bad
+
+import "time"
+
+// Settle waits the lazy way.
+func Settle() {
+	time.Sleep(10 * time.Millisecond)
+}

@@ -1,0 +1,21 @@
+// Package good routes every delay through an injectable seam. Wiring
+// time.Sleep in as the seam's default value is the sanctioned pattern.
+package good
+
+import "time"
+
+// Config carries the injectable sleep seam.
+type Config struct {
+	// Sleep replaces time.Sleep (tests). Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// New wires the default; referencing time.Sleep as a value is allowed.
+func New() Config {
+	return Config{Sleep: time.Sleep}
+}
+
+// Backoff delays through the seam.
+func (c Config) Backoff(d time.Duration) {
+	c.Sleep(d)
+}

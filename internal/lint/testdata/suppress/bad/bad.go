@@ -1,0 +1,24 @@
+// Package bad exercises the suppression grammar: one justified
+// ignore, one missing its reason, one naming an unknown check.
+package bad
+
+import "time"
+
+// Settle is noisy but justified: the suppression carries a reason.
+func Settle() {
+	//lint:ignore sleepseam fixture demonstrating a justified wait
+	time.Sleep(time.Millisecond)
+}
+
+// Unjustified lacks a reason, so the suppression is rejected and the
+// underlying diagnostic still fires.
+func Unjustified() {
+	//lint:ignore sleepseam
+	time.Sleep(time.Millisecond)
+}
+
+// Unknown names a check that does not exist.
+func Unknown() {
+	//lint:ignore nosuchcheck the checker name is wrong
+	time.Sleep(time.Millisecond)
+}

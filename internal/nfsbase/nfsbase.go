@@ -415,9 +415,11 @@ func (c *Client) rpc(line string, payload []byte, body func(code int64, br *bufi
 			return 0, vfs.ENOTCONN
 		}
 	}
+	//lint:ignore lockheld the NFS baseline mimics a stateless RPC client: one serialized exchange per connection, owned by c.mu
 	if err := c.bw.Flush(); err != nil {
 		return 0, vfs.ENOTCONN
 	}
+	//lint:ignore lockheld the response must be read under the same critical section that wrote the request
 	code, err := proto.ReadCode(c.br)
 	if err != nil {
 		return 0, vfs.ENOTCONN
