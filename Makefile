@@ -34,8 +34,9 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz='^FuzzACLParse$$' -fuzztime=$(FUZZTIME) ./internal/acl/
 	$(GO) test -run='^$$' -fuzz='^FuzzConfine$$' -fuzztime=$(FUZZTIME) ./internal/pathutil/
 
-# bench runs the quick observability benchmark and captures the
-# per-layer latency decomposition as a JSON artifact.
+# bench runs the quick instrumented benchmarks — the per-layer latency
+# decomposition and the transport-pool parallel-load comparison — and
+# captures both as one JSON artifact.
 bench:
 	$(GO) run ./cmd/tssbench -quick -json > BENCH_chirp.json
 	@echo "wrote BENCH_chirp.json"

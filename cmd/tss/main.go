@@ -15,12 +15,17 @@
 //	tss whoami host:9094
 //	tss getacl host:9094 /data
 //	tss setacl host:9094 /data 'hostname:*.cse.nd.edu' 'v(rwl)'
+//
+// -pool N performs the operation over a pooled transport of up to N
+// connections (useful ahead of concurrent workloads; see DESIGN.md
+// §10).
 package main
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strconv"
 	"time"
@@ -34,11 +39,24 @@ import (
 // errDone ends leading-flag parsing when the verb is reached.
 var errDone = errors.New("done")
 
+// transport is the client surface the CLI drives, satisfied by both the
+// single-connection *chirp.Client and the multi-connection *chirp.Pool.
+type transport interface {
+	vfs.FileSystem
+	GetFile(path string, w io.Writer) (int64, error)
+	Whoami() (auth.Subject, error)
+	GetACL(path string) ([]string, error)
+	SetACL(path, subject, rights string) error
+	Reconnect() error
+	Close() error
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tss [-ticket FILE] [-timeout DUR] [-retries N] [-retry-base DUR] <ls|cat|put|get|mkdir|rm|rmdir|mv|stat|statfs|whoami|getacl|setacl> host:port [args...]")
+	fmt.Fprintln(os.Stderr, "usage: tss [-ticket FILE] [-timeout DUR] [-retries N] [-retry-base DUR] [-pool N] <ls|cat|put|get|mkdir|rm|rmdir|mv|stat|statfs|whoami|getacl|setacl> host:port [args...]")
 	fmt.Fprintln(os.Stderr, "  -timeout DUR     per-RPC deadline (default 30s)")
 	fmt.Fprintln(os.Stderr, "  -retries N       reconnect-and-retry idempotent reads N times on transport failure (default 2)")
 	fmt.Fprintln(os.Stderr, "  -retry-base DUR  first retry backoff, doubled per attempt with jitter (default 100ms)")
+	fmt.Fprintln(os.Stderr, "  -pool N          use up to N pooled connections instead of one (default 1)")
 	os.Exit(2)
 }
 
@@ -51,6 +69,7 @@ func main() {
 	timeout := 30 * time.Second
 	retries := 2
 	retryBase := 100 * time.Millisecond
+	poolSize := 1
 	// Leading flags, parsed by hand so the verb-first grammar survives.
 	for len(argv) >= 2 {
 		var err error
@@ -71,6 +90,8 @@ func main() {
 			retries, err = strconv.Atoi(argv[1])
 		case "-retry-base":
 			retryBase, err = time.ParseDuration(argv[1])
+		case "-pool":
+			poolSize, err = strconv.Atoi(argv[1])
 		default:
 			err = errDone
 		}
@@ -87,7 +108,20 @@ func main() {
 	}
 	verb, addr, args := argv[0], argv[1], argv[2:]
 
-	client, err := chirp.DialTCP(addr, creds, timeout)
+	var client transport
+	var err error
+	if poolSize > 1 {
+		client, err = chirp.NewPool(chirp.ClientConfig{
+			Dial: func() (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 10*time.Second)
+			},
+			Credentials: creds,
+			Timeout:     timeout,
+			PoolSize:    poolSize,
+		})
+	} else {
+		client, err = chirp.DialTCP(addr, creds, timeout)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -6,11 +6,12 @@
 //	tssbench -run fig5
 //	tssbench -run fig3,fig4,sp5
 //
-// Experiments: fig3 fig4 fig5 fig6 fig7 fig8 sp5 fig9, plus the
-// cachesweep ablation (not in 'all').
+// Experiments: fig3 fig4 fig5 fig6 fig7 fig8 sp5 fig9 pool, plus the
+// cachesweep ablation and obs decomposition (not in 'all').
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,27 +25,36 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated experiments (fig3..fig9, sp5, obs) or 'all'")
+		run     = flag.String("run", "all", "comma-separated experiments (fig3..fig9, sp5, obs, pool) or 'all'")
 		quick   = flag.Bool("quick", false, "reduced iteration counts and WAN latency for a fast pass")
-		jsonOut = flag.Bool("json", false, "run the instrumented chirp benchmark and emit its JSON report to stdout (for BENCH_chirp.json)")
+		clients = flag.Int("clients", 8, "concurrent client goroutines for the pool experiment")
+		jsonOut = flag.Bool("json", false, "run the instrumented chirp benchmarks and emit a combined JSON report to stdout (for BENCH_chirp.json)")
 	)
 	flag.Parse()
 
 	if *jsonOut {
-		res, err := experiments.RunObsBench(experiments.DefaultObsBench(*quick))
+		obsRes, err := experiments.RunObsBench(experiments.DefaultObsBench(*quick))
 		if err != nil {
 			log.Fatalf("tssbench: obs: %v", err)
 		}
-		data, err := res.JSON()
+		poolRes, err := experiments.RunPoolBench(experiments.DefaultPoolBench(*quick, *clients))
 		if err != nil {
-			log.Fatalf("tssbench: obs: %v", err)
+			log.Fatalf("tssbench: pool: %v", err)
+		}
+		data, err := json.MarshalIndent(map[string]any{
+			"obs":  obsRes,
+			"pool": poolRes,
+		}, "", "  ")
+		if err != nil {
+			log.Fatalf("tssbench: json: %v", err)
 		}
 		os.Stdout.Write(append(data, '\n'))
-		fmt.Fprint(os.Stderr, res.Render())
+		fmt.Fprint(os.Stderr, obsRes.Render())
+		fmt.Fprint(os.Stderr, poolRes.Render())
 		return
 	}
 
-	all := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "sp5", "fig9"}
+	all := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "sp5", "fig9", "pool"}
 	var list []string
 	if *run == "all" {
 		list = all
@@ -55,7 +65,7 @@ func main() {
 	for _, name := range list {
 		name = strings.TrimSpace(name)
 		start := time.Now()
-		out, err := runOne(name, *quick)
+		out, err := runOne(name, *quick, *clients)
 		if err != nil {
 			log.Fatalf("tssbench: %s: %v", name, err)
 		}
@@ -64,7 +74,7 @@ func main() {
 	}
 }
 
-func runOne(name string, quick bool) (string, error) {
+func runOne(name string, quick bool, clients int) (string, error) {
 	iters := 2000
 	if quick {
 		iters = 200
@@ -116,6 +126,12 @@ func runOne(name string, quick bool) (string, error) {
 		return experiments.RunCacheSweep(3, nil).Render(), nil
 	case "obs":
 		res, err := experiments.RunObsBench(experiments.DefaultObsBench(quick))
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "pool":
+		res, err := experiments.RunPoolBench(experiments.DefaultPoolBench(quick, clients))
 		if err != nil {
 			return "", err
 		}

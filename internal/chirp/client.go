@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tss/internal/auth"
@@ -26,6 +27,13 @@ type ClientConfig struct {
 	// ("chirp_client.rpc.<verb>") and reconnect/error counters. Nil
 	// disables instrumentation at zero cost.
 	Metrics *obs.Registry
+	// PoolSize is the maximum number of concurrently open connections a
+	// NewPool transport maintains to the server (default 1). Dial
+	// ignores it: a Client is always exactly one connection.
+	PoolSize int
+	// IdleTimeout is how long a surplus pool connection may sit idle
+	// before NewPool reaps it (0 = keep forever). Dial ignores it.
+	IdleTimeout time.Duration
 }
 
 // Client speaks the Chirp protocol to one file server. It implements
@@ -43,12 +51,23 @@ type Client struct {
 	mRPCErrors  *obs.Counter
 	mReconnects *obs.Counter
 
+	// extraHist holds lazily registered histograms for verbs outside
+	// rpcVerbs, so an unlisted verb is still observed instead of
+	// falling into a nil map entry.
+	histMu    sync.Mutex
+	extraHist map[string]*obs.Histogram
+
 	mu      sync.Mutex
 	conn    net.Conn
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	subject auth.Subject
 	gen     uint64 // connection generation; stale fds are fenced by it
+
+	// connected mirrors conn != nil without taking mu. The pool's
+	// dispatcher consults liveness on every acquire; going through mu
+	// would block behind whatever RPC currently holds the connection.
+	connected atomic.Bool
 }
 
 var (
@@ -86,10 +105,33 @@ func (c *Client) observeRPC(verb string, start time.Time, err error) {
 	if c.rpcHist == nil {
 		return
 	}
-	c.rpcHist[verb].Observe(time.Since(start))
+	h, ok := c.rpcHist[verb]
+	if !ok {
+		// A verb missing from rpcVerbs used to index the map to a nil
+		// histogram and silently drop the observation; register one on
+		// first use instead.
+		h = c.histFor(verb)
+	}
+	h.Observe(time.Since(start))
 	if err != nil {
 		c.mRPCErrors.Inc()
 	}
+}
+
+// histFor lazily registers the round-trip histogram for a verb that is
+// not in the pre-resolved set.
+func (c *Client) histFor(verb string) *obs.Histogram {
+	c.histMu.Lock()
+	defer c.histMu.Unlock()
+	if h, ok := c.extraHist[verb]; ok {
+		return h
+	}
+	h := c.cfg.Metrics.Histogram("chirp_client.rpc." + verb)
+	if c.extraHist == nil {
+		c.extraHist = make(map[string]*obs.Histogram)
+	}
+	c.extraHist[verb] = h
+	return h
 }
 
 // DialTCP is a convenience for connecting over TCP.
@@ -112,6 +154,7 @@ func (c *Client) Reconnect() error {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
+		c.connected.Store(false)
 	}
 	conn, err := c.cfg.Dial()
 	if err != nil {
@@ -129,6 +172,7 @@ func (c *Client) Reconnect() error {
 	c.br = br
 	c.bw = bw
 	c.subject = subject
+	c.connected.Store(true)
 	c.gen++
 	if c.gen > 1 {
 		// The first connection is a dial; everything after is a repair.
@@ -154,6 +198,14 @@ func (c *Client) Subject() auth.Subject {
 	return c.subject
 }
 
+// alive reports whether the client currently holds a live connection.
+// The pool consults it on every dispatch and to repair only dead
+// members on Reconnect; it deliberately reads the mirror flag rather
+// than taking mu, which an in-flight RPC holds for its full round trip.
+func (c *Client) alive() bool {
+	return c.connected.Load()
+}
+
 // Close tears down the connection; the server releases all state.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -163,6 +215,7 @@ func (c *Client) Close() error {
 	}
 	err := c.conn.Close()
 	c.conn = nil
+	c.connected.Store(false)
 	return err
 }
 
@@ -177,6 +230,7 @@ func (c *Client) dropLocked() {
 		c.conn.Close()
 		c.conn = nil
 	}
+	c.connected.Store(false)
 }
 
 // failLocked abandons the connection after a transport error and fences
@@ -193,6 +247,20 @@ func (c *Client) failLocked(err error) vfs.Errno {
 	return vfs.ENOTCONN
 }
 
+// lineBufPool recycles request-line encoding buffers across RPCs and
+// clients, so encoding a request allocates nothing in steady state.
+var lineBufPool sync.Pool
+
+func getLineBuf() *[]byte {
+	v, _ := lineBufPool.Get().(*[]byte)
+	if v == nil {
+		v = new([]byte)
+	}
+	return v
+}
+
+func putLineBuf(v *[]byte) { lineBufPool.Put(v) }
+
 // rpc sends one request and reads the status line while holding the
 // connection. payload, when non-nil, is sent after the request line.
 // The handler, when non-nil, consumes any post-status response body;
@@ -201,10 +269,14 @@ func (c *Client) rpc(req *proto.Request, payload []byte, handler func(code int64
 	if c.rpcHist != nil {
 		defer func(start time.Time) { c.observeRPC(req.Verb, start, rpcErr) }(time.Now())
 	}
-	line, err := req.Encode()
+	lb := getLineBuf()
+	defer putLineBuf(lb)
+	line, err := req.AppendTo((*lb)[:0])
 	if err != nil {
 		return 0, vfs.EINVAL
 	}
+	line = append(line, '\n')
+	*lb = line
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
@@ -213,7 +285,7 @@ func (c *Client) rpc(req *proto.Request, payload []byte, handler func(code int64
 	if c.cfg.Timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 	}
-	if _, err := c.bw.WriteString(line + "\n"); err != nil {
+	if _, err := c.bw.Write(line); err != nil {
 		return 0, c.failLocked(err)
 	}
 	if payload != nil {
@@ -434,10 +506,14 @@ func (c *Client) PutFile(path string, mode uint32, size int64, r io.Reader) (rpc
 	if c.rpcHist != nil {
 		defer func(start time.Time) { c.observeRPC("putfile", start, rpcErr) }(time.Now())
 	}
-	line, err := (&proto.Request{Verb: "putfile", Path: path, Mode: int64(mode), Length: size}).Encode()
+	lb := getLineBuf()
+	defer putLineBuf(lb)
+	line, err := (&proto.Request{Verb: "putfile", Path: path, Mode: int64(mode), Length: size}).AppendTo((*lb)[:0])
 	if err != nil {
 		return vfs.EINVAL
 	}
+	line = append(line, '\n')
+	*lb = line
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
@@ -446,7 +522,7 @@ func (c *Client) PutFile(path string, mode uint32, size int64, r io.Reader) (rpc
 	if c.cfg.Timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 	}
-	if _, err := c.bw.WriteString(line + "\n"); err != nil {
+	if _, err := c.bw.Write(line); err != nil {
 		return c.failLocked(err)
 	}
 	if _, err := io.CopyN(c.bw, r, size); err != nil {

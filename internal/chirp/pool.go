@@ -1,0 +1,431 @@
+package chirp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tss/internal/auth"
+	"tss/internal/vfs"
+)
+
+// Pool is a multi-connection Chirp transport to one file server. It
+// implements vfs.FileSystem — exactly like Client — so every
+// abstraction above it (mirror, stripe, adapter, resilience policies,
+// instrumentation) inherits connection parallelism unchanged.
+//
+// A single Client serializes all RPCs on its one connection, so the
+// goroutine fan-out the upper layers already have collapses to one
+// in-flight RPC per server. The pool keeps up to PoolSize authenticated
+// connections and restores that concurrency:
+//
+//   - Stateless RPCs (stat, getdir, unlink, getfile, putfile, ...) are
+//     dispatched to the least-loaded connection, dialing a new one
+//     lazily while the pool may still grow.
+//   - File-descriptor RPCs (pread, pwrite, fstat, ftruncate, fsync,
+//     close) are pinned to the connection that performed the open:
+//     Chirp descriptors are connection-scoped (§4), so affinity is a
+//     correctness requirement, not an optimization. The open itself is
+//     a least-loaded placement choice.
+//
+// Failure isolation is per connection: each member keeps its own
+// generation fence, so a member dropping mid-read invalidates only the
+// descriptors opened on that member (they return ENOTCONN) while I/O on
+// the other members proceeds undisturbed. Reconnect repairs exactly the
+// dead members. Surplus members idle beyond ClientConfig.IdleTimeout
+// are reaped opportunistically; the pool never shrinks below one
+// connection.
+type Pool struct {
+	cfg  ClientConfig
+	size int
+
+	mu      sync.Mutex
+	members []*member
+	dialing int // members being dialed outside the lock, counted toward size
+	closed  bool
+}
+
+// member is one pooled connection with its load accounting; counts are
+// guarded by Pool.mu.
+type member struct {
+	c        *Client
+	inflight int // RPCs currently dispatched on this connection
+	openFDs  int // live descriptors owned by this connection
+	lastUsed time.Time
+}
+
+var (
+	_ vfs.FileSystem  = (*Pool)(nil)
+	_ vfs.Closer      = (*Pool)(nil)
+	_ vfs.Reconnector = (*Pool)(nil)
+	_ vfs.FileGetter  = (*Pool)(nil)
+	_ vfs.FilePutter  = (*Pool)(nil)
+	_ vfs.OpenStater  = (*Pool)(nil)
+)
+
+// NewPool connects and authenticates the first pool connection and
+// returns the pool. cfg.PoolSize bounds the number of connections
+// (default 1); additional connections are dialed lazily under load.
+func NewPool(cfg ClientConfig) (*Pool, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("chirp: ClientConfig.Dial is required")
+	}
+	size := cfg.PoolSize
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{cfg: cfg, size: size}
+	c, err := Dial(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.members = []*member{{c: c, lastUsed: time.Now()}}
+	return p, nil
+}
+
+// loadOf is the placement cost of a member: RPCs in flight plus the
+// descriptors pinned to it (each descriptor predicts future fd RPCs
+// that have no choice of connection).
+func loadOf(m *member) int { return m.inflight + m.openFDs }
+
+// leastLoadedLocked returns the best dispatch target, preferring live
+// connections; a dead member is returned only when nothing is alive, so
+// the caller surfaces ENOTCONN and the recovery protocol takes over.
+// Caller holds p.mu.
+func (p *Pool) leastLoadedLocked() *member {
+	var best, bestDead *member
+	for _, m := range p.members {
+		if !m.c.alive() {
+			if bestDead == nil || loadOf(m) < loadOf(bestDead) {
+				bestDead = m
+			}
+			continue
+		}
+		if best == nil || loadOf(m) < loadOf(best) {
+			best = m
+		}
+	}
+	if best == nil {
+		return bestDead
+	}
+	return best
+}
+
+// acquire reserves a connection for one RPC: the least-loaded member,
+// or a lazily dialed new one when every member is busy and the pool may
+// still grow. The dial happens outside the pool lock so dispatch never
+// blocks behind connection setup.
+func (p *Pool) acquire() (*member, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, vfs.ENOTCONN
+	}
+	best := p.leastLoadedLocked()
+	if best != nil && loadOf(best) == 0 && best.c.alive() {
+		best.inflight++
+		p.mu.Unlock()
+		return best, nil
+	}
+	if len(p.members)+p.dialing < p.size {
+		p.dialing++
+		p.mu.Unlock()
+		c, err := Dial(p.cfg)
+		p.mu.Lock()
+		p.dialing--
+		if err == nil {
+			if p.closed {
+				p.mu.Unlock()
+				c.Close()
+				return nil, vfs.ENOTCONN
+			}
+			m := &member{c: c, inflight: 1, lastUsed: time.Now()}
+			p.members = append(p.members, m)
+			p.mu.Unlock()
+			return m, nil
+		}
+		// The dial failed; share the least-loaded existing connection.
+		best = p.leastLoadedLocked()
+	}
+	if best == nil {
+		p.mu.Unlock()
+		return nil, vfs.ENOTCONN
+	}
+	best.inflight++
+	p.mu.Unlock()
+	return best, nil
+}
+
+// release returns a connection after one RPC and opportunistically
+// reaps surplus idle members.
+func (p *Pool) release(m *member) {
+	p.mu.Lock()
+	m.inflight--
+	m.lastUsed = time.Now()
+	p.mu.Unlock()
+	if p.cfg.IdleTimeout > 0 {
+		p.reap()
+	}
+}
+
+// reap closes surplus members that have sat idle beyond IdleTimeout
+// with no descriptors and no RPC in flight. The pool keeps at least one
+// member so Reconnect always has a connection to repair. Closes happen
+// outside the pool lock.
+func (p *Pool) reap() {
+	cutoff := time.Now().Add(-p.cfg.IdleTimeout)
+	var dead []*member
+	p.mu.Lock()
+	kept := p.members[:0]
+	for _, m := range p.members {
+		surplus := len(p.members)-len(dead) > 1
+		if surplus && m.inflight == 0 && m.openFDs == 0 && m.lastUsed.Before(cutoff) {
+			dead = append(dead, m)
+			continue
+		}
+		kept = append(kept, m)
+	}
+	p.members = kept
+	p.mu.Unlock()
+	for _, m := range dead {
+		m.c.Close()
+	}
+}
+
+// withConn runs one stateless RPC on an acquired connection.
+func (p *Pool) withConn(fn func(*Client) error) error {
+	m, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	err = fn(m.c)
+	p.release(m)
+	return err
+}
+
+// Conns reports the number of live pooled connections.
+func (p *Pool) Conns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, m := range p.members {
+		if m.c.alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// Subject returns the subject the pool authenticated as.
+func (p *Pool) Subject() auth.Subject {
+	p.mu.Lock()
+	c := p.members[0].c
+	p.mu.Unlock()
+	return c.Subject()
+}
+
+// Reconnect repairs exactly the dead members, leaving live connections
+// — and the descriptors pinned to them — untouched (vfs.Reconnector).
+func (p *Pool) Reconnect() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return vfs.ENOTCONN
+	}
+	ms := append([]*member(nil), p.members...)
+	p.mu.Unlock()
+	var firstErr error
+	for _, m := range ms {
+		if m.c.alive() {
+			continue
+		}
+		if err := m.c.Reconnect(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close tears down every pooled connection; the server releases all
+// per-connection state.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ms := append([]*member(nil), p.members...)
+	p.mu.Unlock()
+	var firstErr error
+	for _, m := range ms {
+		if err := m.c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Open opens the named file on the least-loaded connection; all
+// subsequent descriptor RPCs stay pinned to it.
+func (p *Pool) Open(path string, flags int, mode uint32) (vfs.File, error) {
+	f, _, err := p.OpenStat(path, flags, mode)
+	return f, err
+}
+
+// OpenStat opens and stats in one round trip (vfs.OpenStater); the
+// placement of the descriptor is the pool's only choice — every later
+// RPC on it must use the same connection.
+func (p *Pool) OpenStat(path string, flags int, mode uint32) (vfs.File, vfs.FileInfo, error) {
+	m, err := p.acquire()
+	if err != nil {
+		return nil, vfs.FileInfo{}, err
+	}
+	f, fi, err := m.c.OpenStat(path, flags, mode)
+	p.mu.Lock()
+	m.inflight--
+	m.lastUsed = time.Now()
+	if err == nil {
+		m.openFDs++
+	}
+	p.mu.Unlock()
+	if err != nil {
+		return nil, fi, err
+	}
+	return &poolFile{File: f, p: p, m: m}, fi, nil
+}
+
+// Stat returns metadata for the named file.
+func (p *Pool) Stat(path string) (vfs.FileInfo, error) {
+	var fi vfs.FileInfo
+	err := p.withConn(func(c *Client) error {
+		var e error
+		fi, e = c.Stat(path)
+		return e
+	})
+	return fi, err
+}
+
+// Unlink removes the named file.
+func (p *Pool) Unlink(path string) error {
+	return p.withConn(func(c *Client) error { return c.Unlink(path) })
+}
+
+// Rename renames a file or directory.
+func (p *Pool) Rename(oldPath, newPath string) error {
+	return p.withConn(func(c *Client) error { return c.Rename(oldPath, newPath) })
+}
+
+// Mkdir creates a directory.
+func (p *Pool) Mkdir(path string, mode uint32) error {
+	return p.withConn(func(c *Client) error { return c.Mkdir(path, mode) })
+}
+
+// Rmdir removes an empty directory.
+func (p *Pool) Rmdir(path string) error {
+	return p.withConn(func(c *Client) error { return c.Rmdir(path) })
+}
+
+// ReadDir lists a directory.
+func (p *Pool) ReadDir(path string) ([]vfs.DirEntry, error) {
+	var ents []vfs.DirEntry
+	err := p.withConn(func(c *Client) error {
+		var e error
+		ents, e = c.ReadDir(path)
+		return e
+	})
+	return ents, err
+}
+
+// Truncate changes the length of the named file.
+func (p *Pool) Truncate(path string, size int64) error {
+	return p.withConn(func(c *Client) error { return c.Truncate(path, size) })
+}
+
+// Chmod changes permission bits of the named file.
+func (p *Pool) Chmod(path string, mode uint32) error {
+	return p.withConn(func(c *Client) error { return c.Chmod(path, mode) })
+}
+
+// StatFS reports server capacity.
+func (p *Pool) StatFS() (vfs.FSInfo, error) {
+	var info vfs.FSInfo
+	err := p.withConn(func(c *Client) error {
+		var e error
+		info, e = c.StatFS()
+		return e
+	})
+	return info, err
+}
+
+// GetFile streams the whole named file to w (vfs.FileGetter). The
+// transfer occupies one pooled connection end to end; other RPCs keep
+// flowing on the rest of the pool.
+func (p *Pool) GetFile(path string, w io.Writer) (int64, error) {
+	var n int64
+	err := p.withConn(func(c *Client) error {
+		var e error
+		n, e = c.GetFile(path, w)
+		return e
+	})
+	return n, err
+}
+
+// PutFile streams size bytes from r into the named file
+// (vfs.FilePutter).
+func (p *Pool) PutFile(path string, mode uint32, size int64, r io.Reader) error {
+	return p.withConn(func(c *Client) error { return c.PutFile(path, mode, size, r) })
+}
+
+// Whoami asks the server which subject this session authenticated as.
+func (p *Pool) Whoami() (auth.Subject, error) {
+	var s auth.Subject
+	err := p.withConn(func(c *Client) error {
+		var e error
+		s, e = c.Whoami()
+		return e
+	})
+	return s, err
+}
+
+// GetACL fetches the effective ACL of a directory.
+func (p *Pool) GetACL(path string) ([]string, error) {
+	var lines []string
+	err := p.withConn(func(c *Client) error {
+		var e error
+		lines, e = c.GetACL(path)
+		return e
+	})
+	return lines, err
+}
+
+// SetACL grants subject the given rights spec on a directory.
+func (p *Pool) SetACL(path, subject, rights string) error {
+	return p.withConn(func(c *Client) error { return c.SetACL(path, subject, rights) })
+}
+
+// poolFile is an open file pinned to the pool member that created it.
+// The embedded clientFile already routes every descriptor RPC to the
+// owning connection and fences the descriptor by that connection's
+// generation; the wrapper only maintains the member's placement load.
+type poolFile struct {
+	vfs.File
+	p        *Pool
+	m        *member
+	released atomic.Bool
+}
+
+// Close releases the descriptor and its load accounting. The
+// accounting is released exactly once even if Close is called again.
+func (f *poolFile) Close() error {
+	err := f.File.Close()
+	if !f.released.Swap(true) {
+		f.p.mu.Lock()
+		f.m.openFDs--
+		f.m.lastUsed = time.Now()
+		f.p.mu.Unlock()
+	}
+	return err
+}

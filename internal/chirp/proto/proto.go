@@ -56,23 +56,52 @@ const MaxIOSize = 8 << 20
 // an escape (truncated), so it cannot collide with any Escape output.
 const emptyToken = "%0"
 
-// Escape percent-escapes an argument so it contains no spaces, newlines
-// or NUL bytes, and is never empty (fields must survive tokenization).
-func Escape(s string) string {
-	if s == "" {
-		return emptyToken
+const hexUpper = "0123456789ABCDEF"
+
+// needsEscape reports whether s contains any byte Escape must rewrite.
+func needsEscape(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '%', ' ', '\t', '\n', '\r', 0:
+			return true
+		}
 	}
-	var b strings.Builder
+	return false
+}
+
+// AppendEscape appends the escaped form of s to dst and returns the
+// extended slice. It is the allocation-free core of Escape, used by the
+// append-based encoders on the RPC hot path.
+func AppendEscape(dst []byte, s string) []byte {
+	if s == "" {
+		return append(dst, emptyToken...)
+	}
+	if !needsEscape(s) {
+		return append(dst, s...)
+	}
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		switch c {
 		case '%', ' ', '\t', '\n', '\r', 0:
-			fmt.Fprintf(&b, "%%%02X", c)
+			dst = append(dst, '%', hexUpper[c>>4], hexUpper[c&0xF])
 		default:
-			b.WriteByte(c)
+			dst = append(dst, c)
 		}
 	}
-	return b.String()
+	return dst
+}
+
+// Escape percent-escapes an argument so it contains no spaces, newlines
+// or NUL bytes, and is never empty (fields must survive tokenization).
+// A string with nothing to escape is returned unchanged, unallocated.
+func Escape(s string) string {
+	if s == "" {
+		return emptyToken
+	}
+	if !needsEscape(s) {
+		return s
+	}
+	return string(AppendEscape(nil, s))
 }
 
 // Unescape reverses Escape.
@@ -151,14 +180,26 @@ func ReadCode(r *bufio.Reader) (int64, error) {
 	return v, nil
 }
 
+// AppendStat appends a stat line (without newline) for fi to dst.
+func AppendStat(dst []byte, fi vfs.FileInfo) []byte {
+	dst = AppendEscape(dst, fi.Name)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, fi.Size, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(fi.Mode), 8)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, fi.MTime, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, fi.Inode, 10)
+	if fi.IsDir {
+		return append(dst, " 1"...)
+	}
+	return append(dst, " 0"...)
+}
+
 // MarshalStat encodes a FileInfo as a stat line.
 func MarshalStat(fi vfs.FileInfo) string {
-	d := 0
-	if fi.IsDir {
-		d = 1
-	}
-	return fmt.Sprintf("%s %d %o %d %d %d",
-		Escape(fi.Name), fi.Size, fi.Mode, fi.MTime, fi.Inode, d)
+	return string(AppendStat(nil, fi))
 }
 
 // UnmarshalStat decodes a stat line.
@@ -191,13 +232,19 @@ func UnmarshalStat(line string) (vfs.FileInfo, error) {
 	}, nil
 }
 
+// AppendDirEntry appends one getdir response line (without newline) to
+// dst.
+func AppendDirEntry(dst []byte, e vfs.DirEntry) []byte {
+	dst = AppendEscape(dst, e.Name)
+	if e.IsDir {
+		return append(dst, " 1"...)
+	}
+	return append(dst, " 0"...)
+}
+
 // MarshalDirEntry encodes one getdir response line.
 func MarshalDirEntry(e vfs.DirEntry) string {
-	d := 0
-	if e.IsDir {
-		d = 1
-	}
-	return fmt.Sprintf("%s %d", Escape(e.Name), d)
+	return string(AppendDirEntry(nil, e))
 }
 
 // UnmarshalDirEntry decodes one getdir response line.
@@ -229,53 +276,76 @@ type Request struct {
 	Size    int64  // truncate, ftruncate
 }
 
-// Encode renders the request as a protocol line (without newline).
-func (q *Request) Encode() (string, error) {
+// AppendTo appends the request as a protocol line (without newline) to
+// dst and returns the extended slice. It is the allocation-free encoder
+// the client uses on the RPC hot path: with a recycled dst, encoding
+// performs no heap allocation.
+func (q *Request) AppendTo(dst []byte) ([]byte, error) {
+	appendInt := func(b []byte, v int64) []byte {
+		return strconv.AppendInt(append(b, ' '), v, 10)
+	}
+	appendOctal := func(b []byte, v int64) []byte {
+		return strconv.AppendInt(append(b, ' '), v, 8)
+	}
+	appendPath := func(b []byte, s string) []byte {
+		return AppendEscape(append(b, ' '), s)
+	}
 	switch q.Verb {
 	case "open":
-		return fmt.Sprintf("open %s %d %o", Escape(q.Path), q.Flags, q.Mode), nil
-	case "pread":
-		return fmt.Sprintf("pread %d %d %d", q.FD, q.Length, q.Offset), nil
-	case "pwrite":
-		return fmt.Sprintf("pwrite %d %d %d", q.FD, q.Length, q.Offset), nil
-	case "fstat":
-		return fmt.Sprintf("fstat %d", q.FD), nil
-	case "fsync":
-		return fmt.Sprintf("fsync %d", q.FD), nil
+		dst = append(dst, "open"...)
+		dst = appendPath(dst, q.Path)
+		dst = appendInt(dst, q.Flags)
+		return appendOctal(dst, q.Mode), nil
+	case "pread", "pwrite":
+		dst = append(dst, q.Verb...)
+		dst = appendInt(dst, q.FD)
+		dst = appendInt(dst, q.Length)
+		return appendInt(dst, q.Offset), nil
+	case "fstat", "fsync", "close":
+		dst = append(dst, q.Verb...)
+		return appendInt(dst, q.FD), nil
 	case "ftruncate":
-		return fmt.Sprintf("ftruncate %d %d", q.FD, q.Size), nil
-	case "close":
-		return fmt.Sprintf("close %d", q.FD), nil
-	case "stat":
-		return fmt.Sprintf("stat %s", Escape(q.Path)), nil
-	case "unlink":
-		return fmt.Sprintf("unlink %s", Escape(q.Path)), nil
+		dst = append(dst, "ftruncate"...)
+		dst = appendInt(dst, q.FD)
+		return appendInt(dst, q.Size), nil
+	case "stat", "unlink", "rmdir", "getdir", "getfile", "getacl":
+		dst = append(dst, q.Verb...)
+		return appendPath(dst, q.Path), nil
 	case "rename":
-		return fmt.Sprintf("rename %s %s", Escape(q.Path), Escape(q.Path2)), nil
-	case "mkdir":
-		return fmt.Sprintf("mkdir %s %o", Escape(q.Path), q.Mode), nil
-	case "rmdir":
-		return fmt.Sprintf("rmdir %s", Escape(q.Path)), nil
-	case "getdir":
-		return fmt.Sprintf("getdir %s", Escape(q.Path)), nil
-	case "getfile":
-		return fmt.Sprintf("getfile %s", Escape(q.Path)), nil
+		dst = append(dst, "rename"...)
+		dst = appendPath(dst, q.Path)
+		return appendPath(dst, q.Path2), nil
+	case "mkdir", "chmod":
+		dst = append(dst, q.Verb...)
+		dst = appendPath(dst, q.Path)
+		return appendOctal(dst, q.Mode), nil
 	case "putfile":
-		return fmt.Sprintf("putfile %s %o %d", Escape(q.Path), q.Mode, q.Length), nil
+		dst = append(dst, "putfile"...)
+		dst = appendPath(dst, q.Path)
+		dst = appendOctal(dst, q.Mode)
+		return appendInt(dst, q.Length), nil
 	case "truncate":
-		return fmt.Sprintf("truncate %s %d", Escape(q.Path), q.Size), nil
-	case "chmod":
-		return fmt.Sprintf("chmod %s %o", Escape(q.Path), q.Mode), nil
-	case "getacl":
-		return fmt.Sprintf("getacl %s", Escape(q.Path)), nil
+		dst = append(dst, "truncate"...)
+		dst = appendPath(dst, q.Path)
+		return appendInt(dst, q.Size), nil
 	case "setacl":
-		return fmt.Sprintf("setacl %s %s %s", Escape(q.Path), Escape(q.Subject), Escape(q.Rights)), nil
-	case "statfs":
-		return "statfs", nil
-	case "whoami":
-		return "whoami", nil
+		dst = append(dst, "setacl"...)
+		dst = appendPath(dst, q.Path)
+		dst = AppendEscape(append(dst, ' '), q.Subject)
+		return AppendEscape(append(dst, ' '), q.Rights), nil
+	case "statfs", "whoami":
+		return append(dst, q.Verb...), nil
 	}
-	return "", fmt.Errorf("proto: unknown verb %q", q.Verb)
+	return dst, fmt.Errorf("proto: unknown verb %q", q.Verb)
+}
+
+// Encode renders the request as a protocol line (without newline).
+func (q *Request) Encode() (string, error) {
+	b, err := q.AppendTo(nil)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 func parseInt(s string, base int) (int64, error) {

@@ -17,6 +17,8 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -91,6 +93,7 @@ type Server struct {
 	mRequests     *obs.Counter
 	mBytesRead    *obs.Counter
 	mBytesWritten *obs.Counter
+	mBulkFast     *obs.Counter
 	mDraining     *obs.Gauge
 
 	Stats ServerStats
@@ -104,6 +107,29 @@ var rpcVerbs = []string{
 	"getfile", "putfile", "truncate", "chmod", "getacl", "setacl",
 	"statfs", "whoami",
 }
+
+// ioBufPool recycles bulk-data buffers across requests and
+// connections, so the data path's steady state allocates nothing: a
+// busy server otherwise pays one fresh buffer — up to proto.MaxIOSize —
+// per pread/pwrite. Entries are *[]byte (a pool of slices would box a
+// fresh header on every Put) and grow to the largest request they have
+// served.
+var ioBufPool sync.Pool
+
+// getIOBuf returns a pooled buffer of length n.
+func getIOBuf(n int) *[]byte {
+	v, _ := ioBufPool.Get().(*[]byte)
+	if v == nil {
+		v = new([]byte)
+	}
+	if cap(*v) < n {
+		*v = make([]byte, n)
+	}
+	*v = (*v)[:n]
+	return v
+}
+
+func putIOBuf(v *[]byte) { ioBufPool.Put(v) }
 
 // connState tracks one connection's drain-relevant state: whether a
 // request is mid-flight (never interrupt it) and whether Shutdown has
@@ -139,6 +165,7 @@ func NewServer(root string, cfg ServerConfig) (*Server, error) {
 		s.mRequests = reg.Counter("chirp_server.requests")
 		s.mBytesRead = reg.Counter("chirp_server.bytes_read")
 		s.mBytesWritten = reg.Counter("chirp_server.bytes_written")
+		s.mBulkFast = reg.Counter("chirp_server.bulk_fastpath")
 		s.mDraining = reg.Gauge("chirp_server.draining")
 	}
 	if err := s.ensureRootACL(); err != nil {
@@ -432,7 +459,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		st.mu.Unlock()
 		s.Stats.Requests.Add(1)
 		s.mRequests.Inc()
-		if err := sess.dispatch(line, br, bw); err != nil {
+		if err := sess.dispatch(line, conn, br, bw); err != nil {
 			s.logf("chirp: %s: fatal: %v", subject, err)
 			return
 		}
@@ -471,6 +498,10 @@ type session struct {
 	subject auth.Subject
 	files   map[int64]*openFD
 	nextFD  int64
+	// scratch is the session's response-line encoding buffer; a session
+	// serves one connection serially, so reuse is race-free and the
+	// per-line allocation of fmt.Fprintf disappears from the hot path.
+	scratch []byte
 }
 
 func (ss *session) closeAll() {
@@ -481,7 +512,18 @@ func (ss *session) closeAll() {
 }
 
 func respondCode(bw *bufio.Writer, v int64) error {
-	_, err := fmt.Fprintf(bw, "%d\n", v)
+	var b [21]byte // fits any int64 plus the newline
+	if _, err := bw.Write(strconv.AppendInt(b[:0], v, 10)); err != nil {
+		return err
+	}
+	return bw.WriteByte('\n')
+}
+
+// writeStat renders one stat response line through the session scratch
+// buffer.
+func (ss *session) writeStat(bw *bufio.Writer, fi vfs.FileInfo) error {
+	ss.scratch = append(proto.AppendStat(ss.scratch[:0], fi), '\n')
+	_, err := bw.Write(ss.scratch)
 	return err
 }
 
@@ -497,8 +539,10 @@ func (ss *session) respondErr(bw *bufio.Writer, err error) error {
 
 // dispatch handles one request. A returned error is fatal to the
 // connection (stream desync); per-request failures are reported to the
-// client as negative status codes instead.
-func (ss *session) dispatch(line string, br *bufio.Reader, bw *bufio.Writer) error {
+// client as negative status codes instead. conn is the raw transport
+// under br/bw; the bulk-data verbs use it to stream file bodies past
+// the protocol buffers.
+func (ss *session) dispatch(line string, conn net.Conn, br *bufio.Reader, bw *bufio.Writer) error {
 	req, err := proto.ParseRequest(line)
 	if err != nil {
 		// Unknown or malformed verb with no data phase: report and
@@ -536,9 +580,9 @@ func (ss *session) dispatch(line string, br *bufio.Reader, bw *bufio.Writer) err
 	case "getdir":
 		return ss.handleGetdir(req, bw)
 	case "getfile":
-		return ss.handleGetfile(req, bw)
+		return ss.handleGetfile(req, conn, bw)
 	case "putfile":
-		return ss.handlePutfile(req, br, bw)
+		return ss.handlePutfile(req, conn, br, bw)
 	case "truncate":
 		return ss.handleTruncate(req, bw)
 	case "chmod":
@@ -593,8 +637,7 @@ func (ss *session) handleOpen(req *proto.Request, bw *bufio.Writer) error {
 	if err := respondCode(bw, fd); err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(bw, "%s\n", proto.MarshalStat(fi))
-	return err
+	return ss.writeStat(bw, fi)
 }
 
 func (ss *session) fd(id int64) (*openFD, error) {
@@ -613,7 +656,9 @@ func (ss *session) handlePread(req *proto.Request, bw *bufio.Writer) error {
 	if req.Length < 0 || req.Length > proto.MaxIOSize || req.Offset < 0 {
 		return ss.respondErr(bw, vfs.EINVAL)
 	}
-	buf := make([]byte, req.Length)
+	bp := getIOBuf(int(req.Length))
+	defer putIOBuf(bp)
+	buf := *bp
 	n, err := f.file.Pread(buf, req.Offset)
 	if err != nil {
 		return ss.respondErr(bw, err)
@@ -633,7 +678,9 @@ func (ss *session) handlePwrite(req *proto.Request, br *bufio.Reader, bw *bufio.
 		ss.respondErr(bw, vfs.EINVAL)
 		return fmt.Errorf("pwrite length out of range")
 	}
-	buf := make([]byte, req.Length)
+	bp := getIOBuf(int(req.Length))
+	defer putIOBuf(bp)
+	buf := *bp
 	if _, err := io.ReadFull(br, buf); err != nil {
 		return err
 	}
@@ -662,8 +709,7 @@ func (ss *session) handleFstat(req *proto.Request, bw *bufio.Writer) error {
 	if err := respondCode(bw, 0); err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(bw, "%s\n", proto.MarshalStat(fi))
-	return err
+	return ss.writeStat(bw, fi)
 }
 
 func (ss *session) handleFsync(req *proto.Request, bw *bufio.Writer) error {
@@ -709,8 +755,7 @@ func (ss *session) handleStat(req *proto.Request, bw *bufio.Writer) error {
 	if err := respondCode(bw, 0); err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(bw, "%s\n", proto.MarshalStat(fi))
-	return err
+	return ss.writeStat(bw, fi)
 }
 
 func (ss *session) handleUnlink(req *proto.Request, bw *bufio.Writer) error {
@@ -847,14 +892,31 @@ func (ss *session) handleGetdir(req *proto.Request, bw *bufio.Writer) error {
 		return err
 	}
 	for _, e := range visible {
-		if _, err := fmt.Fprintf(bw, "%s\n", proto.MarshalDirEntry(e)); err != nil {
+		ss.scratch = append(proto.AppendDirEntry(ss.scratch[:0], e), '\n')
+		if _, err := bw.Write(ss.scratch); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (ss *session) handleGetfile(req *proto.Request, bw *bufio.Writer) error {
+// bulkConn returns the raw TCP connection under the session transport
+// when the bulk fast path can use it, or nil. Simulated and wrapped
+// connections take the buffered path.
+func bulkConn(conn net.Conn) *net.TCPConn {
+	tcp, _ := conn.(*net.TCPConn)
+	return tcp
+}
+
+// osFileOf unwraps a host-backed file for zero-copy streaming.
+func osFileOf(f vfs.File) *os.File {
+	if o, ok := f.(vfs.OSFiler); ok {
+		return o.OSFile()
+	}
+	return nil
+}
+
+func (ss *session) handleGetfile(req *proto.Request, conn net.Conn, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
 		return ss.respondErr(bw, err)
@@ -877,8 +939,30 @@ func (ss *session) handleGetfile(req *proto.Request, bw *bufio.Writer) error {
 	// Stream exactly fi.Size bytes: the count was already promised, so
 	// a concurrently shrinking file is padded with zeros to keep the
 	// stream in sync.
-	buf := make([]byte, 256<<10)
 	var off int64
+	if tcp := bulkConn(conn); tcp != nil {
+		if osf := osFileOf(f); osf != nil {
+			// Zero-copy bulk path: flush the status line, then hand the
+			// host file straight to the TCP stack — io.Copy resolves to
+			// TCPConn.ReadFrom, which uses sendfile(2) on a *os.File.
+			// The file was opened fresh at offset zero and nothing else
+			// moves its offset.
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			n, err := io.Copy(tcp, &io.LimitedReader{R: osf, N: fi.Size})
+			ss.srv.Stats.BytesRead.Add(n)
+			ss.srv.mBytesRead.Add(n)
+			ss.srv.mBulkFast.Inc()
+			if err != nil {
+				return err
+			}
+			off = n // a shrunken file leaves off < fi.Size: pad below
+		}
+	}
+	bp := getIOBuf(256 << 10)
+	defer putIOBuf(bp)
+	buf := *bp
 	for off < fi.Size {
 		want := int64(len(buf))
 		if fi.Size-off < want {
@@ -904,7 +988,55 @@ func (ss *session) handleGetfile(req *proto.Request, bw *bufio.Writer) error {
 	return nil
 }
 
-func (ss *session) handlePutfile(req *proto.Request, br *bufio.Reader, bw *bufio.Writer) error {
+// countingReader counts bytes consumed from the transport during a
+// bulk receive, so a write-side failure mid-copy still knows exactly
+// where the protocol stream stands. It records read errors separately:
+// a failed transport read is fatal to the connection, a failed file
+// write is a per-request error.
+type countingReader struct {
+	r       io.Reader
+	n       int64
+	readErr error
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	if err != nil && err != io.EOF {
+		c.readErr = err
+	}
+	return n, err
+}
+
+// receiveBulk streams length body bytes into the host file osf: first
+// whatever bufio already holds, then the remainder directly from the
+// transport (where the runtime can splice socket-to-file). It returns
+// the bytes consumed from the stream and the first error, with
+// transportErr set when the error came from the transport read side.
+func receiveBulk(osf *os.File, conn net.Conn, br *bufio.Reader, length int64) (consumed int64, err error, transportErr bool) {
+	if buffered := int64(br.Buffered()); buffered > 0 {
+		if buffered > length {
+			buffered = length
+		}
+		cr := &countingReader{r: io.LimitReader(br, buffered)}
+		_, err = io.Copy(osf, cr)
+		consumed += cr.n
+		if err != nil {
+			return consumed, err, false // bufio reads cannot fail
+		}
+	}
+	if consumed < length {
+		cr := &countingReader{r: conn}
+		_, err = io.Copy(osf, io.LimitReader(cr, length-consumed))
+		consumed += cr.n
+		if err != nil {
+			return consumed, err, cr.readErr != nil
+		}
+	}
+	return consumed, nil, false
+}
+
+func (ss *session) handlePutfile(req *proto.Request, conn net.Conn, br *bufio.Reader, bw *bufio.Writer) error {
 	path, err := normPath(req.Path)
 	if err != nil {
 		// Must still consume the data phase to stay in sync.
@@ -924,7 +1056,38 @@ func (ss *session) handlePutfile(req *proto.Request, br *bufio.Reader, bw *bufio
 		io.CopyN(io.Discard, br, req.Length)
 		return ss.respondErr(bw, err)
 	}
-	buf := make([]byte, 256<<10)
+	if osf := osFileOf(f); osf != nil {
+		// Bulk fast path: the file was opened fresh and truncated, so
+		// sequential writes from offset zero are exactly the body.
+		consumed, copyErr, transport := receiveBulk(osf, conn, br, req.Length)
+		ss.srv.Stats.BytesWriten.Add(consumed)
+		ss.srv.mBytesWritten.Add(consumed)
+		ss.srv.mBulkFast.Inc()
+		if copyErr != nil {
+			f.Close()
+			if transport {
+				return copyErr
+			}
+			// Write-side failure (e.g. disk full): resynchronize the
+			// stream by draining the rest of the body, then report.
+			if _, err := io.CopyN(io.Discard, br, req.Length-consumed); err != nil {
+				return err
+			}
+			return ss.respondErr(bw, vfs.AsErrno(copyErr))
+		}
+		if consumed < req.Length {
+			// The peer closed mid-body: nothing more will arrive.
+			f.Close()
+			return io.ErrUnexpectedEOF
+		}
+		if err := f.Close(); err != nil {
+			return ss.respondErr(bw, err)
+		}
+		return respondCode(bw, req.Length)
+	}
+	bp := getIOBuf(256 << 10)
+	defer putIOBuf(bp)
+	buf := *bp
 	var off int64
 	for off < req.Length {
 		want := int64(len(buf))

@@ -100,6 +100,26 @@ func (e *Env) StartChirp(name string, prof netsim.LinkProfile) (*chirp.Client, *
 	return cli, srv, nil
 }
 
+// DialChirpPool connects a pooled transport of up to size connections
+// to a server previously deployed with StartChirp, through links with
+// the given profile (each pooled connection gets its own shaped link,
+// as separate TCP streams would).
+func (e *Env) DialChirpPool(name string, prof netsim.LinkProfile, size int) (*chirp.Pool, error) {
+	p, err := chirp.NewPool(chirp.ClientConfig{
+		Dial: func() (net.Conn, error) {
+			return e.Net.DialFrom("bench-client", name, prof)
+		},
+		Credentials: []auth.Credential{auth.HostnameCredential{}},
+		Timeout:     30 * time.Second,
+		PoolSize:    size,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.onClose(func() { p.Close() })
+	return p, nil
+}
+
 // StartNFS deploys the NFS baseline server and returns a client
 // connected through the given link profile.
 func (e *Env) StartNFS(name string, prof netsim.LinkProfile) (*nfsbase.Client, error) {

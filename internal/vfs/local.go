@@ -292,6 +292,12 @@ func (lf *localFile) Sync() error {
 	return nil
 }
 
+// OSFile exposes the host file for the server's bulk-data fast path
+// (vfs.OSFiler): positional I/O elsewhere in localFile never moves the
+// descriptor's offset, so sequential streaming from offset zero is safe
+// on a freshly opened file.
+func (lf *localFile) OSFile() *os.File { return lf.f }
+
 func (lf *localFile) Close() error {
 	if err := lf.f.Close(); err != nil {
 		return AsErrno(err)

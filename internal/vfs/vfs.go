@@ -12,6 +12,7 @@ package vfs
 import (
 	"bytes"
 	"io"
+	"os"
 	"time"
 )
 
@@ -76,6 +77,18 @@ type File interface {
 	Sync() error
 	// Close releases the descriptor.
 	Close() error
+}
+
+// OSFiler is the optional escape hatch from a File to the host
+// *os.File backing it. The Chirp server probes it on the bulk-data
+// path: when both the transport is a raw TCP connection and the file
+// is host-backed, getfile/putfile stream with io.Copy directly between
+// the two, letting the runtime use sendfile/splice instead of chunking
+// through protocol buffers. Wrappers that intercept I/O (fault
+// injectors, instrumentation) simply do not implement it and keep the
+// buffered path.
+type OSFiler interface {
+	OSFile() *os.File
 }
 
 // FileSystem is the recursive abstraction interface. All paths are

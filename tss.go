@@ -265,6 +265,37 @@ func DialTCP(addr string) (*Client, error) {
 		30*time.Second)
 }
 
+// ClientPool is a multi-connection transport to one file server; it
+// implements FileSystem with the same semantics as Client but keeps up
+// to PoolSize authenticated connections, so concurrent operations no
+// longer serialize on a single socket. Descriptor I/O stays pinned to
+// the connection that opened the file.
+type ClientPool = chirp.Pool
+
+// DialSimPool connects a pool of up to size connections to a file
+// server on a simulated network.
+func DialSimPool(nw *SimNetwork, serverName, clientName string, size int) (*ClientPool, error) {
+	return chirp.NewPool(chirp.ClientConfig{
+		Dial: func() (net.Conn, error) {
+			return nw.DialFrom(clientName, serverName, netsim.Loopback)
+		},
+		Credentials: []auth.Credential{auth.HostnameCredential{}, auth.UnixCredential{}},
+		Timeout:     30 * time.Second,
+		PoolSize:    size,
+	})
+}
+
+// DialTCPPool connects a pool of up to size connections to a file
+// server over TCP with the default credential set.
+func DialTCPPool(addr string, size int) (*ClientPool, error) {
+	return chirp.NewPool(chirp.ClientConfig{
+		Dial:        func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 10*time.Second) },
+		Credentials: []auth.Credential{auth.HostnameCredential{}, auth.UnixCredential{}},
+		Timeout:     30 * time.Second,
+		PoolSize:    size,
+	})
+}
+
 // ---- Abstraction layer ----
 
 // DataServer names one storage resource inside an abstraction.
