@@ -15,6 +15,9 @@
 //	tss whoami host:9094
 //	tss getacl host:9094 /data
 //	tss setacl host:9094 /data 'hostname:*.cse.nd.edu' 'v(rwl)'
+//	tss sum    host:9094 /data/up.bin
+//	tss scrub  -repair hostA:9094 hostB:9094 hostC:9094
+//	tss fsck   meta:9094 /dsfs dataA:9094 /data dataB:9094 /data
 //
 // -pool N performs the operation over a pooled transport of up to N
 // connections (useful ahead of concurrent workloads; see DESIGN.md
@@ -44,6 +47,7 @@ var errDone = errors.New("done")
 type transport interface {
 	vfs.FileSystem
 	GetFile(path string, w io.Writer) (int64, error)
+	Checksum(path, algo string) (string, error)
 	Whoami() (auth.Subject, error)
 	GetACL(path string) ([]string, error)
 	SetACL(path, subject, rights string) error
@@ -52,11 +56,14 @@ type transport interface {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tss [-ticket FILE] [-timeout DUR] [-retries N] [-retry-base DUR] [-pool N] <ls|cat|put|get|mkdir|rm|rmdir|mv|stat|statfs|whoami|getacl|setacl> host:port [args...]")
+	fmt.Fprintln(os.Stderr, "usage: tss [-ticket FILE] [-timeout DUR] [-retries N] [-retry-base DUR] [-pool N] [-verify] <ls|cat|put|get|sum|mkdir|rm|rmdir|mv|stat|statfs|whoami|getacl|setacl> host:port [args...]")
+	fmt.Fprintln(os.Stderr, "       tss [flags] scrub [-repair] [-algo A] [-root DIR] host:port host:port [...]")
+	fmt.Fprintln(os.Stderr, "       tss [flags] fsck [-remove-dangling] [-remove-orphans] meta-host:port meta-dir data-host:port data-dir [...]")
 	fmt.Fprintln(os.Stderr, "  -timeout DUR     per-RPC deadline (default 30s)")
 	fmt.Fprintln(os.Stderr, "  -retries N       reconnect-and-retry idempotent reads N times on transport failure (default 2)")
 	fmt.Fprintln(os.Stderr, "  -retry-base DUR  first retry backoff, doubled per attempt with jitter (default 100ms)")
 	fmt.Fprintln(os.Stderr, "  -pool N          use up to N pooled connections instead of one (default 1)")
+	fmt.Fprintln(os.Stderr, "  -verify          checksum whole-file transfers end to end (falls back on old servers)")
 	os.Exit(2)
 }
 
@@ -70,8 +77,17 @@ func main() {
 	retries := 2
 	retryBase := 100 * time.Millisecond
 	poolSize := 1
+	verify := false
 	// Leading flags, parsed by hand so the verb-first grammar survives.
-	for len(argv) >= 2 {
+	for len(argv) >= 1 {
+		if argv[0] == "-verify" {
+			verify = true
+			argv = argv[1:]
+			continue
+		}
+		if len(argv) < 2 {
+			break
+		}
 		var err error
 		switch argv[0] {
 		case "-ticket":
@@ -106,21 +122,32 @@ func main() {
 	if len(argv) < 2 {
 		usage()
 	}
+	// The maintenance verbs take several server addresses, not one.
+	switch argv[0] {
+	case "scrub":
+		runScrub(argv[1:], creds, timeout)
+		return
+	case "fsck":
+		runFsck(argv[1:], creds, timeout)
+		return
+	}
 	verb, addr, args := argv[0], argv[1], argv[2:]
 
+	cfg := chirp.ClientConfig{
+		Dial: func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		},
+		Credentials: creds,
+		Timeout:     timeout,
+		PoolSize:    poolSize,
+		Verify:      verify,
+	}
 	var client transport
 	var err error
 	if poolSize > 1 {
-		client, err = chirp.NewPool(chirp.ClientConfig{
-			Dial: func() (net.Conn, error) {
-				return net.DialTimeout("tcp", addr, 10*time.Second)
-			},
-			Credentials: creds,
-			Timeout:     timeout,
-			PoolSize:    poolSize,
-		})
+		client, err = chirp.NewPool(cfg)
 	} else {
-		client, err = chirp.DialTCP(addr, creds, timeout)
+		client, err = chirp.Dial(cfg)
 	}
 	if err != nil {
 		fatal(err)
@@ -210,6 +237,24 @@ func main() {
 		if err := out.Close(); err != nil {
 			fatal(err)
 		}
+	case "sum":
+		if len(args) != 1 && len(args) != 2 {
+			usage()
+		}
+		algo := ""
+		if len(args) == 2 {
+			algo = args[1]
+		}
+		var sum string
+		err := retry(func() error {
+			var e error
+			sum, e = client.Checksum(args[0], algo)
+			return e
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(sum)
 	case "mkdir":
 		need(1)
 		if err := client.Mkdir(args[0], 0o755); err != nil {

@@ -1,0 +1,196 @@
+// The multi-server maintenance verbs: scrub audits and repairs a
+// mirrored tree by cross-replica digest comparison; fsck cross-checks
+// a distributed filesystem's metadata tree against its data servers,
+// validating stripe descriptors along the way. Both take several
+// server addresses, so they parse their own argument grammar instead
+// of the single-address flow in main.go.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tss/internal/abstraction"
+	"tss/internal/auth"
+	"tss/internal/chirp"
+	"tss/internal/vfs"
+)
+
+// dialAll connects to every address, tearing down on first failure.
+func dialAll(addrs []string, creds []auth.Credential, timeout time.Duration) []*chirp.Client {
+	clients := make([]*chirp.Client, 0, len(addrs))
+	for _, addr := range addrs {
+		c, err := chirp.DialTCP(addr, creds, timeout)
+		if err != nil {
+			for _, open := range clients {
+				open.Close()
+			}
+			fatal(fmt.Errorf("dial %s: %w", addr, err))
+		}
+		clients = append(clients, c)
+	}
+	return clients
+}
+
+// runScrub audits the same tree on every given server as mirror
+// replicas: per-file digests are compared across servers, divergent
+// copies are reported, and -repair rewrites them from the majority
+// copy (ties broken by newest mtime). Exits nonzero when divergence
+// was found and not fully repaired.
+//
+//	tss scrub [-repair] [-algo crc32c|sha256] [-root DIR] host:port host:port [...]
+func runScrub(args []string, creds []auth.Credential, timeout time.Duration) {
+	repair := false
+	algo := ""
+	root := "/"
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch {
+		case args[0] == "-repair":
+			repair = true
+			args = args[1:]
+		case args[0] == "-algo" && len(args) >= 2:
+			algo = args[1]
+			args = args[2:]
+		case args[0] == "-root" && len(args) >= 2:
+			root = args[1]
+			args = args[2:]
+		default:
+			usage()
+		}
+	}
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "tss scrub: need at least two replica addresses")
+		usage()
+	}
+	clients := dialAll(args, creds, timeout)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	replicas := make([]vfs.FileSystem, len(clients))
+	for i, c := range clients {
+		replicas[i] = c
+	}
+	m, err := abstraction.NewMirrorOptions(abstraction.MirrorOptions{ChecksumAlgo: algo}, replicas...)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := m.Scrub(context.Background(), abstraction.ScrubOptions{
+		Root:   root,
+		Algo:   algo,
+		Repair: repair,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scrub: %d files, %d divergent, %d replica copies repaired\n",
+		rep.FilesScanned, rep.Divergent, rep.Repaired)
+	for _, f := range rep.Files {
+		fmt.Printf("  %s winner=replica%d repaired=%v\n", f.Path, f.Winner, f.Repaired)
+		for i, d := range f.Digests {
+			if d == "" {
+				d = "(unavailable)"
+			}
+			fmt.Printf("    replica%d %s\n", i, d)
+		}
+		if f.Err != "" {
+			fmt.Printf("    error: %s\n", f.Err)
+		}
+	}
+	for _, e := range rep.Errors {
+		fmt.Fprintf(os.Stderr, "scrub: %s\n", e)
+	}
+	unrepaired := rep.Divergent
+	for _, f := range rep.Files {
+		if f.Err == "" && repair {
+			unrepaired--
+		}
+	}
+	if unrepaired > 0 || len(rep.Errors) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runFsck checks a distributed filesystem: the metadata tree on one
+// server against the data files on the others, recognizing both stub
+// files and stripe descriptors. Exits nonzero when problems remain.
+//
+//	tss fsck [-remove-dangling] [-remove-orphans] meta-host:port meta-dir data-host:port data-dir [...]
+func runFsck(args []string, creds []auth.Credential, timeout time.Duration) {
+	opts := abstraction.FsckOptions{}
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "-remove-dangling":
+			opts.RemoveDangling = true
+		case "-remove-orphans":
+			opts.RemoveOrphans = true
+		default:
+			usage()
+		}
+		args = args[1:]
+	}
+	if len(args) < 4 || len(args)%2 != 0 {
+		fmt.Fprintln(os.Stderr, "tss fsck: need meta addr+dir followed by data addr+dir pairs")
+		usage()
+	}
+	addrs := make([]string, 0, len(args)/2)
+	dirs := make([]string, 0, len(args)/2)
+	for i := 0; i < len(args); i += 2 {
+		addrs = append(addrs, args[i])
+		dirs = append(dirs, args[i+1])
+	}
+	clients := dialAll(addrs, creds, timeout)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	servers := make([]abstraction.DataServer, 0, len(clients)-1)
+	for i := 1; i < len(clients); i++ {
+		servers = append(servers, abstraction.DataServer{
+			Name: addrs[i],
+			FS:   clients[i],
+			Dir:  dirs[i],
+		})
+	}
+	d, err := abstraction.NewDSFS(clients[0], dirs[0], servers, abstraction.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := d.Fsck(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.String())
+	for _, p := range rep.DanglingStubs {
+		fmt.Printf("  dangling stub %s\n", p)
+	}
+	for _, p := range rep.BadStubs {
+		fmt.Printf("  bad stub %s\n", p)
+	}
+	for _, p := range rep.OrphanedData {
+		fmt.Printf("  orphaned data %s\n", p)
+	}
+	for _, p := range rep.Unreachable {
+		fmt.Printf("  unreachable %s\n", p)
+	}
+	for _, p := range rep.StripeDamaged {
+		fmt.Printf("  damaged stripe %s\n", p)
+	}
+	for p, digests := range rep.StripeDigests {
+		fmt.Printf("  stripe %s\n", p)
+		for i, sum := range digests {
+			if sum == "" {
+				sum = "(unavailable)"
+			}
+			fmt.Printf("    member%d %s\n", i, sum)
+		}
+	}
+	if !rep.Clean() {
+		os.Exit(1)
+	}
+}

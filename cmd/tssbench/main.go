@@ -7,7 +7,8 @@
 //	tssbench -run fig3,fig4,sp5
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 sp5 fig9 pool, plus the
-// cachesweep ablation and obs decomposition (not in 'all').
+// cachesweep ablation, obs decomposition, and integrity corruption
+// experiment (not in 'all').
 package main
 
 import (
@@ -41,9 +42,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("tssbench: pool: %v", err)
 		}
+		intRes, err := experiments.RunCorruptBench(experiments.DefaultCorruptBench(*quick))
+		if err != nil {
+			log.Fatalf("tssbench: integrity: %v", err)
+		}
 		data, err := json.MarshalIndent(map[string]any{
-			"obs":  obsRes,
-			"pool": poolRes,
+			"obs":       obsRes,
+			"pool":      poolRes,
+			"integrity": intRes,
 		}, "", "  ")
 		if err != nil {
 			log.Fatalf("tssbench: json: %v", err)
@@ -51,6 +57,7 @@ func main() {
 		os.Stdout.Write(append(data, '\n'))
 		fmt.Fprint(os.Stderr, obsRes.Render())
 		fmt.Fprint(os.Stderr, poolRes.Render())
+		fmt.Fprint(os.Stderr, intRes.Render())
 		return
 	}
 
@@ -132,6 +139,12 @@ func runOne(name string, quick bool, clients int) (string, error) {
 		return res.Render(), nil
 	case "pool":
 		res, err := experiments.RunPoolBench(experiments.DefaultPoolBench(quick, clients))
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "integrity":
+		res, err := experiments.RunCorruptBench(experiments.DefaultCorruptBench(quick))
 		if err != nil {
 			return "", err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"tss/internal/pathutil"
 	"tss/internal/vfs"
 )
 
@@ -104,5 +105,94 @@ func TestFsckFlagsBadStubs(t *testing.T) {
 	}
 	if vfs.Exists(d.Meta(), "/junk") {
 		t.Error("bad stub not removed by repair")
+	}
+}
+
+// TestFsckValidatesStripes: a metadata tree holding both ordinary
+// stubs and stripe descriptors is checked end to end — the stripe is
+// recognized (not misreported as a bad stub), its members are
+// digested, and missing or geometry-inconsistent members are reported
+// as damage.
+func TestFsckValidatesStripes(t *testing.T) {
+	d, servers := newDPFS(t, 3)
+	s, err := NewStriped(d.Meta(), servers, StripeOptions{StripeSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 200)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := vfs.WriteFile(s, "/striped", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(d, "/plain", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := d.Fsck(FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean stripe reported dirty: %s", rep)
+	}
+	if rep.Stripes != 1 {
+		t.Errorf("stripes recognized = %d, want 1", rep.Stripes)
+	}
+	digests := rep.StripeDigests["/striped"]
+	if len(digests) != 3 {
+		t.Fatalf("stripe digests = %v, want 3 members", digests)
+	}
+	for k, sum := range digests {
+		if sum == "" {
+			t.Errorf("member %d has no digest", k)
+		}
+	}
+
+	// Geometry damage: a member shorter than the logical size demands.
+	raw, err := vfs.ReadFile(d.Meta(), "/striped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, ok := parseStripeDesc(raw)
+	if !ok {
+		t.Fatal("descriptor no longer parses")
+	}
+	memberPath := func(k int) (vfs.FileSystem, string) {
+		for i := range servers {
+			if servers[i].Name == desc.Servers[k] {
+				return servers[i].FS, pathutil.Join(servers[i].Dir, desc.Base)
+			}
+		}
+		t.Fatalf("no server %q", desc.Servers[k])
+		return nil, ""
+	}
+	fs1, p1 := memberPath(1)
+	if err := fs1.Truncate(p1, 50); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = d.Fsck(FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || len(rep.StripeDamaged) != 1 {
+		t.Fatalf("truncated member not reported: %s (%v)", rep, rep.StripeDamaged)
+	}
+
+	// Missing member: the data file is gone entirely.
+	if err := fs1.Unlink(p1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = d.Fsck(FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.StripeDamaged) != 1 {
+		t.Fatalf("missing member not reported: %v", rep.StripeDamaged)
+	}
+	// Member files are referenced, never orphans — even while damaged.
+	if len(rep.OrphanedData) != 0 {
+		t.Errorf("stripe members misreported as orphans: %v", rep.OrphanedData)
 	}
 }

@@ -40,15 +40,29 @@ type MirrorFS struct {
 	hedge    time.Duration
 	probe    func(fs vfs.FileSystem) error
 
+	// Verify-on-read configuration (see integrity.go).
+	verifyReads bool
+	sumAlgo     string
+	// strikes counts, per replica, the times its payload was voted down
+	// by a sibling majority. It arbitrates one-against-one digest
+	// disagreements: a replica with a record of serving bad bytes does
+	// not get to veto a clean-history sibling (integrity.go). A
+	// successful scrub repair resets the repaired replica's count.
+	strikes []atomic.Int64
+
 	// Registry counters shadowing Stats (nil without a registry): the
 	// same numbers, visible on /metrics next to the latency histograms.
-	mTrips       *obs.Counter
-	mProbes      *obs.Counter
-	mReadmits    *obs.Counter
-	mHedges      *obs.Counter
-	mHedgeWins   *obs.Counter
-	mHedgeLosses *obs.Counter
-	mFastFails   *obs.Counter
+	mTrips          *obs.Counter
+	mProbes         *obs.Counter
+	mReadmits       *obs.Counter
+	mHedges         *obs.Counter
+	mHedgeWins      *obs.Counter
+	mHedgeLosses    *obs.Counter
+	mFastFails      *obs.Counter
+	mIntegrityFails *obs.Counter
+	mScrubFiles     *obs.Counter
+	mScrubDivergent *obs.Counter
+	mScrubRepaired  *obs.Counter
 
 	// Stats exposes health and hedging counters.
 	Stats MirrorStats
@@ -76,6 +90,16 @@ type MirrorStats struct {
 	// FastFails counts operations refused immediately because every
 	// replica's breaker was open.
 	FastFails atomic.Int64
+	// IntegrityFailovers counts verified reads whose payload failed
+	// cross-replica digest confirmation and were re-served from a
+	// sibling replica (integrity.go).
+	IntegrityFailovers atomic.Int64
+	// ScrubFiles, ScrubDivergent, and ScrubRepaired count scrub
+	// activity: files examined, files whose replicas disagreed, and
+	// replica copies rewritten (scrub.go).
+	ScrubFiles     atomic.Int64
+	ScrubDivergent atomic.Int64
+	ScrubRepaired  atomic.Int64
 }
 
 // MirrorOptions configures the mirror's health layer. The zero value
@@ -89,6 +113,15 @@ type MirrorOptions struct {
 	// Probe is the half-open health check run against a demoted
 	// replica; nil means Stat of the root.
 	Probe func(fs vfs.FileSystem) error
+	// VerifyReads cross-checks every whole-file read against a sibling
+	// replica's digest before delivering it (integrity.go): a replica
+	// serving silently corrupted bytes is demoted and the read fails
+	// over, so corruption never reaches the caller while a healthy
+	// copy exists.
+	VerifyReads bool
+	// ChecksumAlgo selects the digest for verification and scrubbing
+	// (default vfs.DefaultAlgo).
+	ChecksumAlgo string
 	// Metrics, when non-nil, receives per-replica breaker state gauges
 	// ("<layer>.replica<i>.breaker_state": 0 closed, 1 open, 2
 	// half-open) and health counters under the layer prefix.
@@ -126,11 +159,18 @@ func NewMirrorOptions(opts MirrorOptions, replicas ...vfs.FileSystem) (*MirrorFS
 			return err
 		}
 	}
+	algo := opts.ChecksumAlgo
+	if algo == "" {
+		algo = vfs.DefaultAlgo
+	}
 	m := &MirrorFS{
-		replicas: replicas,
-		breakers: make([]*resilient.Breaker, len(replicas)),
-		hedge:    opts.Hedge,
-		probe:    probe,
+		replicas:    replicas,
+		breakers:    make([]*resilient.Breaker, len(replicas)),
+		hedge:       opts.Hedge,
+		probe:       probe,
+		verifyReads: opts.VerifyReads,
+		sumAlgo:     algo,
+		strikes:     make([]atomic.Int64, len(replicas)),
 	}
 	layer := opts.Layer
 	if layer == "" {
@@ -144,6 +184,10 @@ func NewMirrorOptions(opts MirrorOptions, replicas ...vfs.FileSystem) (*MirrorFS
 		m.mHedgeWins = reg.Counter(layer + ".hedge_wins")
 		m.mHedgeLosses = reg.Counter(layer + ".hedge_losses")
 		m.mFastFails = reg.Counter(layer + ".fast_fails")
+		m.mIntegrityFails = reg.Counter(layer + ".integrity_failover")
+		m.mScrubFiles = reg.Counter(layer + ".scrub_files")
+		m.mScrubDivergent = reg.Counter(layer + ".scrub_divergent")
+		m.mScrubRepaired = reg.Counter(layer + ".scrub_repaired")
 	}
 	for i := range replicas {
 		cfg := opts.Breaker

@@ -119,19 +119,31 @@ func NewStriped(meta vfs.FileSystem, servers []DataServer, opts StripeOptions) (
 	return s, nil
 }
 
+// parseStripeDesc decodes raw bytes as a stripe descriptor, reporting
+// ok only when the magic matches and the geometry is sane. Fsck uses
+// it to recognize stripe files among stub files that share a metadata
+// tree.
+func parseStripeDesc(data []byte) (*stripeDesc, bool) {
+	var d stripeDesc
+	if err := json.Unmarshal(data, &d); err != nil || d.Magic != stripeMagic {
+		return nil, false
+	}
+	if d.StripeSize <= 0 || len(d.Servers) == 0 || d.Base == "" {
+		return nil, false
+	}
+	return &d, true
+}
+
 func (s *StripedFS) readDesc(path string) (*stripeDesc, error) {
 	data, err := vfs.GetWholeFile(s.meta, path)
 	if err != nil {
 		return nil, err
 	}
-	var d stripeDesc
-	if err := json.Unmarshal(data, &d); err != nil || d.Magic != stripeMagic {
+	d, ok := parseStripeDesc(data)
+	if !ok {
 		return nil, vfs.EIO
 	}
-	if d.StripeSize <= 0 || len(d.Servers) == 0 {
-		return nil, vfs.EIO
-	}
-	return &d, nil
+	return d, nil
 }
 
 // Open opens or creates a striped file.

@@ -34,6 +34,16 @@ type ClientConfig struct {
 	// IdleTimeout is how long a surplus pool connection may sit idle
 	// before NewPool reaps it (0 = keep forever). Dial ignores it.
 	IdleTimeout time.Duration
+	// Verify enables end-to-end digest verification of whole-file
+	// transfers: GetFile/PutFile use the getfilesum/putfilesum verbs,
+	// which carry a digest trailer the receiving side checks. A server
+	// that predates the verbs answers EINVAL before any data phase; the
+	// client then falls back to the plain verbs and remembers, so old
+	// peers interoperate at the cost of one probe round trip.
+	Verify bool
+	// ChecksumAlgo selects the digest for Verify and Checksum
+	// (default vfs.DefaultAlgo, crc32c).
+	ChecksumAlgo string
 }
 
 // Client speaks the Chirp protocol to one file server. It implements
@@ -68,6 +78,11 @@ type Client struct {
 	// dispatcher consults liveness on every acquire; going through mu
 	// would block behind whatever RPC currently holds the connection.
 	connected atomic.Bool
+
+	// noSums records that the server answered EINVAL to a digest verb:
+	// it predates them, so verified transfers stop probing and use the
+	// plain verbs for the rest of this client's life.
+	noSums atomic.Bool
 }
 
 var (
@@ -477,9 +492,11 @@ func (c *Client) SetACL(path, subject, rights string) error {
 	return err
 }
 
-// GetFile streams the whole named file to w (the getfile RPC): one
-// round trip regardless of size, on the same connection as control.
-func (c *Client) GetFile(path string, w io.Writer) (int64, error) {
+// getFilePlain streams the whole named file to w (the getfile RPC):
+// one round trip regardless of size, on the same connection as
+// control. GetFile (client_sum.go) routes here unless verification is
+// on.
+func (c *Client) getFilePlain(path string, w io.Writer) (int64, error) {
 	var copied int64
 	var copyErr error
 	_, err := c.rpc(&proto.Request{Verb: "getfile", Path: path}, nil, func(code int64, br *bufio.Reader) error {
@@ -499,16 +516,20 @@ func (c *Client) GetFile(path string, w io.Writer) (int64, error) {
 	return copied, copyErr
 }
 
-// PutFile streams size bytes from r into the named file (putfile RPC):
-// one round trip regardless of size (vfs.FilePutter), symmetric with
-// GetFile.
-func (c *Client) PutFile(path string, mode uint32, size int64, r io.Reader) (rpcErr error) {
+// putStream writes one put-style request and streams its body on the
+// serialized connection: the shared core of putfile and putfilesum.
+// When twoPhase is set the server answers a ready line before the data
+// phase, so a refusal — notably EINVAL from a server that predates the
+// verb — arrives with the stream in sync and not one byte consumed
+// from r, which is what makes blind negotiation safe. trailer, when
+// non-nil, appends a final protocol line after the body.
+func (c *Client) putStream(req *proto.Request, size int64, r io.Reader, twoPhase bool, trailer func([]byte) []byte) (rpcErr error) {
 	if c.rpcHist != nil {
-		defer func(start time.Time) { c.observeRPC("putfile", start, rpcErr) }(time.Now())
+		defer func(start time.Time) { c.observeRPC(req.Verb, start, rpcErr) }(time.Now())
 	}
 	lb := getLineBuf()
 	defer putLineBuf(lb)
-	line, err := (&proto.Request{Verb: "putfile", Path: path, Mode: int64(mode), Length: size}).AppendTo((*lb)[:0])
+	line, err := req.AppendTo((*lb)[:0])
 	if err != nil {
 		return vfs.EINVAL
 	}
@@ -525,8 +546,27 @@ func (c *Client) PutFile(path string, mode uint32, size int64, r io.Reader) (rpc
 	if _, err := c.bw.Write(line); err != nil {
 		return c.failLocked(err)
 	}
+	if twoPhase {
+		//lint:ignore lockheld the ready line must be read before the body is streamed, under the same connection-owning critical section
+		if err := c.bw.Flush(); err != nil {
+			return c.failLocked(err)
+		}
+		//lint:ignore lockheld the ready line must be read before the body is streamed, under the same connection-owning critical section
+		ready, err := proto.ReadCode(c.br)
+		if err != nil {
+			return c.failLocked(err)
+		}
+		if ready < 0 {
+			return vfs.FromCode(int(ready))
+		}
+	}
 	if _, err := io.CopyN(c.bw, r, size); err != nil {
 		return c.failLocked(err)
+	}
+	if trailer != nil {
+		if _, err := c.bw.Write(trailer(nil)); err != nil {
+			return c.failLocked(err)
+		}
 	}
 	//lint:ignore lockheld putfile streams request and response on the one serialized connection; c.mu owns it end to end
 	if err := c.bw.Flush(); err != nil {
@@ -541,6 +581,14 @@ func (c *Client) PutFile(path string, mode uint32, size int64, r io.Reader) (rpc
 		return vfs.FromCode(int(code))
 	}
 	return nil
+}
+
+// putFilePlain streams size bytes from r into the named file (putfile
+// RPC): one round trip regardless of size (vfs.FilePutter), symmetric
+// with getFilePlain.
+func (c *Client) putFilePlain(path string, mode uint32, size int64, r io.Reader) error {
+	return c.putStream(&proto.Request{Verb: "putfile", Path: path, Mode: int64(mode), Length: size},
+		size, r, false, nil)
 }
 
 // clientFile is an open remote file. The fd is valid only for the

@@ -63,6 +63,7 @@ var (
 	_ vfs.FileGetter  = (*Pool)(nil)
 	_ vfs.FilePutter  = (*Pool)(nil)
 	_ vfs.OpenStater  = (*Pool)(nil)
+	_ vfs.Checksummer = (*Pool)(nil)
 )
 
 // NewPool connects and authenticates the first pool connection and
@@ -377,6 +378,17 @@ func (p *Pool) GetFile(path string, w io.Writer) (int64, error) {
 // (vfs.FilePutter).
 func (p *Pool) PutFile(path string, mode uint32, size int64, r io.Reader) error {
 	return p.withConn(func(c *Client) error { return c.PutFile(path, mode, size, r) })
+}
+
+// Checksum computes a remote file digest server-side (vfs.Checksummer).
+func (p *Pool) Checksum(path, algo string) (string, error) {
+	var sum string
+	err := p.withConn(func(c *Client) error {
+		var e error
+		sum, e = c.Checksum(path, algo)
+		return e
+	})
+	return sum, err
 }
 
 // Whoami asks the server which subject this session authenticated as.

@@ -1,7 +1,9 @@
 package proto
 
 import (
+	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -106,6 +108,43 @@ func FuzzEscape(f *testing.F) {
 		}
 		if got != s {
 			t.Fatalf("escape round trip changed value: %q -> %q -> %q", s, esc, got)
+		}
+	})
+}
+
+// FuzzDigestTrailer covers both directions of the trailer codec. A
+// parsed arbitrary line must re-marshal to a line that parses to the
+// same (algo, sum); a trailer built from arbitrary inputs must parse
+// back losslessly whenever the digest fits the protocol bound. The
+// trailer rides directly after raw file bytes on the wire, so the
+// parser seeing attacker-controlled garbage is the normal case, not
+// the exception.
+func FuzzDigestTrailer(f *testing.F) {
+	f.Add("crc32c:0a1b2c3d")
+	f.Add("sha256:" + strings.Repeat("ab", 32))
+	f.Add("sha:512:" + strings.Repeat("ff", 64))
+	f.Add("alg%20o:00")
+	f.Add(":deadbeef")
+	f.Add("crc32c:")
+	f.Add("crc32c:xyz")
+	f.Add("noseparator")
+	f.Add("crc32c:" + strings.Repeat("00", 65))
+	f.Fuzz(func(t *testing.T, line string) {
+		algo, sum, err := ParseDigestTrailer(line)
+		if err != nil {
+			return
+		}
+		if len(sum) == 0 || len(sum) > MaxDigestLen {
+			t.Fatalf("accepted digest of %d bytes from %q (bound %d)", len(sum), line, MaxDigestLen)
+		}
+		enc := MarshalDigestTrailer(algo, sum)
+		algo2, sum2, err := ParseDigestTrailer(enc)
+		if err != nil {
+			t.Fatalf("re-marshal of %q does not parse: %q: %v", line, enc, err)
+		}
+		if algo2 != algo || !bytes.Equal(sum2, sum) {
+			t.Fatalf("round trip changed trailer: %q -> (%q, %x) -> %q -> (%q, %x)",
+				line, algo, sum, enc, algo2, sum2)
 		}
 	})
 }

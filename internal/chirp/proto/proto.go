@@ -27,6 +27,10 @@
 //	getdir <path>                       -> count, then count entry lines
 //	getfile <path>                      -> size, then size raw bytes
 //	putfile <path> <mode> <size>        (then size raw bytes) -> size
+//	checksum <path> <algo>              -> 0, then digest trailer line
+//	getfilesum <path> <algo>            -> size, then size raw bytes, then digest trailer line
+//	putfilesum <path> <mode> <size> <algo> -> 0 (ready), then size raw bytes and a
+//	                                    digest trailer line from the client -> size
 //	truncate <path> <size>              -> 0
 //	chmod <path> <mode>                 -> 0
 //	getacl <path>                       -> count, then count ACL lines
@@ -274,6 +278,7 @@ type Request struct {
 	Flags   int64  // open
 	Mode    int64  // open, mkdir, putfile, chmod
 	Size    int64  // truncate, ftruncate
+	Algo    string // checksum, getfilesum, putfilesum
 }
 
 // AppendTo appends the request as a protocol line (without newline) to
@@ -324,6 +329,16 @@ func (q *Request) AppendTo(dst []byte) ([]byte, error) {
 		dst = appendPath(dst, q.Path)
 		dst = appendOctal(dst, q.Mode)
 		return appendInt(dst, q.Length), nil
+	case "checksum", "getfilesum":
+		dst = append(dst, q.Verb...)
+		dst = appendPath(dst, q.Path)
+		return AppendEscape(append(dst, ' '), q.Algo), nil
+	case "putfilesum":
+		dst = append(dst, "putfilesum"...)
+		dst = appendPath(dst, q.Path)
+		dst = appendOctal(dst, q.Mode)
+		dst = appendInt(dst, q.Length)
+		return AppendEscape(append(dst, ' '), q.Algo), nil
 	case "truncate":
 		dst = append(dst, "truncate"...)
 		dst = appendPath(dst, q.Path)
@@ -439,6 +454,28 @@ func ParseRequest(line string) (*Request, error) {
 		}
 		if err == nil {
 			q.Length, err = parseInt(args[2], 10)
+		}
+	case "checksum", "getfilesum":
+		if e := need(2); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+		if err == nil {
+			q.Algo = unescape(args[1])
+		}
+	case "putfilesum":
+		if e := need(4); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+		if err == nil {
+			q.Mode, err = parseInt(args[1], 8)
+		}
+		if err == nil {
+			q.Length, err = parseInt(args[2], 10)
+		}
+		if err == nil {
+			q.Algo = unescape(args[3])
 		}
 	case "truncate":
 		if e := need(2); e != nil {

@@ -78,11 +78,16 @@ type Server struct {
 	fs    *vfs.LocalFS
 	aclMu sync.Mutex // serializes ACL read-modify-write cycles
 
-	draining  atomic.Bool
-	connMu    sync.Mutex
-	conns     map[net.Conn]*connState
-	listeners map[net.Listener]struct{}
-	connWG    sync.WaitGroup
+	draining atomic.Bool
+	// legacySums makes the server answer EINVAL to the digest verbs
+	// (checksum/getfilesum/putfilesum) without consuming anything from
+	// the stream — exactly what a pre-digest server does with an
+	// unknown verb. Test hook for the client's negotiation fallback.
+	legacySums atomic.Bool
+	connMu     sync.Mutex
+	conns      map[net.Conn]*connState
+	listeners  map[net.Listener]struct{}
+	connWG     sync.WaitGroup
 
 	// Per-RPC metrics, pre-resolved at construction so the serving
 	// loop pays one map lookup per request; all nil without a registry.
@@ -104,7 +109,8 @@ type Server struct {
 var rpcVerbs = []string{
 	"open", "pread", "pwrite", "fstat", "fsync", "ftruncate", "close",
 	"stat", "unlink", "rename", "mkdir", "rmdir", "getdir",
-	"getfile", "putfile", "truncate", "chmod", "getacl", "setacl",
+	"getfile", "putfile", "checksum", "getfilesum", "putfilesum",
+	"truncate", "chmod", "getacl", "setacl",
 	"statfs", "whoami",
 }
 
@@ -583,6 +589,21 @@ func (ss *session) dispatch(line string, conn net.Conn, br *bufio.Reader, bw *bu
 		return ss.handleGetfile(req, conn, bw)
 	case "putfile":
 		return ss.handlePutfile(req, conn, br, bw)
+	case "checksum":
+		if ss.srv.legacySums.Load() {
+			return ss.respondErr(bw, vfs.EINVAL)
+		}
+		return ss.handleChecksum(req, bw)
+	case "getfilesum":
+		if ss.srv.legacySums.Load() {
+			return ss.respondErr(bw, vfs.EINVAL)
+		}
+		return ss.handleGetfilesum(req, bw)
+	case "putfilesum":
+		if ss.srv.legacySums.Load() {
+			return ss.respondErr(bw, vfs.EINVAL)
+		}
+		return ss.handlePutfilesum(req, br, bw)
 	case "truncate":
 		return ss.handleTruncate(req, bw)
 	case "chmod":

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"tss/internal/abstraction"
+	"tss/internal/faultfs"
+	"tss/internal/vfs"
+)
+
+// CorruptBenchConfig sizes the integrity experiment: a three-replica
+// mirror with silent bit-flip corruption armed on one replica, read
+// with and without verify-on-read, then scrubbed back to health.
+type CorruptBenchConfig struct {
+	// Files is the number of files seeded through the mirror.
+	Files int
+	// FileSize is the size of each file in bytes.
+	FileSize int
+	// FlipProb is the per-byte bit-flip probability on the bad replica.
+	FlipProb float64
+	// Seed makes the corruption pattern reproducible.
+	Seed int64
+	// Quick marks the reduced configuration in the report.
+	Quick bool
+}
+
+// DefaultCorruptBench returns the full-size configuration; quick
+// shrinks the workload for a fast pass.
+func DefaultCorruptBench(quick bool) CorruptBenchConfig {
+	cfg := CorruptBenchConfig{
+		Files:    32,
+		FileSize: 64 << 10,
+		FlipProb: 1e-3,
+		Seed:     42,
+	}
+	if quick {
+		cfg.Files, cfg.FileSize = 12, 16<<10
+		cfg.Quick = true
+	}
+	return cfg
+}
+
+// CorruptBenchReport records what corruption did and what the
+// integrity machinery caught.
+type CorruptBenchReport struct {
+	Name     string  `json:"name"`
+	Quick    bool    `json:"quick"`
+	Files    int     `json:"files"`
+	FileSize int     `json:"file_size"`
+	FlipProb float64 `json:"flip_prob"`
+	// Flips is the number of bits the fault layer actually flipped
+	// across all read passes.
+	Flips int64 `json:"flips"`
+	// UnverifiedWrong counts reads that returned corrupted payloads
+	// with verification off — the damage a plain mirror passes through.
+	UnverifiedWrong int `json:"unverified_wrong_reads"`
+	// VerifiedWrong counts corrupted payloads delivered with
+	// verify-on-read enabled. The contract is zero.
+	VerifiedWrong int `json:"verified_wrong_reads"`
+	// IntegrityFailovers counts reads re-served from a sibling after a
+	// digest mismatch.
+	IntegrityFailovers int64 `json:"integrity_failovers"`
+	// ScrubDivergent and ScrubRepaired describe the repairing scrub.
+	ScrubDivergent int     `json:"scrub_divergent"`
+	ScrubRepaired  int     `json:"scrub_repaired"`
+	ScrubMS        float64 `json:"scrub_ms"`
+	// SecondScrubDivergent is the divergence a follow-up scrub still
+	// sees; a successful repair leaves zero.
+	SecondScrubDivergent int `json:"second_scrub_divergent"`
+}
+
+// JSON renders the report for BENCH_chirp.json.
+func (r *CorruptBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render renders the report as a table.
+func (r *CorruptBenchReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Corruption bench: %d files × %d B, flip p=%g on 1 of 3 replicas (%d bits flipped)\n",
+		r.Files, r.FileSize, r.FlipProb, r.Flips)
+	fmt.Fprintf(&b, "%-28s %8s\n", "PHASE", "RESULT")
+	fmt.Fprintf(&b, "%-28s %8d\n", "wrong reads, verify off", r.UnverifiedWrong)
+	fmt.Fprintf(&b, "%-28s %8d\n", "wrong reads, verify on", r.VerifiedWrong)
+	fmt.Fprintf(&b, "%-28s %8d\n", "integrity failovers", r.IntegrityFailovers)
+	fmt.Fprintf(&b, "%-28s %8d (%d copies, %.1fms)\n", "scrub divergent", r.ScrubDivergent, r.ScrubRepaired, r.ScrubMS)
+	fmt.Fprintf(&b, "%-28s %8d\n", "second scrub divergent", r.SecondScrubDivergent)
+	return b.String()
+}
+
+// RunCorruptBench measures the end-to-end integrity story: seed a
+// three-replica mirror, arm deterministic bit flips on replica 0, and
+// show that (1) an unverified mirror serves corrupted bytes, (2)
+// verify-on-read serves zero corrupted bytes by failing over on digest
+// mismatch, and (3) one repairing scrub restores replica agreement so
+// a second scrub finds nothing.
+func RunCorruptBench(cfg CorruptBenchConfig) (*CorruptBenchReport, error) {
+	env := NewEnv()
+	defer env.Close()
+
+	var bad *faultfs.FS
+	replicas := make([]vfs.FileSystem, 3)
+	for i := range replicas {
+		lfs, err := env.LocalFS()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			// The healthiest replica (lowest index) is the one every
+			// read tries first — corruption there exercises the
+			// verification path on each read, not just occasionally.
+			bad = faultfs.New(lfs)
+			replicas[i] = bad
+		} else {
+			replicas[i] = lfs
+		}
+	}
+
+	plain, err := abstraction.NewMirror(replicas...)
+	if err != nil {
+		return nil, err
+	}
+	verified, err := abstraction.NewMirrorOptions(
+		abstraction.MirrorOptions{VerifyReads: true}, replicas...)
+	if err != nil {
+		return nil, err
+	}
+
+	payloads := make([][]byte, cfg.Files)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte(fmt.Sprintf("payload-%04d ", i)), cfg.FileSize/13+1)[:cfg.FileSize]
+		p := fmt.Sprintf("/f%04d", i)
+		if err := vfs.PutReader(plain, p, 0o644, int64(cfg.FileSize), bytes.NewReader(payloads[i])); err != nil {
+			return nil, fmt.Errorf("seed %s: %w", p, err)
+		}
+	}
+
+	bad.CorruptRandomly(cfg.FlipProb, cfg.Seed)
+
+	rep := &CorruptBenchReport{
+		Name:     "mirror-integrity",
+		Quick:    cfg.Quick,
+		Files:    cfg.Files,
+		FileSize: cfg.FileSize,
+		FlipProb: cfg.FlipProb,
+	}
+
+	readAll := func(m *abstraction.MirrorFS) (wrong int, err error) {
+		for i := range payloads {
+			var buf bytes.Buffer
+			p := fmt.Sprintf("/f%04d", i)
+			if _, err := m.GetFile(p, &buf); err != nil {
+				return wrong, fmt.Errorf("read %s: %w", p, err)
+			}
+			if !bytes.Equal(buf.Bytes(), payloads[i]) {
+				wrong++
+			}
+		}
+		return wrong, nil
+	}
+
+	if rep.UnverifiedWrong, err = readAll(plain); err != nil {
+		return nil, fmt.Errorf("verify-off pass: %w", err)
+	}
+	if rep.VerifiedWrong, err = readAll(verified); err != nil {
+		return nil, fmt.Errorf("verify-on pass: %w", err)
+	}
+	rep.IntegrityFailovers = verified.Stats.IntegrityFailovers.Load()
+
+	start := time.Now()
+	scrub, err := verified.Scrub(context.Background(), abstraction.ScrubOptions{Repair: true})
+	if err != nil {
+		return nil, fmt.Errorf("scrub: %w", err)
+	}
+	rep.ScrubMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	rep.ScrubDivergent = scrub.Divergent
+	rep.ScrubRepaired = scrub.Repaired
+
+	again, err := verified.Scrub(context.Background(), abstraction.ScrubOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("second scrub: %w", err)
+	}
+	rep.SecondScrubDivergent = again.Divergent
+	rep.Flips = bad.Flips()
+	return rep, nil
+}

@@ -1,0 +1,231 @@
+package faultfs
+
+import (
+	"io"
+
+	"tss/internal/vfs"
+)
+
+// Data-integrity faults. Unlike the availability faults in faultfs.go
+// (which make operations fail loudly), these make operations SUCCEED
+// with wrong data — the silent corruption that checksums, verify-on-read
+// and scrub exist to catch:
+//
+//   - CorruptRandomly: bit flips on the read path, deterministic at
+//     rest — the same byte of the same file is always corrupted the
+//     same way, like a bad sector. A replica wrapped this way "lies
+//     consistently": its Checksum reflects its corrupted view, so
+//     cross-replica digest comparison detects the divergence.
+//   - TornWrite: the tail of every write is silently dropped — the
+//     partial write of a crashed or lying server.
+//   - SilentTruncate: every file reads as if it were shorter than it
+//     is — metadata loss that per-transfer digests alone cannot pin on
+//     a specific replica, but cross-replica comparison can.
+
+// CorruptRandomly arms read-path bit flips: each byte read flips one
+// bit with probability p, decided purely by (seed, path, offset) so
+// the corruption is deterministic and stable across reads. Arming
+// (or re-arming) clears the clean set: everything at rest becomes
+// suspect, while any file written afterwards — including a scrub
+// repair — reads back clean. p = 0 disarms.
+func (f *FS) CorruptRandomly(p float64, seed int64) {
+	f.mu.Lock()
+	f.corruptThreshold = uint64(p * 1e9)
+	f.corruptSeed = seed
+	f.cleanPaths = make(map[string]bool)
+	f.mu.Unlock()
+}
+
+// TornWrite arms silent short writes: every Pwrite and PutFile drops
+// its last n bytes but reports full success. n = 0 disarms.
+func (f *FS) TornWrite(n int64) {
+	f.mu.Lock()
+	f.tornBytes = n
+	f.mu.Unlock()
+}
+
+// SilentTruncate makes every file read as n bytes shorter than it is:
+// Stat and Fstat under-report the size and reads stop early. n = 0
+// disarms.
+func (f *FS) SilentTruncate(n int64) {
+	f.mu.Lock()
+	f.truncBytes = n
+	f.mu.Unlock()
+}
+
+// Flips returns the number of bits flipped by CorruptRandomly so far —
+// the experiment's proof that corruption actually happened.
+func (f *FS) Flips() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flips
+}
+
+// Checksum hashes the file exactly as this filesystem serves it —
+// through any armed corruption or truncation (vfs.Checksummer). This
+// is deliberate: a corrupt replica must vouch for its own wrong bytes,
+// so that digest comparison across replicas exposes it. The underlying
+// read path applies the usual fault gate.
+func (f *FS) Checksum(path, algo string) (string, error) {
+	return vfs.HashFile(f, path, algo)
+}
+
+// FNV-1a with a splitmix-style finalizer: cheap, stateless, and good
+// enough to spread single-bit offset changes across the whole word.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashPath(seed int64, path string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (uint64(seed) >> (8 * i) & 0xff)) * fnvPrime
+	}
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint64(path[i])) * fnvPrime
+	}
+	return h
+}
+
+func byteHash(pathHash uint64, off int64) uint64 {
+	h := pathHash
+	for i := 0; i < 8; i++ {
+		h = (h ^ (uint64(off) >> (8 * i) & 0xff)) * fnvPrime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// corruptionFor returns the corruption parameters for one path, or
+// (0, 0) when the path reads clean.
+func (f *FS) corruptionFor(path string) (pathHash, threshold uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.corruptThreshold == 0 || f.cleanPaths[path] {
+		return 0, 0
+	}
+	return hashPath(f.corruptSeed, path), f.corruptThreshold
+}
+
+// corruptSpan flips bits in buf, which holds file bytes starting at
+// off, and returns how many were flipped.
+func corruptSpan(pathHash, threshold uint64, buf []byte, off int64) int64 {
+	var flipped int64
+	for i := range buf {
+		h := byteHash(pathHash, off+int64(i))
+		if h%1_000_000_000 < threshold {
+			buf[i] ^= 1 << ((h >> 32) % 8)
+			flipped++
+		}
+	}
+	return flipped
+}
+
+// corruptInPlace applies the armed corruption to a freshly read span.
+func (f *FS) corruptInPlace(path string, buf []byte, off int64) {
+	ph, th := f.corruptionFor(path)
+	if th == 0 {
+		return
+	}
+	n := corruptSpan(ph, th, buf, off)
+	if n > 0 {
+		f.mu.Lock()
+		f.flips += n
+		f.mu.Unlock()
+	}
+}
+
+// markClean records that path now holds freshly written bytes, which
+// read back uncorrupted (the bad-sector model: new writes relocate).
+func (f *FS) markClean(path string) {
+	f.mu.Lock()
+	if f.cleanPaths != nil {
+		f.cleanPaths[path] = true
+	}
+	f.mu.Unlock()
+}
+
+func (f *FS) tornAmount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tornBytes
+}
+
+func (f *FS) truncAmount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.truncBytes
+}
+
+// hideTail applies SilentTruncate to a FileInfo.
+func (f *FS) hideTail(fi vfs.FileInfo) vfs.FileInfo {
+	if t := f.truncAmount(); t > 0 && !fi.IsDir {
+		fi.Size -= t
+		if fi.Size < 0 {
+			fi.Size = 0
+		}
+	}
+	return fi
+}
+
+// corruptingWriter rewrites a GetFile stream through the corruption
+// schedule. Bytes are copied before flipping — the inner transport owns
+// (and reuses) the buffers it hands to Write.
+type corruptingWriter struct {
+	f        *FS
+	w        io.Writer
+	path     string
+	off      int64
+	pathHash uint64
+	thresh   uint64
+	scratch  []byte
+}
+
+func (cw *corruptingWriter) Write(p []byte) (int, error) {
+	if cw.thresh == 0 {
+		n, err := cw.w.Write(p)
+		cw.off += int64(n)
+		return n, err
+	}
+	if cap(cw.scratch) < len(p) {
+		cw.scratch = make([]byte, len(p))
+	}
+	buf := cw.scratch[:len(p)]
+	copy(buf, p)
+	flipped := corruptSpan(cw.pathHash, cw.thresh, buf, cw.off)
+	if flipped > 0 {
+		cw.f.mu.Lock()
+		cw.f.flips += flipped
+		cw.f.mu.Unlock()
+	}
+	n, err := cw.w.Write(buf)
+	cw.off += int64(n)
+	return n, err
+}
+
+// limitWriter forwards at most n bytes and silently discards the rest —
+// the reader's view of a silently truncated file.
+type limitWriter struct {
+	w       io.Writer
+	n       int64
+	written int64
+}
+
+func (lw *limitWriter) Write(p []byte) (int, error) {
+	take := int64(len(p))
+	if take > lw.n {
+		take = lw.n
+	}
+	if take > 0 {
+		n, err := lw.w.Write(p[:take])
+		lw.n -= int64(n)
+		lw.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+	}
+	return len(p), nil
+}

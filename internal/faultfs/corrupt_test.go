@@ -1,0 +1,224 @@
+package faultfs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"tss/internal/vfs"
+)
+
+// newCorruptPair returns a faultfs over a LocalFS plus the inner
+// LocalFS, so tests can compare the corrupted view with the truth.
+func newCorruptPair(t *testing.T) (*FS, *vfs.LocalFS) {
+	t.Helper()
+	l, err := vfs.NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(l), l
+}
+
+// getterFS gives a LocalFS a bulk GetFile, so tests can reach the
+// corruptingWriter path that normally only fires over a transport.
+type getterFS struct{ *vfs.LocalFS }
+
+func (g getterFS) GetFile(path string, w io.Writer) (int64, error) {
+	f, err := g.Open(path, vfs.O_RDONLY, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	buf := make([]byte, 32<<10)
+	var off int64
+	for {
+		n, err := f.Pread(buf, off)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return off, werr
+			}
+			off += int64(n)
+		}
+		if err != nil {
+			return off, err
+		}
+		if n == 0 {
+			return off, nil
+		}
+	}
+}
+
+func TestCorruptRandomlyDeterministic(t *testing.T) {
+	l, err := vfs.NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := getterFS{l}
+	f := New(inner)
+	data := bytes.Repeat([]byte("stable payload "), 4096)
+	if err := vfs.WriteFile(f, "/x", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f.CorruptRandomly(1e-3, 7)
+
+	first, err := vfs.ReadFile(f, "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(first, data) {
+		t.Fatal("corruption armed but payload unchanged")
+	}
+	if f.Flips() == 0 {
+		t.Error("no flips counted")
+	}
+	// Same seed, same path, same offsets: every read sees the same rot.
+	second, err := vfs.ReadFile(f, "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("corruption is not deterministic across reads")
+	}
+	// The bulk GetFile path must corrupt identically to open/pread.
+	var bulk bytes.Buffer
+	if g := vfs.Capabilities(f).FileGetter; g != nil {
+		if _, err := g.GetFile("/x", &bulk); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bulk.Bytes(), first) {
+			t.Error("GetFile and Pread disagree on the corrupted view")
+		}
+	} else {
+		t.Fatal("faultfs over LocalFS should offer FileGetter")
+	}
+	// The bytes at rest are untouched: this is read-path rot.
+	atRest, err := vfs.ReadFile(inner, "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(atRest, data) {
+		t.Error("corruption modified the underlying file")
+	}
+}
+
+func TestCorruptZeroProbability(t *testing.T) {
+	f, _ := newCorruptPair(t)
+	data := bytes.Repeat([]byte("clean "), 1000)
+	vfs.WriteFile(f, "/x", data, 0o644)
+	f.CorruptRandomly(0, 1)
+	got, err := vfs.ReadFile(f, "/x")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("p=0 read corrupted or failed: %v", err)
+	}
+}
+
+// TestCorruptChecksumLiesConsistently: the replica's own digest must
+// describe the bytes it would serve — i.e. the corrupted view — so a
+// cross-replica comparison catches it. A replica that digested its
+// clean at-rest bytes would pass every audit while serving garbage.
+func TestCorruptChecksumLiesConsistently(t *testing.T) {
+	f, inner := newCorruptPair(t)
+	data := bytes.Repeat([]byte("digest view "), 4096)
+	vfs.WriteFile(f, "/x", data, 0o644)
+	f.CorruptRandomly(1e-3, 3)
+
+	corruptSum, err := vfs.ChecksumFile(f, "/x", vfs.AlgoSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanSum, err := vfs.ChecksumFile(inner, "/x", vfs.AlgoSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corruptSum == cleanSum {
+		t.Fatal("corrupt replica digest matches clean digest")
+	}
+	// And the digest matches what a reader actually receives.
+	served, err := vfs.HashFile(f, "/x", vfs.AlgoSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != corruptSum {
+		t.Error("Checksum does not describe the served bytes")
+	}
+}
+
+// TestCorruptRewriteClean: overwriting a corrupted path marks it clean
+// — freshly written data is what a repaired replica holds, and it must
+// read back intact or a scrub could never converge.
+func TestCorruptRewriteClean(t *testing.T) {
+	f, _ := newCorruptPair(t)
+	data := bytes.Repeat([]byte("original "), 4096)
+	vfs.WriteFile(f, "/x", data, 0o644)
+	f.CorruptRandomly(1e-3, 9)
+	if got, _ := vfs.ReadFile(f, "/x"); bytes.Equal(got, data) {
+		t.Fatal("corruption did not take")
+	}
+	repaired := bytes.Repeat([]byte("repaired "), 4096)
+	if err := vfs.PutReader(f, "/x", 0o644, int64(len(repaired)), bytes.NewReader(repaired)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(f, "/x")
+	if err != nil || !bytes.Equal(got, repaired) {
+		t.Fatalf("rewritten file still corrupted (err=%v)", err)
+	}
+	// Untouched siblings stay corrupted.
+	vfs.WriteFile(f, "/y", data, 0o644)
+	f.CorruptRandomly(1e-3, 9)
+	if got, _ := vfs.ReadFile(f, "/y"); bytes.Equal(got, data) {
+		t.Fatal("re-arming did not reset clean set")
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	f, inner := newCorruptPair(t)
+	f.TornWrite(10)
+	data := []byte("0123456789abcdefghij")
+	// The write reports full success — the loss is silent.
+	if err := vfs.PutReader(f, "/torn", 0o644, int64(len(data)), bytes.NewReader(data)); err != nil {
+		t.Fatalf("torn write surfaced an error: %v", err)
+	}
+	atRest, err := vfs.ReadFile(inner, "/torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(atRest, data[:10]) {
+		t.Fatalf("at rest = %q, want first 10 bytes", atRest)
+	}
+}
+
+func TestSilentTruncate(t *testing.T) {
+	f, inner := newCorruptPair(t)
+	data := []byte("0123456789abcdefghij")
+	vfs.WriteFile(f, "/t", data, 0o644)
+	f.SilentTruncate(5)
+
+	fi, err := f.Stat("/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != int64(len(data))-5 {
+		t.Errorf("stat size = %d, want %d", fi.Size, len(data)-5)
+	}
+	got, err := vfs.ReadFile(f, "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[:len(data)-5]) {
+		t.Errorf("read = %q, want %q", got, data[:len(data)-5])
+	}
+	// Reads past the hidden tail hit EOF like a genuinely short file.
+	file, err := f.Open("/t", vfs.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	buf := make([]byte, 8)
+	if n, err := file.Pread(buf, int64(len(data))-5); n != 0 || err != nil {
+		t.Errorf("pread past hidden tail = %d, %v, want 0, nil (end of file)", n, err)
+	}
+	// The file at rest is whole.
+	if atRest, _ := vfs.ReadFile(inner, "/t"); !bytes.Equal(atRest, data) {
+		t.Error("silent truncate modified the file at rest")
+	}
+}

@@ -32,11 +32,20 @@ type FS struct {
 	latJitter time.Duration
 	latRng    *rand.Rand
 	sleep     func(time.Duration)
+
+	// Integrity faults (see corrupt.go).
+	corruptThreshold uint64 // per-byte flip threshold out of 1e9; 0 = off
+	corruptSeed      int64
+	cleanPaths       map[string]bool // written since corruption was armed
+	tornBytes        int64           // tail bytes silently dropped per write
+	truncBytes       int64           // tail bytes silently hidden per file
+	flips            int64
 }
 
 var (
-	_ vfs.FileSystem = (*FS)(nil)
-	_ vfs.Capabler   = (*FS)(nil)
+	_ vfs.FileSystem  = (*FS)(nil)
+	_ vfs.Capabler    = (*FS)(nil)
+	_ vfs.Checksummer = (*FS)(nil)
 )
 
 // New wraps inner with no faults armed.
@@ -185,15 +194,22 @@ func (f *FS) Open(path string, flags int, mode uint32) (vfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{fs: f, inner: file}, nil
+	if flags&vfs.O_TRUNC != 0 {
+		f.markClean(path)
+	}
+	return &faultFile{fs: f, inner: file, path: path}, nil
 }
 
-// Stat injects faults, then delegates.
+// Stat injects faults, then delegates; SilentTruncate hides the tail.
 func (f *FS) Stat(path string) (vfs.FileInfo, error) {
 	if err := f.gate(); err != nil {
 		return vfs.FileInfo{}, err
 	}
-	return f.inner.Stat(path)
+	fi, err := f.inner.Stat(path)
+	if err != nil {
+		return fi, err
+	}
+	return f.hideTail(fi), nil
 }
 
 // Unlink injects faults, then delegates.
@@ -236,12 +252,17 @@ func (f *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
 	return f.inner.ReadDir(path)
 }
 
-// Truncate injects faults, then delegates.
+// Truncate injects faults, then delegates. The rewritten file reads
+// back clean of any armed corruption.
 func (f *FS) Truncate(path string, size int64) error {
 	if err := f.gate(); err != nil {
 		return err
 	}
-	return f.inner.Truncate(path, size)
+	err := f.inner.Truncate(path, size)
+	if err == nil {
+		f.markClean(path)
+	}
+	return err
 }
 
 // Chmod injects faults, then delegates.
@@ -281,6 +302,11 @@ func (f *FS) Capabilities() vfs.Capability {
 	if inner.Reconnector != nil {
 		c.Reconnector = &faultReconnector{fs: f, inner: inner.Reconnector}
 	}
+	// The checksummer is always this layer's own (corrupt.go): a digest
+	// must describe the bytes this replica would actually serve, so it
+	// is computed through the corrupted read view, never delegated to
+	// the pristine inner filesystem.
+	c.Checksummer = f
 	c.Closer = inner.Closer
 	return c
 }
@@ -298,7 +324,10 @@ func (o *faultOpenStater) OpenStat(path string, flags int, mode uint32) (vfs.Fil
 	if err != nil {
 		return nil, fi, err
 	}
-	return &faultFile{fs: o.fs, inner: file}, fi, nil
+	if flags&vfs.O_TRUNC != 0 {
+		o.fs.markClean(path)
+	}
+	return &faultFile{fs: o.fs, inner: file, path: path}, o.fs.hideTail(fi), nil
 }
 
 type faultFileGetter struct {
@@ -310,7 +339,24 @@ func (g *faultFileGetter) GetFile(path string, w io.Writer) (int64, error) {
 	if err := g.fs.gate(); err != nil {
 		return 0, err
 	}
-	return g.inner.GetFile(path, w)
+	ph, th := g.fs.corruptionFor(path)
+	cw := &corruptingWriter{f: g.fs, w: w, path: path, pathHash: ph, thresh: th}
+	if t := g.fs.truncAmount(); t > 0 {
+		fi, err := g.fs.inner.Stat(path)
+		if err != nil {
+			return 0, err
+		}
+		lim := fi.Size - t
+		if lim < 0 {
+			lim = 0
+		}
+		lw := &limitWriter{w: cw, n: lim}
+		if _, err := g.inner.GetFile(path, lw); err != nil {
+			return lw.written, err
+		}
+		return lw.written, nil
+	}
+	return g.inner.GetFile(path, cw)
 }
 
 type faultFilePutter struct {
@@ -322,7 +368,25 @@ func (p *faultFilePutter) PutFile(path string, mode uint32, size int64, r io.Rea
 	if err := p.fs.gate(); err != nil {
 		return err
 	}
-	return p.inner.PutFile(path, mode, size, r)
+	if torn := p.fs.tornAmount(); torn > 0 {
+		keep := size - torn
+		if keep < 0 {
+			keep = 0
+		}
+		err := p.inner.PutFile(path, mode, keep, io.LimitReader(r, keep))
+		if err != nil {
+			return err
+		}
+		// Drain what the caller believes was stored; report full success.
+		io.Copy(io.Discard, io.LimitReader(r, size-keep))
+		p.fs.markClean(path)
+		return nil
+	}
+	err := p.inner.PutFile(path, mode, size, r)
+	if err == nil {
+		p.fs.markClean(path)
+	}
+	return err
 }
 
 type faultReconnector struct {
@@ -340,34 +404,76 @@ func (r *faultReconnector) Reconnect() error {
 type faultFile struct {
 	fs    *FS
 	inner vfs.File
+	path  string
 }
 
 func (ff *faultFile) Pread(p []byte, off int64) (int, error) {
 	if err := ff.fs.gate(); err != nil {
 		return 0, err
 	}
-	return ff.inner.Pread(p, off)
+	if t := ff.fs.truncAmount(); t > 0 {
+		fi, err := ff.inner.Fstat()
+		if err != nil {
+			return 0, err
+		}
+		lim := fi.Size - t
+		if off >= lim {
+			return 0, nil // end of the visible file (vfs.File contract)
+		}
+		if off+int64(len(p)) > lim {
+			p = p[:lim-off]
+		}
+	}
+	n, err := ff.inner.Pread(p, off)
+	if n > 0 {
+		ff.fs.corruptInPlace(ff.path, p[:n], off)
+	}
+	return n, err
 }
 
 func (ff *faultFile) Pwrite(p []byte, off int64) (int, error) {
 	if err := ff.fs.gate(); err != nil {
 		return 0, err
 	}
-	return ff.inner.Pwrite(p, off)
+	if torn := ff.fs.tornAmount(); torn > 0 {
+		keep := int64(len(p)) - torn
+		if keep < 0 {
+			keep = 0
+		}
+		if _, err := ff.inner.Pwrite(p[:keep], off); err != nil {
+			return 0, err
+		}
+		ff.fs.markClean(ff.path)
+		// The tail vanished, but the writer is told it all landed.
+		return len(p), nil
+	}
+	n, err := ff.inner.Pwrite(p, off)
+	if err == nil {
+		ff.fs.markClean(ff.path)
+	}
+	return n, err
 }
 
 func (ff *faultFile) Fstat() (vfs.FileInfo, error) {
 	if err := ff.fs.gate(); err != nil {
 		return vfs.FileInfo{}, err
 	}
-	return ff.inner.Fstat()
+	fi, err := ff.inner.Fstat()
+	if err != nil {
+		return fi, err
+	}
+	return ff.fs.hideTail(fi), nil
 }
 
 func (ff *faultFile) Ftruncate(size int64) error {
 	if err := ff.fs.gate(); err != nil {
 		return err
 	}
-	return ff.inner.Ftruncate(size)
+	err := ff.inner.Ftruncate(size)
+	if err == nil {
+		ff.fs.markClean(ff.path)
+	}
+	return err
 }
 
 func (ff *faultFile) Sync() error {

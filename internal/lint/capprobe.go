@@ -7,7 +7,8 @@ import (
 // CapProbe enforces the capability-probe contract introduced with
 // vfs.Capabilities: outside package vfs itself, no code may reach an
 // optional vfs interface (Reconnector, OpenStater, FileGetter,
-// FilePutter, Closer, Capabler) by direct type assertion or type
+// FilePutter, Checksummer, Closer, Capabler) by direct type assertion
+// or type
 // switch. Ad-hoc assertions see only the outermost layer of a stacked
 // filesystem and silently drop the fast paths of the layers it wraps —
 // the exact bug class vfs.Capabilities was built to end (DESIGN.md §8).
@@ -28,6 +29,7 @@ func NewCapProbe() *CapProbe {
 			"OpenStater":  true,
 			"FileGetter":  true,
 			"FilePutter":  true,
+			"Checksummer": true,
 			"Closer":      true,
 			"Capabler":    true,
 		},

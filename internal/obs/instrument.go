@@ -41,7 +41,7 @@ var instrumentedOps = []string{
 	"open", "stat", "unlink", "rename", "mkdir", "rmdir", "readdir",
 	"truncate", "chmod", "statfs",
 	"pread", "pwrite", "fstat", "ftruncate", "sync", "close",
-	"openstat", "getfile", "putfile", "reconnect",
+	"openstat", "getfile", "putfile", "checksum", "reconnect",
 }
 
 type instrumentedFS struct {
@@ -157,6 +157,9 @@ func (i *instrumentedFS) Capabilities() vfs.Capability {
 	if inner.FilePutter != nil {
 		c.FilePutter = &instrumentedFilePutter{i: i, inner: inner.FilePutter}
 	}
+	if inner.Checksummer != nil {
+		c.Checksummer = &instrumentedChecksummer{i: i, inner: inner.Checksummer}
+	}
 	if inner.Reconnector != nil {
 		c.Reconnector = &instrumentedReconnector{i: i, inner: inner.Reconnector}
 	}
@@ -205,6 +208,18 @@ func (p *instrumentedFilePutter) PutFile(path string, mode uint32, size int64, r
 		p.i.bytesWritten.Add(size)
 	}
 	return err
+}
+
+type instrumentedChecksummer struct {
+	i     *instrumentedFS
+	inner vfs.Checksummer
+}
+
+func (cs *instrumentedChecksummer) Checksum(path, algo string) (string, error) {
+	start := time.Now()
+	sum, err := cs.inner.Checksum(path, algo)
+	cs.i.observe("checksum", start, err)
+	return sum, err
 }
 
 type instrumentedReconnector struct {

@@ -36,6 +36,7 @@ const (
 	EROFS        Errno = 30  // read-only file system
 	ENAMETOOLONG Errno = 36  // file name too long
 	ENOTEMPTY    Errno = 39  // directory not empty
+	EBADMSG      Errno = 74  // bad message (digest verification failed)
 	ENOTCONN     Errno = 107 // transport endpoint is not connected
 	ETIMEDOUT    Errno = 110 // connection timed out
 	ESTALE       Errno = 116 // stale file handle
@@ -58,6 +59,7 @@ var errnoText = map[Errno]string{
 	EROFS:        "read-only file system",
 	ENAMETOOLONG: "file name too long",
 	ENOTEMPTY:    "directory not empty",
+	EBADMSG:      "bad message",
 	ENOTCONN:     "transport endpoint is not connected",
 	ETIMEDOUT:    "connection timed out",
 	ESTALE:       "stale file handle",
@@ -131,6 +133,8 @@ func AsErrno(err error) Errno {
 			return ENAMETOOLONG
 		case syscall.ENOTEMPTY:
 			return ENOTEMPTY
+		case syscall.EBADMSG:
+			return EBADMSG
 		case syscall.ENOTCONN:
 			return ENOTCONN
 		case syscall.ETIMEDOUT:

@@ -1,6 +1,7 @@
 package vfs
 
 import (
+	"encoding/hex"
 	"errors"
 	"io"
 	"io/fs"
@@ -221,6 +222,32 @@ func (l *LocalFS) Chmod(path string, mode uint32) error {
 		return AsErrno(err)
 	}
 	return nil
+}
+
+// Checksum streams the named host file through the requested digest,
+// never materializing it in memory (vfs.Checksummer). A directory
+// yields EISDIR to match Open.
+func (l *LocalFS) Checksum(path, algo string) (string, error) {
+	h, err := NewHash(algo)
+	if err != nil {
+		return "", err
+	}
+	hp, err := l.HostPath(path)
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(hp)
+	if err != nil {
+		return "", AsErrno(err)
+	}
+	defer f.Close()
+	if st, err := f.Stat(); err == nil && st.IsDir() {
+		return "", EISDIR
+	}
+	if _, err := io.Copy(h, f); err != nil {
+		return "", AsErrno(err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // StatFS reports host filesystem capacity for the volume holding root.

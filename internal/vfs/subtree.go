@@ -188,6 +188,16 @@ func (s *SubtreeFS) PutFile(path string, mode uint32, size int64, r io.Reader) e
 	return PutReader(s.inner, p, mode, size, r)
 }
 
+// Checksum forwards the content-digest fast path into the subtree,
+// falling back to hashing the bytes read through the view.
+func (s *SubtreeFS) Checksum(path, algo string) (string, error) {
+	p, err := s.translate(path)
+	if err != nil {
+		return "", err
+	}
+	return ChecksumFile(s.inner, p, algo)
+}
+
 // Capabilities reports the capabilities of the inner filesystem,
 // re-rooted at the subtree: a fast path exists through the view exactly
 // when the wrapped layer has it. Closing is deliberately absent — the
@@ -203,6 +213,9 @@ func (s *SubtreeFS) Capabilities() Capability {
 	}
 	if inner.FilePutter != nil {
 		c.FilePutter = s
+	}
+	if inner.Checksummer != nil {
+		c.Checksummer = s
 	}
 	if inner.Reconnector != nil {
 		c.Reconnector = s

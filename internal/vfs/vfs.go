@@ -157,6 +157,8 @@ type Capability struct {
 	FileGetter FileGetter
 	// FilePutter stores a whole file in one round trip.
 	FilePutter FilePutter
+	// Checksummer digests a whole file where the data lives.
+	Checksummer Checksummer
 	// Reconnector re-establishes a lost transport connection.
 	Reconnector Reconnector
 	// Closer releases external resources held by the filesystem.
@@ -187,6 +189,7 @@ func Capabilities(fs FileSystem) Capability {
 	caps.OpenStater, _ = fs.(OpenStater)
 	caps.FileGetter, _ = fs.(FileGetter)
 	caps.FilePutter, _ = fs.(FilePutter)
+	caps.Checksummer, _ = fs.(Checksummer)
 	caps.Reconnector, _ = fs.(Reconnector)
 	caps.Closer, _ = fs.(Closer)
 	return caps
