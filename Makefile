@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test verify lint fuzz-short bench
+.PHONY: build test verify lint fuzz-short bench chaos-short
 
 build:
 	$(GO) build ./...
@@ -41,3 +41,13 @@ fuzz-short:
 bench:
 	$(GO) run ./cmd/tssbench -quick -json > BENCH_chirp.json
 	@echo "wrote BENCH_chirp.json"
+
+# chaos-short runs the quick chaos sweep: every canned fault timeline
+# (partitions, flapping, slowness, corruption, torn writes,
+# crash/restart) executed against the full stack with the whole-stack
+# invariant checkers armed. The rendered report lands in
+# chaos_report.txt either way; on failure it carries the
+# (timeline, seed, step) coordinates that replay each violation.
+chaos-short:
+	@$(GO) run ./cmd/tssbench -quick -run chaos > chaos_report.txt 2>&1; \
+	status=$$?; cat chaos_report.txt; exit $$status

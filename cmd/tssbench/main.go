@@ -7,8 +7,8 @@
 //	tssbench -run fig3,fig4,sp5
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 sp5 fig9 pool, plus the
-// cachesweep ablation, obs decomposition, and integrity corruption
-// experiment (not in 'all').
+// cachesweep ablation, obs decomposition, integrity corruption
+// experiment, and the chaos invariant sweep (not in 'all').
 package main
 
 import (
@@ -46,10 +46,15 @@ func main() {
 		if err != nil {
 			log.Fatalf("tssbench: integrity: %v", err)
 		}
+		chaosRes, err := experiments.RunChaosBench(experiments.DefaultChaosBench(*quick))
+		if err != nil {
+			log.Fatalf("tssbench: chaos: %v", err)
+		}
 		data, err := json.MarshalIndent(map[string]any{
 			"obs":       obsRes,
 			"pool":      poolRes,
 			"integrity": intRes,
+			"chaos":     chaosRes,
 		}, "", "  ")
 		if err != nil {
 			log.Fatalf("tssbench: json: %v", err)
@@ -58,6 +63,10 @@ func main() {
 		fmt.Fprint(os.Stderr, obsRes.Render())
 		fmt.Fprint(os.Stderr, poolRes.Render())
 		fmt.Fprint(os.Stderr, intRes.Render())
+		fmt.Fprint(os.Stderr, chaosRes.Render())
+		if chaosRes.TotalViolations > 0 {
+			log.Fatalf("tssbench: chaos: %d invariant violations (replay coordinates in the report)", chaosRes.TotalViolations)
+		}
 		return
 	}
 
@@ -147,6 +156,15 @@ func runOne(name string, quick bool, clients int) (string, error) {
 		res, err := experiments.RunCorruptBench(experiments.DefaultCorruptBench(quick))
 		if err != nil {
 			return "", err
+		}
+		return res.Render(), nil
+	case "chaos":
+		res, err := experiments.RunChaosBench(experiments.DefaultChaosBench(quick))
+		if err != nil {
+			return "", err
+		}
+		if res.TotalViolations > 0 {
+			return res.Render(), fmt.Errorf("%d invariant violations", res.TotalViolations)
 		}
 		return res.Render(), nil
 	}

@@ -38,6 +38,7 @@ type MirrorFS struct {
 	replicas []vfs.FileSystem
 	breakers []*resilient.Breaker
 	hedge    time.Duration
+	quorum   int
 	probe    func(fs vfs.FileSystem) error
 
 	// Verify-on-read configuration (see integrity.go).
@@ -113,6 +114,16 @@ type MirrorOptions struct {
 	// Probe is the half-open health check run against a demoted
 	// replica; nil means Stat of the root.
 	Probe func(fs vfs.FileSystem) error
+	// WriteQuorum is the minimum number of replicas a modifying
+	// operation must succeed on. Zero keeps the historical "everywhere
+	// reachable, at least one" semantics. Setting it to a majority
+	// (n/2+1) makes exclusive-create mutual exclusion hold across
+	// network partitions: two disjoint replica subsets cannot both
+	// reach a majority, and any two majorities intersect in a replica
+	// that answers the loser's O_EXCL with EEXIST. A failed exclusive
+	// create undoes its partial creates best-effort; other partially
+	// applied operations are left for scrub to reconcile.
+	WriteQuorum int
 	// VerifyReads cross-checks every whole-file read against a sibling
 	// replica's digest before delivering it (integrity.go): a replica
 	// serving silently corrupted bytes is demoted and the read fails
@@ -143,6 +154,9 @@ func NewMirrorOptions(opts MirrorOptions, replicas ...vfs.FileSystem) (*MirrorFS
 	if len(replicas) == 0 {
 		return nil, vfs.EINVAL
 	}
+	if opts.WriteQuorum < 0 || opts.WriteQuorum > len(replicas) {
+		return nil, vfs.EINVAL
+	}
 	probe := opts.Probe
 	if probe == nil {
 		// Probes only run against demoted replicas, whose transport is
@@ -167,6 +181,7 @@ func NewMirrorOptions(opts MirrorOptions, replicas ...vfs.FileSystem) (*MirrorFS
 		replicas:    replicas,
 		breakers:    make([]*resilient.Breaker, len(replicas)),
 		hedge:       opts.Hedge,
+		quorum:      opts.WriteQuorum,
 		probe:       probe,
 		verifyReads: opts.VerifyReads,
 		sumAlgo:     algo,
@@ -377,33 +392,38 @@ func hedgedRead[T any](m *MirrorFS, ready []int, op func(fs vfs.FileSystem) (T, 
 
 // applyAll runs op on every ready replica. Unreachable replicas are
 // skipped (and charged to their breakers); the first *semantic* error
-// (EEXIST, EACCES, ...) is returned; if no replica was reachable the
-// last transport error is returned.
+// (EEXIST, EACCES, ...) is returned; if fewer replicas than the write
+// quorum were reachable the last transport error is returned. With no
+// quorum configured, one reachable replica suffices.
 func (m *MirrorFS) applyAll(op func(i int, fs vfs.FileSystem) error) error {
+	need := m.quorum
+	if need < 1 {
+		need = 1
+	}
 	ready, demoted := m.order()
 	for _, i := range demoted {
 		m.maybeProbe(i)
 	}
-	if len(ready) == 0 {
+	if len(ready) < need {
 		m.Stats.FastFails.Add(1)
 		m.mFastFails.Inc()
 		return vfs.ENOTCONN
 	}
-	reached := false
+	reached := 0
 	var transportErr error
 	for _, i := range ready {
 		err := op(i, m.replicas[i])
 		m.record(i, err)
 		switch {
 		case err == nil:
-			reached = true
+			reached++
 		case unreachable(err):
 			transportErr = err
 		default:
 			return err
 		}
 	}
-	if !reached {
+	if reached < need {
 		if transportErr == nil {
 			transportErr = vfs.ENOTCONN
 		}
@@ -447,6 +467,16 @@ func (m *MirrorFS) Open(path string, flags int, mode uint32) (vfs.File, error) {
 	if err != nil {
 		for _, f := range files {
 			f.Close()
+		}
+		// A failed exclusive create must not leave the file behind on
+		// the replicas it did reach: the caller was told the create
+		// lost, so a later winner (or retry) must find those replicas
+		// empty. Only this open's own creations are undone — replicas
+		// that answered EEXIST hold someone else's file.
+		if flags&vfs.O_EXCL != 0 && flags&vfs.O_CREAT != 0 {
+			for _, i := range idxs {
+				m.replicas[i].Unlink(path)
+			}
 		}
 		return nil, err
 	}

@@ -1,0 +1,147 @@
+package abstraction
+
+import (
+	"testing"
+
+	"tss/internal/faultfs"
+	"tss/internal/vfs"
+)
+
+// Exclusive-open (O_CREAT|O_EXCL) semantics under replica loss. The
+// chaos engine's ExclusiveCreate invariant checker reuses this shape:
+// at most one of two racing clients may win the create, no matter
+// which replicas each can reach.
+
+const exclFlags = vfs.O_WRONLY | vfs.O_CREAT | vfs.O_EXCL
+
+// exclStack builds one client's view of shared backends: each backend
+// wrapped in a per-client faultfs (its private reachability), mirrored
+// with the given write quorum.
+func exclStack(t *testing.T, backends []*vfs.LocalFS, quorum int) (*MirrorFS, []*faultfs.FS) {
+	t.Helper()
+	views := make([]*faultfs.FS, len(backends))
+	replicas := make([]vfs.FileSystem, len(backends))
+	for i, b := range backends {
+		views[i] = faultfs.New(b)
+		replicas[i] = views[i]
+	}
+	m, err := NewMirrorOptions(MirrorOptions{WriteQuorum: quorum}, replicas...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, views
+}
+
+func sharedBackends(t *testing.T, n int) []*vfs.LocalFS {
+	t.Helper()
+	out := make([]*vfs.LocalFS, n)
+	for i := range out {
+		out[i] = localFS(t)
+	}
+	return out
+}
+
+func TestExclusiveCreateLosesWhenFileExists(t *testing.T) {
+	backends := sharedBackends(t, 3)
+	m, _ := exclStack(t, backends, 0)
+	f, err := m.Open("/lock", exclFlags, 0o644)
+	if err != nil {
+		t.Fatalf("first exclusive create: %v", err)
+	}
+	f.Close()
+	if _, err := m.Open("/lock", exclFlags, 0o644); vfs.AsErrno(err) != vfs.EEXIST {
+		t.Errorf("second exclusive create = %v, want EEXIST", err)
+	}
+}
+
+func TestExclusiveCreateSurvivesReplicaLoss(t *testing.T) {
+	backends := sharedBackends(t, 3)
+	m, views := exclStack(t, backends, 0)
+	views[2].SetDown(true) // one replica unreachable
+	f, err := m.Open("/lock", exclFlags, 0o644)
+	if err != nil {
+		t.Fatalf("exclusive create with one replica down: %v", err)
+	}
+	f.Close()
+	// The create landed on the reachable replicas only.
+	if _, err := backends[0].Stat("/lock"); err != nil {
+		t.Errorf("replica 0 missing the file: %v", err)
+	}
+	if _, err := backends[2].Stat("/lock"); vfs.AsErrno(err) != vfs.ENOENT {
+		t.Errorf("down replica has the file: %v", err)
+	}
+	// Retry still excluded, even though replica 2 would say ENOENT.
+	if _, err := m.Open("/lock", exclFlags, 0o644); vfs.AsErrno(err) != vfs.EEXIST {
+		t.Errorf("retry = %v, want EEXIST", err)
+	}
+}
+
+func TestQuorumRefusesMinorityCreate(t *testing.T) {
+	backends := sharedBackends(t, 3)
+	m, views := exclStack(t, backends, 2)
+	views[0].SetDown(true)
+	views[1].SetDown(true) // only a minority (replica 2) reachable
+	if _, err := m.Open("/lock", exclFlags, 0o644); err == nil {
+		t.Fatal("minority-side exclusive create succeeded")
+	}
+	// No residue: the failed create must not leave the file on the
+	// replica it did reach.
+	if _, err := backends[2].Stat("/lock"); vfs.AsErrno(err) != vfs.ENOENT {
+		t.Errorf("failed create left residue on reachable replica: %v", err)
+	}
+}
+
+func TestQuorumSplitBrainExclusiveCreate(t *testing.T) {
+	backends := sharedBackends(t, 3)
+	clientA, viewsA := exclStack(t, backends, 2)
+	clientB, viewsB := exclStack(t, backends, 2)
+	// Disjoint partition: A reaches {0,1}, B reaches {2}.
+	viewsA[2].SetDown(true)
+	viewsB[0].SetDown(true)
+	viewsB[1].SetDown(true)
+
+	fa, errA := clientA.Open("/lock", exclFlags, 0o644)
+	_, errB := clientB.Open("/lock", exclFlags, 0o644)
+	if errA != nil {
+		t.Errorf("majority-side create failed: %v", errA)
+	} else {
+		fa.Close()
+	}
+	if errB == nil {
+		t.Fatal("split brain: both sides won the exclusive create")
+	}
+	if _, err := backends[2].Stat("/lock"); vfs.AsErrno(err) != vfs.ENOENT {
+		t.Errorf("loser left residue on its replica: %v", err)
+	}
+
+	// After the partition heals, the loser retrying sees EEXIST.
+	viewsB[0].SetDown(false)
+	viewsB[1].SetDown(false)
+	if _, err := clientB.Open("/lock", exclFlags, 0o644); vfs.AsErrno(err) != vfs.EEXIST {
+		t.Errorf("post-heal retry = %v, want EEXIST", err)
+	}
+}
+
+func TestExclusiveCreateUndoOnSemanticLoss(t *testing.T) {
+	backends := sharedBackends(t, 3)
+	// Another client's create already landed on replica 2 only (it was
+	// partitioned away before replicating further).
+	if err := vfs.WriteFile(backends[2], "/lock", []byte("winner"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := exclStack(t, backends, 2)
+	if _, err := m.Open("/lock", exclFlags, 0o644); vfs.AsErrno(err) != vfs.EEXIST {
+		t.Fatalf("create over existing remote file = %v, want EEXIST", err)
+	}
+	// The loser created on replicas 0 and 1 before hitting EEXIST on 2;
+	// those partial creates must be rolled back.
+	for i := 0; i < 2; i++ {
+		if _, err := backends[i].Stat("/lock"); vfs.AsErrno(err) != vfs.ENOENT {
+			t.Errorf("replica %d: partial create not undone: %v", i, err)
+		}
+	}
+	// The pre-existing copy is untouched.
+	if data, err := vfs.ReadFile(backends[2], "/lock"); err != nil || string(data) != "winner" {
+		t.Errorf("winner's copy disturbed: %q, %v", data, err)
+	}
+}

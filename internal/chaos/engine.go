@@ -1,0 +1,495 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tss/internal/abstraction"
+	"tss/internal/faultfs"
+	"tss/internal/netsim"
+	"tss/internal/resilient"
+	"tss/internal/vfs"
+)
+
+// Config parameterizes one chaos run. The zero value of every field
+// picks the default noted on it; Seed alone determines all randomness.
+type Config struct {
+	// Seed drives every random choice: workload content, flaky-window
+	// draws, per-replica corruption streams, breaker jitter.
+	Seed int64
+	// Replicas is the number of chirp server instances (default 3).
+	Replicas int
+	// Clients is the number of independent client stacks (default 2).
+	Clients int
+	// NoQuorum switches the mirror back to its historical "everywhere
+	// reachable, at least one" write semantics. Under a disjoint
+	// partition that lets both sides of a split win an exclusive
+	// create — the engine exists to demonstrate exactly that, so the
+	// deliberate-violation tests use this switch.
+	NoQuorum bool
+	// NoVerify disables verify-on-read.
+	NoVerify bool
+	// StepPause is how long the engine lets wall time run inside each
+	// virtual step, so shaped links, breaker re-probe timers, and
+	// background probes make progress (default 2ms).
+	StepPause time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Violation is one invariant breach, carrying everything needed to
+// replay it: re-running the named timeline with the same seed
+// reproduces the breach at the same step.
+type Violation struct {
+	Timeline  string `json:"timeline"`
+	Seed      int64  `json:"seed"`
+	Step      int64  `json:"step"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s seed=%d step=%d] %s: %s",
+		v.Timeline, v.Seed, v.Step, v.Invariant, v.Detail)
+}
+
+// Result summarizes one timeline execution.
+type Result struct {
+	Timeline    string      `json:"timeline"`
+	Seed        int64       `json:"seed"`
+	Steps       int64       `json:"steps"`
+	Ops         int64       `json:"ops"`       // workload operations that succeeded
+	OpErrors    int64       `json:"op_errors"` // operations a fault refused (expected under chaos)
+	AckedWrites int         `json:"acked_writes"`
+	ExclRaces   int         `json:"excl_races"`
+	ExclWins    int         `json:"excl_wins"`
+	Flips       int64       `json:"flips"` // corruption bits actually flipped
+	Trips       int64       `json:"trips"`
+	Readmits    int64       `json:"readmits"`
+	ScrubRepair int         `json:"scrub_repaired"`
+	Violations  []Violation `json:"violations"`
+}
+
+// engine is the per-run state behind Run.
+type engine struct {
+	cfg   Config
+	tl    Timeline
+	s     *stack
+	sleep func(time.Duration)
+
+	mu       sync.Mutex
+	expected map[string][]byte // acked write-once payloads
+	paths    []string          // keys of expected, in ack order
+	res      *Result
+}
+
+// action is one imperative step of the compiled timeline: an event
+// beginning, or (end=true) an event's window closing.
+type action struct {
+	ev  Event
+	end bool
+}
+
+// Run executes one timeline against a freshly assembled stack and
+// reports what the invariant checkers saw. A nil error with zero
+// Violations is the pass criterion; an error means the harness itself
+// could not run (setup failure), not that an invariant broke.
+func Run(cfg Config, tl Timeline) (*Result, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 2
+	}
+	if cfg.StepPause <= 0 {
+		cfg.StepPause = 2 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s, err := buildStack(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+
+	e := &engine{
+		cfg:      cfg,
+		tl:       tl,
+		s:        s,
+		sleep:    time.Sleep,
+		expected: make(map[string][]byte),
+		res:      &Result{Timeline: tl.Name, Seed: cfg.Seed, Steps: tl.Steps},
+	}
+	if err := e.prologue(); err != nil {
+		return nil, err
+	}
+	at := e.compile()
+	for step := int64(0); step < tl.Steps; step++ {
+		s.clock.Store(step)
+		for _, a := range at[step] {
+			e.apply(a)
+		}
+		e.workloadRound(step)
+		if step%3 == 0 {
+			e.exclRace(step)
+		}
+		// Wall time must actually pass inside a virtual step: shaped
+		// links deliver, breaker re-probe timers expire, background
+		// probes land. The virtual clock only gates *which* faults are
+		// active, not how fast the real stack underneath runs.
+		//lint:ignore sleepseam chaos pacing: real time advances inside a held virtual step
+		time.Sleep(cfg.StepPause)
+	}
+	e.epilogue()
+	e.collectStats()
+	return e.res, nil
+}
+
+// compile expands the timeline into per-step imperative actions.
+// Windowed storage-plane faults (flap/corrupt/torn) are instead armed
+// up front on the faultfs wrappers — the step clock activates them.
+func (e *engine) compile() map[int64][]action {
+	at := make(map[int64][]action)
+	for _, ev := range e.tl.Events {
+		switch ev.Kind {
+		case Partition, Slow, Crash:
+			at[ev.Step] = append(at[ev.Step], action{ev: ev})
+			if ev.Until > 0 {
+				at[ev.Until] = append(at[ev.Until], action{ev: ev, end: true})
+			}
+		case Flap:
+			e.s.forEachTarget(ev, func(k, i int) {
+				seed := e.cfg.Seed ^ int64(k+1)<<16 ^ int64(i+1)<<8 ^ ev.Step
+				e.s.clients[k].faults[i].FlakyDuring(windowOf(ev), ev.Prob, seed)
+			})
+		case Corrupt:
+			e.s.forEachTarget(ev, func(k, i int) {
+				// The corruption stream is derived per *replica*, not per
+				// window: correlated windows on two replicas produce
+				// distinct wrong bytes on each, as independent hardware
+				// faults would. Both clients see a given replica's lie
+				// identically, like a real bad sector.
+				e.s.clients[k].faults[i].CorruptDuring(windowOf(ev), ev.Prob, e.cfg.Seed^int64(i+1)*0x9e37)
+			})
+		case Torn:
+			e.s.forEachTarget(ev, func(k, i int) {
+				e.s.clients[k].faults[i].TornDuring(windowOf(ev), ev.Bytes)
+			})
+		}
+	}
+	return at
+}
+
+func windowOf(ev Event) faultfs.Window { return faultfs.Window{From: ev.Step, To: ev.Until} }
+
+// apply fires one imperative action on the network/server plane.
+func (e *engine) apply(a action) {
+	ev := a.ev
+	switch ev.Kind {
+	case Partition:
+		e.s.forEachTarget(ev, func(k, i int) {
+			if a.end {
+				e.s.net.Heal(clientHost(k), replicaName(i))
+			} else {
+				e.s.net.Partition(clientHost(k), replicaName(i))
+			}
+		})
+		e.logf("step %d: %s partition client=%d replica=%d", ev.Step, beganOrEnded(a.end), ev.Client, ev.Replica)
+	case Slow:
+		e.s.forEachTarget(ev, func(k, i int) {
+			prof := netsim.Loopback
+			if !a.end {
+				prof = netsim.LinkProfile{Latency: ev.Latency}
+			}
+			e.s.net.SetLinkProfileOneWay(replicaName(i), clientHost(k), prof)
+		})
+	case Crash:
+		for i, slot := range e.s.servers {
+			if ev.Replica >= 0 && ev.Replica != i {
+				continue
+			}
+			if a.end {
+				if err := e.s.bootServer(slot); err != nil {
+					e.violate(e.s.clock.Load(), "harness", fmt.Sprintf("restart of %s failed: %v", slot.name, err))
+				}
+			} else {
+				e.s.crashServer(slot)
+			}
+		}
+		e.logf("step %d: %s crash replica=%d", ev.Step, beganOrEnded(a.end), ev.Replica)
+	}
+}
+
+func beganOrEnded(end bool) string {
+	if end {
+		return "ended"
+	}
+	return "began"
+}
+
+func (e *engine) logf(format string, args ...any) { e.cfg.Logf(format, args...) }
+
+// violate records one invariant breach.
+func (e *engine) violate(step int64, invariant, detail string) {
+	e.mu.Lock()
+	e.res.Violations = append(e.res.Violations, Violation{
+		Timeline: e.tl.Name, Seed: e.cfg.Seed, Step: step,
+		Invariant: invariant, Detail: detail,
+	})
+	e.mu.Unlock()
+}
+
+// prologue creates the directory skeleton and a few seed files while
+// everything is healthy (canned timelines schedule no event before
+// step 1).
+func (e *engine) prologue() error {
+	fs0 := e.s.clients[0].fs
+	for _, dir := range []string{"/locks", "/data"} {
+		if err := fs0.Mkdir(dir, 0o755); err != nil {
+			return fmt.Errorf("prologue mkdir %s: %w", dir, err)
+		}
+	}
+	for k := range e.s.clients {
+		if err := fs0.Mkdir(fmt.Sprintf("/data/c%d", k), 0o755); err != nil {
+			return fmt.Errorf("prologue mkdir client dir: %w", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	for j := 0; j < 3; j++ {
+		path := fmt.Sprintf("/data/seed%d", j)
+		content := make([]byte, 512+rng.Intn(1024))
+		rng.Read(content)
+		if err := vfs.PutReader(fs0, path, 0o644, int64(len(content)), bytes.NewReader(content)); err != nil {
+			return fmt.Errorf("prologue seed write: %w", err)
+		}
+		e.recordAck(path, content)
+	}
+	return nil
+}
+
+func (e *engine) recordAck(path string, content []byte) {
+	e.mu.Lock()
+	e.expected[path] = content
+	e.paths = append(e.paths, path)
+	e.res.AckedWrites++
+	e.mu.Unlock()
+}
+
+// workloadRound runs one round of client activity: every client, in
+// its own goroutine, writes one fresh file and verifies one previously
+// acknowledged file. Failures are expected under chaos and only
+// counted; *wrong data delivered as success* is a violation.
+func (e *engine) workloadRound(step int64) {
+	var wg sync.WaitGroup
+	for k, cs := range e.s.clients {
+		wg.Add(1)
+		go func(k int, cs *clientStack) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(k+1)*7919 ^ step<<20))
+
+			// One write-once file per client per step. Acked means the
+			// quorum mirror reported success — from then on the bytes are
+			// the stack's responsibility.
+			path := fmt.Sprintf("/data/c%d/s%d", k, step)
+			content := make([]byte, 200+rng.Intn(1800))
+			rng.Read(content)
+			if err := vfs.PutReader(cs.fs, path, 0o644, int64(len(content)), bytes.NewReader(content)); err == nil {
+				e.recordAck(path, content)
+				atomic.AddInt64(&e.res.Ops, 1)
+			} else {
+				atomic.AddInt64(&e.res.OpErrors, 1)
+			}
+
+			// One verified read of a random acknowledged file. A failed
+			// read is legitimate (partition, fail-stop on unarbitrable
+			// corruption); ENOENT is legitimate (stale replica not yet
+			// scrubbed). Delivering bytes that differ from what was acked
+			// is never legitimate while verify-on-read is active.
+			e.mu.Lock()
+			var rpath string
+			var want []byte
+			if len(e.paths) > 0 {
+				rpath = e.paths[rng.Intn(len(e.paths))]
+				want = e.expected[rpath]
+			}
+			e.mu.Unlock()
+			if rpath == "" {
+				return
+			}
+			data, err := vfs.GetWholeFile(cs.fs, rpath)
+			switch {
+			case err != nil:
+				atomic.AddInt64(&e.res.OpErrors, 1)
+			case !bytes.Equal(data, want) && !e.cfg.NoVerify:
+				e.violate(step, "verified-read",
+					fmt.Sprintf("client %d read %s: got %d bytes, want %d, content differs", k, rpath, len(data), len(want)))
+			default:
+				atomic.AddInt64(&e.res.Ops, 1)
+			}
+		}(k, cs)
+	}
+	wg.Wait()
+}
+
+// exclRace races every client on one O_CREAT|O_EXCL create of the same
+// fresh path. Mutual exclusion must hold no matter which replicas each
+// client can currently reach: at most one winner.
+func (e *engine) exclRace(step int64) {
+	path := fmt.Sprintf("/locks/s%d", step)
+	var wins atomic.Int32
+	var winners sync.Map
+	var wg sync.WaitGroup
+	for k, cs := range e.s.clients {
+		wg.Add(1)
+		go func(k int, cs *clientStack) {
+			defer wg.Done()
+			f, err := cs.fs.Open(path, vfs.O_WRONLY|vfs.O_CREAT|vfs.O_EXCL, 0o644)
+			if err == nil {
+				wins.Add(1)
+				winners.Store(k, true)
+				f.Close()
+			}
+		}(k, cs)
+	}
+	wg.Wait()
+	e.res.ExclRaces++
+	if n := wins.Load(); n > 1 {
+		var who []string
+		winners.Range(func(k, _ any) bool {
+			who = append(who, fmt.Sprintf("client %d", k))
+			return true
+		})
+		sort.Strings(who)
+		e.violate(step, "exclusive-create",
+			fmt.Sprintf("%d clients won O_EXCL create of %s (%v)", n, path, who))
+	} else if n == 1 {
+		e.res.ExclWins++
+	}
+}
+
+// epilogue heals every fault, lets the breakers converge, scrubs, and
+// checks the durable invariants: breaker state consistent with link
+// health, and no acknowledged write lost.
+func (e *engine) epilogue() {
+	// Move the clock past every window and drop any open-ended ones;
+	// heal the network and reboot anything still crashed.
+	e.s.clock.Store(e.tl.Steps + 1_000_000)
+	for _, cs := range e.s.clients {
+		for _, ff := range cs.faults {
+			ff.ClearSchedule()
+		}
+	}
+	e.s.net.HealAll()
+	e.s.net.ClearLinkProfiles()
+	for _, slot := range e.s.servers {
+		if slot.down {
+			if err := e.s.bootServer(slot); err != nil {
+				e.violate(e.tl.Steps, "harness", fmt.Sprintf("epilogue restart of %s failed: %v", slot.name, err))
+				return
+			}
+		}
+	}
+
+	// Invariant: with every link healthy, every breaker eventually
+	// closes. Traffic is pumped so Record/TryProbe have something to
+	// chew on; the re-probe schedule needs real time, hence the seam.
+	converged := false
+	for attempt := 0; attempt < 600; attempt++ {
+		if e.allBreakersClosed() {
+			converged = true
+			break
+		}
+		for _, cs := range e.s.clients {
+			cs.fs.Stat("/")
+		}
+		e.sleep(5 * time.Millisecond)
+	}
+	if !converged {
+		e.violate(e.tl.Steps, "breaker-convergence", e.breakerStates())
+	}
+
+	// Scrub with repair restores full redundancy: stale replicas catch
+	// up, torn and divergent copies are rewritten from the majority.
+	rep, err := e.s.clients[0].fs.Scrub(context.Background(), abstraction.ScrubOptions{Repair: true, Parallel: 2})
+	if err != nil {
+		e.violate(e.tl.Steps, "scrub-error", err.Error())
+		return
+	}
+	e.res.ScrubRepair = rep.Repaired
+
+	// Invariant: every acknowledged write reads back intact through
+	// every client. ENOENT is no longer excusable — the stack had heal,
+	// settle, and scrub to recover.
+	e.mu.Lock()
+	paths := append([]string(nil), e.paths...)
+	e.mu.Unlock()
+	sort.Strings(paths)
+	for _, path := range paths {
+		want := e.expected[path]
+		for k, cs := range e.s.clients {
+			data, err := vfs.GetWholeFile(cs.fs, path)
+			if err != nil {
+				e.violate(e.tl.Steps, "acked-write-loss",
+					fmt.Sprintf("client %d: %s unreadable after heal+scrub: %v", k, path, err))
+				continue
+			}
+			if !bytes.Equal(data, want) {
+				e.violate(e.tl.Steps, "acked-write-loss",
+					fmt.Sprintf("client %d: %s corrupt after heal+scrub: got %d bytes want %d", k, path, len(data), len(want)))
+			}
+		}
+	}
+}
+
+func (e *engine) allBreakersClosed() bool {
+	for _, cs := range e.s.clients {
+		for _, h := range cs.fs.Health() {
+			if h.State != resilient.Closed {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (e *engine) breakerStates() string {
+	var b bytes.Buffer
+	for k, cs := range e.s.clients {
+		for i, h := range cs.fs.Health() {
+			if h.State != resilient.Closed {
+				fmt.Fprintf(&b, "client %d replica %d: %s; ", k, i, h.State)
+			}
+		}
+	}
+	return "breakers still open after heal and settle: " + b.String()
+}
+
+// collectStats folds the stack's own counters into the result.
+func (e *engine) collectStats() {
+	for _, cs := range e.s.clients {
+		e.res.Trips += cs.fs.Stats.Trips.Load()
+		e.res.Readmits += cs.fs.Stats.Readmits.Load()
+		for _, ff := range cs.faults {
+			e.res.Flips += ff.Flips()
+		}
+	}
+}
+
+// seededRand adapts a seeded PRNG to the breaker's Rand contract
+// (concurrent use).
+func seededRand(seed int64) func() float64 {
+	r := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return r.Float64()
+	}
+}

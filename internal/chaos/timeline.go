@@ -1,0 +1,218 @@
+// Package chaos is the deterministic chaos engine of ROADMAP item 5:
+// it assembles a full tactical-storage stack from the existing pieces
+// — chirp servers on a simulated network, pooled chirp clients wrapped
+// in fault injectors, a quorum mirror with verify-on-read above them —
+// then executes a declarative fault timeline against it while checking
+// whole-stack invariants. Everything that varies is derived from one
+// seed, so a reported violation replays from (timeline, seed, step)
+// alone.
+//
+// The model has two fault planes, matching the paper's separation of
+// resources from abstractions:
+//
+//   - the network plane: partitions, asymmetric slowness, and
+//     crash/restart of server instances, applied imperatively as the
+//     engine's step clock reaches each event;
+//   - the storage plane: flaky, corrupt, and torn-write windows armed
+//     up front on per-(client,replica) faultfs wrappers and activated
+//     by the same step clock (faultfs.SetClock).
+package chaos
+
+import "time"
+
+// Kind names one fault action in a timeline.
+type Kind string
+
+const (
+	// Partition severs the link between a client and a replica (both
+	// directions, live connections reset, dials refused) from Step
+	// until Until.
+	Partition Kind = "partition"
+	// Slow sets an asymmetric replica→client latency profile on the
+	// link from Step until Until.
+	Slow Kind = "slow"
+	// Flap makes a replica's storage fail each operation with
+	// probability Prob during the window — the brown-out that drives
+	// breakers open and half-open probes back in.
+	Flap Kind = "flap"
+	// Corrupt arms read-path bit flips on a replica during the window.
+	// Each replica's corruption stream is derived from the engine seed
+	// and the replica index, so "correlated" corruption (same window,
+	// several replicas) still yields distinct wrong bytes per replica —
+	// as independent hardware faults would.
+	Corrupt Kind = "corrupt"
+	// Torn silently drops the tail of writes on a replica during the
+	// window: the lying server whose acknowledgements cannot be
+	// trusted.
+	Torn Kind = "torn"
+	// Crash aborts a replica's server instance at Step — connections
+	// die abruptly, no drain — and reboots a fresh instance over the
+	// same root at Until (or during the epilogue if Until is 0).
+	Crash Kind = "crash"
+)
+
+// Event schedules one fault. Step is when it begins; Until, for
+// windowed kinds, is when it ends (half-open interval, 0 = never ends
+// on its own — the epilogue still heals everything). Client and
+// Replica select targets; -1 means every client / every replica.
+type Event struct {
+	Kind    Kind
+	Step    int64
+	Until   int64
+	Client  int
+	Replica int
+	// Prob is the per-operation failure probability (Flap) or per-byte
+	// corruption probability (Corrupt).
+	Prob float64
+	// Latency is the injected one-way delay (Slow).
+	Latency time.Duration
+	// Bytes is the torn-write tail size (Torn).
+	Bytes int64
+}
+
+// Timeline is a named fault schedule executed over a fixed number of
+// virtual steps. The engine advances the step clock, fires the events
+// whose moment has come, and runs one workload round per step.
+type Timeline struct {
+	Name   string
+	Steps  int64
+	Events []Event
+}
+
+// Timelines returns the canned timelines the chaos benchmark runs.
+// Together they cover partitions (rolling and split-brain), replica
+// flapping, asymmetric slowness, independent and correlated
+// corruption, torn writes, and crash/restart — each shaped so that the
+// stack's published guarantees hold: writes need a quorum, and
+// corruption windows always leave verify-on-read a clean reachable
+// sibling (a reader isolated with a single lying replica is explicitly
+// outside the contract; integrity.go delivers unverified when
+// redundancy is already gone).
+func Timelines() []Timeline {
+	return []Timeline{
+		{
+			// Each replica takes a turn being unreachable from every
+			// client; writes keep flowing through the remaining majority.
+			Name:  "partition-rolling",
+			Steps: 30,
+			Events: []Event{
+				{Kind: Partition, Step: 2, Until: 9, Client: -1, Replica: 0},
+				{Kind: Partition, Step: 11, Until: 18, Client: -1, Replica: 1},
+				{Kind: Partition, Step: 20, Until: 27, Client: -1, Replica: 2},
+			},
+		},
+		{
+			// Disjoint split: client 0 keeps the majority {r0,r1}, client
+			// 1 is left with only r2. The minority side must not win any
+			// exclusive create.
+			Name:  "partition-split",
+			Steps: 24,
+			Events: []Event{
+				{Kind: Partition, Step: 4, Until: 18, Client: 0, Replica: 2},
+				{Kind: Partition, Step: 4, Until: 18, Client: 1, Replica: 0},
+				{Kind: Partition, Step: 4, Until: 18, Client: 1, Replica: 1},
+			},
+		},
+		{
+			// One replica flaps hard while another goes through a shorter
+			// brown-out: breakers trip, probes re-admit, repeatedly.
+			Name:  "flap",
+			Steps: 28,
+			Events: []Event{
+				{Kind: Flap, Step: 3, Until: 10, Client: -1, Replica: 0, Prob: 0.9},
+				{Kind: Flap, Step: 14, Until: 20, Client: -1, Replica: 0, Prob: 0.9},
+				{Kind: Flap, Step: 8, Until: 12, Client: -1, Replica: 1, Prob: 0.5},
+			},
+		},
+		{
+			// Asymmetric slowness: replica 0's return path turns WAN-slow;
+			// hedged reads and health ordering route around it.
+			Name:  "slow-asym",
+			Steps: 20,
+			Events: []Event{
+				{Kind: Slow, Step: 3, Until: 15, Client: -1, Replica: 0, Latency: 25 * time.Millisecond},
+			},
+		},
+		{
+			// A single replica serves corrupt bytes for a while;
+			// verify-on-read must never deliver them.
+			Name:  "corrupt-one",
+			Steps: 24,
+			Events: []Event{
+				{Kind: Corrupt, Step: 5, Until: 18, Client: -1, Replica: 1, Prob: 0.02},
+			},
+		},
+		{
+			// Correlated corruption: two of three replicas lie in the same
+			// window (distinct wrong bytes each). Any read that cannot be
+			// arbitrated fail-stops rather than guess.
+			Name:  "corrupt-correlated",
+			Steps: 24,
+			Events: []Event{
+				{Kind: Corrupt, Step: 6, Until: 16, Client: -1, Replica: 0, Prob: 0.02},
+				{Kind: Corrupt, Step: 6, Until: 16, Client: -1, Replica: 2, Prob: 0.02},
+			},
+		},
+		{
+			// A lying server tears write tails; acked data must still be
+			// whole after scrub, thanks to the quorum siblings.
+			Name:  "torn-writes",
+			Steps: 22,
+			Events: []Event{
+				{Kind: Torn, Step: 4, Until: 16, Client: -1, Replica: 2, Bytes: 64},
+			},
+		},
+		{
+			// One replica's server crashes mid-run and reboots later; its
+			// clients reconnect through breaker probes.
+			Name:  "crash-restart",
+			Steps: 26,
+			Events: []Event{
+				{Kind: Crash, Step: 5, Until: 16, Replica: 1},
+			},
+		},
+		{
+			// Rolling crashes: every instance dies once, staggered, each
+			// rebooting before the next goes down.
+			Name:  "crash-rolling",
+			Steps: 30,
+			Events: []Event{
+				{Kind: Crash, Step: 3, Until: 9, Replica: 0},
+				{Kind: Crash, Step: 12, Until: 18, Replica: 1},
+				{Kind: Crash, Step: 21, Until: 27, Replica: 2},
+			},
+		},
+		{
+			// Everything at once, staggered to respect the fault budget
+			// the stack's guarantees assume: at most one lying-or-absent
+			// replica per write. The torn window shares its phase only
+			// with read-path corruption (which never endangers stored
+			// bytes); loud faults on *other* replicas — flap, crash —
+			// come before or after, never while a torn replica can end
+			// up one of only two acked copies. (A torn ack concurrent
+			// with a second replica's outage leaves a single good copy
+			// and a 1-vs-1 scrub tie that is rightly refused — that is a
+			// durability budget violation, not a checker target.)
+			Name:  "kitchen-sink",
+			Steps: 36,
+			Events: []Event{
+				{Kind: Partition, Step: 2, Until: 8, Client: 0, Replica: 0},
+				{Kind: Torn, Step: 10, Until: 16, Client: -1, Replica: 0, Bytes: 32},
+				{Kind: Corrupt, Step: 10, Until: 16, Client: -1, Replica: 2, Prob: 0.02},
+				{Kind: Flap, Step: 18, Until: 23, Client: -1, Replica: 1, Prob: 0.7},
+				{Kind: Slow, Step: 18, Until: 25, Client: -1, Replica: 2, Latency: 10 * time.Millisecond},
+				{Kind: Crash, Step: 27, Until: 32, Replica: 1},
+			},
+		},
+	}
+}
+
+// FindTimeline returns the canned timeline with the given name.
+func FindTimeline(name string) (Timeline, bool) {
+	for _, t := range Timelines() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Timeline{}, false
+}

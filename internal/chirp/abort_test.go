@@ -1,0 +1,80 @@
+package chirp
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"tss/internal/auth"
+	"tss/internal/netsim"
+	"tss/internal/resilient"
+	"tss/internal/vfs"
+)
+
+// TestAbortSeversClientsAndAllowsRestart exercises the crash/restart
+// cycle the chaos engine drives: Abort kills a serving instance with
+// no drain, clients see abrupt transport errors, and a fresh Server
+// over the same root re-listens on the same simulated name with all
+// data intact.
+func TestAbortSeversClientsAndAllowsRestart(t *testing.T) {
+	root := t.TempDir()
+	cfg := ServerConfig{
+		Name:      "fs.sim",
+		Owner:     "hostname:owner.sim",
+		Verifiers: []auth.Verifier{&auth.HostnameVerifier{}},
+	}
+	boot := func(nw *netsim.Network) *Server {
+		t.Helper()
+		srv, err := NewServer(root, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := nw.Listen("fs.sim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(l)
+		return srv
+	}
+
+	nw := netsim.NewNetwork()
+	srv := boot(nw)
+	c, err := Dial(ClientConfig{
+		Dial: func() (net.Conn, error) {
+			return nw.DialFrom("owner.sim", "fs.sim", netsim.Loopback)
+		},
+		Credentials: []auth.Credential{auth.HostnameCredential{}},
+		Timeout:     5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := vfs.WriteFile(c, "/data", []byte("durable"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Abort()
+	if srv.Stats.Aborts.Load() != 1 {
+		t.Error("abort not counted")
+	}
+	// The severed client fails with a transport error, not a hang.
+	if _, err := c.Stat("/data"); !resilient.TransportError(err) {
+		t.Errorf("stat after abort = %v, want transport error", err)
+	}
+	// The dead instance refuses to serve again.
+	if srv.Draining() != true {
+		t.Error("aborted server not draining")
+	}
+
+	// Reboot: fresh instance, same root, same network name.
+	srv2 := boot(nw)
+	defer srv2.Abort()
+	if err := c.Reconnect(); err != nil {
+		t.Fatalf("reconnect after restart: %v", err)
+	}
+	data, err := vfs.ReadFile(c, "/data")
+	if err != nil || string(data) != "durable" {
+		t.Fatalf("read after restart = %q, %v", data, err)
+	}
+}

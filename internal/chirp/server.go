@@ -70,6 +70,8 @@ type ServerStats struct {
 	// DrainForced counts connections force-closed because the drain
 	// context expired before they finished.
 	DrainForced atomic.Int64
+	// Aborts counts Abort calls — simulated crashes.
+	Aborts atomic.Int64
 }
 
 // Server is a Chirp file server bound to one exported directory.
@@ -409,6 +411,31 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.Stats.Drains.Add(1)
 		return ctx.Err()
 	}
+}
+
+// Abort kills the server the way a crash would: listeners and every
+// live connection are closed immediately, with no drain and no
+// farewell to requests in flight. Clients observe the same abrupt
+// transport errors a chirpd process death produces. Like Shutdown,
+// the server refuses new connections permanently afterwards; a
+// "rebooted" instance is a fresh Server constructed over the same
+// root directory. Abort returns once every connection handler has
+// exited, so server-side descriptor state is fully released — the
+// paper's failure semantics (§6) tie all per-connection state to the
+// connection's lifetime.
+func (s *Server) Abort() {
+	s.draining.Store(true)
+	s.mDraining.Set(1)
+	s.connMu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+	s.Stats.Aborts.Add(1)
 }
 
 // ServeConn authenticates and serves a single connection, returning

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"tss/internal/chaos"
+)
+
+// ChaosBenchConfig sizes the chaos experiment: every canned fault
+// timeline is executed against the full stack (chirp servers on a
+// simulated network, fault-wrapped pooled clients, quorum mirror with
+// verify-on-read) under Seeds distinct seeds each, with the engine's
+// whole-stack invariant checkers armed.
+type ChaosBenchConfig struct {
+	// Seeds is how many distinct seeds each timeline runs under.
+	Seeds int
+	// BaseSeed anchors the seed sequence; every run's exact seed is
+	// recorded in its result so violations replay.
+	BaseSeed int64
+	// StepPause is the wall time granted to each virtual step (0 means
+	// the engine default).
+	StepPause time.Duration
+	// Quick marks the reduced configuration in the report.
+	Quick bool
+}
+
+// DefaultChaosBench returns the full-size configuration; quick shrinks
+// the sweep to one seed per timeline for a fast pass.
+func DefaultChaosBench(quick bool) ChaosBenchConfig {
+	cfg := ChaosBenchConfig{Seeds: 2, BaseSeed: 1}
+	if quick {
+		cfg.Seeds = 1
+		cfg.Quick = true
+	}
+	return cfg
+}
+
+// ChaosBenchReport records every timeline run and the violation total.
+// The contract is zero violations: each run's result embeds the seed,
+// timeline, and step coordinates needed to replay any failure.
+type ChaosBenchReport struct {
+	Name      string `json:"name"`
+	Quick     bool   `json:"quick"`
+	Seeds     int    `json:"seeds"`
+	Timelines int    `json:"timelines"`
+	// Runs holds one engine result per (timeline, seed) pair, violations
+	// included verbatim.
+	Runs []*chaos.Result `json:"runs"`
+	// TotalOps counts workload operations that succeeded across all runs.
+	TotalOps int64 `json:"total_ops"`
+	// TotalViolations is the invariant-violation count across all runs.
+	// The published guarantee is zero.
+	TotalViolations int `json:"total_violations"`
+}
+
+// JSON renders the report for BENCH_chirp.json.
+func (r *ChaosBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render renders the report as a table.
+func (r *ChaosBenchReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos bench: %d timelines × %d seeds, invariants armed (%d violations)\n",
+		r.Timelines, r.Seeds, r.TotalViolations)
+	fmt.Fprintf(&b, "%-22s %5s %6s %6s %6s %6s %6s %6s %7s %5s\n",
+		"TIMELINE", "SEED", "OPS", "ERRS", "ACKED", "TRIPS", "READM", "FLIPS", "REPAIR", "VIOL")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "%-22s %5d %6d %6d %6d %6d %6d %6d %7d %5d\n",
+			run.Timeline, run.Seed, run.Ops, run.OpErrors, run.AckedWrites,
+			run.Trips, run.Readmits, run.Flips, run.ScrubRepair, len(run.Violations))
+	}
+	for _, run := range r.Runs {
+		for _, v := range run.Violations {
+			fmt.Fprintf(&b, "VIOLATION %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// RunChaosBench executes every canned chaos timeline under Seeds
+// distinct seeds and aggregates the engine results. Harness failures
+// (a run that could not even assemble its stack) abort the sweep;
+// invariant violations do not — they are the measurement, reported
+// with replay coordinates.
+func RunChaosBench(cfg ChaosBenchConfig) (*ChaosBenchReport, error) {
+	if cfg.Seeds < 1 {
+		cfg.Seeds = 1
+	}
+	timelines := chaos.Timelines()
+	rep := &ChaosBenchReport{
+		Name:      "chaos-invariants",
+		Quick:     cfg.Quick,
+		Seeds:     cfg.Seeds,
+		Timelines: len(timelines),
+	}
+	for s := 0; s < cfg.Seeds; s++ {
+		for ti, tl := range timelines {
+			seed := cfg.BaseSeed + int64(s)*int64(len(timelines)) + int64(ti)
+			res, err := chaos.Run(chaos.Config{
+				Seed:      seed,
+				StepPause: cfg.StepPause,
+			}, tl)
+			if err != nil {
+				return nil, fmt.Errorf("timeline %s seed %d: %w", tl.Name, seed, err)
+			}
+			rep.Runs = append(rep.Runs, res)
+			rep.TotalOps += res.Ops
+			rep.TotalViolations += len(res.Violations)
+		}
+	}
+	return rep, nil
+}

@@ -104,10 +104,11 @@ func byteHash(pathHash uint64, off int64) uint64 {
 func (f *FS) corruptionFor(path string) (pathHash, threshold uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.corruptThreshold == 0 || f.cleanPaths[path] {
+	th, seed := f.corruptParamsLocked(f.stepLocked())
+	if th == 0 || f.cleanPaths[path] {
 		return 0, 0
 	}
-	return hashPath(f.corruptSeed, path), f.corruptThreshold
+	return hashPath(seed, path), th
 }
 
 // corruptSpan flips bits in buf, which holds file bytes starting at
@@ -151,7 +152,7 @@ func (f *FS) markClean(path string) {
 func (f *FS) tornAmount() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.tornBytes
+	return f.tornParamsLocked(f.stepLocked())
 }
 
 func (f *FS) truncAmount() int64 {

@@ -40,6 +40,15 @@ type FS struct {
 	tornBytes        int64           // tail bytes silently dropped per write
 	truncBytes       int64           // tail bytes silently hidden per file
 	flips            int64
+
+	// Scheduled, clock-driven faults (see schedule.go).
+	clock         func() int64
+	downWins      []Window
+	flakyWins     []*flakyWindow
+	latWins       []latencyWindow
+	corruptWins   []corruptWindow
+	tornWins      []tornWindow
+	corruptWinIdx int // corrupt window last seen active; -1 = none
 }
 
 var (
@@ -50,7 +59,7 @@ var (
 
 // New wraps inner with no faults armed.
 func New(inner vfs.FileSystem) *FS {
-	return &FS{inner: inner, failAfter: -1, err: vfs.ENOTCONN, sleep: time.Sleep}
+	return &FS{inner: inner, failAfter: -1, err: vfs.ENOTCONN, sleep: time.Sleep, corruptWinIdx: -1}
 }
 
 // SetDown makes every operation fail (true) or restores service
@@ -148,12 +157,13 @@ func (f *FS) Calls() int64 {
 func (f *FS) gate() error {
 	f.mu.Lock()
 	f.callCount++
-	delay := f.latency
+	step := f.stepLocked()
+	delay := f.latency + f.scheduledLatencyLocked(step)
 	if f.latJitter > 0 && f.latRng != nil {
 		delay += time.Duration(f.latRng.Int63n(int64(f.latJitter)))
 	}
 	sleep := f.sleep
-	err := f.decideLocked()
+	err := f.decideLocked(step)
 	f.mu.Unlock()
 	if delay > 0 {
 		sleep(delay)
@@ -162,8 +172,11 @@ func (f *FS) gate() error {
 }
 
 // decideLocked applies the fault schedule. Caller holds f.mu.
-func (f *FS) decideLocked() error {
+func (f *FS) decideLocked(step int64) error {
 	if f.down {
+		return f.err
+	}
+	if f.scheduledFailLocked(step) {
 		return f.err
 	}
 	if f.flakyLeft > 0 {

@@ -1,0 +1,99 @@
+package faultfs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tss/internal/vfs"
+)
+
+// TestRuntimeReconfigRace hammers every fault knob from one goroutine
+// while others read and write through the filesystem — the shape of
+// the chaos engine flipping faults mid-run. Run under -race; the test
+// asserts nothing beyond "no data race, no panic, operations keep
+// completing".
+func TestRuntimeReconfigRace(t *testing.T) {
+	f := newFS(t)
+	if err := vfs.WriteFile(f, "/x", []byte("steady state bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f.SetSleep(func(time.Duration) {}) // don't pay injected latency
+
+	var clk stepClock
+	f.SetClock(clk.now)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var ops atomic.Int64
+
+	// Reconfigurer: flips every knob, including the windowed schedule.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			clk.set(i)
+			f.CorruptRandomly(0.01, i)
+			f.TornWrite(i % 3)
+			f.SilentTruncate(i % 2)
+			f.SetLatency(time.Duration(i%2) * time.Millisecond)
+			f.SetLatencyJitter(time.Duration(i%3)*time.Millisecond, i)
+			f.FailRandomly(0.1, i)
+			f.FailNext(i % 2)
+			f.SetDown(i%7 == 0)
+			f.SetDown(false)
+			f.CorruptDuring(Window{From: i, To: i + 2}, 0.02, i)
+			f.TornDuring(Window{From: i, To: i + 1}, 2)
+			f.DownDuring(Window{From: i + 100, To: i + 101})
+			f.FlakyDuring(Window{From: i, To: i + 1}, 0.2, i)
+			f.LatencyDuring(Window{From: i, To: i + 1}, time.Millisecond)
+			if i%16 == 15 {
+				f.ClearSchedule()
+			}
+		}
+	}()
+
+	// Workers: reads, writes, stats, checksums racing the flips.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 32)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch w % 4 {
+				case 0:
+					vfs.ReadFile(f, "/x")
+				case 1:
+					vfs.WriteFile(f, "/x", buf, 0o644)
+				case 2:
+					f.Stat("/x")
+					f.Checksum("/x", "crc32c")
+				case 3:
+					if file, err := f.Open("/x", vfs.O_RDWR, 0o644); err == nil {
+						file.Pread(buf, 0)
+						file.Pwrite(buf[:8], 0)
+						file.Close()
+					}
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if ops.Load() == 0 {
+		t.Fatal("workers made no progress")
+	}
+}

@@ -1,0 +1,181 @@
+package faultfs
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Scheduled (time-windowed) faults. The chaos engine drives every
+// wrapped replica from one virtual step clock: faults arm and disarm
+// themselves as the clock passes their window, with no goroutines and
+// no wall-clock coupling, so a timeline replays identically from its
+// seed. Windows layer on top of the static knobs (SetDown,
+// CorruptRandomly, ...) — while a window is active it takes precedence
+// for its fault class; outside it the static setting applies.
+
+// Window is a half-open interval [From, To) of virtual steps. To <= 0
+// means the window never closes.
+type Window struct {
+	From, To int64
+}
+
+// Contains reports whether the window covers step. A negative step
+// (the value used when no clock is installed) is outside every window.
+func (w Window) Contains(step int64) bool {
+	return step >= 0 && step >= w.From && (w.To <= 0 || step < w.To)
+}
+
+type flakyWindow struct {
+	win  Window
+	prob float64
+	rng  *rand.Rand
+}
+
+type latencyWindow struct {
+	win Window
+	d   time.Duration
+}
+
+type corruptWindow struct {
+	win       Window
+	threshold uint64
+	seed      int64
+}
+
+type tornWindow struct {
+	win Window
+	n   int64
+}
+
+// SetClock installs the virtual step clock that activates scheduled
+// windows. The clock is consulted with the filesystem's internal lock
+// held, so it must be fast, non-blocking, and must not call back into
+// this filesystem — an atomic counter read is the intended shape. A
+// nil clock deactivates every window.
+func (f *FS) SetClock(clock func() int64) {
+	f.mu.Lock()
+	f.clock = clock
+	f.mu.Unlock()
+}
+
+// DownDuring schedules a full outage: while the clock is inside w,
+// every operation fails with the configured error.
+func (f *FS) DownDuring(w Window) {
+	f.mu.Lock()
+	f.downWins = append(f.downWins, w)
+	f.mu.Unlock()
+}
+
+// FlakyDuring schedules probabilistic failures: while the clock is
+// inside w, each operation fails with probability p, drawn from a
+// dedicated stream seeded by seed.
+func (f *FS) FlakyDuring(w Window, p float64, seed int64) {
+	f.mu.Lock()
+	f.flakyWins = append(f.flakyWins, &flakyWindow{win: w, prob: p, rng: rand.New(rand.NewSource(seed))})
+	f.mu.Unlock()
+}
+
+// LatencyDuring schedules extra per-operation delay for the window, on
+// top of any SetLatency baseline. Overlapping windows accumulate.
+func (f *FS) LatencyDuring(w Window, d time.Duration) {
+	f.mu.Lock()
+	f.latWins = append(f.latWins, latencyWindow{win: w, d: d})
+	f.mu.Unlock()
+}
+
+// CorruptDuring schedules read-path bit flips for the window, with the
+// same (seed, path, offset) determinism as CorruptRandomly. Entering
+// the window clears the clean set — everything at rest becomes suspect
+// — while files written during the window (scrub repairs included)
+// read back clean. Outside the window any static CorruptRandomly
+// setting applies again.
+func (f *FS) CorruptDuring(w Window, p float64, seed int64) {
+	f.mu.Lock()
+	f.corruptWins = append(f.corruptWins, corruptWindow{win: w, threshold: uint64(p * 1e9), seed: seed})
+	f.mu.Unlock()
+}
+
+// TornDuring schedules torn writes for the window: while active, every
+// Pwrite and PutFile silently drops its last n bytes but reports full
+// success, overriding any static TornWrite setting.
+func (f *FS) TornDuring(w Window, n int64) {
+	f.mu.Lock()
+	f.tornWins = append(f.tornWins, tornWindow{win: w, n: n})
+	f.mu.Unlock()
+}
+
+// ClearSchedule removes every scheduled window. The clock stays
+// installed.
+func (f *FS) ClearSchedule() {
+	f.mu.Lock()
+	f.downWins, f.flakyWins, f.latWins = nil, nil, nil
+	f.corruptWins, f.tornWins = nil, nil
+	f.corruptWinIdx = -1
+	f.mu.Unlock()
+}
+
+// stepLocked reads the virtual clock, or -1 when none is installed.
+// Caller holds f.mu.
+func (f *FS) stepLocked() int64 {
+	if f.clock == nil {
+		return -1
+	}
+	return f.clock()
+}
+
+// scheduledFailLocked reports whether a windowed availability fault
+// claims this operation. Caller holds f.mu.
+func (f *FS) scheduledFailLocked(step int64) bool {
+	for _, w := range f.downWins {
+		if w.Contains(step) {
+			return true
+		}
+	}
+	for _, fw := range f.flakyWins {
+		if fw.win.Contains(step) && fw.rng.Float64() < fw.prob {
+			return true
+		}
+	}
+	return false
+}
+
+// scheduledLatencyLocked sums the windowed latency for this step.
+// Caller holds f.mu.
+func (f *FS) scheduledLatencyLocked(step int64) time.Duration {
+	var d time.Duration
+	for _, lw := range f.latWins {
+		if lw.win.Contains(step) {
+			d += lw.d
+		}
+	}
+	return d
+}
+
+// corruptParamsLocked resolves the corruption parameters for this
+// step: the first active window, or the static CorruptRandomly
+// setting. Entering a window resets the clean set once. Caller holds
+// f.mu.
+func (f *FS) corruptParamsLocked(step int64) (threshold uint64, seed int64) {
+	for i, cw := range f.corruptWins {
+		if cw.win.Contains(step) {
+			if i != f.corruptWinIdx {
+				f.corruptWinIdx = i
+				f.cleanPaths = make(map[string]bool)
+			}
+			return cw.threshold, cw.seed
+		}
+	}
+	f.corruptWinIdx = -1
+	return f.corruptThreshold, f.corruptSeed
+}
+
+// tornParamsLocked resolves the torn-write amount for this step.
+// Caller holds f.mu.
+func (f *FS) tornParamsLocked(step int64) int64 {
+	for _, tw := range f.tornWins {
+		if tw.win.Contains(step) {
+			return tw.n
+		}
+	}
+	return f.tornBytes
+}

@@ -1,0 +1,146 @@
+package faultfs
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tss/internal/vfs"
+)
+
+// stepClock is the intended clock shape: an atomic counter the test
+// (or chaos engine) advances between phases.
+type stepClock struct{ v atomic.Int64 }
+
+func (c *stepClock) now() int64  { return c.v.Load() }
+func (c *stepClock) set(n int64) { c.v.Store(n) }
+
+func TestDownDuringWindow(t *testing.T) {
+	f := newFS(t)
+	vfs.WriteFile(f, "/x", []byte("ok"), 0o644)
+	var clk stepClock
+	f.SetClock(clk.now)
+	f.DownDuring(Window{From: 2, To: 4})
+
+	for step, wantDown := range map[int64]bool{0: false, 2: true, 3: true, 4: false, 9: false} {
+		clk.set(step)
+		_, err := f.Stat("/x")
+		if gotDown := err != nil; gotDown != wantDown {
+			t.Errorf("step %d: stat err = %v, want down=%v", step, err, wantDown)
+		}
+	}
+}
+
+func TestFlakyDuringWindow(t *testing.T) {
+	f := newFS(t)
+	vfs.WriteFile(f, "/x", []byte("ok"), 0o644)
+	var clk stepClock
+	f.SetClock(clk.now)
+	f.FlakyDuring(Window{From: 1, To: 2}, 1.0, 7) // p=1: every op in window fails
+
+	if _, err := f.Stat("/x"); err != nil {
+		t.Errorf("step 0 stat = %v, want ok", err)
+	}
+	clk.set(1)
+	if _, err := f.Stat("/x"); err == nil {
+		t.Error("step 1 stat succeeded inside p=1 flaky window")
+	}
+	clk.set(2)
+	if _, err := f.Stat("/x"); err != nil {
+		t.Errorf("step 2 stat = %v, want ok", err)
+	}
+}
+
+func TestLatencyDuringWindow(t *testing.T) {
+	f := newFS(t)
+	vfs.WriteFile(f, "/x", []byte("ok"), 0o644)
+	var slept atomic.Int64
+	f.SetSleep(func(d time.Duration) { slept.Add(int64(d)) })
+	var clk stepClock
+	f.SetClock(clk.now)
+	f.LatencyDuring(Window{From: 1, To: 2}, 25*time.Millisecond)
+
+	f.Stat("/x")
+	if got := slept.Load(); got != 0 {
+		t.Errorf("latency outside window: %v", time.Duration(got))
+	}
+	clk.set(1)
+	f.Stat("/x")
+	if got := time.Duration(slept.Load()); got != 25*time.Millisecond {
+		t.Errorf("latency inside window = %v, want 25ms", got)
+	}
+}
+
+func TestCorruptDuringWindow(t *testing.T) {
+	f := newFS(t)
+	payload := bytes.Repeat([]byte("tactical storage "), 64)
+	vfs.WriteFile(f, "/x", payload, 0o644)
+	var clk stepClock
+	f.SetClock(clk.now)
+	f.CorruptDuring(Window{From: 5, To: 10}, 0.05, 42)
+
+	// Before the window: clean.
+	if data, _ := vfs.ReadFile(f, "/x"); !bytes.Equal(data, payload) {
+		t.Fatal("corrupt before window opened")
+	}
+	// Inside: data at rest reads corrupt, deterministically.
+	clk.set(5)
+	c1, _ := vfs.ReadFile(f, "/x")
+	if bytes.Equal(c1, payload) {
+		t.Fatal("window active but read came back clean")
+	}
+	c2, _ := vfs.ReadFile(f, "/x")
+	if !bytes.Equal(c1, c2) {
+		t.Error("windowed corruption not stable across reads")
+	}
+	// A file written during the window reads back clean (repairs land).
+	vfs.WriteFile(f, "/y", payload, 0o644)
+	if data, _ := vfs.ReadFile(f, "/y"); !bytes.Equal(data, payload) {
+		t.Error("file written during window did not read back clean")
+	}
+	// After the window closes: clean again (no static corruption armed).
+	clk.set(10)
+	if data, _ := vfs.ReadFile(f, "/x"); !bytes.Equal(data, payload) {
+		t.Error("corruption persisted past window close")
+	}
+	if f.Flips() == 0 {
+		t.Error("no flips recorded")
+	}
+}
+
+func TestTornDuringWindow(t *testing.T) {
+	f := newFS(t)
+	var clk stepClock
+	f.SetClock(clk.now)
+	f.TornDuring(Window{From: 1, To: 2}, 4)
+
+	if err := vfs.WriteFile(f, "/a", []byte("12345678"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := f.Stat("/a"); fi.Size != 8 {
+		t.Errorf("outside window: size = %d, want 8", fi.Size)
+	}
+	clk.set(1)
+	if err := vfs.WriteFile(f, "/b", []byte("12345678"), 0o644); err != nil {
+		t.Fatal(err) // torn writes report success
+	}
+	if fi, _ := f.Stat("/b"); fi.Size != 4 {
+		t.Errorf("inside window: size = %d, want 4 (torn)", fi.Size)
+	}
+}
+
+func TestClearSchedule(t *testing.T) {
+	f := newFS(t)
+	vfs.WriteFile(f, "/x", []byte("ok"), 0o644)
+	var clk stepClock
+	f.SetClock(clk.now)
+	f.DownDuring(Window{From: 0}) // open-ended outage
+	if _, err := f.Stat("/x"); err == nil {
+		t.Fatal("open-ended window not active")
+	}
+	f.ClearSchedule()
+	if _, err := f.Stat("/x"); err != nil {
+		t.Errorf("stat after ClearSchedule = %v", err)
+	}
+}

@@ -1,0 +1,219 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestResetUnblocksParkedReader is the regression test for the
+// partition-mid-RPC hang: a reader parked inside shapedQueue.read with
+// nothing buffered must surface an error promptly when the link is
+// severed, not wait forever for bytes that will never arrive.
+func TestResetUnblocksParkedReader(t *testing.T) {
+	a, b := Pipe(Loopback)
+	defer a.Close()
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := b.Read(buf)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the reader park in read()
+	b.Reset()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrReset) {
+			t.Errorf("read after reset = %v, want ErrReset", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader still blocked after reset")
+	}
+	if _, err := a.Read(make([]byte, 1)); !errors.Is(err, ErrReset) {
+		t.Errorf("peer read after reset = %v, want ErrReset", err)
+	}
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Errorf("write after reset = %v, want ErrReset", err)
+	}
+}
+
+// TestResetDropsShapedBacklog covers the in-flight shaped-wait case: a
+// reader is blocked on a chunk whose delivery time is far in the
+// future (WAN latency), and a partition severs the link before the
+// chunk becomes ready. The reader must get ErrReset immediately — not
+// after the latency elapses, and never the dropped bytes.
+func TestResetDropsShapedBacklog(t *testing.T) {
+	a, b := Pipe(LinkProfile{Latency: 10 * time.Second})
+	defer a.Close()
+	defer b.Close()
+	if _, err := a.Write([]byte("never delivered")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 16))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	start := time.Now()
+	b.Reset()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrReset) {
+			t.Errorf("read = %v, want ErrReset", err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Errorf("reset took %v to surface", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader waited out the shaped backlog instead of failing")
+	}
+}
+
+// TestCloseUnblocksParkedReader: an orderly close during an in-flight
+// read wait surfaces EOF promptly (the FIN path, kept distinct from
+// reset).
+func TestCloseUnblocksParkedReader(t *testing.T) {
+	a, b := Pipe(Loopback)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Errorf("read after close = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader still blocked after close")
+	}
+}
+
+func TestPartitionSeversLiveConnAndRefusesDials(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+	c, err := n.DialFrom("alice", "server", Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Partition("alice", "server")
+	if !n.Partitioned("alice", "server") {
+		t.Error("Partitioned() = false after Partition")
+	}
+	if _, err := c.Write([]byte("ping")); !errors.Is(err, ErrReset) {
+		t.Errorf("write across partition = %v, want ErrReset", err)
+	}
+	if _, err := n.DialFrom("alice", "server", Loopback); err == nil ||
+		!strings.Contains(err.Error(), "partition") {
+		t.Errorf("dial across partition = %v, want partition refusal", err)
+	}
+	// An unrelated host still connects.
+	if c2, err := n.DialFrom("bob", "server", Loopback); err != nil {
+		t.Errorf("unrelated dial during partition: %v", err)
+	} else {
+		c2.Close()
+	}
+
+	n.Heal("alice", "server")
+	c3, err := n.DialFrom("alice", "server", Loopback)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c3.Write([]byte("pong"))
+	if _, err := io.ReadFull(c3, buf); err != nil {
+		t.Errorf("echo after heal: %v", err)
+	}
+	c3.Close()
+}
+
+func TestSetLinkProfileReshapesLiveLink(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+	c, err := n.DialFrom("alice", "server", Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Baseline round trip is effectively instant.
+	buf := make([]byte, 1)
+	c.Write([]byte("a"))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Slow only the server→client direction of the live link.
+	n.SetLinkProfileOneWay("server", "alice", LinkProfile{Latency: 40 * time.Millisecond})
+	start := time.Now()
+	c.Write([]byte("b"))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("asymmetric slow echo took %v, want >= ~40ms", d)
+	}
+	// A fresh dial inherits the override without asking for it.
+	c2, err := n.DialFrom("alice", "server", Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	start = time.Now()
+	c2.Write([]byte("c"))
+	if _, err := io.ReadFull(c2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("override not inherited by new dial: echo took %v", d)
+	}
+	// Clearing overrides restores dial-time shaping for new links.
+	n.ClearLinkProfiles()
+	c3, err := n.DialFrom("alice", "server", Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	start = time.Now()
+	c3.Write([]byte("d"))
+	if _, err := io.ReadFull(c3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("echo after ClearLinkProfiles took %v, want fast", d)
+	}
+}

@@ -12,6 +12,7 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -20,6 +21,14 @@ import (
 	"sync"
 	"time"
 )
+
+// ErrReset is the error surfaced by reads and writes on a connection
+// severed by a simulated partition (Network.Partition, Conn.Reset): the
+// in-memory analogue of ECONNRESET. Unlike an orderly Close — which
+// lets the peer drain delivered data and then read EOF, like a TCP FIN
+// — a reset drops everything in flight, so an RPC caught mid-partition
+// fails immediately instead of waiting on bytes that will never arrive.
+var ErrReset = errors.New("netsim: connection reset by partition")
 
 // LinkProfile describes one direction of a link.
 type LinkProfile struct {
@@ -69,6 +78,7 @@ type shapedQueue struct {
 	pos      int // read offset within chunks[0]
 	nextFree time.Time
 	closed   bool
+	failErr  error // non-nil after reset: reads and writes fail with it
 	deadline time.Time
 }
 
@@ -81,6 +91,9 @@ func newShapedQueue(prof LinkProfile) *shapedQueue {
 func (q *shapedQueue) write(p []byte) (int, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.failErr != nil {
+		return 0, q.failErr
+	}
 	if q.closed {
 		return 0, io.ErrClosedPipe
 	}
@@ -112,6 +125,13 @@ func (q *shapedQueue) read(p []byte) (int, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
+		if q.failErr != nil {
+			// Reset severs the stream with loss: queued data was dropped
+			// and a reader parked in this wait — even one that blocked
+			// before the reset — fails immediately rather than hanging
+			// on bytes that will never become ready.
+			return 0, q.failErr
+		}
 		var nearest time.Time
 		if len(q.chunks) > 0 {
 			head := q.chunks[0]
@@ -152,19 +172,50 @@ func (q *shapedQueue) read(p []byte) (int, error) {
 	}
 }
 
-// wakeAt arranges a broadcast at time t. Caller holds q.mu.
+// wakeAt arranges a broadcast at time t. Caller holds q.mu. The timer
+// callback re-acquires the mutex before broadcasting: a bare Broadcast
+// could fire in the window between the caller computing the wake time
+// and parking in cond.Wait, and a wakeup lost there would strand the
+// reader past the chunk's ready time with nothing left to wake it.
 func (q *shapedQueue) wakeAt(t time.Time) {
 	d := time.Until(t)
 	if d < 0 {
 		d = 0
 	}
-	time.AfterFunc(d, q.cond.Broadcast)
+	time.AfterFunc(d, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
 }
 
 func (q *shapedQueue) close() {
 	q.mu.Lock()
 	q.closed = true
 	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// reset severs the queue with loss: pending chunks are dropped and
+// every current and future read or write fails with err. Used by
+// partitions, where an orderly FIN would be a lie.
+func (q *shapedQueue) reset(err error) {
+	q.mu.Lock()
+	if q.failErr == nil {
+		q.failErr = err
+		q.chunks = nil
+		q.pos = 0
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// setProfile swaps the link shaping at runtime; bytes already queued
+// keep the delivery times computed under the old profile, bytes written
+// afterwards are shaped by the new one.
+func (q *shapedQueue) setProfile(prof LinkProfile) {
+	q.mu.Lock()
+	q.prof = prof
 	q.mu.Unlock()
 }
 
@@ -181,6 +232,9 @@ type Conn struct {
 	local      Addr
 	remote     Addr
 	closeOnce  sync.Once
+	// link is the registry entry for network-created connections, so
+	// Close can unregister; nil for bare Pipe/PipeNamed links.
+	link *link
 }
 
 var _ net.Conn = (*Conn)(nil)
@@ -197,8 +251,28 @@ func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
 		c.send.close()
 		c.recv.close()
+		if c.link != nil {
+			c.link.net.unregister(c.link)
+		}
 	})
 	return nil
+}
+
+// Reset severs both directions with loss: queued bytes vanish and every
+// blocked or future Read/Write on either endpoint fails with ErrReset.
+// This is what a partition does to a live connection.
+func (c *Conn) Reset() {
+	c.send.reset(ErrReset)
+	c.recv.reset(ErrReset)
+	if c.link != nil {
+		c.link.net.unregister(c.link)
+	}
+}
+
+// SetProfile reshapes this endpoint's outbound direction at runtime.
+// Bytes already in flight keep their old delivery schedule.
+func (c *Conn) SetProfile(prof LinkProfile) {
+	c.send.setProfile(prof)
 }
 
 // LocalAddr returns the symbolic local address.
@@ -239,16 +313,144 @@ func PipeNamed(prof LinkProfile, clientName, serverName string) (client, server 
 }
 
 // Network is a registry of simulated hosts: servers listen on symbolic
-// addresses and clients dial them, receiving shaped connections.
+// addresses and clients dial them, receiving shaped connections. Beyond
+// static shaping at dial time, a Network supports runtime link control —
+// partitioning host pairs, healing them, and reshaping live links — so
+// fault schedules can be applied to a running stack, not just baked in
+// at connection setup.
 type Network struct {
 	mu        sync.Mutex
 	listeners map[string]*Listener
 	nextID    int
+	links     map[*link]struct{}
+	// blocked holds partitioned unordered host pairs: dials between them
+	// are refused until healed.
+	blocked map[pairKey]struct{}
+	// profiles holds directional shaping overrides, keyed [from, to],
+	// applied on top of the profile passed to Dial/DialFrom.
+	profiles map[pairKey]LinkProfile
+}
+
+// link is one live connection in the registry, with both endpoints and
+// both directed queues, so partitions and reshaping can find it by host
+// pair.
+type link struct {
+	net            *Network
+	client, server string
+	cToS, sToC     *shapedQueue
+	c1, c2         *Conn
+}
+
+// pairKey names a host pair; order matters for profile overrides
+// (directional) and is normalized by the callers for partitions
+// (symmetric).
+type pairKey struct{ a, b string }
+
+func orderedPair(a, b string) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
 }
 
 // NewNetwork returns an empty simulated network.
 func NewNetwork() *Network {
-	return &Network{listeners: make(map[string]*Listener)}
+	return &Network{
+		listeners: make(map[string]*Listener),
+		links:     make(map[*link]struct{}),
+		blocked:   make(map[pairKey]struct{}),
+		profiles:  make(map[pairKey]LinkProfile),
+	}
+}
+
+func (n *Network) unregister(l *link) {
+	n.mu.Lock()
+	delete(n.links, l)
+	n.mu.Unlock()
+}
+
+// Partition cuts host a from host b: every live connection between them
+// is reset (blocked reads and writes fail with ErrReset immediately —
+// an RPC caught mid-flight does not hang) and new dials between them
+// are refused until Heal. Partitions are symmetric.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	n.blocked[orderedPair(a, b)] = struct{}{}
+	victims := n.linksBetween(a, b)
+	n.mu.Unlock()
+	for _, l := range victims {
+		l.c1.Reset()
+		l.c2.Reset()
+	}
+}
+
+// Heal removes the partition between a and b. Connections reset by the
+// partition stay dead — like real TCP, recovery means redialing — but
+// new dials succeed again.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	delete(n.blocked, orderedPair(a, b))
+	n.mu.Unlock()
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	n.blocked = make(map[pairKey]struct{})
+	n.mu.Unlock()
+}
+
+// Partitioned reports whether hosts a and b are currently partitioned.
+func (n *Network) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.blocked[orderedPair(a, b)]
+	return ok
+}
+
+// SetLinkProfile reshapes traffic between a and b in both directions:
+// live links switch immediately, future dials between the pair inherit
+// the override regardless of the profile passed to Dial.
+func (n *Network) SetLinkProfile(a, b string, prof LinkProfile) {
+	n.SetLinkProfileOneWay(a, b, prof)
+	n.SetLinkProfileOneWay(b, a, prof)
+}
+
+// SetLinkProfileOneWay reshapes only the from→to direction — the
+// asymmetric slowness of a congested uplink. The reverse direction
+// keeps its current shaping.
+func (n *Network) SetLinkProfileOneWay(from, to string, prof LinkProfile) {
+	n.mu.Lock()
+	n.profiles[pairKey{from, to}] = prof
+	victims := n.linksBetween(from, to)
+	n.mu.Unlock()
+	for _, l := range victims {
+		if l.client == from {
+			l.cToS.setProfile(prof)
+		} else {
+			l.sToC.setProfile(prof)
+		}
+	}
+}
+
+// ClearLinkProfiles drops every shaping override; live links keep their
+// current profiles, future dials shape by the dial-time profile again.
+func (n *Network) ClearLinkProfiles() {
+	n.mu.Lock()
+	n.profiles = make(map[pairKey]LinkProfile)
+	n.mu.Unlock()
+}
+
+// linksBetween returns the live links whose endpoints are exactly the
+// hosts a and b (in either orientation). Caller holds n.mu.
+func (n *Network) linksBetween(a, b string) []*link {
+	var out []*link
+	for l := range n.links {
+		if (l.client == a && l.server == b) || (l.client == b && l.server == a) {
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
 // Listener accepts simulated connections. It implements net.Listener.
@@ -314,19 +516,47 @@ func (n *Network) Dial(addr string, prof LinkProfile) (net.Conn, error) {
 }
 
 // DialFrom connects to addr, presenting the given client host name
-// (visible to hostname authentication on the server).
+// (visible to hostname authentication on the server). Dials across a
+// partitioned host pair are refused, and directional profile overrides
+// installed with SetLinkProfile apply on top of prof.
 func (n *Network) DialFrom(clientName, addr string, prof LinkProfile) (net.Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[addr]
+	if _, cut := n.blocked[orderedPair(clientName, addr)]; cut {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: no route from %q to %q: partitioned", clientName, addr)
+	}
+	toProf, hasTo := n.profiles[pairKey{clientName, addr}]
+	fromProf, hasFrom := n.profiles[pairKey{addr, clientName}]
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("netsim: connection refused: no listener on %q", addr)
 	}
 	client, server := PipeNamed(prof, clientName, addr)
+	if hasTo {
+		client.send.setProfile(toProf)
+	}
+	if hasFrom {
+		server.send.setProfile(fromProf)
+	}
+	lk := &link{
+		net:    n,
+		client: clientName,
+		server: addr,
+		cToS:   client.send,
+		sToC:   server.send,
+		c1:     client,
+		c2:     server,
+	}
+	client.link, server.link = lk, lk
+	n.mu.Lock()
+	n.links[lk] = struct{}{}
+	n.mu.Unlock()
 	select {
 	case l.accept <- server:
 		return client, nil
 	case <-l.done:
+		n.unregister(lk)
 		return nil, fmt.Errorf("netsim: connection refused: listener on %q closed", addr)
 	}
 }
