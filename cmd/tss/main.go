@@ -6,6 +6,7 @@
 //	tss cat    host:9094 /data/results.txt
 //	tss put    host:9094 /data/up.bin  local.bin
 //	tss get    host:9094 /data/up.bin  local.copy
+//	tss cp     host:9094:/data/a.bin   local.copy
 //	tss mkdir  host:9094 /data/newdir
 //	tss rm     host:9094 /data/old.bin
 //	tss rmdir  host:9094 /data/newdir
@@ -19,18 +20,26 @@
 //	tss scrub  -repair hostA:9094 hostB:9094 hostC:9094
 //	tss fsck   meta:9094 /dsfs dataA:9094 /data dataB:9094 /data
 //
-// -pool N performs the operation over a pooled transport of up to N
-// connections (useful ahead of concurrent workloads; see DESIGN.md
-// §10).
+// All transfer verbs (get, put, cp) share one flag set: -P <n> fans a
+// large transfer out as n parallel multipart streams over a connection
+// pool, -chunk <size> sets the multipart chunk size, -verify checks
+// digests end to end, and -pool N sizes the pooled transport (raised
+// to -P automatically, so the parallel chunks actually get their own
+// connections). cp accepts host:port:/path remote specs on either
+// side, so remote-to-remote copies stream through the client without
+// a temporary file.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"tss/internal/auth"
@@ -56,15 +65,36 @@ type transport interface {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tss [-ticket FILE] [-timeout DUR] [-retries N] [-retry-base DUR] [-pool N] [-verify] <ls|cat|put|get|sum|mkdir|rm|rmdir|mv|stat|statfs|whoami|getacl|setacl> host:port [args...]")
+	fmt.Fprintln(os.Stderr, "usage: tss [-ticket FILE] [-timeout DUR] [-retries N] [-retry-base DUR] [-pool N] [-P N] [-chunk SIZE] [-verify] <ls|cat|put|get|sum|mkdir|rm|rmdir|mv|stat|statfs|whoami|getacl|setacl> host:port [args...]")
+	fmt.Fprintln(os.Stderr, "       tss [flags] cp <src> <dst>   (each side a local path or host:port:/path)")
 	fmt.Fprintln(os.Stderr, "       tss [flags] scrub [-repair] [-algo A] [-root DIR] host:port host:port [...]")
 	fmt.Fprintln(os.Stderr, "       tss [flags] fsck [-remove-dangling] [-remove-orphans] meta-host:port meta-dir data-host:port data-dir [...]")
 	fmt.Fprintln(os.Stderr, "  -timeout DUR     per-RPC deadline (default 30s)")
-	fmt.Fprintln(os.Stderr, "  -retries N       reconnect-and-retry idempotent reads N times on transport failure (default 2)")
+	fmt.Fprintln(os.Stderr, "  -retries N       reconnect-and-retry reads and transfer chunks N times on failure (default 2)")
 	fmt.Fprintln(os.Stderr, "  -retry-base DUR  first retry backoff, doubled per attempt with jitter (default 100ms)")
-	fmt.Fprintln(os.Stderr, "  -pool N          use up to N pooled connections instead of one (default 1)")
-	fmt.Fprintln(os.Stderr, "  -verify          checksum whole-file transfers end to end (falls back on old servers)")
+	fmt.Fprintln(os.Stderr, "  -pool N          use up to N pooled connections instead of one (default 1, raised to -P)")
+	fmt.Fprintln(os.Stderr, "  -P N             split large get/put/cp transfers into N parallel multipart streams")
+	fmt.Fprintln(os.Stderr, "  -chunk SIZE      multipart chunk size, with optional K/M/G suffix (default 8M)")
+	fmt.Fprintln(os.Stderr, "  -verify          checksum transfers end to end (falls back on old servers)")
 	os.Exit(2)
+}
+
+// parseSize parses a byte count with an optional K/M/G suffix.
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
 }
 
 func main() {
@@ -77,6 +107,8 @@ func main() {
 	retries := 2
 	retryBase := 100 * time.Millisecond
 	poolSize := 1
+	par := 1
+	var chunkSize int64
 	verify := false
 	// Leading flags, parsed by hand so the verb-first grammar survives.
 	for len(argv) >= 1 {
@@ -108,6 +140,10 @@ func main() {
 			retryBase, err = time.ParseDuration(argv[1])
 		case "-pool":
 			poolSize, err = strconv.Atoi(argv[1])
+		case "-P":
+			par, err = strconv.Atoi(argv[1])
+		case "-chunk":
+			chunkSize, err = parseSize(argv[1])
 		default:
 			err = errDone
 		}
@@ -122,13 +158,25 @@ func main() {
 	if len(argv) < 2 {
 		usage()
 	}
-	// The maintenance verbs take several server addresses, not one.
+	if par < 1 {
+		par = 1
+	}
+	// Parallel multipart streams need their own connections: a -P wider
+	// than the pool would serialize on the transport anyway.
+	if par > poolSize {
+		poolSize = par
+	}
+	// The maintenance verbs take several server addresses, not one, and
+	// cp takes endpoint specs rather than a leading address.
 	switch argv[0] {
 	case "scrub":
 		runScrub(argv[1:], creds, timeout)
 		return
 	case "fsck":
 		runFsck(argv[1:], creds, timeout)
+		return
+	case "cp":
+		runCp(argv[1:], creds, timeout, poolSize, par, chunkSize, verify, retries, retryBase)
 		return
 	}
 	verb, addr, args := argv[0], argv[1], argv[2:]
@@ -177,6 +225,14 @@ func main() {
 		return err
 	}
 
+	// Transfer verbs route through the unified copy engine, which picks
+	// single-shot or parallel multipart from the flags and what the
+	// server supports.
+	copyOpts := vfs.CopyOptions{Concurrency: par, ChunkSize: chunkSize, Verify: verify}
+	if retries > 0 {
+		copyOpts.Retry = policy
+	}
+
 	need := func(n int) {
 		if len(args) != n {
 			usage()
@@ -209,32 +265,24 @@ func main() {
 		}
 	case "put":
 		need(2)
-		f, err := os.Open(args[1])
+		src, err := localLoc(args[1])
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		st, err := f.Stat()
-		if err != nil {
-			fatal(err)
-		}
-		// PutReader routes through the one-round-trip putfile fast path
-		// (vfs.FilePutter) when the server offers it, falling back to
-		// open/pwrite otherwise.
-		if err := vfs.PutReader(client, args[0], 0o644, st.Size(), f); err != nil {
+		opts := copyOpts
+		opts.Mode = 0o644
+		if _, err := vfs.Copy(context.Background(),
+			vfs.Loc{FS: client, Path: args[0]}, src, opts); err != nil {
 			fatal(err)
 		}
 	case "get":
 		need(2)
-		out, err := os.Create(args[1])
+		dst, err := localLoc(args[1])
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := client.GetFile(args[0], out); err != nil {
-			out.Close()
-			fatal(err)
-		}
-		if err := out.Close(); err != nil {
+		if _, err := vfs.Copy(context.Background(),
+			dst, vfs.Loc{FS: client, Path: args[0]}, copyOpts); err != nil {
 			fatal(err)
 		}
 	case "sum":
@@ -332,6 +380,104 @@ func main() {
 		}
 	default:
 		usage()
+	}
+}
+
+// localLoc wraps a host path as a copy-engine endpoint: a LocalFS
+// rooted at the containing directory, so the engine's capability probe
+// and positional fallback work on the local side like any other.
+func localLoc(path string) (vfs.Loc, error) {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return vfs.Loc{}, err
+	}
+	dir, base := filepath.Split(abs)
+	if base == "" {
+		return vfs.Loc{}, fmt.Errorf("%s: not a file path", path)
+	}
+	fs, err := vfs.NewLocalFS(filepath.Clean(dir))
+	if err != nil {
+		return vfs.Loc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return vfs.Loc{FS: fs, Path: "/" + base}, nil
+}
+
+// splitRemote recognizes host:port:/path endpoint specs. Anything else
+// — including Windows-style or relative paths — is a local path.
+func splitRemote(arg string) (addr, path string, ok bool) {
+	parts := strings.SplitN(arg, ":", 3)
+	if len(parts) == 3 && parts[0] != "" && parts[1] != "" && strings.HasPrefix(parts[2], "/") {
+		return parts[0] + ":" + parts[1], parts[2], true
+	}
+	return "", "", false
+}
+
+// runCp copies between any two endpoints, each a local path or a
+// host:port:/path remote spec, through the same engine as get/put.
+// Remote-to-remote copies stream through this client chunk by chunk
+// without a temporary file; a repeated address shares one transport.
+func runCp(args []string, creds []auth.Credential, timeout time.Duration, poolSize, par int, chunk int64, verify bool, retries int, retryBase time.Duration) {
+	if len(args) != 2 {
+		usage()
+	}
+	opts := vfs.CopyOptions{Concurrency: par, ChunkSize: chunk, Verify: verify}
+	if retries > 0 {
+		policy, err := resilient.NewPolicy(
+			resilient.WithAttempts(retries),
+			resilient.WithBase(retryBase),
+			resilient.WithJitter(0.2),
+		)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Retry = policy
+	}
+	clients := make(map[string]transport)
+	dialOne := func(addr string) transport {
+		if c, ok := clients[addr]; ok {
+			return c
+		}
+		cfg := chirp.ClientConfig{
+			Dial: func() (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 10*time.Second)
+			},
+			Credentials: creds,
+			Timeout:     timeout,
+			PoolSize:    poolSize,
+			Verify:      verify,
+		}
+		var c transport
+		var err error
+		if poolSize > 1 {
+			c, err = chirp.NewPool(cfg)
+		} else {
+			c, err = chirp.Dial(cfg)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		clients[addr] = c
+		return c
+	}
+	locOf := func(arg string) vfs.Loc {
+		if addr, path, ok := splitRemote(arg); ok {
+			return vfs.Loc{FS: dialOne(addr), Path: path}
+		}
+		loc, err := localLoc(arg)
+		if err != nil {
+			fatal(err)
+		}
+		return loc
+	}
+	src := locOf(args[0])
+	dst := locOf(args[1])
+	if _, err := vfs.Copy(context.Background(), dst, src, opts); err != nil {
+		fatal(err)
+	}
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -8,7 +8,8 @@
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 sp5 fig9 pool, plus the
 // cachesweep ablation, obs decomposition, integrity corruption
-// experiment, and the chaos invariant sweep (not in 'all').
+// experiment, multipart transfer scaling, and the chaos invariant
+// sweep (not in 'all').
 package main
 
 import (
@@ -46,6 +47,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("tssbench: integrity: %v", err)
 		}
+		mpRes, err := experiments.RunMultipartBench(experiments.DefaultMultipartBench(*quick))
+		if err != nil {
+			log.Fatalf("tssbench: multipart: %v", err)
+		}
 		chaosRes, err := experiments.RunChaosBench(experiments.DefaultChaosBench(*quick))
 		if err != nil {
 			log.Fatalf("tssbench: chaos: %v", err)
@@ -54,6 +59,7 @@ func main() {
 			"obs":       obsRes,
 			"pool":      poolRes,
 			"integrity": intRes,
+			"multipart": mpRes,
 			"chaos":     chaosRes,
 		}, "", "  ")
 		if err != nil {
@@ -63,6 +69,7 @@ func main() {
 		fmt.Fprint(os.Stderr, obsRes.Render())
 		fmt.Fprint(os.Stderr, poolRes.Render())
 		fmt.Fprint(os.Stderr, intRes.Render())
+		fmt.Fprint(os.Stderr, mpRes.Render())
 		fmt.Fprint(os.Stderr, chaosRes.Render())
 		if chaosRes.TotalViolations > 0 {
 			log.Fatalf("tssbench: chaos: %d invariant violations (replay coordinates in the report)", chaosRes.TotalViolations)
@@ -154,6 +161,12 @@ func runOne(name string, quick bool, clients int) (string, error) {
 		return res.Render(), nil
 	case "integrity":
 		res, err := experiments.RunCorruptBench(experiments.DefaultCorruptBench(quick))
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "multipart":
+		res, err := experiments.RunMultipartBench(experiments.DefaultMultipartBench(quick))
 		if err != nil {
 			return "", err
 		}

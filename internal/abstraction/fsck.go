@@ -74,6 +74,7 @@ func (d *Dist) Fsck(opts FsckOptions) (*FsckReport, error) {
 				// Not a stub — but a metadata tree can also hold stripe
 				// descriptors (stripe.go); recognize and validate those
 				// before declaring the file damaged.
+				//lint:ignore copyapi stripe descriptors are tiny one-round-trip metadata, not transfers
 				if data, rerr := vfs.GetWholeFile(d.meta, p); rerr == nil {
 					if desc, ok := parseStripeDesc(data); ok {
 						d.fsckStripe(p, desc, report, referenced)

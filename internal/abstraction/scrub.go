@@ -342,7 +342,10 @@ func (m *MirrorFS) repairFile(path string, digests []string, ready []int, algo s
 		if i == w || digests[i] == got {
 			continue
 		}
-		err := vfs.PutReader(m.replicas[i], path, fi.Mode, int64(buf.Len()), bytes.NewReader(buf.Bytes()))
+		// The copy engine stores with an end-to-end digest: a repair that
+		// itself corrupts in flight is rejected, never installed.
+		err := vfs.PutBytes(context.Background(), vfs.Loc{FS: m.replicas[i], Path: path},
+			fi.Mode, buf.Bytes(), vfs.CopyOptions{Verify: true})
 		m.record(i, err)
 		if err != nil {
 			if firstErr == nil {

@@ -266,6 +266,7 @@ func (e *engine) prologue() error {
 		path := fmt.Sprintf("/data/seed%d", j)
 		content := make([]byte, 512+rng.Intn(1024))
 		rng.Read(content)
+		//lint:ignore copyapi the chaos engine exercises the raw single-shot path on purpose
 		if err := vfs.PutReader(fs0, path, 0o644, int64(len(content)), bytes.NewReader(content)); err != nil {
 			return fmt.Errorf("prologue seed write: %w", err)
 		}
@@ -300,6 +301,7 @@ func (e *engine) workloadRound(step int64) {
 			path := fmt.Sprintf("/data/c%d/s%d", k, step)
 			content := make([]byte, 200+rng.Intn(1800))
 			rng.Read(content)
+			//lint:ignore copyapi chaos workload writes must be bare single-shot ops, uncushioned by engine retries
 			if err := vfs.PutReader(cs.fs, path, 0o644, int64(len(content)), bytes.NewReader(content)); err == nil {
 				e.recordAck(path, content)
 				atomic.AddInt64(&e.res.Ops, 1)
@@ -323,6 +325,7 @@ func (e *engine) workloadRound(step int64) {
 			if rpath == "" {
 				return
 			}
+			//lint:ignore copyapi the verified-read invariant checks the stack's own read path, not the engine
 			data, err := vfs.GetWholeFile(cs.fs, rpath)
 			switch {
 			case err != nil:
@@ -434,6 +437,7 @@ func (e *engine) epilogue() {
 	for _, path := range paths {
 		want := e.expected[path]
 		for k, cs := range e.s.clients {
+			//lint:ignore copyapi the epilogue audits the stack's own read path, not the engine
 			data, err := vfs.GetWholeFile(cs.fs, path)
 			if err != nil {
 				e.violate(e.tl.Steps, "acked-write-loss",

@@ -64,6 +64,8 @@ var (
 	_ vfs.FilePutter  = (*Pool)(nil)
 	_ vfs.OpenStater  = (*Pool)(nil)
 	_ vfs.Checksummer = (*Pool)(nil)
+	_ vfs.PartGetter  = (*Pool)(nil)
+	_ vfs.PartPutter  = (*Pool)(nil)
 )
 
 // NewPool connects and authenticates the first pool connection and
@@ -378,6 +380,45 @@ func (p *Pool) GetFile(path string, w io.Writer) (int64, error) {
 // (vfs.FilePutter).
 func (p *Pool) PutFile(path string, mode uint32, size int64, r io.Reader) error {
 	return p.withConn(func(c *Client) error { return c.PutFile(path, mode, size, r) })
+}
+
+// GetPart streams one chunk of the named file (vfs.PartGetter). Each
+// chunk is a self-contained round trip on the least-loaded connection,
+// which is exactly what lets the multipart engine fan the chunks of
+// one file out across the whole pool.
+func (p *Pool) GetPart(path string, off, length int64, algo string, w io.Writer) (int64, string, error) {
+	var n int64
+	var sum string
+	err := p.withConn(func(c *Client) error {
+		var e error
+		n, sum, e = c.GetPart(path, off, length, algo, w)
+		return e
+	})
+	return n, sum, err
+}
+
+// PutBegin opens a multipart upload (vfs.PartPutter). Support is
+// server-wide, so one successful putbegin on any pooled connection
+// proves the verb family for all of them.
+func (p *Pool) PutBegin(path string, mode uint32, size int64) error {
+	return p.withConn(func(c *Client) error { return c.PutBegin(path, mode, size) })
+}
+
+// PutPart stores one chunk at its offset (vfs.PartPutter), on the
+// least-loaded connection.
+func (p *Pool) PutPart(path string, off, length int64, algo string, r io.Reader) (string, error) {
+	var sum string
+	err := p.withConn(func(c *Client) error {
+		var e error
+		sum, e = c.PutPart(path, off, length, algo, r)
+		return e
+	})
+	return sum, err
+}
+
+// PutComplete closes a multipart upload (vfs.PartPutter).
+func (p *Pool) PutComplete(path string, size int64, algo, sum string) error {
+	return p.withConn(func(c *Client) error { return c.PutComplete(path, size, algo, sum) })
 }
 
 // Checksum computes a remote file digest server-side (vfs.Checksummer).

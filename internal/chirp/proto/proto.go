@@ -31,6 +31,13 @@
 //	getfilesum <path> <algo>            -> size, then size raw bytes, then digest trailer line
 //	putfilesum <path> <mode> <size> <algo> -> 0 (ready), then size raw bytes and a
 //	                                    digest trailer line from the client -> size
+//	putbegin <path> <mode> <size>       -> 0 (creates the file at its full size)
+//	putpart <path> <offset> <length> <algo> (then length raw bytes and, with a
+//	                                    non-empty algo, a digest trailer line) -> length
+//	putcomplete <path> <size> <algo> <sum> -> 0 (verifies size and composed digest,
+//	                                    unlinking the file on mismatch)
+//	getpart <path> <offset> <length> <algo> -> n, then n raw bytes, then a digest
+//	                                    trailer line when algo is non-empty
 //	truncate <path> <size>              -> 0
 //	chmod <path> <mode>                 -> 0
 //	getacl <path>                       -> count, then count ACL lines
@@ -273,12 +280,13 @@ type Request struct {
 	Subject string // setacl
 	Rights  string // setacl
 	FD      int64  // pread, pwrite, fstat, fsync, ftruncate, close
-	Length  int64  // pread, pwrite, putfile
-	Offset  int64  // pread, pwrite
+	Length  int64  // pread, pwrite, putfile, getpart, putpart
+	Offset  int64  // pread, pwrite, getpart, putpart
 	Flags   int64  // open
 	Mode    int64  // open, mkdir, putfile, chmod
-	Size    int64  // truncate, ftruncate
-	Algo    string // checksum, getfilesum, putfilesum
+	Size    int64  // truncate, ftruncate, putbegin, putcomplete
+	Algo    string // checksum, getfilesum, putfilesum, getpart, putpart, putcomplete
+	Sum     string // putcomplete (lowercase hex digest; empty when Algo is empty)
 }
 
 // AppendTo appends the request as a protocol line (without newline) to
@@ -339,6 +347,23 @@ func (q *Request) AppendTo(dst []byte) ([]byte, error) {
 		dst = appendOctal(dst, q.Mode)
 		dst = appendInt(dst, q.Length)
 		return AppendEscape(append(dst, ' '), q.Algo), nil
+	case "putbegin":
+		dst = append(dst, "putbegin"...)
+		dst = appendPath(dst, q.Path)
+		dst = appendOctal(dst, q.Mode)
+		return appendInt(dst, q.Size), nil
+	case "getpart", "putpart":
+		dst = append(dst, q.Verb...)
+		dst = appendPath(dst, q.Path)
+		dst = appendInt(dst, q.Offset)
+		dst = appendInt(dst, q.Length)
+		return AppendEscape(append(dst, ' '), q.Algo), nil
+	case "putcomplete":
+		dst = append(dst, "putcomplete"...)
+		dst = appendPath(dst, q.Path)
+		dst = appendInt(dst, q.Size)
+		dst = AppendEscape(append(dst, ' '), q.Algo)
+		return AppendEscape(append(dst, ' '), q.Sum), nil
 	case "truncate":
 		dst = append(dst, "truncate"...)
 		dst = appendPath(dst, q.Path)
@@ -476,6 +501,45 @@ func ParseRequest(line string) (*Request, error) {
 		}
 		if err == nil {
 			q.Algo = unescape(args[3])
+		}
+	case "putbegin":
+		if e := need(3); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+		if err == nil {
+			q.Mode, err = parseInt(args[1], 8)
+		}
+		if err == nil {
+			q.Size, err = parseInt(args[2], 10)
+		}
+	case "getpart", "putpart":
+		if e := need(4); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+		if err == nil {
+			q.Offset, err = parseInt(args[1], 10)
+		}
+		if err == nil {
+			q.Length, err = parseInt(args[2], 10)
+		}
+		if err == nil {
+			q.Algo = unescape(args[3])
+		}
+	case "putcomplete":
+		if e := need(4); e != nil {
+			return nil, e
+		}
+		q.Path = unescape(args[0])
+		if err == nil {
+			q.Size, err = parseInt(args[1], 10)
+		}
+		if err == nil {
+			q.Algo = unescape(args[2])
+		}
+		if err == nil {
+			q.Sum = unescape(args[3])
 		}
 	case "truncate":
 		if e := need(2); e != nil {

@@ -86,22 +86,27 @@ type Server struct {
 	// the stream — exactly what a pre-digest server does with an
 	// unknown verb. Test hook for the client's negotiation fallback.
 	legacySums atomic.Bool
-	connMu     sync.Mutex
-	conns      map[net.Conn]*connState
-	listeners  map[net.Listener]struct{}
-	connWG     sync.WaitGroup
+	// legacyParts does the same for the multipart verbs
+	// (putbegin/putpart/putcomplete/getpart): test hook for the
+	// multipart engine's per-transfer negotiation probes.
+	legacyParts atomic.Bool
+	connMu      sync.Mutex
+	conns       map[net.Conn]*connState
+	listeners   map[net.Listener]struct{}
+	connWG      sync.WaitGroup
 
 	// Per-RPC metrics, pre-resolved at construction so the serving
 	// loop pays one map lookup per request; all nil without a registry.
-	rpcHist       map[string]*obs.Histogram
-	mRPCUnknown   *obs.Counter
-	mRPCErrors    *obs.Counter
-	mConnections  *obs.Counter
-	mRequests     *obs.Counter
-	mBytesRead    *obs.Counter
-	mBytesWritten *obs.Counter
-	mBulkFast     *obs.Counter
-	mDraining     *obs.Gauge
+	rpcHist        map[string]*obs.Histogram
+	mRPCUnknown    *obs.Counter
+	mRPCErrors     *obs.Counter
+	mConnections   *obs.Counter
+	mRequests      *obs.Counter
+	mBytesRead     *obs.Counter
+	mBytesWritten  *obs.Counter
+	mBulkFast      *obs.Counter
+	mMultipartFast *obs.Counter
+	mDraining      *obs.Gauge
 
 	Stats ServerStats
 }
@@ -112,6 +117,7 @@ var rpcVerbs = []string{
 	"open", "pread", "pwrite", "fstat", "fsync", "ftruncate", "close",
 	"stat", "unlink", "rename", "mkdir", "rmdir", "getdir",
 	"getfile", "putfile", "checksum", "getfilesum", "putfilesum",
+	"putbegin", "putpart", "putcomplete", "getpart",
 	"truncate", "chmod", "getacl", "setacl",
 	"statfs", "whoami",
 }
@@ -174,6 +180,7 @@ func NewServer(root string, cfg ServerConfig) (*Server, error) {
 		s.mBytesRead = reg.Counter("chirp_server.bytes_read")
 		s.mBytesWritten = reg.Counter("chirp_server.bytes_written")
 		s.mBulkFast = reg.Counter("chirp_server.bulk_fastpath")
+		s.mMultipartFast = reg.Counter("chirp_server.multipart_fastpath")
 		s.mDraining = reg.Gauge("chirp_server.draining")
 	}
 	if err := s.ensureRootACL(); err != nil {
@@ -631,6 +638,30 @@ func (ss *session) dispatch(line string, conn net.Conn, br *bufio.Reader, bw *bu
 			return ss.respondErr(bw, vfs.EINVAL)
 		}
 		return ss.handlePutfilesum(req, br, bw)
+	case "putbegin":
+		if ss.srv.legacyParts.Load() {
+			return ss.respondErr(bw, vfs.EINVAL)
+		}
+		return ss.handlePutbegin(req, bw)
+	case "putpart":
+		if ss.srv.legacyParts.Load() {
+			// An old server never reaches a putpart: putbegin's EINVAL
+			// stops the client first. Mirror that — no data phase has
+			// been consumed, so the caller that got here anyway is
+			// already desynced, exactly like a real legacy server.
+			return ss.respondErr(bw, vfs.EINVAL)
+		}
+		return ss.handlePutpart(req, conn, br, bw)
+	case "putcomplete":
+		if ss.srv.legacyParts.Load() {
+			return ss.respondErr(bw, vfs.EINVAL)
+		}
+		return ss.handlePutcomplete(req, bw)
+	case "getpart":
+		if ss.srv.legacyParts.Load() {
+			return ss.respondErr(bw, vfs.EINVAL)
+		}
+		return ss.handleGetpart(req, conn, bw)
 	case "truncate":
 		return ss.handleTruncate(req, bw)
 	case "chmod":

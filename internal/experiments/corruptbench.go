@@ -135,6 +135,7 @@ func RunCorruptBench(cfg CorruptBenchConfig) (*CorruptBenchReport, error) {
 	for i := range payloads {
 		payloads[i] = bytes.Repeat([]byte(fmt.Sprintf("payload-%04d ", i)), cfg.FileSize/13+1)[:cfg.FileSize]
 		p := fmt.Sprintf("/f%04d", i)
+		//lint:ignore copyapi benchmark seeding measures the raw single-stream baseline
 		if err := vfs.PutReader(plain, p, 0o644, int64(cfg.FileSize), bytes.NewReader(payloads[i])); err != nil {
 			return nil, fmt.Errorf("seed %s: %w", p, err)
 		}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"tss/internal/netsim"
+	"tss/internal/vfs"
+)
+
+// MultipartBenchConfig sizes the multipart transfer benchmark: one
+// large file pushed through vfs.Copy at increasing stream counts, each
+// stream riding its own pooled connection with its own shaped link.
+type MultipartBenchConfig struct {
+	// FileSize is the transfer size in bytes. The experiment is only
+	// meaningful at bulk scale, so quick mode does not shrink it.
+	FileSize int64
+	// ChunkSize is the multipart chunk size handed to vfs.Copy.
+	ChunkSize int64
+	// Streams lists the concurrency levels to measure; the first entry
+	// should be 1 so later rows have a single-stream baseline.
+	Streams []int
+	// Link shapes each pooled client↔server connection.
+	Link netsim.LinkProfile
+	// Quick marks the reduced configuration in the report.
+	Quick bool
+}
+
+// DefaultMultipartBench returns the standard configuration. The file
+// stays at 256 MB even under quick: a multipart engine measured on a
+// small file reports only its own overhead.
+func DefaultMultipartBench(quick bool) MultipartBenchConfig {
+	return MultipartBenchConfig{
+		FileSize:  256 << 20,
+		ChunkSize: 8 << 20,
+		Streams:   []int{1, 2, 4, 8},
+		Link:      PoolLink,
+		Quick:     quick,
+	}
+}
+
+// MultipartBenchRow is one concurrency level's result.
+type MultipartBenchRow struct {
+	Streams   int     `json:"streams"`
+	Conns     int     `json:"conns"` // live pooled connections
+	Bytes     int64   `json:"bytes"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	MBps      float64 `json:"mbps"`
+	// Speedup is this row's throughput over the single-stream row.
+	Speedup float64 `json:"speedup"`
+}
+
+// MultipartBenchReport compares single-stream against N-way multipart
+// transfers of the same file over the same shaped network.
+type MultipartBenchReport struct {
+	Name      string              `json:"name"`
+	Quick     bool                `json:"quick"`
+	FileSize  int64               `json:"file_size"`
+	ChunkSize int64               `json:"chunk_size"`
+	Rows      []MultipartBenchRow `json:"rows"`
+	// Speedup4x is the 4-way row's throughput over single-stream, the
+	// headline the acceptance gate checks.
+	Speedup4x float64 `json:"speedup_4x"`
+}
+
+// JSON renders the report for BENCH_chirp.json.
+func (r *MultipartBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render renders the comparison as a table.
+func (r *MultipartBenchReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multipart bench: %d MB file, %d MB chunks, crc32c verified\n",
+		r.FileSize>>20, r.ChunkSize>>20)
+	fmt.Fprintf(&b, "%8s %6s %12s %10s %8s\n", "STREAMS", "CONNS", "ELAPSED", "MB/s", "SPEEDUP")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %6d %10.1fms %10.1f %7.2fx\n",
+			row.Streams, row.Conns, row.ElapsedMS, row.MBps, row.Speedup)
+	}
+	fmt.Fprintf(&b, "4-way speedup: %.2fx\n", r.Speedup4x)
+	return b.String()
+}
+
+// RunMultipartBench measures what the multipart engine buys on a bulk
+// transfer: the same 256 MB file is pushed through vfs.Copy at each
+// configured stream count against a pool sized to match, so every
+// stream gets its own connection and its own bandwidth-shaped link —
+// the multi-path deployment the paper's tactical networks assume. The
+// single-stream row is the pre-multipart baseline; every row verifies
+// the composed crc32c, so the speedups are for integrity-checked
+// transfers, not raw byte movement.
+func RunMultipartBench(cfg MultipartBenchConfig) (*MultipartBenchReport, error) {
+	env := NewEnv()
+	defer env.Close()
+
+	local, err := env.LocalFS()
+	if err != nil {
+		return nil, err
+	}
+	payload := bytes.Repeat([]byte("tactical-storage "), int(cfg.FileSize)/17+1)[:cfg.FileSize]
+	if err := vfs.WriteFile(local, "/src.bin", payload, 0o644); err != nil {
+		return nil, fmt.Errorf("seed source: %w", err)
+	}
+	src := vfs.Loc{FS: local, Path: "/src.bin"}
+
+	if _, _, err := env.StartChirp("multipart-bench", cfg.Link); err != nil {
+		return nil, err
+	}
+
+	rep := &MultipartBenchReport{
+		Name:      "chirp-multipart",
+		Quick:     cfg.Quick,
+		FileSize:  cfg.FileSize,
+		ChunkSize: cfg.ChunkSize,
+	}
+	var baseline float64
+	for _, n := range cfg.Streams {
+		pool, err := env.DialChirpPool("multipart-bench", cfg.Link, n)
+		if err != nil {
+			return nil, err
+		}
+		dst := vfs.Loc{FS: pool, Path: fmt.Sprintf("/dst-%d.bin", n)}
+		start := time.Now()
+		nb, err := vfs.Copy(context.Background(), dst, src, vfs.CopyOptions{
+			Concurrency: n,
+			ChunkSize:   cfg.ChunkSize,
+			Verify:      true,
+		})
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("%d-way copy: %w", n, err)
+		}
+		row := MultipartBenchRow{
+			Streams:   n,
+			Conns:     pool.Conns(),
+			Bytes:     nb,
+			ElapsedMS: float64(elapsed.Nanoseconds()) / 1e6,
+			MBps:      mbps(nb, elapsed),
+		}
+		if baseline == 0 {
+			baseline = row.MBps
+		}
+		if baseline > 0 {
+			row.Speedup = row.MBps / baseline
+		}
+		if n == 4 {
+			rep.Speedup4x = row.Speedup
+		}
+		rep.Rows = append(rep.Rows, row)
+		// Drop the server copy so disk use stays bounded at one file.
+		pool.Unlink(dst.Path)
+	}
+	return rep, nil
+}

@@ -165,6 +165,7 @@ func RunPoolBench(cfg PoolBenchConfig) (*PoolBenchReport, error) {
 	payload := bytes.Repeat([]byte("tactical-storage "), cfg.FileSize/17+1)[:cfg.FileSize]
 	for i := 0; i < cfg.Files; i++ {
 		p := fmt.Sprintf("/f%04d", i)
+		//lint:ignore copyapi benchmark seeding measures the raw single-stream baseline
 		if err := vfs.PutReader(single, p, 0o644, int64(cfg.FileSize), bytes.NewReader(payload)); err != nil {
 			return nil, fmt.Errorf("seed %s: %w", p, err)
 		}

@@ -312,6 +312,12 @@ func (f *FS) Capabilities() vfs.Capability {
 	if inner.FilePutter != nil {
 		c.FilePutter = &faultFilePutter{fs: f, inner: inner.FilePutter}
 	}
+	if inner.PartGetter != nil {
+		c.PartGetter = &faultPartGetter{fs: f, inner: inner.PartGetter}
+	}
+	if inner.PartPutter != nil {
+		c.PartPutter = &faultPartPutter{fs: f, inner: inner.PartPutter}
+	}
 	if inner.Reconnector != nil {
 		c.Reconnector = &faultReconnector{fs: f, inner: inner.Reconnector}
 	}
@@ -400,6 +406,71 @@ func (p *faultFilePutter) PutFile(path string, mode uint32, size int64, r io.Rea
 		p.fs.markClean(path)
 	}
 	return err
+}
+
+type faultPartGetter struct {
+	fs    *FS
+	inner vfs.PartGetter
+}
+
+func (g *faultPartGetter) GetPart(path string, off, length int64, algo string, w io.Writer) (int64, string, error) {
+	if err := g.fs.gate(); err != nil {
+		return 0, "", err
+	}
+	// Corruption flips bits by absolute file offset, so a corrupted chunk
+	// reads the same wrong bytes on every retry — a bad sector, not noise.
+	ph, th := g.fs.corruptionFor(path)
+	cw := &corruptingWriter{f: g.fs, w: w, path: path, off: off, pathHash: ph, thresh: th}
+	return g.inner.GetPart(path, off, length, algo, cw)
+}
+
+type faultPartPutter struct {
+	fs    *FS
+	inner vfs.PartPutter
+}
+
+func (p *faultPartPutter) PutBegin(path string, mode uint32, size int64) error {
+	if err := p.fs.gate(); err != nil {
+		return err
+	}
+	err := p.inner.PutBegin(path, mode, size)
+	if err == nil {
+		p.fs.markClean(path)
+	}
+	return err
+}
+
+// PutPart tears the tail off a chunk when a torn-write fault is armed:
+// the inner layer streams (and digests) only the kept prefix, so the
+// per-chunk trailer verifies and the tear stays silent until the
+// composed whole-file digest at putcomplete — exactly the failure the
+// completion check exists to catch (the pre-sized file keeps a zero
+// hole where the tail should have been).
+func (p *faultPartPutter) PutPart(path string, off, length int64, algo string, r io.Reader) (string, error) {
+	if err := p.fs.gate(); err != nil {
+		return "", err
+	}
+	if torn := p.fs.tornAmount(); torn > 0 {
+		keep := length - torn
+		if keep < 0 {
+			keep = 0
+		}
+		sum, err := p.inner.PutPart(path, off, keep, algo, io.LimitReader(r, keep))
+		if err != nil {
+			return "", err
+		}
+		// Drain what the caller believes was stored; report full success.
+		io.Copy(io.Discard, io.LimitReader(r, length-keep))
+		return sum, nil
+	}
+	return p.inner.PutPart(path, off, length, algo, r)
+}
+
+func (p *faultPartPutter) PutComplete(path string, size int64, algo, sum string) error {
+	if err := p.fs.gate(); err != nil {
+		return err
+	}
+	return p.inner.PutComplete(path, size, algo, sum)
 }
 
 type faultReconnector struct {

@@ -2,6 +2,7 @@ package gems
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -86,7 +87,10 @@ func (d *DSDB) Put(id string, attrs map[string]string, data []byte) (Record, err
 	}
 	srv := d.pickServer()
 	path := replicaPath(srv.Dir, id, 0)
-	if err := vfs.WriteFile(srv.FS, path, data, 0o644); err != nil {
+	// Stored through the copy engine with verification: the data file is
+	// digest-checked end to end before the record is indexed.
+	if err := vfs.PutBytes(context.Background(), vfs.Loc{FS: srv.FS, Path: path},
+		0o644, data, vfs.CopyOptions{Verify: true}); err != nil {
 		return Record{}, fmt.Errorf("gems: storing %s on %s: %w", id, srv.Name, err)
 	}
 	rec := Record{
@@ -227,7 +231,11 @@ func (d *DSDB) AddReplica(rec Record) (Record, error) {
 		return rec, fmt.Errorf("gems: no good source replica for %s: %w", rec.ID, err)
 	}
 	path := replicaPath(target.Dir, rec.ID, len(rec.Replicas))
-	if err := vfs.WriteFile(target.FS, path, data, 0o644); err != nil {
+	// Replication reuses the verified store: the new copy is digested in
+	// flight, so a replica born corrupt is impossible (the GEMS auditor
+	// then only has to catch rot, not bad transfers).
+	if err := vfs.PutBytes(context.Background(), vfs.Loc{FS: target.FS, Path: path},
+		0o644, data, vfs.CopyOptions{Verify: true}); err != nil {
 		return rec, fmt.Errorf("gems: replicating %s to %s: %w", rec.ID, target.Name, err)
 	}
 	rec.Replicas = append(rec.Replicas, Replica{Server: target.Name, Path: path})

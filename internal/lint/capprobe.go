@@ -29,6 +29,8 @@ func NewCapProbe() *CapProbe {
 			"OpenStater":  true,
 			"FileGetter":  true,
 			"FilePutter":  true,
+			"PartGetter":  true,
+			"PartPutter":  true,
 			"Checksummer": true,
 			"Closer":      true,
 			"Capabler":    true,

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CopyAPI enforces the unified-transfer contract introduced with
+// vfs.Copy: outside package vfs itself, non-test code may not call the
+// deprecated whole-file helpers vfs.PutReader and vfs.GetWholeFile
+// directly. Those helpers pick one fixed strategy (single-shot getfile
+// or putfile) and skip everything the engine negotiates — parallel
+// multipart for large files, end-to-end digest verification, retry
+// with reconnection, and cleanup of partial state. A direct call is
+// usually a transfer that silently lost those properties; the engine's
+// Copy/PutBytes entry points probe vfs.Capabilities and pick the same
+// fast path when it is the right one (DESIGN.md §13).
+//
+// Small-metadata reads (stubs, stripe descriptors) and benchmark
+// baselines that *measure* the single-stream path are legitimate and
+// carry //lint:ignore copyapi suppressions stating so.
+type CopyAPI struct {
+	// VFSPath is the import path of the vfs package.
+	VFSPath string
+	// Helpers maps the forbidden helper names to the replacement
+	// suggested in the diagnostic.
+	Helpers map[string]string
+}
+
+// NewCopyAPI returns the checker configured for this repository.
+func NewCopyAPI() *CopyAPI {
+	return &CopyAPI{
+		VFSPath: "tss/internal/vfs",
+		Helpers: map[string]string{
+			"PutReader":    "vfs.Copy or vfs.PutBytes",
+			"GetWholeFile": "vfs.Copy (or vfs.ReadFile for small metadata)",
+		},
+	}
+}
+
+// Name implements Checker.
+func (c *CopyAPI) Name() string { return "copyapi" }
+
+// Doc implements Checker.
+func (c *CopyAPI) Doc() string {
+	return "transfers go through the vfs.Copy engine, not the deprecated whole-file helpers"
+}
+
+// Check implements Checker.
+func (c *CopyAPI) Check(pkg *Package) []Diagnostic {
+	if pkg.Path == c.VFSPath {
+		// The engine is built out of the helpers it deprecates.
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(pkg.Info, call)
+			rest, ok := strings.CutPrefix(name, c.VFSPath+".")
+			if !ok {
+				return true
+			}
+			repl, ok := c.Helpers[rest]
+			if !ok {
+				return true
+			}
+			pos := pkg.Fset.Position(call.Pos())
+			if isTestFile(pos) {
+				return true
+			}
+			diags = append(diags, pkg.diag(c.Name(), call.Pos(),
+				"direct vfs.%s call bypasses the copy engine; use %s", rest, repl))
+			return true
+		})
+	}
+	return diags
+}

@@ -72,6 +72,7 @@ func Checkers() []Checker {
 		NewSleepSeam(),
 		NewErrnoWrap(),
 		NewCtxLeak(),
+		NewCopyAPI(),
 	}
 }
 

@@ -99,9 +99,9 @@ func TestSuppressions(t *testing.T) {
 }
 
 // TestCheckerTable pins the registered checker set: DESIGN.md §9
-// documents exactly these five invariants.
+// documents exactly these six invariants.
 func TestCheckerTable(t *testing.T) {
-	want := []string{"capprobe", "lockheld", "sleepseam", "errnowrap", "ctxleak"}
+	want := []string{"capprobe", "lockheld", "sleepseam", "errnowrap", "ctxleak", "copyapi"}
 	cs := Checkers()
 	if len(cs) != len(want) {
 		t.Fatalf("got %d checkers, want %d", len(cs), len(want))

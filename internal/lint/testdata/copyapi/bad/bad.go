@@ -1,0 +1,19 @@
+// Package bad moves file bodies with the deprecated whole-file
+// helpers, losing multipart, verification and retry.
+package bad
+
+import (
+	"bytes"
+
+	"tss/internal/vfs"
+)
+
+// Upload stores a payload the pre-engine way.
+func Upload(fs vfs.FileSystem, path string, data []byte) error {
+	return vfs.PutReader(fs, path, 0o644, int64(len(data)), bytes.NewReader(data))
+}
+
+// Download fetches a body the pre-engine way.
+func Download(fs vfs.FileSystem, path string) ([]byte, error) {
+	return vfs.GetWholeFile(fs, path)
+}

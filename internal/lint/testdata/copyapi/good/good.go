@@ -1,0 +1,25 @@
+// Package good moves file bodies through the copy engine and reads
+// small metadata with ReadFile, which the checker does not restrict.
+package good
+
+import (
+	"context"
+
+	"tss/internal/vfs"
+)
+
+// Upload stores a payload through the engine, with verification.
+func Upload(fs vfs.FileSystem, path string, data []byte) error {
+	return vfs.PutBytes(context.Background(), vfs.Loc{FS: fs, Path: path},
+		0o644, data, vfs.CopyOptions{Verify: true})
+}
+
+// Transfer copies between endpoints through the engine.
+func Transfer(ctx context.Context, dst, src vfs.Loc) (int64, error) {
+	return vfs.Copy(ctx, dst, src, vfs.CopyOptions{})
+}
+
+// Stub reads a small metadata file; ReadFile is not a transfer.
+func Stub(fs vfs.FileSystem, path string) ([]byte, error) {
+	return vfs.ReadFile(fs, path)
+}

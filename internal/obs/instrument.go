@@ -42,6 +42,7 @@ var instrumentedOps = []string{
 	"truncate", "chmod", "statfs",
 	"pread", "pwrite", "fstat", "ftruncate", "sync", "close",
 	"openstat", "getfile", "putfile", "checksum", "reconnect",
+	"getpart", "putbegin", "putpart", "putcomplete",
 }
 
 type instrumentedFS struct {
@@ -157,6 +158,12 @@ func (i *instrumentedFS) Capabilities() vfs.Capability {
 	if inner.FilePutter != nil {
 		c.FilePutter = &instrumentedFilePutter{i: i, inner: inner.FilePutter}
 	}
+	if inner.PartGetter != nil {
+		c.PartGetter = &instrumentedPartGetter{i: i, inner: inner.PartGetter}
+	}
+	if inner.PartPutter != nil {
+		c.PartPutter = &instrumentedPartPutter{i: i, inner: inner.PartPutter}
+	}
 	if inner.Checksummer != nil {
 		c.Checksummer = &instrumentedChecksummer{i: i, inner: inner.Checksummer}
 	}
@@ -207,6 +214,48 @@ func (p *instrumentedFilePutter) PutFile(path string, mode uint32, size int64, r
 	if err == nil {
 		p.i.bytesWritten.Add(size)
 	}
+	return err
+}
+
+type instrumentedPartGetter struct {
+	i     *instrumentedFS
+	inner vfs.PartGetter
+}
+
+func (g *instrumentedPartGetter) GetPart(path string, off, length int64, algo string, w io.Writer) (int64, string, error) {
+	start := time.Now()
+	n, sum, err := g.inner.GetPart(path, off, length, algo, w)
+	g.i.observe("getpart", start, err)
+	g.i.bytesRead.Add(n)
+	return n, sum, err
+}
+
+type instrumentedPartPutter struct {
+	i     *instrumentedFS
+	inner vfs.PartPutter
+}
+
+func (p *instrumentedPartPutter) PutBegin(path string, mode uint32, size int64) error {
+	start := time.Now()
+	err := p.inner.PutBegin(path, mode, size)
+	p.i.observe("putbegin", start, err)
+	return err
+}
+
+func (p *instrumentedPartPutter) PutPart(path string, off, length int64, algo string, r io.Reader) (string, error) {
+	start := time.Now()
+	sum, err := p.inner.PutPart(path, off, length, algo, r)
+	p.i.observe("putpart", start, err)
+	if err == nil {
+		p.i.bytesWritten.Add(length)
+	}
+	return sum, err
+}
+
+func (p *instrumentedPartPutter) PutComplete(path string, size int64, algo, sum string) error {
+	start := time.Now()
+	err := p.inner.PutComplete(path, size, algo, sum)
+	p.i.observe("putcomplete", start, err)
 	return err
 }
 

@@ -1,0 +1,710 @@
+package vfs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// The unified transfer entrypoint. Copy collapses the accreted transfer
+// surface — FileGetter, FilePutter, PutReader, ad-hoc pread/pwrite
+// loops — into one call that probes Capabilities on both sides and
+// picks the best strategy itself:
+//
+//   - small files move in a single shot over the whole-file fast paths
+//     (or a positional copy loop when neither side has one);
+//   - files at or above CopyOptions.Cutover, with Concurrency > 1,
+//     move as parallel multipart transfers: the file is split into
+//     ChunkSize pieces and chunk reads/writes are dispatched
+//     concurrently through the PartGetter/PartPutter capabilities —
+//     which a chirp.Pool fans out across its pooled connections — or,
+//     absent those, through concurrent positional I/O on open files.
+//
+// With Verify, every chunk carries a crc32c digest trailer verified by
+// the receiving side, and the completion step checks a composed
+// whole-file digest (CombineCRC32C), so a torn or corrupted multipart
+// transfer is detected end to end and its partial destination state is
+// removed — zero wrong bytes survive at rest.
+
+// DefaultChunkSize is the multipart chunk size when CopyOptions leaves
+// it zero. It matches the protocol's single-I/O bound so one chunk is
+// one comfortable wire transfer.
+const DefaultChunkSize = 8 << 20
+
+// Loc names a file on a filesystem: one endpoint of a transfer.
+type Loc struct {
+	FS   FileSystem
+	Path string
+}
+
+// Retryer runs an operation under a retry policy; resilient.Policy
+// satisfies it. It is declared here (rather than importing the
+// resilient package, which itself builds on vfs) so CopyOptions can
+// carry a policy without an import cycle.
+type Retryer interface {
+	Do(op func() error, prepare func() error, retryable func(error) bool) (err error, exhausted bool)
+}
+
+// CopyOptions tunes a Copy. The zero value is a safe single-stream,
+// unverified transfer.
+type CopyOptions struct {
+	// Concurrency is the number of parallel chunk workers for multipart
+	// transfers (<= 1 disables multipart).
+	Concurrency int
+	// ChunkSize is the multipart chunk size (default DefaultChunkSize).
+	ChunkSize int64
+	// Cutover is the file size at or above which a transfer goes
+	// multipart (default 2*ChunkSize: below two chunks there is nothing
+	// to parallelize).
+	Cutover int64
+	// Verify enables end-to-end digest verification. Multipart
+	// transfers always verify with crc32c — the only wire digest with a
+	// composition law (CombineCRC32C) — regardless of any transport
+	// digest configuration.
+	Verify bool
+	// Mode is the destination file mode; zero adopts the source mode
+	// (or 0644 when that is zero too).
+	Mode uint32
+	// Progress, when non-nil, observes cumulative transfer progress. It
+	// is called from transfer goroutines, serialized by the engine.
+	Progress func(copied, total int64)
+	// Retry, when non-nil, is applied at two levels: around each chunk
+	// operation (a failed chunk retries independently, reconnecting its
+	// side first) and around the whole transfer (an integrity failure
+	// at completion re-runs the copy). resilient.Policy satisfies it.
+	Retry Retryer
+}
+
+// normalize fills defaults in place.
+func (o *CopyOptions) normalize() {
+	if o.Concurrency < 1 {
+		o.Concurrency = 1
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	if o.Cutover <= 0 {
+		o.Cutover = 2 * o.ChunkSize
+	}
+}
+
+// Copy transfers the file at src to dst under opts and returns the
+// number of bytes copied. It is the single sanctioned transfer
+// entrypoint; see the package comment above and CopyOptions for the
+// strategy selection.
+func Copy(ctx context.Context, dst, src Loc, opts CopyOptions) (int64, error) {
+	bc, err := NewBulkCopier(dst, src, opts)
+	if err != nil {
+		return 0, err
+	}
+	return bc.Run(ctx)
+}
+
+// PutBytes stores data as the named file through the same strategy
+// selection as Copy: a single-shot put below the cutover, a parallel
+// multipart put (with composed-digest completion) at or above it.
+// mode zero defaults to 0644.
+func PutBytes(ctx context.Context, dst Loc, mode uint32, data []byte, opts CopyOptions) error {
+	if dst.FS == nil {
+		return EINVAL
+	}
+	opts.normalize()
+	if mode == 0 {
+		mode = 0o644
+	}
+	size := int64(len(data))
+	bc := &BulkCopier{dst: dst, opts: opts, size: size, mode: mode}
+	bc.newChunkReader = func() (func(p []byte, off int64) error, func()) {
+		return func(p []byte, off int64) error {
+			copy(p, data[off:off+int64(len(p))])
+			return nil
+		}, func() {}
+	}
+	op := func() error {
+		bc.copied.Store(0)
+		if bc.multipartEligible() {
+			return bc.runMultipart(ctx)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := PutReader(dst.FS, dst.Path, mode, size, bc.meterReader(bytes.NewReader(data))); err != nil {
+			return err
+		}
+		if opts.Verify {
+			want := FormatCRC32C(CRC32C(0, data))
+			return bc.verifyDst(want)
+		}
+		return nil
+	}
+	return bc.runWithRetry(op)
+}
+
+// BulkCopier is the transfer engine behind Copy: one value per
+// transfer, holding the resolved plan and progress accounting. Most
+// callers use Copy; constructing a BulkCopier directly is for callers
+// that want to Run the same plan after inspection.
+type BulkCopier struct {
+	dst, src Loc
+	opts     CopyOptions
+	size     int64
+	mode     uint32
+
+	// newChunkReader, when set, overrides the source side of multipart
+	// chunk reads (PutBytes feeds chunks from memory). Each worker gets
+	// its own reader from the factory and closes it when done.
+	newChunkReader func() (read func(p []byte, off int64) error, closer func())
+
+	copied atomic.Int64
+	progMu sync.Mutex
+}
+
+// NewBulkCopier validates endpoints and freezes options for one
+// transfer.
+func NewBulkCopier(dst, src Loc, opts CopyOptions) (*BulkCopier, error) {
+	if dst.FS == nil || src.FS == nil {
+		return nil, EINVAL
+	}
+	opts.normalize()
+	return &BulkCopier{dst: dst, src: src, opts: opts}, nil
+}
+
+// Copied reports the bytes transferred so far (or in total, after Run).
+func (bc *BulkCopier) Copied() int64 { return bc.copied.Load() }
+
+// progress accumulates n transferred bytes and notifies the observer,
+// serialized so a Progress callback never races itself.
+func (bc *BulkCopier) progress(n int64) {
+	c := bc.copied.Add(n)
+	if bc.opts.Progress != nil {
+		bc.progMu.Lock()
+		bc.opts.Progress(c, bc.size)
+		bc.progMu.Unlock()
+	}
+}
+
+// meterReader wraps r so bytes flowing through it feed progress.
+func (bc *BulkCopier) meterReader(r io.Reader) io.Reader { return &meterR{bc: bc, r: r} }
+
+type meterR struct {
+	bc *BulkCopier
+	r  io.Reader
+}
+
+func (m *meterR) Read(p []byte) (int, error) {
+	n, err := m.r.Read(p)
+	if n > 0 {
+		m.bc.progress(int64(n))
+	}
+	return n, err
+}
+
+type meterW struct {
+	bc *BulkCopier
+	w  io.Writer
+}
+
+func (m *meterW) Write(p []byte) (int, error) {
+	n, err := m.w.Write(p)
+	if n > 0 {
+		m.bc.progress(int64(n))
+	}
+	return n, err
+}
+
+// connRetryable marks errors a reconnect-and-retry can cure.
+func connRetryable(err error) bool {
+	switch AsErrno(err) {
+	case ENOTCONN, ETIMEDOUT:
+		return true
+	}
+	return false
+}
+
+// transferRetryable additionally retries integrity failures: a
+// corrupted or torn transfer re-run is a fresh transfer.
+func transferRetryable(err error) bool {
+	return connRetryable(err) || errors.Is(err, ErrIntegrity) || AsErrno(err) == EBADMSG
+}
+
+// retryOn runs op under the configured policy (or once, without one),
+// reconnecting fs — when it can — before each retry. retryable
+// classifies which failures are worth another attempt.
+func (bc *BulkCopier) retryOn(fs FileSystem, op func() error, retryable func(error) bool) error {
+	if bc.opts.Retry == nil {
+		return op()
+	}
+	var prepare func() error
+	if fs != nil {
+		if rc := Capabilities(fs).Reconnector; rc != nil {
+			prepare = rc.Reconnect
+		}
+	}
+	err, _ := bc.opts.Retry.Do(op, prepare, retryable)
+	return err
+}
+
+// prepareBoth reconnects whichever endpoints can be reconnected; it is
+// the recovery step for whole-transfer retries.
+func (bc *BulkCopier) prepareBoth() error {
+	for _, l := range []Loc{bc.src, bc.dst} {
+		if l.FS == nil {
+			continue
+		}
+		if rc := Capabilities(l.FS).Reconnector; rc != nil {
+			if err := rc.Reconnect(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runWithRetry applies the whole-transfer retry level around op.
+func (bc *BulkCopier) runWithRetry(op func() error) error {
+	if bc.opts.Retry == nil {
+		return op()
+	}
+	err, _ := bc.opts.Retry.Do(op, bc.prepareBoth, transferRetryable)
+	return err
+}
+
+func (bc *BulkCopier) multipartEligible() bool {
+	return bc.opts.Concurrency > 1 && bc.size >= bc.opts.Cutover
+}
+
+// Run executes the transfer and returns the bytes copied.
+func (bc *BulkCopier) Run(ctx context.Context) (int64, error) {
+	fi, err := bc.src.FS.Stat(bc.src.Path)
+	if err != nil {
+		return 0, err
+	}
+	if fi.IsDir {
+		return 0, EISDIR
+	}
+	bc.size = fi.Size
+	bc.mode = bc.opts.Mode
+	if bc.mode == 0 {
+		bc.mode = fi.Mode
+	}
+	if bc.mode == 0 {
+		bc.mode = 0o644
+	}
+	op := func() error {
+		bc.copied.Store(0)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if bc.multipartEligible() {
+			return bc.runMultipart(ctx)
+		}
+		return bc.runSingle()
+	}
+	if err := bc.runWithRetry(op); err != nil {
+		return bc.copied.Load(), err
+	}
+	return bc.copied.Load(), nil
+}
+
+// runSingle moves the file in one stream, picking the best pairing of
+// whole-file fast paths the two sides offer.
+func (bc *BulkCopier) runSingle() error {
+	srcCaps := Capabilities(bc.src.FS)
+	dstCaps := Capabilities(bc.dst.FS)
+	var err error
+	switch {
+	case srcCaps.FileGetter != nil && dstCaps.FilePutter != nil:
+		err = bc.singlePipe(srcCaps.FileGetter, dstCaps.FilePutter)
+	case srcCaps.FileGetter != nil:
+		err = bc.singleFromGetter(srcCaps.FileGetter)
+	case dstCaps.FilePutter != nil:
+		err = bc.singleToPutter(dstCaps.FilePutter)
+	default:
+		err = bc.singlePositional()
+	}
+	if err != nil {
+		return err
+	}
+	if bc.opts.Verify {
+		srcSum, err := ChecksumFile(bc.src.FS, bc.src.Path, AlgoCRC32C)
+		if err != nil {
+			return err
+		}
+		return bc.verifyDst(srcSum)
+	}
+	return nil
+}
+
+// verifyDst checks the destination digest against want, removing the
+// destination on mismatch so no wrong bytes survive at rest.
+func (bc *BulkCopier) verifyDst(want string) error {
+	got, err := ChecksumFile(bc.dst.FS, bc.dst.Path, AlgoCRC32C)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		bc.dst.FS.Unlink(bc.dst.Path)
+		return ChecksumMismatch(bc.dst.Path, AlgoCRC32C, want, got)
+	}
+	return nil
+}
+
+// singlePipe streams getter→putter through a pipe: both fast paths, no
+// intermediate file, one buffer in flight.
+func (bc *BulkCopier) singlePipe(g FileGetter, p FilePutter) error {
+	pr, pw := io.Pipe()
+	getErr := make(chan error, 1)
+	go func() {
+		_, err := g.GetFile(bc.src.Path, pw)
+		pw.CloseWithError(err)
+		getErr <- err
+	}()
+	putErr := p.PutFile(bc.dst.Path, bc.mode, bc.size, bc.meterReader(pr))
+	pr.CloseWithError(putErr)
+	if gerr := <-getErr; gerr != nil {
+		return gerr
+	}
+	return putErr
+}
+
+// singleFromGetter streams the source fast path into a positional
+// destination file.
+func (bc *BulkCopier) singleFromGetter(g FileGetter) error {
+	f, err := bc.dst.FS.Open(bc.dst.Path, O_WRONLY|O_CREAT|O_TRUNC, bc.mode)
+	if err != nil {
+		return err
+	}
+	_, gerr := g.GetFile(bc.src.Path, &meterW{bc: bc, w: NewSeqFile(f)})
+	cerr := f.Close()
+	if gerr != nil {
+		return gerr
+	}
+	return cerr
+}
+
+// singleToPutter streams a positional source file into the destination
+// fast path.
+func (bc *BulkCopier) singleToPutter(p FilePutter) error {
+	f, err := bc.src.FS.Open(bc.src.Path, O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.PutFile(bc.dst.Path, bc.mode, bc.size, bc.meterReader(NewSeqFile(f)))
+}
+
+// singlePositional is the no-fast-path fallback: a pread/pwrite loop.
+func (bc *BulkCopier) singlePositional() error {
+	in, err := bc.src.FS.Open(bc.src.Path, O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := bc.dst.FS.Open(bc.dst.Path, O_WRONLY|O_CREAT|O_TRUNC, bc.mode)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 256<<10)
+	var off int64
+	for {
+		n, err := in.Pread(buf, off)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		if err := WriteAll(out, buf[:n], off); err != nil {
+			out.Close()
+			return err
+		}
+		off += int64(n)
+		bc.progress(int64(n))
+	}
+	return out.Close()
+}
+
+// sliceWriter fills a fixed slice; the multipart engine points one at
+// each chunk buffer so GetPart streams land in place.
+type sliceWriter struct {
+	p []byte
+	n int
+}
+
+func (s *sliceWriter) Write(q []byte) (int, error) {
+	n := copy(s.p[s.n:], q)
+	s.n += n
+	if n < len(q) {
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}
+
+// runMultipart is one parallel multipart transfer attempt: negotiate
+// part support on each side (falling back to concurrent positional I/O
+// where a side lacks it or its server predates the verbs), fan chunks
+// out over Concurrency workers, then complete — verifying the composed
+// whole-file digest when Verify is on. Any failure removes the partial
+// destination before returning.
+func (bc *BulkCopier) runMultipart(ctx context.Context) error {
+	algo := ""
+	if bc.opts.Verify {
+		algo = AlgoCRC32C
+	}
+
+	// Source side: the part-read capability, probed with a zero-length
+	// getpart so a server that predates the verb answers EINVAL with its
+	// framing intact and the transfer degrades to positional reads. The
+	// probe costs one tiny RPC; memoizing it per transfer keeps the
+	// negotiation logic in one place.
+	var srcPart PartGetter
+	if bc.newChunkReader == nil {
+		srcPart = Capabilities(bc.src.FS).PartGetter
+		if srcPart != nil {
+			err := bc.retryOn(bc.src.FS, func() error {
+				_, _, e := srcPart.GetPart(bc.src.Path, 0, 0, "", io.Discard)
+				return e
+			}, connRetryable)
+			if err != nil {
+				if AsErrno(err) != EINVAL || errors.Is(err, ErrIntegrity) {
+					return err
+				}
+				srcPart = nil
+			}
+		}
+	}
+
+	// Destination side: putbegin doubles as the negotiation probe (it
+	// has no body, so an old server's EINVAL leaves the stream in sync)
+	// and creates the file at its final path and full size, which is
+	// also what the positional fallback needs.
+	dstPart := Capabilities(bc.dst.FS).PartPutter
+	if dstPart != nil {
+		err := bc.retryOn(bc.dst.FS, func() error {
+			return dstPart.PutBegin(bc.dst.Path, bc.mode, bc.size)
+		}, connRetryable)
+		if err != nil {
+			if AsErrno(err) != EINVAL {
+				return err
+			}
+			dstPart = nil
+		}
+	}
+	if dstPart == nil {
+		f, err := bc.dst.FS.Open(bc.dst.Path, O_WRONLY|O_CREAT|O_TRUNC, bc.mode)
+		if err != nil {
+			return err
+		}
+		terr := f.Ftruncate(bc.size)
+		cerr := f.Close()
+		if terr != nil {
+			return terr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+
+	chunk := bc.opts.ChunkSize
+	nchunks := (bc.size + chunk - 1) / chunk
+	crcs := make([]uint32, nchunks)
+
+	workers := bc.opts.Concurrency
+	if int64(workers) > nchunks {
+		workers = int(nchunks)
+	}
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+
+	newReader := bc.newChunkReader
+	if newReader == nil {
+		newReader = func() (func(p []byte, off int64) error, func()) {
+			var f File
+			read := func(p []byte, off int64) error {
+				return bc.retryOn(bc.src.FS, func() error {
+					if srcPart != nil {
+						sw := &sliceWriter{p: p}
+						got, _, err := srcPart.GetPart(bc.src.Path, off, int64(len(p)), algo, sw)
+						if err != nil {
+							return err
+						}
+						if got != int64(len(p)) {
+							return fmt.Errorf("short part read at %d: got %d, want %d: %w",
+								off, got, len(p), EIO)
+						}
+						return nil
+					}
+					if f == nil {
+						var err error
+						f, err = bc.src.FS.Open(bc.src.Path, O_RDONLY, 0)
+						if err != nil {
+							return err
+						}
+					}
+					if err := ReadFull(f, p, off); err != nil {
+						// The handle may be fenced to a dead connection;
+						// drop it so the retry reopens.
+						f.Close()
+						f = nil
+						return err
+					}
+					return nil
+				}, transferRetryable)
+			}
+			closer := func() {
+				if f != nil {
+					f.Close()
+				}
+			}
+			return read, closer
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			read, closeRead := newReader()
+			defer closeRead()
+			var dstFile File
+			defer func() {
+				if dstFile != nil {
+					dstFile.Close()
+				}
+			}()
+			buf := make([]byte, chunk)
+			for {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				i := next.Add(1) - 1
+				if i >= nchunks {
+					return
+				}
+				off := i * chunk
+				n := chunk
+				if bc.size-off < n {
+					n = bc.size - off
+				}
+				p := buf[:n]
+				if err := read(p, off); err != nil {
+					fail(err)
+					return
+				}
+				if bc.opts.Verify {
+					crcs[i] = CRC32C(0, p)
+				}
+				err := bc.retryOn(bc.dst.FS, func() error {
+					if dstPart != nil {
+						_, err := dstPart.PutPart(bc.dst.Path, off, n, algo, bytes.NewReader(p))
+						return err
+					}
+					if dstFile == nil {
+						var err error
+						dstFile, err = bc.dst.FS.Open(bc.dst.Path, O_WRONLY, 0)
+						if err != nil {
+							return err
+						}
+					}
+					if err := WriteAll(dstFile, p, off); err != nil {
+						dstFile.Close()
+						dstFile = nil
+						return err
+					}
+					return nil
+				}, transferRetryable)
+				if err != nil {
+					fail(err)
+					return
+				}
+				bc.progress(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		bc.cleanupMultipart(dstPart)
+		return firstErr
+	}
+
+	// Completion. Chunk digests compose in offset order into the digest
+	// a single-stream transfer would have produced; the put side hands
+	// it to putcomplete (the server hashes the assembled file and
+	// removes it on mismatch), the get side compares it against the
+	// source's authoritative server-side digest when one is offered.
+	var composed uint32
+	if bc.opts.Verify {
+		composed = crcs[0]
+		for i := int64(1); i < nchunks; i++ {
+			clen := chunk
+			if i == nchunks-1 {
+				clen = bc.size - i*chunk
+			}
+			composed = CombineCRC32C(composed, crcs[i], clen)
+		}
+	}
+	if dstPart != nil {
+		sum := ""
+		if bc.opts.Verify {
+			sum = FormatCRC32C(composed)
+		}
+		// Completion is deliberately not integrity-retried: after a
+		// digest mismatch the server has already removed the file, so
+		// the cure is re-running the whole transfer (the outer retry
+		// level), not re-asking.
+		err := bc.retryOn(bc.dst.FS, func() error {
+			return dstPart.PutComplete(bc.dst.Path, bc.size, algo, sum)
+		}, connRetryable)
+		if err != nil {
+			bc.cleanupMultipart(dstPart)
+			if AsErrno(err) == EBADMSG && !errors.Is(err, ErrIntegrity) {
+				err = fmt.Errorf("%s: composed %s digest rejected by server: %w",
+					bc.dst.Path, AlgoCRC32C, errors.Join(EIO, ErrIntegrity))
+			}
+			return err
+		}
+	} else if bc.opts.Verify && bc.src.FS != nil {
+		if cs := Capabilities(bc.src.FS).Checksummer; cs != nil {
+			want, err := cs.Checksum(bc.src.Path, AlgoCRC32C)
+			if err != nil {
+				bc.cleanupMultipart(dstPart)
+				return err
+			}
+			if got := FormatCRC32C(composed); got != want {
+				bc.cleanupMultipart(dstPart)
+				return ChecksumMismatch(bc.src.Path, AlgoCRC32C, want, got)
+			}
+		}
+	}
+	return nil
+}
+
+// cleanupMultipart removes partial destination state after a failed
+// multipart transfer; a server-side putcomplete mismatch has already
+// unlinked, so a resulting ENOENT here is the success case.
+func (bc *BulkCopier) cleanupMultipart(PartPutter) {
+	bc.dst.FS.Unlink(bc.dst.Path)
+}

@@ -1,0 +1,163 @@
+package vfs
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// copyFixture builds two LocalFS roots and a source file of the given
+// size, returning the endpoints. LocalFS offers no whole-file or part
+// fast paths, so these tests pin the engine's positional strategies;
+// the chirp package tests pin the wire strategies.
+func copyFixture(t *testing.T, size int) (dst, src Loc, data []byte) {
+	t.Helper()
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	rng := rand.New(rand.NewSource(int64(size) + 1))
+	data = make([]byte, size)
+	rng.Read(data)
+	if err := os.WriteFile(filepath.Join(srcDir, "src.bin"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sfs, err := NewLocalFS(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs, err := NewLocalFS(dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Loc{FS: dfs, Path: "/out.bin"}, Loc{FS: sfs, Path: "/src.bin"}, data
+}
+
+func checkCopied(t *testing.T, dst Loc, data []byte) {
+	t.Helper()
+	got, err := ReadFile(dst.FS, dst.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("copied %d bytes, want %d; content mismatch=%v",
+			len(got), len(data), !bytes.Equal(got, data))
+	}
+}
+
+func TestCopyEmptyFile(t *testing.T) {
+	dst, src, data := copyFixture(t, 0)
+	n, err := Copy(context.Background(), dst, src, CopyOptions{Concurrency: 4, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("copied = %d, want 0", n)
+	}
+	checkCopied(t, dst, data)
+}
+
+// TestCopyBelowCutover stays single-stream even with concurrency
+// requested: below two chunks there is nothing to parallelize.
+func TestCopyBelowCutover(t *testing.T) {
+	dst, src, data := copyFixture(t, 10_000)
+	n, err := Copy(context.Background(), dst, src,
+		CopyOptions{Concurrency: 8, ChunkSize: 64 << 10, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) {
+		t.Errorf("copied = %d, want %d", n, len(data))
+	}
+	checkCopied(t, dst, data)
+}
+
+// TestCopyChunkBoundaries drives the multipart engine across the edge
+// sizes that break naive chunk math: one byte around a chunk edge, an
+// exact multiple of the chunk size, and a single-chunk-plus-tail.
+func TestCopyChunkBoundaries(t *testing.T) {
+	const chunk = 32 << 10
+	for _, size := range []int{chunk*2 - 1, chunk * 2, chunk*2 + 1, chunk * 3, chunk*4 + 17} {
+		dst, src, data := copyFixture(t, size)
+		n, err := Copy(context.Background(), dst, src,
+			CopyOptions{Concurrency: 4, ChunkSize: chunk, Verify: true})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if n != int64(size) {
+			t.Errorf("size %d: copied = %d", size, n)
+		}
+		checkCopied(t, dst, data)
+	}
+}
+
+// TestCopyProgress asserts the progress stream is monotonic and lands
+// exactly on the file size.
+func TestCopyProgress(t *testing.T) {
+	const chunk = 16 << 10
+	dst, src, data := copyFixture(t, chunk*5+123)
+	var last int64
+	mono := true
+	_, err := Copy(context.Background(), dst, src, CopyOptions{
+		Concurrency: 3,
+		ChunkSize:   chunk,
+		Progress: func(copied, total int64) {
+			if copied < last || total != int64(len(data)) {
+				mono = false
+			}
+			last = copied
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mono {
+		t.Error("progress regressed or reported wrong total")
+	}
+	if last != int64(len(data)) {
+		t.Errorf("final progress = %d, want %d", last, len(data))
+	}
+}
+
+func TestCopyErrors(t *testing.T) {
+	dst, src, _ := copyFixture(t, 10)
+	if _, err := Copy(context.Background(), dst, Loc{FS: src.FS, Path: "/missing"},
+		CopyOptions{}); AsErrno(err) != ENOENT {
+		t.Errorf("missing source = %v, want ENOENT", err)
+	}
+	if _, err := Copy(context.Background(), dst, Loc{FS: src.FS, Path: "/"},
+		CopyOptions{}); AsErrno(err) != EISDIR {
+		t.Errorf("directory source = %v, want EISDIR", err)
+	}
+	if _, err := Copy(context.Background(), Loc{}, src, CopyOptions{}); AsErrno(err) != EINVAL {
+		t.Errorf("nil destination = %v, want EINVAL", err)
+	}
+}
+
+// TestPutBytes exercises the memory-fed strategy selection: single-shot
+// below the cutover, multipart workers above it, both verified.
+func TestPutBytes(t *testing.T) {
+	const chunk = 16 << 10
+	for _, size := range []int{0, 100, chunk * 2, chunk*3 + 7} {
+		dst, _, _ := copyFixture(t, 0)
+		rng := rand.New(rand.NewSource(int64(size)))
+		data := make([]byte, size)
+		rng.Read(data)
+		err := PutBytes(context.Background(), dst, 0o600, data,
+			CopyOptions{Concurrency: 4, ChunkSize: chunk, Verify: true})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		checkCopied(t, dst, data)
+	}
+}
+
+// TestCopyCanceledContext stops before moving bytes.
+func TestCopyCanceledContext(t *testing.T) {
+	dst, src, _ := copyFixture(t, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Copy(ctx, dst, src, CopyOptions{}); err == nil {
+		t.Error("copy with canceled context succeeded")
+	}
+}

@@ -1,0 +1,111 @@
+package vfs
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+)
+
+// CRC-32C composition. A CRC is a linear function over GF(2), so the
+// digest of a concatenation A||B can be computed from CRC(A), CRC(B)
+// and len(B) alone — no byte of either part is needed. This is what
+// lets the multipart transfer engine verify a whole file from the
+// per-chunk digest trailers it already collected: chunks are hashed
+// independently (in any order, on any connection), then folded together
+// in offset order into the digest a single-stream transfer would have
+// produced. SHA-256 has no such composition law, which is why multipart
+// verification is pinned to crc32c.
+//
+// The algorithm is the classic zlib crc32_combine: appending one zero
+// bit to A's stream is a linear operator on the 32-bit CRC register,
+// representable as a 32×32 matrix over GF(2); appending len(B) zero
+// bytes is that operator raised to the 8·len(B)-th power, computed in
+// O(log len) by repeated squaring.
+
+// crc32cPoly is the reflected Castagnoli polynomial, matching
+// crc32.Castagnoli's bit order.
+const crc32cPoly = 0x82F63B78
+
+// gf2Times multiplies the matrix by a vector over GF(2): XOR of the
+// rows selected by vec's set bits.
+func gf2Times(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; i++ {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		vec >>= 1
+	}
+	return sum
+}
+
+// gf2Square sets square = mat², column by column.
+func gf2Square(square, mat *[32]uint32) {
+	for n := range mat {
+		square[n] = gf2Times(mat, mat[n])
+	}
+}
+
+// CombineCRC32C returns the CRC-32C of A||B given crc1 = CRC-32C(A),
+// crc2 = CRC-32C(B), and len2 = len(B).
+func CombineCRC32C(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1
+	}
+	var even, odd [32]uint32
+	// odd is the operator for one appended zero bit: the register
+	// shifts right, feeding the polynomial back on a carry-out.
+	odd[0] = crc32cPoly
+	row := uint32(1)
+	for n := 1; n < 32; n++ {
+		odd[n] = row
+		row <<= 1
+	}
+	gf2Square(&even, &odd) // two zero bits
+	gf2Square(&odd, &even) // four zero bits
+	// Apply the operator for 8·len2 zero bits by repeated squaring,
+	// consuming one bit of len2 per squaring (starting at 8 = 2³ bits,
+	// hence the three squarings above).
+	for {
+		gf2Square(&even, &odd)
+		if len2&1 != 0 {
+			crc1 = gf2Times(&even, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+		gf2Square(&odd, &even)
+		if len2&1 != 0 {
+			crc1 = gf2Times(&odd, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+	}
+	return crc1 ^ crc2
+}
+
+// CRC32C returns the CRC-32C of p, continuing from crc (0 to start).
+func CRC32C(crc uint32, p []byte) uint32 {
+	return crc32.Update(crc, castagnoli, p)
+}
+
+// FormatCRC32C renders a CRC-32C register as the lowercase-hex digest
+// string the wire trailers carry (big-endian, matching hash.Sum).
+func FormatCRC32C(crc uint32) string {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], crc)
+	return hex.EncodeToString(b[:])
+}
+
+// ParseCRC32C parses a crc32c hex digest back into the register value.
+func ParseCRC32C(sum string) (uint32, error) {
+	raw, err := hex.DecodeString(sum)
+	if err != nil || len(raw) != 4 {
+		return 0, fmt.Errorf("malformed crc32c digest %q: %w", sum, EINVAL)
+	}
+	return binary.BigEndian.Uint32(raw), nil
+}

@@ -1,0 +1,70 @@
+package vfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestCombineCRC32C checks the composition law against the straight
+// digest across awkward split points: empty halves, single bytes, odd
+// lengths, and power-of-two chunk boundaries.
+func TestCombineCRC32C(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 1<<16+37)
+	rng.Read(data)
+	whole := CRC32C(0, data)
+	for _, split := range []int{0, 1, 2, 31, 255, 256, 4096, 4097, len(data) / 3, len(data) - 1, len(data)} {
+		a, b := data[:split], data[split:]
+		got := CombineCRC32C(CRC32C(0, a), CRC32C(0, b), int64(len(b)))
+		if got != whole {
+			t.Errorf("split at %d: combined %08x, want %08x", split, got, whole)
+		}
+	}
+}
+
+// TestCombineCRC32CFold composes many chunks in offset order, the way
+// the multipart engine assembles the whole-file digest.
+func TestCombineCRC32CFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 100_003)
+	rng.Read(data)
+	whole := CRC32C(0, data)
+	for _, chunk := range []int{1, 13, 4096, 50_000, len(data)} {
+		var composed uint32
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			c := CRC32C(0, data[off:end])
+			if off == 0 {
+				composed = c
+			} else {
+				composed = CombineCRC32C(composed, c, int64(end-off))
+			}
+		}
+		if composed != whole {
+			t.Errorf("chunk %d: composed %08x, want %08x", chunk, composed, whole)
+		}
+	}
+}
+
+// TestCRC32CFormatParse round-trips the wire form.
+func TestCRC32CFormatParse(t *testing.T) {
+	crc := CRC32C(0, bytes.Repeat([]byte("wire"), 9))
+	s := FormatCRC32C(crc)
+	if len(s) != 8 {
+		t.Fatalf("formatted crc %q, want 8 hex digits", s)
+	}
+	back, err := ParseCRC32C(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != crc {
+		t.Errorf("parse(format(%08x)) = %08x", crc, back)
+	}
+	if _, err := ParseCRC32C("zzzz"); err == nil {
+		t.Error("ParseCRC32C accepted junk")
+	}
+}

@@ -188,6 +188,56 @@ func (s *SubtreeFS) PutFile(path string, mode uint32, size int64, r io.Reader) e
 	return PutReader(s.inner, p, mode, size, r)
 }
 
+// GetPart forwards the offset-addressed bulk read fast path when the
+// inner filesystem provides one.
+func (s *SubtreeFS) GetPart(path string, off, length int64, algo string, w io.Writer) (int64, string, error) {
+	p, err := s.translate(path)
+	if err != nil {
+		return 0, "", err
+	}
+	if g := Capabilities(s.inner).PartGetter; g != nil {
+		return g.GetPart(p, off, length, algo, w)
+	}
+	return 0, "", EINVAL
+}
+
+// PutBegin forwards the multipart open when the inner filesystem
+// provides one.
+func (s *SubtreeFS) PutBegin(path string, mode uint32, size int64) error {
+	p, err := s.translate(path)
+	if err != nil {
+		return err
+	}
+	if pp := Capabilities(s.inner).PartPutter; pp != nil {
+		return pp.PutBegin(p, mode, size)
+	}
+	return EINVAL
+}
+
+// PutPart forwards one multipart chunk into the subtree.
+func (s *SubtreeFS) PutPart(path string, off, length int64, algo string, r io.Reader) (string, error) {
+	p, err := s.translate(path)
+	if err != nil {
+		return "", err
+	}
+	if pp := Capabilities(s.inner).PartPutter; pp != nil {
+		return pp.PutPart(p, off, length, algo, r)
+	}
+	return "", EINVAL
+}
+
+// PutComplete forwards the multipart completion into the subtree.
+func (s *SubtreeFS) PutComplete(path string, size int64, algo, sum string) error {
+	p, err := s.translate(path)
+	if err != nil {
+		return err
+	}
+	if pp := Capabilities(s.inner).PartPutter; pp != nil {
+		return pp.PutComplete(p, size, algo, sum)
+	}
+	return EINVAL
+}
+
 // Checksum forwards the content-digest fast path into the subtree,
 // falling back to hashing the bytes read through the view.
 func (s *SubtreeFS) Checksum(path, algo string) (string, error) {
@@ -213,6 +263,12 @@ func (s *SubtreeFS) Capabilities() Capability {
 	}
 	if inner.FilePutter != nil {
 		c.FilePutter = s
+	}
+	if inner.PartGetter != nil {
+		c.PartGetter = s
+	}
+	if inner.PartPutter != nil {
+		c.PartPutter = s
 	}
 	if inner.Checksummer != nil {
 		c.Checksummer = s

@@ -145,6 +145,35 @@ type FilePutter interface {
 	PutFile(path string, mode uint32, size int64, r io.Reader) error
 }
 
+// PartGetter is the optional offset-addressed bulk read capability,
+// matching the Chirp getpart RPC: stream up to length bytes at offset
+// off of the named file into w, in one round trip. Parts are addressed
+// by path, not descriptor, so concurrent part reads can travel on
+// different pooled connections; the multipart engine (Copy) fans chunk
+// reads across them. With a non-empty algo the transfer carries a
+// digest trailer the receiving side verifies; GetPart returns the
+// bytes written and that chunk digest (lowercase hex, "" when algo is
+// empty).
+type PartGetter interface {
+	GetPart(path string, off, length int64, algo string, w io.Writer) (int64, string, error)
+}
+
+// PartPutter is the optional offset-addressed bulk write capability,
+// the put side of the multipart protocol (Chirp putbegin / putpart /
+// putcomplete). PutBegin creates the destination at its final path and
+// full size; PutPart stores length bytes from r at offset off (with a
+// non-empty algo the chunk carries a digest trailer the receiver
+// verifies, answering an integrity error without touching other
+// chunks, so a failed chunk retries independently); PutComplete checks
+// the assembled file — its size, and with a non-empty algo its whole-
+// file digest against sum — and removes it on mismatch, so a torn
+// multipart transfer never survives at rest.
+type PartPutter interface {
+	PutBegin(path string, mode uint32, size int64) error
+	PutPart(path string, off, length int64, algo string, r io.Reader) (string, error)
+	PutComplete(path string, size int64, algo, sum string) error
+}
+
 // Capability collects the optional fast paths and lifecycle hooks a
 // filesystem offers beyond the core FileSystem interface. Each field is
 // nil when the capability is unavailable. Callers obtain one through
@@ -157,6 +186,12 @@ type Capability struct {
 	FileGetter FileGetter
 	// FilePutter stores a whole file in one round trip.
 	FilePutter FilePutter
+	// PartGetter reads offset-addressed file parts for multipart
+	// transfers.
+	PartGetter PartGetter
+	// PartPutter writes offset-addressed file parts with begin/complete
+	// framing.
+	PartPutter PartPutter
 	// Checksummer digests a whole file where the data lives.
 	Checksummer Checksummer
 	// Reconnector re-establishes a lost transport connection.
@@ -189,6 +224,8 @@ func Capabilities(fs FileSystem) Capability {
 	caps.OpenStater, _ = fs.(OpenStater)
 	caps.FileGetter, _ = fs.(FileGetter)
 	caps.FilePutter, _ = fs.(FilePutter)
+	caps.PartGetter, _ = fs.(PartGetter)
+	caps.PartPutter, _ = fs.(PartPutter)
 	caps.Checksummer, _ = fs.(Checksummer)
 	caps.Reconnector, _ = fs.(Reconnector)
 	caps.Closer, _ = fs.(Closer)
@@ -197,6 +234,12 @@ func Capabilities(fs FileSystem) Capability {
 
 // GetWholeFile reads an entire file, using the FileGetter fast path
 // when fs provides it and open/pread/close otherwise.
+//
+// Deprecated: transfer call sites should go through Copy, the unified
+// entrypoint that picks the best strategy (single-shot, streaming, or
+// parallel multipart) from the capability probe. The tsslint copyapi
+// check flags direct use outside package vfs; small metadata reads that
+// genuinely want a byte slice may suppress it with a reason.
 func GetWholeFile(fs FileSystem, path string) ([]byte, error) {
 	if g := Capabilities(fs).FileGetter; g != nil {
 		var buf bytes.Buffer
@@ -211,6 +254,11 @@ func GetWholeFile(fs FileSystem, path string) ([]byte, error) {
 // PutReader stores exactly size bytes from r as the named file, using
 // the FilePutter one-round-trip fast path when fs provides it and
 // open/pwrite/close otherwise.
+//
+// Deprecated: transfer call sites should go through Copy or PutBytes,
+// the unified entrypoints that pick the best strategy (single-shot,
+// streaming, or parallel multipart) from the capability probe. The
+// tsslint copyapi check flags direct use outside package vfs.
 func PutReader(fs FileSystem, path string, mode uint32, size int64, r io.Reader) error {
 	if p := Capabilities(fs).FilePutter; p != nil {
 		return p.PutFile(path, mode, size, r)
