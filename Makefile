@@ -10,9 +10,12 @@ test:
 	$(GO) test ./...
 
 # lint runs tsslint, the repo-invariant static analyzer (see DESIGN.md
-# §9 for the enforced invariants).
+# §9 for the enforced invariants). -time prints the package count and
+# wall-clock of the analysis to stderr so lint latency regressions are
+# visible in every run; -unused fails stale //lint:ignore suppressions
+# out of the tree instead of letting them rot.
 lint:
-	$(GO) run ./cmd/tsslint ./...
+	$(GO) run ./cmd/tsslint -time -unused ./...
 
 # verify runs the tier-1 gate (build + test) plus formatting, static
 # analysis (go vet and tsslint), and the full suite under the race
@@ -45,9 +48,10 @@ bench:
 # chaos-short runs the quick chaos sweep: every canned fault timeline
 # (partitions, flapping, slowness, corruption, torn writes,
 # crash/restart) executed against the full stack with the whole-stack
-# invariant checkers armed. The rendered report lands in
-# chaos_report.txt either way; on failure it carries the
-# (timeline, seed, step) coordinates that replay each violation.
+# invariant checkers armed — under the race detector, since the chaos
+# engine is the densest concurrency workout in the repo. The rendered
+# report lands in chaos_report.txt either way; on failure it carries
+# the (timeline, seed, step) coordinates that replay each violation.
 chaos-short:
-	@$(GO) run ./cmd/tssbench -quick -run chaos > chaos_report.txt 2>&1; \
+	@$(GO) run -race ./cmd/tssbench -quick -run chaos > chaos_report.txt 2>&1; \
 	status=$$?; cat chaos_report.txt; exit $$status

@@ -4,11 +4,20 @@
 // — and runs the checkers in internal/lint, each of which enforces a
 // contract the recursive storage stack relies on:
 //
-//	capprobe   optional vfs interfaces are reached via vfs.Capabilities
-//	lockheld   no blocking I/O while a sync mutex is held
-//	sleepseam  no bare time.Sleep outside the injectable sleep seams
-//	errnowrap  errors crossing vfs methods keep their errno (%w)
-//	ctxleak    received contexts are forwarded, not re-minted
+//	capprobe     optional vfs interfaces are reached via vfs.Capabilities
+//	lockheld     no blocking I/O while a sync mutex is held
+//	sleepseam    no bare time.Sleep outside the injectable sleep seams
+//	errnowrap    errors crossing vfs methods keep their errno (%w)
+//	ctxleak      received contexts are forwarded, not re-minted
+//	copyapi      transfers go through the vfs.Copy engine
+//	reslifetime  acquired files/conns/clients are released on every path
+//	lockorder    the repo-wide lock-acquisition graph is cycle-free
+//	goroleak     goroutines have a provable exit and cannot block forever
+//
+// The last three run on a per-function control-flow graph with a
+// forward dataflow analysis (plus, for lockorder, a repo-wide
+// call/lock summary pass), so early error returns, branch joins and
+// deferred cleanup are modeled rather than approximated.
 //
 // Diagnostics print as file:line:col: [check] message and the exit
 // status is nonzero when any are found. A finding that is wrong by
@@ -16,7 +25,9 @@
 //
 //	//lint:ignore <check> <reason>
 //
-// on the offending line or the line above it. The reason is mandatory.
+// on the offending line or the line above it. The reason is mandatory,
+// the check name must exist, and -unused lists suppressions that no
+// longer match anything.
 package main
 
 import (
@@ -29,8 +40,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list registered checkers and exit")
+	unused := flag.Bool("unused", false, "also report //lint:ignore suppressions that match no diagnostic")
+	timing := flag.Bool("time", false, "print analysis runtime and package count to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tsslint [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: tsslint [-list] [-unused] [-time] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,5 +51,9 @@ func main() {
 		lint.ListCheckers(os.Stdout)
 		return
 	}
-	os.Exit(lint.Main(os.Stdout, ".", flag.Args()...))
+	opts := lint.Options{Unused: *unused}
+	if *timing {
+		opts.Timing = os.Stderr
+	}
+	os.Exit(lint.MainOpts(os.Stdout, ".", opts, flag.Args()...))
 }

@@ -1,0 +1,81 @@
+package chirp
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tss/internal/auth"
+	"tss/internal/netsim"
+)
+
+// closeCountConn records whether Close was called on the underlying
+// transport, so tests can pin the connection lifetime on failed dials.
+type closeCountConn struct {
+	net.Conn
+	closed *atomic.Bool
+}
+
+func (c closeCountConn) Close() error {
+	c.closed.Store(true)
+	return c.Conn.Close()
+}
+
+// TestDialClosesConnOnAuthFailure pins Reconnect's error path: when
+// the transport comes up but the authentication dialog fails (here, a
+// client with no credentials at all), the freshly dialed connection
+// must be closed before Dial reports the error. Retry loops around
+// Dial would otherwise accumulate one half-open socket per attempt.
+func TestDialClosesConnOnAuthFailure(t *testing.T) {
+	ts := startServer(t, nil)
+	var closed atomic.Bool
+	_, err := Dial(ClientConfig{
+		Dial: func() (net.Conn, error) {
+			conn, err := ts.net.DialFrom("owner.sim", "fs.sim", netsim.Loopback)
+			if err != nil {
+				return nil, err
+			}
+			return closeCountConn{Conn: conn, closed: &closed}, nil
+		},
+		Credentials: nil, // no credential can satisfy the verifier
+		Timeout:     5 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("Dial with no credentials succeeded, want auth failure")
+	}
+	if !closed.Load() {
+		t.Error("dialed connection left open after authentication failure")
+	}
+}
+
+// TestDialKeepsConnOnSuccess is the success-path complement: a clean
+// handshake must leave the transport open and owned by the client
+// until Close.
+func TestDialKeepsConnOnSuccess(t *testing.T) {
+	ts := startServer(t, nil)
+	var closed atomic.Bool
+	c, err := Dial(ClientConfig{
+		Dial: func() (net.Conn, error) {
+			conn, err := ts.net.DialFrom("owner.sim", "fs.sim", netsim.Loopback)
+			if err != nil {
+				return nil, err
+			}
+			return closeCountConn{Conn: conn, closed: &closed}, nil
+		},
+		Credentials: []auth.Credential{auth.HostnameCredential{}},
+		Timeout:     5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Load() {
+		t.Fatal("transport closed during a successful handshake")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !closed.Load() {
+		t.Error("client Close did not release the transport")
+	}
+}

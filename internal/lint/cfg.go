@@ -1,0 +1,570 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CFG is the intraprocedural control-flow graph of one function body.
+// Blocks hold statements and the expressions that drive branching, in
+// evaluation order; edges carry the branch condition they encode (with
+// its polarity) so dataflow analyses can refine facts along them — the
+// `if err != nil` edge is what lets reslifetime know a failed
+// acquisition left nothing to close.
+//
+// The graph models the control constructs the checkers care about:
+// if/for/range/switch/select with break/continue/goto/fallthrough,
+// return edges into a single synthetic Exit block, and panic edges —
+// explicit panic(...) plus the process-terminating calls (os.Exit,
+// log.Fatal*) — which also reach Exit but are marked so analyses can
+// treat crash paths differently from returns. Deferred calls are
+// recorded in registration order; their bodies run at every Exit edge.
+type CFG struct {
+	// Entry is the block control enters with the function's parameters
+	// bound.
+	Entry *Block
+	// Exit is the single synthetic exit block: every return, panic and
+	// fall-off-the-end edge targets it. It holds no nodes.
+	Exit *Block
+	// Blocks lists every block, Entry first, Exit second. Blocks made
+	// unreachable by return/panic/goto remain in the list with no
+	// incoming edges.
+	Blocks []*Block
+	// Defers are the function's defer statements in registration
+	// order. Their calls execute on every path into Exit.
+	Defers []*ast.DeferStmt
+	// Recovers reports whether any deferred call tree contains a
+	// recover() call, i.e. panic edges may resume rather than kill the
+	// goroutine.
+	Recovers bool
+}
+
+// Block is a straight-line sequence of AST nodes with no internal
+// control transfer. Nodes are statements plus the condition/tag
+// expressions evaluated in the block (an *ast.Expr node appears where
+// an if/for condition or switch tag is evaluated).
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes are the block's statements and driving expressions in
+	// evaluation order.
+	Nodes []ast.Node
+	// Succs and Preds are the block's outgoing and incoming edges.
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Edge is one control transfer.
+type Edge struct {
+	From, To *Block
+	// Cond is the branch condition this edge encodes, nil for an
+	// unconditional transfer. The edge is taken when Cond evaluates to
+	// !Negated.
+	Cond ast.Expr
+	// Negated marks the false arm of Cond.
+	Negated bool
+	// Panic marks an edge into Exit produced by panic(...) or a
+	// process-terminating call rather than a return.
+	Panic bool
+	// Tag is the dispatch expression for an edge leaving a value
+	// switch's condition block, nil elsewhere. Cases are the clause's
+	// case expressions — the edge is taken when Tag equals one of them.
+	// NotCases are case expressions known NOT to match on this edge;
+	// they are set on the default-clause and no-clause-matched edges,
+	// where Cases is empty. Refinements use these the way they use
+	// Cond: `switch vfs.AsErrno(err)` tells reslifetime which arms
+	// carry a failed (nil) acquisition.
+	Tag      ast.Expr
+	Cases    []ast.Expr
+	NotCases []ast.Expr
+}
+
+// Returns yields the return statements (if any) that end the edge's
+// source block; a fall-off or panic edge has none.
+func (e *Edge) Returns() *ast.ReturnStmt {
+	if len(e.From.Nodes) == 0 {
+		return nil
+	}
+	r, _ := e.From.Nodes[len(e.From.Nodes)-1].(*ast.ReturnStmt)
+	return r
+}
+
+// terminators are the fully qualified callees that never return:
+// control flowing into them exits the function (and the process), so
+// they produce panic edges. Test-only terminators (testing.T.Fatal)
+// never appear because the loader skips test files.
+var terminators = map[string]bool{
+	"os.Exit":        true,
+	"log.Fatal":      true,
+	"log.Fatalf":     true,
+	"log.Fatalln":    true,
+	"log.Panic":      true,
+	"log.Panicf":     true,
+	"log.Panicln":    true,
+	"runtime.Goexit": true,
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+// The package supplies type information for resolving terminating
+// callees; body is the *ast.BlockStmt of a FuncDecl or FuncLit.
+func BuildCFG(pkg *Package, body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		pkg:    pkg,
+		g:      &CFG{},
+		labels: make(map[string]*labelTarget),
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Exit, nil, false, false)
+	b.resolveGotos()
+	return b.g
+}
+
+// labelTarget is the break/continue destination pair registered for a
+// labeled loop, switch or select.
+type labelTarget struct {
+	breakTo    *Block
+	continueTo *Block // nil for switch/select labels
+	start      *Block // the labeled statement's first block (goto target)
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+	pos   token.Pos
+}
+
+type cfgBuilder struct {
+	pkg *Package
+	g   *CFG
+	cur *Block
+
+	// Innermost-first stacks of break/continue targets.
+	breaks    []*Block
+	continues []*Block
+
+	// pendingLabel is set while building the statement a label names,
+	// so the loop/switch registers its targets under that label.
+	pendingLabel string
+	labels       map[string]*labelTarget
+	gotos        []pendingGoto
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, cond ast.Expr, negated, panics bool) {
+	e := &Edge{From: from, To: to, Cond: cond, Negated: negated, Panic: panics}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// unreachable parks the builder on a fresh block with no predecessors:
+// the statements after a return/break/goto still get blocks (and are
+// analyzed with empty entry state), they just cannot be reached.
+func (b *cfgBuilder) unreachable() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct that claims
+// it, returning "" when the construct is unlabeled.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case nil, *ast.EmptyStmt:
+
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.LabeledStmt:
+		start := b.newBlock()
+		b.edge(b.cur, start, nil, false, false)
+		b.cur = start
+		b.labels[st.Label.Name] = &labelTarget{start: start}
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		b.stmt(st.Init)
+		b.add(st.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then, st.Cond, false, false)
+		if st.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els, st.Cond, true, false)
+			b.cur = els
+			b.stmt(st.Else)
+			b.edge(b.cur, join, nil, false, false)
+		} else {
+			b.edge(cond, join, st.Cond, true, false)
+		}
+		b.cur = then
+		b.stmt(st.Body)
+		b.edge(b.cur, join, nil, false, false)
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(st.Init)
+		head := b.newBlock()
+		b.edge(b.cur, head, nil, false, false)
+		b.cur = head
+		join := b.newBlock()
+		body := b.newBlock()
+		if st.Cond != nil {
+			b.add(st.Cond)
+			b.edge(head, body, st.Cond, false, false)
+			b.edge(head, join, st.Cond, true, false)
+		} else {
+			// `for {}`: the only way past join is break/return.
+			b.edge(head, body, nil, false, false)
+		}
+		contTo := head
+		var post *Block
+		if st.Post != nil {
+			post = b.newBlock()
+			contTo = post
+		}
+		b.pushLoop(label, join, contTo)
+		b.cur = body
+		b.stmt(st.Body)
+		b.popLoop()
+		if post != nil {
+			b.edge(b.cur, post, nil, false, false)
+			b.cur = post
+			b.stmt(st.Post)
+		}
+		b.edge(b.cur, head, nil, false, false)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head, nil, false, false)
+		b.cur = head
+		b.add(st.X)
+		if st.Key != nil {
+			b.add(st.Key)
+		}
+		if st.Value != nil {
+			b.add(st.Value)
+		}
+		body := b.newBlock()
+		join := b.newBlock()
+		b.edge(head, body, nil, false, false)
+		b.edge(head, join, nil, false, false)
+		b.pushLoop(label, join, head)
+		b.cur = body
+		b.stmt(st.Body)
+		b.popLoop()
+		b.edge(b.cur, head, nil, false, false)
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		b.switchStmt(st.Init, st.Tag, nil, st.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(st.Init, nil, st.Assign, st.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		sel := b.cur
+		join := b.newBlock()
+		b.pushBreakable(label, join)
+		any := false
+		for _, cl := range st.Body.List {
+			comm := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(sel, blk, nil, false, false)
+			b.cur = blk
+			b.stmt(comm.Comm)
+			b.stmtList(comm.Body)
+			b.edge(b.cur, join, nil, false, false)
+			any = true
+		}
+		b.popBreakable()
+		if !any {
+			// `select {}` blocks forever: no successor at all.
+		}
+		b.cur = join
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.edge(b.cur, b.g.Exit, nil, false, false)
+		b.unreachable()
+
+	case *ast.BranchStmt:
+		b.branch(st)
+
+	case *ast.DeferStmt:
+		b.add(st)
+		b.g.Defers = append(b.g.Defers, st)
+		if callTreeRecovers(st.Call) {
+			b.g.Recovers = true
+		}
+
+	case *ast.ExprStmt:
+		b.add(st)
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && b.terminates(call) {
+			b.edge(b.cur, b.g.Exit, nil, false, true)
+			b.unreachable()
+		}
+
+	default:
+		// Assignments, declarations, go/send/incdec: straight-line.
+		b.add(s)
+	}
+}
+
+// switchStmt builds expression and type switches: the tag evaluates in
+// the current block, every case clause gets its own block, fallthrough
+// chains into the next clause, and a missing default adds a direct
+// tag→join edge.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	b.stmt(init)
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	cond := b.cur
+	join := b.newBlock()
+	b.pushBreakable(label, join)
+	clauses := make([]*Block, len(body.List))
+	hasDefault := false
+	var allCases []ast.Expr
+	for i, cl := range body.List {
+		clauses[i] = b.newBlock()
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		allCases = append(allCases, cc.List...)
+	}
+	for i, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		blk := clauses[i]
+		b.edge(cond, blk, nil, false, false)
+		if tag != nil {
+			e := cond.Succs[len(cond.Succs)-1]
+			e.Tag = tag
+			if cc.List != nil {
+				e.Cases = cc.List
+			} else {
+				e.NotCases = allCases
+			}
+		}
+		b.cur = blk
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		falls := false
+		for j, s2 := range cc.Body {
+			if br, ok := s2.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && j == len(cc.Body)-1 {
+				falls = true
+				break
+			}
+			b.stmt(s2)
+		}
+		if falls && i+1 < len(clauses) {
+			b.edge(b.cur, clauses[i+1], nil, false, false)
+		} else {
+			b.edge(b.cur, join, nil, false, false)
+		}
+	}
+	b.popBreakable()
+	if !hasDefault {
+		b.edge(cond, join, nil, false, false)
+		if tag != nil {
+			e := cond.Succs[len(cond.Succs)-1]
+			e.Tag = tag
+			e.NotCases = allCases
+		}
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) branch(st *ast.BranchStmt) {
+	switch st.Tok {
+	case token.BREAK:
+		var to *Block
+		if st.Label != nil {
+			if t := b.labels[st.Label.Name]; t != nil {
+				to = t.breakTo
+			}
+		} else if len(b.breaks) > 0 {
+			to = b.breaks[len(b.breaks)-1]
+		}
+		if to != nil {
+			b.edge(b.cur, to, nil, false, false)
+		}
+		b.unreachable()
+	case token.CONTINUE:
+		var to *Block
+		if st.Label != nil {
+			if t := b.labels[st.Label.Name]; t != nil {
+				to = t.continueTo
+			}
+		} else if len(b.continues) > 0 {
+			to = b.continues[len(b.continues)-1]
+		}
+		if to != nil {
+			b.edge(b.cur, to, nil, false, false)
+		}
+		b.unreachable()
+	case token.GOTO:
+		if st.Label != nil {
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: st.Label.Name, pos: st.Pos()})
+		}
+		b.unreachable()
+	case token.FALLTHROUGH:
+		// Reached only for malformed positions; switchStmt handles the
+		// legal final-statement form.
+	}
+}
+
+func (b *cfgBuilder) pushLoop(label string, breakTo, continueTo *Block) {
+	b.breaks = append(b.breaks, breakTo)
+	b.continues = append(b.continues, continueTo)
+	if label != "" {
+		t := b.labels[label]
+		t.breakTo, t.continueTo = breakTo, continueTo
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) pushBreakable(label string, breakTo *Block) {
+	b.breaks = append(b.breaks, breakTo)
+	// continue skips switch/select: keep the enclosing loop target by
+	// pushing a sentinel copy.
+	cont := (*Block)(nil)
+	if len(b.continues) > 0 {
+		cont = b.continues[len(b.continues)-1]
+	}
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		b.labels[label].breakTo = breakTo
+	}
+}
+
+func (b *cfgBuilder) popBreakable() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if t := b.labels[g.label]; t != nil && t.start != nil {
+			b.edge(g.from, t.start, nil, false, false)
+		}
+	}
+}
+
+// terminates reports whether the call never returns: the panic builtin
+// or a process-terminating callee.
+func (b *cfgBuilder) terminates(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := b.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	return terminators[calleeName(b.pkg.Info, call)]
+}
+
+// callTreeRecovers reports whether the deferred call's function
+// literal (or argument tree) contains a recover() call.
+func callTreeRecovers(call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		for _, e := range blk.Succs {
+			if !seen[e.To] {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// ExitReachable reports whether any non-panic edge into Exit leaves a
+// block reachable from Entry — i.e. the function has a provable normal
+// termination path. A body whose only route out is panic (or that
+// loops forever) reports false.
+func (g *CFG) ExitReachable() bool {
+	reach := g.Reachable()
+	for _, e := range g.Exit.Preds {
+		if !e.Panic && reach[e.From] {
+			return true
+		}
+	}
+	return false
+}
+
+// funcBodies yields every function-like body in the file: declarations
+// and function literals, each analyzed as an independent function.
+func funcBodies(f *ast.File, fn func(body *ast.BlockStmt, decl *ast.FuncDecl)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body, d)
+			}
+		case *ast.FuncLit:
+			fn(d.Body, nil)
+		}
+		return true
+	})
+}

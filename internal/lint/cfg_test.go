@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+)
+
+// buildFixtureCFG loads testdata/cfg and returns the CFG of the named
+// function.
+func buildFixtureCFG(t *testing.T, name string) (*Package, *CFG) {
+	t.Helper()
+	pkg := loadFixture(t, filepath.Join("testdata", "cfg"))
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Name.Name == name {
+				return pkg, BuildCFG(pkg, fd.Body)
+			}
+		}
+	}
+	t.Fatalf("function %s not found in testdata/cfg", name)
+	return nil, nil
+}
+
+// TestCFGBranch asserts the if/else diamond: a condition block with a
+// positive and a negated edge carrying the same condition expression,
+// and a reachable exit.
+func TestCFGBranch(t *testing.T) {
+	_, g := buildFixtureCFG(t, "Branch")
+	var pos, neg *Edge
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond == nil {
+				continue
+			}
+			if e.Negated {
+				neg = e
+			} else {
+				pos = e
+			}
+		}
+	}
+	if pos == nil || neg == nil {
+		t.Fatalf("want one positive and one negated branch edge, got pos=%v neg=%v", pos, neg)
+	}
+	if pos.Cond != neg.Cond {
+		t.Errorf("branch arms carry different condition expressions")
+	}
+	if pos.From != neg.From {
+		t.Errorf("branch arms leave different blocks")
+	}
+	if pos.To == neg.To {
+		t.Errorf("branch arms enter the same block")
+	}
+	if !g.ExitReachable() {
+		t.Errorf("exit unreachable in a straight branch")
+	}
+}
+
+// TestCFGDeferInLoop asserts the loop back edge exists and the
+// per-iteration defer is recorded exactly once in registration order.
+func TestCFGDeferInLoop(t *testing.T) {
+	_, g := buildFixtureCFG(t, "DeferInLoop")
+	if len(g.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(g.Defers))
+	}
+	// The defer's block must flow back around the loop: some reachable
+	// cycle must contain it.
+	reach := g.Reachable()
+	backEdge := false
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, e := range b.Succs {
+			if e.To.Index < b.Index && e.To != g.Exit {
+				backEdge = true
+			}
+		}
+	}
+	if !backEdge {
+		t.Errorf("loop produced no back edge")
+	}
+	if !g.ExitReachable() {
+		t.Errorf("exit unreachable")
+	}
+}
+
+// TestCFGPanicEdges asserts panic(...) and os.Exit produce Panic edges
+// into Exit while the normal return stays a non-panic edge.
+func TestCFGPanicEdges(t *testing.T) {
+	for _, name := range []string{"PanicPath", "FatalPath"} {
+		_, g := buildFixtureCFG(t, name)
+		var panics, normal int
+		for _, e := range g.Exit.Preds {
+			if e.Panic {
+				panics++
+			} else if e.Returns() != nil {
+				normal++
+			}
+		}
+		if panics != 1 {
+			t.Errorf("%s: got %d panic edges into exit, want 1", name, panics)
+		}
+		if normal != 1 {
+			t.Errorf("%s: got %d return edges into exit, want 1", name, normal)
+		}
+		if !g.ExitReachable() {
+			t.Errorf("%s: normal exit should stay reachable", name)
+		}
+	}
+}
+
+// TestCFGRecover asserts a recover() inside a deferred literal marks
+// the graph as recovering.
+func TestCFGRecover(t *testing.T) {
+	_, g := buildFixtureCFG(t, "RecoverGuard")
+	if !g.Recovers {
+		t.Errorf("deferred recover() not detected")
+	}
+	_, g = buildFixtureCFG(t, "DeferInLoop")
+	if g.Recovers {
+		t.Errorf("recover detected where none exists")
+	}
+}
+
+// TestCFGExitReachability pins the property goroleak is built on: a
+// bare `for {}` body has no path to Exit, while a select case that
+// returns restores one.
+func TestCFGExitReachability(t *testing.T) {
+	for name, want := range map[string]bool{
+		"Forever":    false,
+		"SelectLoop": true,
+		"GotoRetry":  true,
+		"SwitchFall": true,
+		"BreakLabel": true,
+	} {
+		_, g := buildFixtureCFG(t, name)
+		if got := g.ExitReachable(); got != want {
+			t.Errorf("%s: ExitReachable = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestCFGLabeledBreak asserts break with a label leaves both loops:
+// the labeled-break edge lands in a block from which exit is reachable
+// without re-entering either loop head.
+func TestCFGLabeledBreak(t *testing.T) {
+	_, g := buildFixtureCFG(t, "BreakLabel")
+	if !g.ExitReachable() {
+		t.Fatalf("exit unreachable")
+	}
+	// There must be a reachable return edge into Exit (the final
+	// `return total`).
+	reach := g.Reachable()
+	found := false
+	for _, e := range g.Exit.Preds {
+		if e.Returns() != nil && reach[e.From] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no reachable return edge into exit")
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+// Forward may-analysis over a CFG. Facts are drawn from a finite
+// comparable domain (mutex receiver strings, resource variables); the
+// state at a program point is the set of facts that MAY hold on some
+// path reaching it. Join is set union, so the fixpoint is the least
+// solution and every kill must happen in a transfer function — either
+// the block transfer (a Close call kills its resource) or the edge
+// refinement (the err != nil edge kills the paired acquisition).
+
+// factSet is a small immutable-by-convention set: transfer functions
+// copy before mutating so block IN states stay stable.
+type factSet[F comparable] map[F]struct{}
+
+func (s factSet[F]) has(f F) bool { _, ok := s[f]; return ok }
+
+func (s factSet[F]) clone() factSet[F] {
+	out := make(factSet[F], len(s))
+	for f := range s {
+		out[f] = struct{}{}
+	}
+	return out
+}
+
+// union adds src into s in place, reporting whether s grew.
+func (s factSet[F]) union(src factSet[F]) bool {
+	grew := false
+	for f := range src {
+		if _, ok := s[f]; !ok {
+			s[f] = struct{}{}
+			grew = true
+		}
+	}
+	return grew
+}
+
+// flowProblem is one forward may-analysis.
+type flowProblem[F comparable] struct {
+	// transfer applies one AST node to the state, returning the state
+	// after it. Implementations may mutate and return s.
+	transfer func(n any, s factSet[F]) factSet[F]
+	// refine filters the state along an edge using its branch
+	// condition; nil means identity. Must not mutate s.
+	refine func(e *Edge, s factSet[F]) factSet[F]
+}
+
+// blockOut folds the problem's transfer over the block's nodes.
+func (p *flowProblem[F]) blockOut(b *Block, in factSet[F]) factSet[F] {
+	s := in.clone()
+	for _, n := range b.Nodes {
+		s = p.transfer(n, s)
+	}
+	return s
+}
+
+// solve runs the worklist to fixpoint and returns each block's IN
+// state. Every reachable block is seeded onto the worklist — a block
+// must run its transfer at least once even if its IN never grows,
+// because the transfer itself may generate facts (an acquisition in a
+// branch arm) that its successors need. Unreachable blocks are never
+// processed and keep empty states, so dead code cannot contribute
+// facts.
+func (p *flowProblem[F]) solve(g *CFG) map[*Block]factSet[F] {
+	in := make(map[*Block]factSet[F], len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = make(factSet[F])
+	}
+	reach := g.Reachable()
+	work := make([]*Block, 0, len(g.Blocks))
+	queued := make(map[*Block]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		if reach[b] {
+			work = append(work, b)
+			queued[b] = true
+		}
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := p.blockOut(b, in[b])
+		for _, e := range b.Succs {
+			contrib := out
+			if p.refine != nil {
+				contrib = p.refine(e, out)
+			}
+			if in[e.To].union(contrib) && !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"time"
 )
 
 // Exit codes of the driver, in the convention of go vet: 0 clean,
@@ -14,11 +15,29 @@ const (
 	ExitError = 2
 )
 
+// Options tune the driver beyond the default lint-and-gate run.
+type Options struct {
+	// Unused lists //lint:ignore suppressions that matched no
+	// diagnostic. An unused suppression counts as an issue: it is a
+	// silencer waiting to hide the next regression at its line.
+	Unused bool
+	// Timing, when non-nil, receives one line with the wall-clock
+	// runtime and package count after the run (the `make lint` budget
+	// guard).
+	Timing io.Writer
+}
+
 // Main is the tsslint entry point, factored out of cmd/tsslint so the
 // driver is testable in-process: it loads the packages matching
 // patterns (relative to dir), runs every registered checker, writes
 // file:line:col diagnostics to out, and returns the exit code.
 func Main(out io.Writer, dir string, patterns ...string) int {
+	return MainOpts(out, dir, Options{}, patterns...)
+}
+
+// MainOpts is Main with Options.
+func MainOpts(out io.Writer, dir string, opts Options, patterns ...string) int {
+	start := time.Now()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -32,10 +51,18 @@ func Main(out io.Writer, dir string, patterns ...string) int {
 		fmt.Fprintf(out, "tsslint: %v\n", err)
 		return ExitError
 	}
-	diags := Run(pkgs, Checkers())
+	diags, unused := RunAll(pkgs, Checkers())
+	if opts.Unused {
+		diags = append(diags, unused...)
+		sortDiags(diags)
+	}
 	for _, d := range diags {
 		d.Pos.Filename = relPath(dir, d.Pos.Filename)
 		fmt.Fprintf(out, "%s\n", d)
+	}
+	if opts.Timing != nil {
+		fmt.Fprintf(opts.Timing, "tsslint: %d package(s) in %s\n",
+			len(pkgs), time.Since(start).Round(time.Millisecond))
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(out, "tsslint: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
@@ -48,7 +75,7 @@ func Main(out io.Writer, dir string, patterns ...string) int {
 // — to out (the `tsslint -list` output).
 func ListCheckers(out io.Writer) {
 	for _, c := range Checkers() {
-		fmt.Fprintf(out, "%-10s %s\n", c.Name(), c.Doc())
+		fmt.Fprintf(out, "%-12s %s\n", c.Name(), c.Doc())
 	}
 }
 

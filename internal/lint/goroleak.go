@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak verifies that goroutines launched in non-test code have a
+// provable exit. Two patterns are enforced on the goroutine body's
+// CFG:
+//
+//  1. Exit reachability: some path from the launch must reach a
+//     return (or fall off the end). A body shaped `for { work() }`
+//     with no break, return or done-channel case can never exit; it
+//     pins its stack, its captures and — in this codebase — usually a
+//     connection, forever. Daemon loops earn their keep by selecting
+//     on a ctx.Done()/stop channel case that returns, which restores
+//     reachability.
+//
+//  2. Abandoned senders: a goroutine whose only job is `ch <- result`
+//     on an unbuffered channel leaks when the launching function
+//     receives from ch inside a select that can take another case
+//     (timeout, ctx.Done) and move on — nobody ever drains ch and the
+//     sender blocks forever. The fix is a one-slot buffer or a select
+//     in the sender; the checker demands one of them.
+//
+// Bodies launched through function values or interface methods cannot
+// be resolved statically and are skipped; `go m.run()` on a concrete
+// method is followed across packages via the repo-wide index.
+type GoroLeak struct{}
+
+// NewGoroLeak returns the checker.
+func NewGoroLeak() *GoroLeak { return &GoroLeak{} }
+
+// Name implements Checker.
+func (c *GoroLeak) Name() string { return "goroleak" }
+
+// Doc implements Checker.
+func (c *GoroLeak) Doc() string {
+	return "launched goroutines have a provable exit (done/ctx case, bounded loop) and cannot block forever on an abandoned unbuffered send"
+}
+
+// Check implements Checker for single-package runs (fixtures).
+func (c *GoroLeak) Check(pkg *Package) []Diagnostic {
+	return c.CheckRepo([]*Package{pkg})
+}
+
+// CheckRepo implements RepoChecker: the function index spans every
+// loaded package so `go srv.Serve(l)` resolves into its defining
+// package.
+func (c *GoroLeak) CheckRepo(pkgs []*Package) []Diagnostic {
+	index := buildFuncIndex(pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+					diags = append(diags, c.checkLauncher(pkg, fd.Body, index)...)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// funcIndex maps concrete functions/methods to their declarations.
+type funcIndex map[*types.Func]*indexedFunc
+
+type indexedFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+func buildFuncIndex(pkgs []*Package) funcIndex {
+	idx := make(funcIndex)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = &indexedFunc{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// checkLauncher analyzes one function declaration body (including its
+// nested literals) for goroutine launches.
+func (c *GoroLeak) checkLauncher(pkg *Package, body *ast.BlockStmt, index funcIndex) []Diagnostic {
+	var diags []Diagnostic
+	unbuffered := findUnbufferedChans(pkg, body)
+	abandoned := findAbandonableReceives(pkg, body, unbuffered)
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		pos := pkg.Fset.Position(g.Pos())
+		if isTestFile(pos) {
+			return true
+		}
+		// Rule 1: the body must be able to exit.
+		if bpkg, gbody := c.resolveBody(pkg, g.Call, index); gbody != nil {
+			cfg := BuildCFG(bpkg, gbody)
+			if !cfg.ExitReachable() {
+				diags = append(diags, pkg.diag(c.Name(), g.Pos(),
+					"goroutine has no provable exit: no path reaches a return; add a ctx/done select case that returns, or bound the loop"))
+			}
+		}
+		// Rule 2: plain sends on a channel whose receiver may abandon
+		// it.
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			for _, send := range plainSends(pkg, lit.Body) {
+				if ch := chanVar(pkg, send.Chan); ch != nil && abandoned[ch] {
+					diags = append(diags, pkg.diag(c.Name(), send.Pos(),
+						"goroutine may block forever: unbuffered send on %q whose receiving select can abandon it; buffer the channel or select on a done case here", ch.Name()))
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// resolveBody finds the statically known body a go statement runs: a
+// function literal, or a named function/method declared in any loaded
+// package. Function values and interface methods return nil.
+func (c *GoroLeak) resolveBody(pkg *Package, call *ast.CallExpr, index funcIndex) (*Package, *ast.BlockStmt) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return pkg, fun.Body
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			if f := index[fn]; f != nil {
+				return f.pkg, f.decl.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if f := index[fn]; f != nil {
+				return f.pkg, f.decl.Body
+			}
+		}
+	}
+	return nil, nil
+}
+
+// findUnbufferedChans collects local variables bound to make(chan T)
+// with no capacity (or literal 0).
+func findUnbufferedChans(pkg *Package, body *ast.BlockStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" || len(call.Args) == 0 {
+			return true
+		}
+		if _, ok := pkg.Info.Types[call.Args[0]].Type.(*types.Chan); !ok {
+			return true
+		}
+		if len(call.Args) >= 2 {
+			if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); !ok || lit.Value != "0" {
+				return true // buffered (or non-literal capacity: give benefit of the doubt)
+			}
+		}
+		if lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+			if v, ok := pkg.Info.Defs[lhs].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// findAbandonableReceives returns the unbuffered channels received in
+// a select statement that has at least one other way out — the shape
+// that can abandon a blocked sender.
+func findAbandonableReceives(pkg *Package, body *ast.BlockStmt, unbuffered map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || len(sel.Body.List) < 2 {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			comm := cl.(*ast.CommClause)
+			if comm.Comm == nil {
+				continue // default case
+			}
+			if ch := receivedChan(pkg, comm.Comm); ch != nil && unbuffered[ch] {
+				out[ch] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receivedChan extracts the channel variable of a receive comm clause.
+func receivedChan(pkg *Package, comm ast.Stmt) *types.Var {
+	var expr ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	if expr == nil {
+		return nil
+	}
+	un, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "<-" {
+		return nil
+	}
+	return chanVar(pkg, un.X)
+}
+
+// plainSends collects send statements in the body that are not a
+// select communication (a select case can take another arm; a bare
+// send cannot).
+func plainSends(pkg *Package, body *ast.BlockStmt) []*ast.SendStmt {
+	inSelect := make(map[*ast.SendStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok && len(sel.Body.List) >= 2 {
+			for _, cl := range sel.Body.List {
+				if s, ok := cl.(*ast.CommClause).Comm.(*ast.SendStmt); ok {
+					inSelect[s] = true
+				}
+			}
+		}
+		return true
+	})
+	var out []*ast.SendStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok && !inSelect[s] {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// chanVar resolves an expression to the channel-typed local it names.
+func chanVar(pkg *Package, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pkg.Info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = pkg.Info.Defs[id].(*types.Var)
+	}
+	return v
+}

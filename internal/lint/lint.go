@@ -19,6 +19,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package presented to checkers.
@@ -63,6 +64,16 @@ type Checker interface {
 	Check(pkg *Package) []Diagnostic
 }
 
+// RepoChecker is a whole-repository analysis: it sees every loaded
+// package at once, so it can follow call chains and lock acquisitions
+// across package boundaries (lockorder's acquisition graph, goroleak's
+// cross-package body resolution). The framework calls CheckRepo once
+// instead of Check per package.
+type RepoChecker interface {
+	Checker
+	CheckRepo(pkgs []*Package) []Diagnostic
+}
+
 // Checkers returns the full table of repo invariants, in the order
 // they are documented in DESIGN.md §9.
 func Checkers() []Checker {
@@ -73,6 +84,9 @@ func Checkers() []Checker {
 		NewErrnoWrap(),
 		NewCtxLeak(),
 		NewCopyAPI(),
+		NewResLifetime(),
+		NewLockOrder(),
+		NewGoroLeak(),
 	}
 }
 
@@ -81,23 +95,82 @@ func Checkers() []Checker {
 // malformed suppressions, and returns the remainder sorted by
 // position.
 func Run(pkgs []*Package, checkers []Checker) []Diagnostic {
+	diags, _ := RunAll(pkgs, checkers)
+	return diags
+}
+
+// RunAll is Run plus bookkeeping: the second result lists suppressions
+// that matched no diagnostic — dead //lint:ignore comments that would
+// silently swallow a future regression at their line. Packages are
+// checked concurrently; repo-wide checkers run once over the full set.
+func RunAll(pkgs []*Package, checkers []Checker) (diags, unused []Diagnostic) {
 	known := make(map[string]bool, len(checkers))
 	for _, c := range checkers {
 		known[c.Name()] = true
 	}
-	var diags []Diagnostic
+	sup := make(suppressSet)
 	for _, pkg := range pkgs {
-		sup, bad := suppressions(pkg, known)
+		s, bad := suppressions(pkg, known)
+		for k, pos := range s {
+			sup[k] = pos
+		}
 		diags = append(diags, bad...)
-		for _, c := range checkers {
-			for _, d := range c.Check(pkg) {
-				if sup.covers(d) {
-					continue
-				}
-				diags = append(diags, d)
-			}
+	}
+
+	// Fan the per-package checkers out; repo checkers get the whole
+	// set once. Every (checker, package) cell is independent.
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		raw []Diagnostic
+	)
+	collect := func(ds []Diagnostic) {
+		mu.Lock()
+		raw = append(raw, ds...)
+		mu.Unlock()
+	}
+	for _, c := range checkers {
+		if rc, ok := c.(RepoChecker); ok {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				collect(rc.CheckRepo(pkgs))
+			}()
+			continue
+		}
+		for _, pkg := range pkgs {
+			wg.Add(1)
+			go func(c Checker, pkg *Package) {
+				defer wg.Done()
+				collect(c.Check(pkg))
+			}(c, pkg)
 		}
 	}
+	wg.Wait()
+
+	used := make(map[suppressKey]bool)
+	for _, d := range raw {
+		if key, ok := sup.match(d); ok {
+			used[key] = true
+			continue
+		}
+		diags = append(diags, d)
+	}
+	for key, pos := range sup {
+		if !used[key] {
+			unused = append(unused, Diagnostic{
+				Pos:     pos,
+				Check:   "lint",
+				Message: fmt.Sprintf("unused suppression: no %s diagnostic on this or the next line", key.check),
+			})
+		}
+	}
+	sortDiags(diags)
+	sortDiags(unused)
+	return diags, unused
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -111,7 +184,6 @@ func Run(pkgs []*Package, checkers []Checker) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return diags
 }
 
 // diag builds a Diagnostic at the given node.

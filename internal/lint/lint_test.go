@@ -99,9 +99,10 @@ func TestSuppressions(t *testing.T) {
 }
 
 // TestCheckerTable pins the registered checker set: DESIGN.md §9
-// documents exactly these six invariants.
+// documents exactly these nine invariants.
 func TestCheckerTable(t *testing.T) {
-	want := []string{"capprobe", "lockheld", "sleepseam", "errnowrap", "ctxleak", "copyapi"}
+	want := []string{"capprobe", "lockheld", "sleepseam", "errnowrap", "ctxleak", "copyapi",
+		"reslifetime", "lockorder", "goroleak"}
 	cs := Checkers()
 	if len(cs) != len(want) {
 		t.Fatalf("got %d checkers, want %d", len(cs), len(want))

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -21,15 +22,40 @@ import (
 // the module. It deliberately has no dependency on golang.org/x/tools,
 // keeping go.mod empty — the analyzer must be as self-hosted as the
 // storage system it checks.
+//
+// Loading is concurrent: each package is computed exactly once behind a
+// future, module-local imports are pre-resolved in parallel before the
+// importing package type-checks, and independent packages type-check on
+// separate goroutines. The token.FileSet is shared (its methods are
+// concurrency-safe); the stdlib source importer is not documented as
+// such, so calls into it are serialized.
 type Loader struct {
 	// Fset positions every file loaded by this loader.
 	Fset *token.FileSet
 
 	modRoot string
 	modPath string
-	std     types.Importer
-	pkgs    map[string]*Package
-	loading map[string]bool
+
+	stdMu sync.Mutex
+	std   types.Importer
+
+	mu      sync.Mutex
+	futures map[string]*pkgFuture
+	// deps records every module-local import edge ever requested.
+	// Edges are added (and checked for cycles) under mu before the
+	// requesting goroutine blocks on the dependency's future, so a
+	// cyclic import — which would otherwise deadlock two goroutines
+	// waiting on each other — is reported as an error by whichever
+	// goroutine closes the cycle.
+	deps map[string][]string
+}
+
+// pkgFuture is the once-computed result of loading one package. done is
+// closed when pkg/err are final.
+type pkgFuture struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 var cgoOff sync.Once
@@ -55,8 +81,8 @@ func NewLoader(dir string) (*Loader, error) {
 		modRoot: root,
 		modPath: path,
 		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
+		futures: make(map[string]*pkgFuture),
+		deps:    make(map[string][]string),
 	}, nil
 }
 
@@ -84,7 +110,8 @@ func findModule(dir string) (root, path string, err error) {
 // to dir. A pattern is either an explicit package directory ("./foo")
 // or a recursive pattern ("./foo/..." / "./..."); recursive patterns
 // skip testdata, vendor, hidden and underscore-prefixed directories,
-// exactly like the go tool.
+// exactly like the go tool. Matched packages load concurrently; the
+// result order follows the patterns.
 func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 	var dirs []string
 	seen := make(map[string]bool)
@@ -123,13 +150,21 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 	}
-	var out []*Package
-	for _, d := range dirs {
-		pkg, err := l.LoadDir(d)
+	out := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	for i, d := range dirs {
+		wg.Add(1)
+		go func(i int, d string) {
+			defer wg.Done()
+			out[i], errs[i] = l.LoadDir(d)
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, pkg)
 	}
 	return out, nil
 }
@@ -167,29 +202,80 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 
 // Import implements types.Importer: module-local import paths resolve
 // to directories under the module root, everything else goes to the
-// standard library source importer.
+// standard library source importer. Module-local dependencies were
+// pre-resolved before type-checking began, so this never blocks on an
+// in-flight package.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
-		dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath)))
-		pkg, err := l.loadPackage(dir, path)
+		pkg, err := l.loadPackage(l.dirFor(path), path)
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
-func (l *Loader) loadPackage(dir, path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
-	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+// dirFor maps a module-local import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	return filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath)))
+}
 
+// loadPackage returns the package for path, computing it at most once.
+// Concurrent requests for the same path share one future.
+func (l *Loader) loadPackage(dir, path string) (*Package, error) {
+	l.mu.Lock()
+	if f, ok := l.futures[path]; ok {
+		l.mu.Unlock()
+		<-f.done
+		return f.pkg, f.err
+	}
+	f := &pkgFuture{done: make(chan struct{})}
+	l.futures[path] = f
+	l.mu.Unlock()
+	f.pkg, f.err = l.compute(dir, path)
+	close(f.done)
+	return f.pkg, f.err
+}
+
+// addEdge records the import edge from→to and reports an error if it
+// closes a cycle among module-local packages. Recording and checking
+// happen atomically under mu, before the importer blocks on to's
+// future, so at least one participant of any cycle sees the full loop
+// instead of deadlocking.
+func (l *Loader) addEdge(from, to string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.deps[from] = append(l.deps[from], to)
+	seen := map[string]bool{}
+	var reaches func(p string) bool
+	reaches = func(p string) bool {
+		if p == from {
+			return true
+		}
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+		for _, q := range l.deps[p] {
+			if reaches(q) {
+				return true
+			}
+		}
+		return false
+	}
+	if reaches(to) {
+		return fmt.Errorf("lint: import cycle through %s", to)
+	}
+	return nil
+}
+
+// compute parses and type-checks one package. Module-local imports are
+// resolved first, in parallel, so the types.Config.Check call below
+// finds every dependency already complete.
+func (l *Loader) compute(dir, path string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -217,6 +303,44 @@ func (l *Loader) loadPackage(dir, path string) (*Package, error) {
 		}
 		files = append(files, f)
 	}
+
+	// Pre-resolve module-local imports concurrently.
+	impSet := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == l.modPath || strings.HasPrefix(p, l.modPath+"/") {
+				impSet[p] = true
+			}
+		}
+	}
+	imps := make([]string, 0, len(impSet))
+	for p := range impSet {
+		imps = append(imps, p)
+	}
+	sort.Strings(imps)
+	impErrs := make([]error, len(imps))
+	var wg sync.WaitGroup
+	for i, p := range imps {
+		if err := l.addEdge(path, p); err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			_, impErrs[i] = l.loadPackage(l.dirFor(p), p)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range impErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Uses:       make(map[*ast.Ident]types.Object),
@@ -229,14 +353,12 @@ func (l *Loader) loadPackage(dir, path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{
+	return &Package{
 		Path:  path,
 		Dir:   dir,
 		Fset:  l.Fset,
 		Files: files,
 		Types: tpkg,
 		Info:  info,
-	}
-	l.pkgs[path] = pkg
-	return pkg, nil
+	}, nil
 }

@@ -15,11 +15,16 @@ import (
 // design (the chirp client serializes RPCs on its single connection)
 // carry a //lint:ignore lockheld comment explaining exactly that.
 //
-// The analysis is intra-procedural and source-ordered: a mutex is held
-// from X.Lock() until X.Unlock() on the same receiver expression;
-// `defer X.Unlock()` holds it to the end of the function. Function
-// literals (including goroutine bodies) are analyzed as independent
-// functions, since they generally run outside the critical section.
+// The analysis is a forward may-analysis over the function's CFG: a
+// mutex is held at a program point if some path reaches it with
+// X.Lock() not yet matched by X.Unlock() on the same receiver
+// expression; `defer X.Unlock()` holds it to every exit. Running on
+// the CFG (rather than source order) means an Unlock in both arms of a
+// branch really releases before the join, and a Lock taken in one arm
+// is still held on the joined path — the PR 3 walker got both wrong.
+// Function literals (including goroutine and deferred bodies) are
+// analyzed as independent functions, since they generally run outside
+// the critical section.
 type LockHeld struct {
 	// Blocking is the deny-list of fully qualified callee names
 	// considered blocking.
@@ -84,160 +89,64 @@ func (c *LockHeld) Doc() string {
 func (c *LockHeld) Check(pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				if fn.Body != nil {
-					diags = append(diags, c.checkBody(pkg, fn.Body)...)
-				}
-				return false // checkBody descends, including into literals
-			case *ast.FuncLit:
-				// Only reached for literals outside any declaration
-				// (package-level var initializers).
-				diags = append(diags, c.checkBody(pkg, fn.Body)...)
-				return false
-			}
-			return true
+		funcBodies(f, func(body *ast.BlockStmt, _ *ast.FuncDecl) {
+			diags = append(diags, c.checkBody(pkg, body)...)
 		})
 	}
 	return diags
 }
 
-// lockWalker tracks the set of held mutexes through one function body
-// in source order. The analysis is deliberately conservative inside
-// branches: state mutations in an if/for/switch arm persist after it,
-// which can over-approximate "held" but never under-approximates an
-// unconditional Lock.
-type lockWalker struct {
+// lockFlow is the dataflow problem: facts are receiver-expression
+// strings of held mutexes.
+type lockFlow struct {
 	c     *LockHeld
 	pkg   *Package
-	held  map[string]bool // receiver expression -> held
-	diags []Diagnostic
+	diags []Diagnostic // only appended during the reporting pass
 }
 
 func (c *LockHeld) checkBody(pkg *Package, body *ast.BlockStmt) []Diagnostic {
-	w := &lockWalker{c: c, pkg: pkg, held: make(map[string]bool)}
-	w.stmt(body)
+	g := BuildCFG(pkg, body)
+	w := &lockFlow{c: c, pkg: pkg}
+	p := &flowProblem[string]{transfer: func(n any, s factSet[string]) factSet[string] {
+		return w.apply(n.(ast.Node), s, false)
+	}}
+	in := p.solve(g)
+	// Reporting pass: replay each block once against its fixpoint IN
+	// state so every blocking call sees exactly the may-held set.
+	for _, b := range g.Blocks {
+		s := in[b].clone()
+		for _, n := range b.Nodes {
+			s = w.apply(n, s, true)
+		}
+	}
 	return w.diags
 }
 
-func (w *lockWalker) stmt(s ast.Stmt) {
-	switch st := s.(type) {
-	case nil:
-	case *ast.BlockStmt:
-		for _, s2 := range st.List {
-			w.stmt(s2)
-		}
-	case *ast.IfStmt:
-		w.stmt(st.Init)
-		w.expr(st.Cond)
-		w.stmt(st.Body)
-		w.stmt(st.Else)
-	case *ast.ForStmt:
-		w.stmt(st.Init)
-		w.expr(st.Cond)
-		w.stmt(st.Body)
-		w.stmt(st.Post)
-	case *ast.RangeStmt:
-		w.expr(st.X)
-		w.stmt(st.Body)
-	case *ast.SwitchStmt:
-		w.stmt(st.Init)
-		w.expr(st.Tag)
-		w.stmt(st.Body)
-	case *ast.TypeSwitchStmt:
-		w.stmt(st.Init)
-		w.stmt(st.Assign)
-		w.stmt(st.Body)
-	case *ast.SelectStmt:
-		w.stmt(st.Body)
-	case *ast.CaseClause:
-		for _, e := range st.List {
-			w.expr(e)
-		}
-		for _, s2 := range st.Body {
-			w.stmt(s2)
-		}
-	case *ast.CommClause:
-		w.stmt(st.Comm)
-		for _, s2 := range st.Body {
-			w.stmt(s2)
-		}
-	case *ast.LabeledStmt:
-		w.stmt(st.Stmt)
-	case *ast.ExprStmt:
-		w.expr(st.X)
-	case *ast.SendStmt:
-		w.expr(st.Chan)
-		w.expr(st.Value)
-	case *ast.IncDecStmt:
-		w.expr(st.X)
-	case *ast.AssignStmt:
-		for _, e := range st.Rhs {
-			w.expr(e)
-		}
-		for _, e := range st.Lhs {
-			w.expr(e)
-		}
-	case *ast.ReturnStmt:
-		for _, e := range st.Results {
-			w.expr(e)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := st.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, e := range vs.Values {
-						w.expr(e)
-					}
-				}
-			}
-		}
-	case *ast.DeferStmt:
-		// `defer X.Unlock()` keeps X held to function end: do not clear.
-		// Any other deferred call runs at exit — analyze its arguments
-		// now (they evaluate here) but treat a deferred function
-		// literal as an independent body.
-		if name, recv := w.mutexOp(st.Call); name != "" {
-			_ = recv
-			return
-		}
-		for _, a := range st.Call.Args {
-			w.expr(a)
-		}
-		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
-			w.diags = append(w.diags, w.c.checkBody(w.pkg, lit.Body)...)
-		}
-	case *ast.GoStmt:
-		for _, a := range st.Call.Args {
-			w.expr(a)
-		}
-		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
-			w.diags = append(w.diags, w.c.checkBody(w.pkg, lit.Body)...)
+// apply transfers one CFG node over the held set, flagging blocking
+// calls when report is set. Nested function literals are skipped: they
+// are independent bodies with their own (empty) lock state.
+func (w *lockFlow) apply(node ast.Node, s factSet[string], report bool) factSet[string] {
+	// `defer X.Unlock()` keeps X held to function end: no kill.
+	if d, ok := node.(*ast.DeferStmt); ok {
+		if op, _ := w.mutexOp(d.Call); op != "" {
+			return s
 		}
 	}
-}
-
-func (w *lockWalker) expr(e ast.Expr) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
+	ast.Inspect(node, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.FuncLit:
-			// Independent function: analyzed with a fresh lock state.
-			w.diags = append(w.diags, w.c.checkBody(w.pkg, x.Body)...)
 			return false
 		case *ast.CallExpr:
-			w.call(x)
+			s = w.call(x, s, report)
 		}
 		return true
 	})
+	return s
 }
 
 // mutexOp classifies call as a sync lock/unlock operation, returning
 // the method name and receiver expression string, or "".
-func (w *lockWalker) mutexOp(call *ast.CallExpr) (op, recv string) {
+func (w *lockFlow) mutexOp(call *ast.CallExpr) (op, recv string) {
 	name := calleeName(w.pkg.Info, call)
 	switch name {
 	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock",
@@ -255,29 +164,33 @@ func (w *lockWalker) mutexOp(call *ast.CallExpr) (op, recv string) {
 	return name[strings.LastIndexByte(name, '.')+1:], exprString(sel.X)
 }
 
-func (w *lockWalker) call(call *ast.CallExpr) {
+func (w *lockFlow) call(call *ast.CallExpr, s factSet[string], report bool) factSet[string] {
 	if op, recv := w.mutexOp(call); op != "" {
 		switch op {
 		case "Lock", "RLock", "TryLock", "TryRLock":
-			w.held[recv] = true
+			s[recv] = struct{}{}
 		case "Unlock", "RUnlock":
-			delete(w.held, recv)
+			delete(s, recv)
 		}
-		return
+		return s
+	}
+	if !report {
+		return s
 	}
 	name := calleeName(w.pkg.Info, call)
-	if name == "" || !w.c.Blocking[name] || len(w.held) == 0 {
-		return
+	if name == "" || !w.c.Blocking[name] || len(s) == 0 {
+		return s
 	}
 	pos := w.pkg.Fset.Position(call.Pos())
 	if isTestFile(pos) {
-		return
+		return s
 	}
 	var held []string
-	for m := range w.held {
+	for m := range s {
 		held = append(held, m)
 	}
 	sort.Strings(held)
 	w.diags = append(w.diags, w.pkg.diag(w.c.Name(), call.Pos(),
 		"blocking call %s while holding %s", name, strings.Join(held, ", ")))
+	return s
 }

@@ -1,0 +1,412 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the repository-wide lock-acquisition graph and
+// reports cycles. Nodes are named mutex classes — a field of a named
+// struct type ("(chirp.Server).connMu") or a package-level mutex
+// ("catalog.mu") — and an edge A→B is recorded whenever some function
+// acquires B while holding A, either directly or through a statically
+// resolvable call chain (each function's transitively acquired classes
+// are summarized first, then a CFG held-set analysis attributes them
+// to the locks held at each call site). A cycle means two goroutines
+// can each hold one lock of the cycle and wait forever for the next —
+// the textbook AB/BA deadlock — and is reported with the witness path
+// for every edge, so both halves of the inversion are visible in the
+// diagnostic.
+//
+// Classes deliberately ignore instance identity: two different
+// instances of the same struct never form an edge (self-edges are
+// dropped), since hierarchical same-type locking is a different
+// discipline with its own ordering rules and flagging it here would
+// drown the real inversions.
+type LockOrder struct{}
+
+// NewLockOrder returns the checker.
+func NewLockOrder() *LockOrder { return &LockOrder{} }
+
+// Name implements Checker.
+func (c *LockOrder) Name() string { return "lockorder" }
+
+// Doc implements Checker.
+func (c *LockOrder) Doc() string {
+	return "the repo-wide lock-acquisition graph over named mutexes is cycle-free"
+}
+
+// Check implements Checker for single-package runs (fixtures).
+func (c *LockOrder) Check(pkg *Package) []Diagnostic {
+	return c.CheckRepo([]*Package{pkg})
+}
+
+// lockEdge is one A-before-B observation with its first witness.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	witness  string
+}
+
+// CheckRepo implements RepoChecker.
+func (c *LockOrder) CheckRepo(pkgs []*Package) []Diagnostic {
+	// Phase 1: per-function summaries — every mutex class a function
+	// may acquire, directly or through nested literals — plus its
+	// statically resolvable callees.
+	type summary struct {
+		direct map[string]token.Pos
+		calls  map[*types.Func]bool
+	}
+	sums := make(map[*types.Func]*summary)
+	decls := make(map[*types.Func]*indexedFunc)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sum := &summary{direct: make(map[string]token.Pos), calls: make(map[*types.Func]bool)}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if cls, op := mutexClass(pkg, call); cls != "" && acquires(op) {
+						if _, seen := sum.direct[cls]; !seen {
+							sum.direct[cls] = call.Pos()
+						}
+						return true
+					}
+					if callee := staticCallee(pkg, call); callee != nil {
+						sum.calls[callee] = true
+					}
+					return true
+				})
+				sums[fn] = sum
+				decls[fn] = &indexedFunc{pkg: pkg, decl: fd}
+			}
+		}
+	}
+
+	// Phase 2: transitive closure of acquired classes over the call
+	// graph, to fixpoint.
+	closure := make(map[*types.Func]map[string]token.Pos)
+	for fn, sum := range sums {
+		m := make(map[string]token.Pos, len(sum.direct))
+		for cls, pos := range sum.direct {
+			m[cls] = pos
+		}
+		closure[fn] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, sum := range sums {
+			into := closure[fn]
+			for callee := range sum.calls {
+				for cls, pos := range closure[callee] {
+					if _, ok := into[cls]; !ok {
+						into[cls] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 3: CFG held-set analysis per function attributes acquired
+	// classes to the locks held when they happen, emitting edges.
+	edges := make(map[[2]string]*lockEdge)
+	addEdge := func(from, to string, pos token.Pos, witness string) {
+		if from == to {
+			return
+		}
+		key := [2]string{from, to}
+		if _, ok := edges[key]; !ok {
+			edges[key] = &lockEdge{from: from, to: to, pos: pos, witness: witness}
+		}
+	}
+	var fns []*types.Func
+	for fn := range sums {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+	for _, fn := range fns {
+		f := decls[fn]
+		pkg := f.pkg
+		fname := shortFuncName(fn)
+		g := BuildCFG(pkg, f.decl.Body)
+		transfer := func(n any, s factSet[string]) factSet[string] {
+			node := n.(ast.Node)
+			if d, ok := node.(*ast.DeferStmt); ok {
+				if _, op := mutexClass(pkg, d.Call); op == "Unlock" || op == "RUnlock" {
+					return s // deferred unlock holds to exit
+				}
+			}
+			ast.Inspect(node, func(n2 ast.Node) bool {
+				if _, ok := n2.(*ast.FuncLit); ok {
+					return false // independent body, own lock state
+				}
+				call, ok := n2.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if cls, op := mutexClass(pkg, call); cls != "" {
+					switch {
+					case acquires(op):
+						for held := range s {
+							addEdge(held, cls, call.Pos(), fmt.Sprintf(
+								"%s locks %s at %s while holding %s", fname, cls, shortPos(pkg.Fset, call.Pos()), held))
+						}
+						s[cls] = struct{}{}
+					case op == "Unlock" || op == "RUnlock":
+						delete(s, cls)
+					}
+					return true
+				}
+				if callee := staticCallee(pkg, call); callee != nil && len(s) > 0 {
+					// The loader shares one FileSet, so callee lock
+					// positions render through pkg.Fset too.
+					for cls, lockPos := range closure[callee] {
+						for held := range s {
+							addEdge(held, cls, call.Pos(), fmt.Sprintf(
+								"%s holds %s and calls %s at %s, which locks %s at %s",
+								fname, held, shortFuncName(callee), shortPos(pkg.Fset, call.Pos()),
+								cls, shortPos(pkg.Fset, lockPos)))
+						}
+					}
+				}
+				return true
+			})
+			return s
+		}
+		p := &flowProblem[string]{transfer: transfer}
+		in := p.solve(g)
+		// One reporting replay so edges observed under fixpoint held
+		// sets are recorded (solve itself already records them, but
+		// only on the iterations it happens to run; replay guarantees
+		// the final state).
+		for _, b := range g.Blocks {
+			s := in[b].clone()
+			for _, n := range b.Nodes {
+				s = transfer(n, s)
+			}
+		}
+	}
+
+	// Phase 4: cycle detection over the class graph.
+	return c.reportCycles(pkgs, edges)
+}
+
+// reportCycles finds cycles in the edge graph and renders one
+// diagnostic per cycle with every witness path.
+func (c *LockOrder) reportCycles(pkgs []*Package, edges map[[2]string]*lockEdge) []Diagnostic {
+	adj := make(map[string][]string)
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, next := range adj {
+		sort.Strings(next)
+	}
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	seen := make(map[string]bool) // canonical cycle strings
+	var diags []Diagnostic
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	// Bounded DFS: enumerate simple cycles up to a modest length.
+	const maxCycle = 4
+	var path []string
+	onPath := make(map[string]bool)
+	var dfs func(start, cur string)
+	dfs = func(start, cur string) {
+		for _, next := range adj[cur] {
+			if next == start && len(path) >= 2 {
+				cyc := append([]string(nil), path...)
+				canon := canonicalCycle(cyc)
+				if seen[canon] {
+					continue
+				}
+				seen[canon] = true
+				var wits []string
+				for i := range cyc {
+					e := edges[[2]string{cyc[i], cyc[(i+1)%len(cyc)]}]
+					wits = append(wits, e.witness)
+				}
+				first := edges[[2]string{cyc[0], cyc[1]}]
+				diags = append(diags, Diagnostic{
+					Pos:   fset.Position(first.pos),
+					Check: c.Name(),
+					Message: fmt.Sprintf("lock-order cycle %s → %s: %s",
+						strings.Join(cyc, " → "), cyc[0], strings.Join(wits, "; ")),
+				})
+				continue
+			}
+			if onPath[next] || len(path) >= maxCycle {
+				continue
+			}
+			if next < start {
+				continue // canonical start: smallest node opens the cycle
+			}
+			path = append(path, next)
+			onPath[next] = true
+			dfs(start, next)
+			path = path[:len(path)-1]
+			onPath[next] = false
+		}
+	}
+	for _, n := range nodes {
+		path = path[:0]
+		path = append(path, n)
+		onPath = map[string]bool{n: true}
+		dfs(n, n)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		return diags[i].Pos.Line < diags[j].Pos.Line
+	})
+	return diags
+}
+
+// canonicalCycle rotates the cycle so its smallest class comes first,
+// giving a stable dedup key.
+func canonicalCycle(cyc []string) string {
+	min := 0
+	for i := range cyc {
+		if cyc[i] < cyc[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string(nil), cyc[min:]...), cyc[:min]...)
+	return strings.Join(rot, "→")
+}
+
+// acquires reports whether the mutex op takes the lock.
+func acquires(op string) bool {
+	switch op {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// mutexClass classifies a call as a lock operation on a named mutex,
+// returning the mutex class and the operation name ("" when the call
+// is not a mutex op or the mutex has no stable name). Classes:
+//
+//	(pkg.Type).field   — a sync.Mutex/RWMutex field of a named struct
+//	(pkg.Type).Mutex   — an embedded mutex locked through the struct
+//	pkg.var            — a package-level mutex variable
+//
+// Local mutex variables have function scope and cannot participate in
+// cross-function ordering; they return "".
+func mutexClass(pkg *Package, call *ast.CallExpr) (class, op string) {
+	name := calleeName(pkg.Info, call)
+	switch name {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock", "(*sync.Mutex).TryLock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).Unlock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).RUnlock",
+		"(*sync.RWMutex).TryLock", "(*sync.RWMutex).TryRLock":
+	default:
+		return "", ""
+	}
+	op = name[strings.LastIndexByte(name, '.')+1:]
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", op
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// s.mu.Lock(): class from the field selection.
+		if s, ok := pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if owner := namedOf(s.Recv()); owner != "" {
+				return "(" + owner + ")." + x.Sel.Name, op
+			}
+		}
+		// pkg-level mutex referenced as otherpkg.mu.
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && isPkgLevel(v) {
+			return v.Pkg().Name() + "." + v.Name(), op
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			if isPkgLevel(v) {
+				return v.Pkg().Name() + "." + v.Name(), op
+			}
+			// Embedded mutex: t.Lock() where t's type embeds
+			// sync.Mutex.
+			if owner := namedOf(v.Type()); owner != "" && owner != "sync.Mutex" && owner != "sync.RWMutex" {
+				return "(" + owner + ").Mutex", op
+			}
+		}
+	}
+	return "", op
+}
+
+// namedOf renders the named type behind t (unwrapping pointers) as
+// pkg.Name, or "".
+func namedOf(t types.Type) string {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Name() + "." + n.Obj().Name()
+}
+
+// isPkgLevel reports whether v is declared at package scope.
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// staticCallee resolves a call to a function or concrete method with a
+// known declaration; interface methods and function values return nil.
+func staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// shortFuncName renders a function for witnesses: pkg.Func or
+// (pkg.Type).Method.
+func shortFuncName(fn *types.Func) string {
+	full := fn.FullName()
+	if fn.Pkg() != nil {
+		full = strings.ReplaceAll(full, fn.Pkg().Path(), fn.Pkg().Name())
+	}
+	return full
+}
+
+// shortPos renders file:line with the file's basename, keeping
+// witness strings stable across checkouts.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

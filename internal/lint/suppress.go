@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/token"
 	"strconv"
 	"strings"
 )
@@ -12,8 +13,12 @@ import (
 // either on the line immediately above the offending line or as a
 // trailing comment on the offending line itself. The reason is
 // mandatory: a suppression documents *why* the invariant does not
-// apply at this site, and the driver rejects bare ignores.
-type suppressSet map[suppressKey]bool
+// apply at this site, and the driver rejects bare ignores. The check
+// name must be one the driver registers — a typo'd name would silently
+// match nothing, so unknown names are errors, and suppressions that
+// match no diagnostic at all are listed by the driver's unused-
+// suppression mode.
+type suppressSet map[suppressKey]token.Position
 
 type suppressKey struct {
 	file  string
@@ -21,12 +26,19 @@ type suppressKey struct {
 	check string
 }
 
-// covers reports whether d is suppressed: a matching //lint:ignore on
-// the diagnostic's own line or the line above it.
-func (s suppressSet) covers(d Diagnostic) bool {
-	return s[suppressKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
-		s[suppressKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}]
+// match returns the suppression key covering d, if any: a matching
+// //lint:ignore on the diagnostic's own line or the line above it.
+func (s suppressSet) match(d Diagnostic) (suppressKey, bool) {
+	if k := (suppressKey{d.Pos.Filename, d.Pos.Line, d.Check}); s.has(k) {
+		return k, true
+	}
+	if k := (suppressKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}); s.has(k) {
+		return k, true
+	}
+	return suppressKey{}, false
 }
+
+func (s suppressSet) has(k suppressKey) bool { _, ok := s[k]; return ok }
 
 // suppressions scans the package's comments for //lint:ignore
 // directives. Malformed directives — a missing reason, or a check name
@@ -61,7 +73,7 @@ func suppressions(pkg *Package, known map[string]bool) (suppressSet, []Diagnosti
 					})
 					continue
 				}
-				set[suppressKey{pos.Filename, pos.Line, check}] = true
+				set[suppressKey{pos.Filename, pos.Line, check}] = pos
 			}
 		}
 	}

@@ -1,0 +1,115 @@
+// Package cfg exercises the control-flow constructs BuildCFG models:
+// branches, loops with defers, panic edges, recover, goto and select.
+// The shapes are asserted structurally by cfg_test.go.
+package cfg
+
+import "os"
+
+// Branch has a diamond: cond, two arms, a join.
+func Branch(x int) int {
+	if x > 0 {
+		x++
+	} else {
+		x--
+	}
+	return x
+}
+
+// DeferInLoop registers one defer per iteration; all run at exit.
+func DeferInLoop(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	return nil
+}
+
+// PanicPath panics on bad input and returns otherwise.
+func PanicPath(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+// FatalPath exits the process on bad input: a terminator edge, not a
+// return.
+func FatalPath(x int) int {
+	if x < 0 {
+		os.Exit(1)
+	}
+	return x
+}
+
+// RecoverGuard converts panics into an error result.
+func RecoverGuard(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Forever never terminates: its exit block is unreachable.
+func Forever(work func()) {
+	for {
+		work()
+	}
+}
+
+// SelectLoop spins until the done channel fires: exit is reachable
+// through the select case's return.
+func SelectLoop(done chan struct{}, work func()) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// GotoRetry loops through a label.
+func GotoRetry(try func() bool) {
+	attempts := 0
+retry:
+	attempts++
+	if !try() && attempts < 3 {
+		goto retry
+	}
+}
+
+// SwitchFall chains two cases with fallthrough.
+func SwitchFall(x int) int {
+	switch x {
+	case 0:
+		x++
+		fallthrough
+	case 1:
+		x++
+	default:
+		x--
+	}
+	return x
+}
+
+// BreakLabel breaks out of both loops through a label.
+func BreakLabel(grid [][]int) int {
+	total := 0
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,41 @@
+// Package bad launches goroutines that can never exit: an unbounded
+// daemon loop with no done case, the same loop hidden behind a named
+// function, and a result sender its receiver can abandon.
+package bad
+
+// Daemon spins forever with no way out: no return, no break, no done
+// channel.
+func Daemon(work func()) {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// spin is Daemon's loop as a named function.
+func spin(step func()) {
+	for {
+		step()
+	}
+}
+
+// Background launches spin, which has no reachable exit.
+func Background(step func()) {
+	go spin(step)
+}
+
+// Fetch can strand its sender forever: when the timeout case wins,
+// nobody ever receives from ch and the unbuffered send blocks.
+func Fetch(compute func() int, timeout <-chan struct{}) int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-timeout:
+		return -1
+	}
+}

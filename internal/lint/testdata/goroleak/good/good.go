@@ -1,0 +1,59 @@
+// Package good launches goroutines with provable exits: a done-channel
+// select case that returns, a bounded loop joined through a WaitGroup,
+// and a buffered result slot that completes even when the receiver
+// gives up.
+package good
+
+import "sync"
+
+// Daemon drains work until the done channel fires; the return inside
+// the select case is its exit path.
+func Daemon(work func(), done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Parallel joins bounded workers through a WaitGroup.
+func Parallel(tasks []func()) {
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		go func(t func()) {
+			defer wg.Done()
+			t()
+		}(t)
+	}
+	wg.Wait()
+}
+
+// Fetch buffers the result slot: if the timeout wins, the sender still
+// completes and the channel is collected.
+func Fetch(compute func() int, timeout <-chan struct{}) int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-timeout:
+		return -1
+	}
+}
+
+// Pump forwards a bounded slice and exits when done.
+func Pump(xs []int, out chan<- int) {
+	go func() {
+		for _, x := range xs {
+			out <- x
+		}
+	}()
+}

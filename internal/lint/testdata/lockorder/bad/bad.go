@@ -1,0 +1,46 @@
+// Package bad acquires two named mutexes in opposite orders: one
+// goroutine in TransferAB holding (bad.Accounts).mu and one in
+// TransferBA holding (bad.Ledger).mu deadlock waiting for each other.
+// The second half of the inversion hides behind a call (grab), which
+// the repo-wide summary pass follows.
+package bad
+
+import "sync"
+
+// Accounts is one lock class.
+type Accounts struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Ledger is the other.
+type Ledger struct {
+	mu sync.Mutex
+	n  int
+}
+
+// TransferAB locks Accounts before Ledger.
+func TransferAB(a *Accounts, l *Ledger) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a.n--
+	l.n++
+}
+
+// TransferBA locks Ledger, then locks Accounts through grab: the
+// inversion.
+func TransferBA(a *Accounts, l *Ledger) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	grab(a)
+	l.n--
+}
+
+// grab locks Accounts on behalf of its caller.
+func grab(a *Accounts) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}

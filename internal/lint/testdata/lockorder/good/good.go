@@ -1,0 +1,53 @@
+// Package good acquires its two lock classes in one global order —
+// Accounts before Ledger, everywhere — so the acquisition graph has a
+// single edge and no cycle.
+package good
+
+import "sync"
+
+// Accounts is one lock class.
+type Accounts struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Ledger is the other.
+type Ledger struct {
+	mu sync.Mutex
+	n  int
+}
+
+// TransferAB locks Accounts before Ledger.
+func TransferAB(a *Accounts, l *Ledger) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a.n--
+	l.n++
+}
+
+// Audit follows the same order through a call.
+func Audit(a *Accounts, l *Ledger) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return tally(l) + a.n
+}
+
+// tally locks Ledger on behalf of its caller.
+func tally(l *Ledger) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Refresh releases Accounts before touching Ledger: sequential
+// acquisition is not nesting.
+func Refresh(a *Accounts, l *Ledger) {
+	l.mu.Lock()
+	l.n = 0
+	l.mu.Unlock()
+	a.mu.Lock()
+	a.n = 0
+	a.mu.Unlock()
+}

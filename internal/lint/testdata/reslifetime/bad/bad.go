@@ -1,0 +1,56 @@
+// Package bad leaks file descriptors and connections: every function
+// here has at least one path out on which an acquired resource is
+// neither closed, deferred, nor handed to a new owner.
+package bad
+
+import (
+	"net"
+	"os"
+
+	"tss/internal/vfs"
+)
+
+// CompareHeaders leaks the first file when the second open fails: the
+// early return inside the second error check exits with f still open.
+func CompareHeaders(p, q string) (bool, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return false, err
+	}
+	g, err := os.Open(q)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	defer g.Close()
+	bf := make([]byte, 16)
+	bg := make([]byte, 16)
+	f.Read(bf)
+	g.Read(bg)
+	return string(bf) == string(bg), nil
+}
+
+// Probe never closes the connection on any path.
+func Probe(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	_, err = c.Write([]byte("ping\n"))
+	return err
+}
+
+// ReadVersion leaks the vfs file when the read fails.
+func ReadVersion(fs vfs.FileSystem) ([]byte, error) {
+	f, err := fs.Open("/version", 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8)
+	n, err := f.Pread(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	f.Close()
+	return buf[:n], nil
+}

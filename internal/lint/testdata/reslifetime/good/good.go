@@ -1,0 +1,105 @@
+// Package good releases every acquired resource on every path: by
+// deferring the close right after the error check, by closing
+// explicitly on each branch, or by transferring ownership to a caller,
+// a struct, or a consuming function.
+package good
+
+import (
+	"io"
+	"net"
+	"os"
+
+	"tss/internal/vfs"
+)
+
+// CompareHeaders defers each close immediately after its error check;
+// the failure arm of the check has nothing to release.
+func CompareHeaders(p, q string) (bool, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	g, err := os.Open(q)
+	if err != nil {
+		return false, err
+	}
+	defer g.Close()
+	bf := make([]byte, 16)
+	bg := make([]byte, 16)
+	f.Read(bf)
+	g.Read(bg)
+	return string(bf) == string(bg), nil
+}
+
+// Probe closes explicitly on both exits.
+func Probe(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Write([]byte("ping\n")); err != nil {
+		c.Close()
+		return err
+	}
+	return c.Close()
+}
+
+// OpenVersion transfers ownership to the caller: the returned file is
+// the caller's to close.
+func OpenVersion(fs vfs.FileSystem) (vfs.File, error) {
+	f, err := fs.Open("/version", 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// session keeps the connection it is given.
+type session struct {
+	conn net.Conn
+}
+
+// NewSession stores the dialed connection into the session, which owns
+// it from then on.
+func NewSession(addr string) (*session, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &session{conn: c}, nil
+}
+
+// Drain hands the file to a consumer that assumes ownership.
+func Drain(fs vfs.FileSystem, sink func(io.Closer)) error {
+	f, err := fs.Open("/log", 0, 0)
+	if err != nil {
+		return err
+	}
+	sink(f)
+	return nil
+}
+
+// Rename closes through an alias: the obligation follows the copy.
+func Rename(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	g := f
+	return g.Close()
+}
+
+// CleanupLiteral closes inside a deferred function literal.
+func CleanupLiteral(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.Close()
+	}()
+	buf := make([]byte, 4)
+	_, err = f.Read(buf)
+	return err
+}
