@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test verify lint fuzz-short bench chaos-short
+.PHONY: build test verify lint fuzz-short bench bench-cache chaos-short
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,14 @@ fuzz-short:
 bench:
 	$(GO) run ./cmd/tssbench -quick -json > BENCH_chirp.json
 	@echo "wrote BENCH_chirp.json"
+
+# bench-cache runs the client-cache ablation at full size: the same
+# attr/dirent/read syscall mix with the cache disabled, cold, and warm,
+# reporting the RPC reduction and latency gain the caching tier buys.
+# The quick variant of the same ablation also lands in BENCH_chirp.json
+# under the "cache" key via `make bench`.
+bench-cache:
+	$(GO) run ./cmd/tssbench -run cache
 
 # chaos-short runs the quick chaos sweep: every canned fault timeline
 # (partitions, flapping, slowness, corruption, torn writes,

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"tss/internal/auth"
+	"tss/internal/cache"
 	"tss/internal/chirp"
 	"tss/internal/resilient"
 	"tss/internal/vfs"
@@ -76,6 +77,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  -P N             split large get/put/cp transfers into N parallel multipart streams")
 	fmt.Fprintln(os.Stderr, "  -chunk SIZE      multipart chunk size, with optional K/M/G suffix (default 8M)")
 	fmt.Fprintln(os.Stderr, "  -verify          checksum transfers end to end (falls back on old servers)")
+	fmt.Fprintln(os.Stderr, "  -cache           cache attrs, dirents, and pages client-side, kept consistent by server leases")
+	fmt.Fprintln(os.Stderr, "  -attr-ttl DUR    cache: attr/dirent time-to-live (default 2s)")
+	fmt.Fprintln(os.Stderr, "  -wb              cache: buffer writes for write-back instead of writing through")
 	os.Exit(2)
 }
 
@@ -110,10 +114,23 @@ func main() {
 	par := 1
 	var chunkSize int64
 	verify := false
+	cacheOn := false
+	writeBack := false
+	var attrTTL time.Duration
 	// Leading flags, parsed by hand so the verb-first grammar survives.
 	for len(argv) >= 1 {
 		if argv[0] == "-verify" {
 			verify = true
+			argv = argv[1:]
+			continue
+		}
+		if argv[0] == "-cache" {
+			cacheOn = true
+			argv = argv[1:]
+			continue
+		}
+		if argv[0] == "-wb" {
+			writeBack = true
 			argv = argv[1:]
 			continue
 		}
@@ -144,6 +161,8 @@ func main() {
 			par, err = strconv.Atoi(argv[1])
 		case "-chunk":
 			chunkSize, err = parseSize(argv[1])
+		case "-attr-ttl":
+			attrTTL, err = time.ParseDuration(argv[1])
 		default:
 			err = errDone
 		}
@@ -202,6 +221,21 @@ func main() {
 	}
 	defer client.Close()
 
+	// With -cache, namespace verbs go through the lease-consistent
+	// caching tier; transfer and identity verbs keep the raw transport
+	// (their capability fast paths stream around a page cache anyway).
+	// The cache's Close releases the granted leases.
+	var view vfs.FileSystem = client
+	if cacheOn {
+		cfs := cache.New(client, cache.Options{
+			AttrTTL:      attrTTL,
+			WriteThrough: !writeBack,
+			Verify:       verify,
+		})
+		defer cfs.Close()
+		view = cfs
+	}
+
 	// retry reconnects and re-issues idempotent operations on transport
 	// failure, with jittered exponential backoff; exhaustion surfaces as
 	// ETIMEDOUT (§6). Non-idempotent verbs (put, mkdir, mv, ...) run
@@ -245,7 +279,7 @@ func main() {
 		var ents []vfs.DirEntry
 		err := retry(func() error {
 			var e error
-			ents, e = client.ReadDir(args[0])
+			ents, e = view.ReadDir(args[0])
 			return e
 		})
 		if err != nil {
@@ -305,22 +339,22 @@ func main() {
 		fmt.Println(sum)
 	case "mkdir":
 		need(1)
-		if err := client.Mkdir(args[0], 0o755); err != nil {
+		if err := view.Mkdir(args[0], 0o755); err != nil {
 			fatal(err)
 		}
 	case "rm":
 		need(1)
-		if err := client.Unlink(args[0]); err != nil {
+		if err := view.Unlink(args[0]); err != nil {
 			fatal(err)
 		}
 	case "rmdir":
 		need(1)
-		if err := client.Rmdir(args[0]); err != nil {
+		if err := view.Rmdir(args[0]); err != nil {
 			fatal(err)
 		}
 	case "mv":
 		need(2)
-		if err := client.Rename(args[0], args[1]); err != nil {
+		if err := view.Rename(args[0], args[1]); err != nil {
 			fatal(err)
 		}
 	case "stat":
@@ -328,7 +362,7 @@ func main() {
 		var fi vfs.FileInfo
 		err := retry(func() error {
 			var e error
-			fi, e = client.Stat(args[0])
+			fi, e = view.Stat(args[0])
 			return e
 		})
 		if err != nil {
@@ -340,7 +374,7 @@ func main() {
 		var info vfs.FSInfo
 		err := retry(func() error {
 			var e error
-			info, e = client.StatFS()
+			info, e = view.StatFS()
 			return e
 		})
 		if err != nil {

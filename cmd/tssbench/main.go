@@ -7,9 +7,9 @@
 //	tssbench -run fig3,fig4,sp5
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 sp5 fig9 pool, plus the
-// cachesweep ablation, obs decomposition, integrity corruption
-// experiment, multipart transfer scaling, and the chaos invariant
-// sweep (not in 'all').
+// cachesweep ablation, the cache (client caching tier) ablation, obs
+// decomposition, integrity corruption experiment, multipart transfer
+// scaling, and the chaos invariant sweep (not in 'all').
 package main
 
 import (
@@ -55,12 +55,17 @@ func main() {
 		if err != nil {
 			log.Fatalf("tssbench: chaos: %v", err)
 		}
+		cacheRes, err := experiments.RunCacheBench(experiments.DefaultCacheBench(*quick))
+		if err != nil {
+			log.Fatalf("tssbench: cache: %v", err)
+		}
 		data, err := json.MarshalIndent(map[string]any{
 			"obs":       obsRes,
 			"pool":      poolRes,
 			"integrity": intRes,
 			"multipart": mpRes,
 			"chaos":     chaosRes,
+			"cache":     cacheRes,
 		}, "", "  ")
 		if err != nil {
 			log.Fatalf("tssbench: json: %v", err)
@@ -71,6 +76,7 @@ func main() {
 		fmt.Fprint(os.Stderr, intRes.Render())
 		fmt.Fprint(os.Stderr, mpRes.Render())
 		fmt.Fprint(os.Stderr, chaosRes.Render())
+		fmt.Fprint(os.Stderr, cacheRes.Render())
 		if chaosRes.TotalViolations > 0 {
 			log.Fatalf("tssbench: chaos: %d invariant violations (replay coordinates in the report)", chaosRes.TotalViolations)
 		}
@@ -147,6 +153,12 @@ func runOne(name string, quick bool, clients int) (string, error) {
 		return res.Render(), nil
 	case "cachesweep":
 		return experiments.RunCacheSweep(3, nil).Render(), nil
+	case "cache":
+		res, err := experiments.RunCacheBench(experiments.DefaultCacheBench(quick))
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
 	case "obs":
 		res, err := experiments.RunObsBench(experiments.DefaultObsBench(quick))
 		if err != nil {

@@ -19,14 +19,19 @@ import (
 
 	"tss/internal/abstraction"
 	"tss/internal/auth"
+	"tss/internal/cache"
 	"tss/internal/chirp"
 	"tss/internal/vfs"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tssfs -meta host:port/dir [-data name=host:port/dir]... <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: tssfs -meta host:port/dir [-data name=host:port/dir]... [-cache] [-attr-ttl DUR] [-wb] <command> [args]
 commands: ls|cat|stat|rm|rmdir DIR, put REMOTE LOCAL, get REMOTE LOCAL,
-          mkdir DIR, mv OLD NEW, statfs, fsck, repair`)
+          mkdir DIR, mv OLD NEW, statfs, fsck, repair
+  -cache         cache attrs, dirents, and pages client-side (TTL-expired:
+                 the DSFS abstraction grants no leases)
+  -attr-ttl DUR  cache: attr/dirent time-to-live (default 2s)
+  -wb            cache: buffer writes for write-back instead of writing through`)
 	os.Exit(2)
 }
 
@@ -57,6 +62,9 @@ func main() {
 	var metaSpec string
 	type dataSpec struct{ name, spec string }
 	var dataSpecs []dataSpec
+	cacheOn := false
+	writeBack := false
+	var attrTTL time.Duration
 	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
 		switch args[0] {
 		case "-meta":
@@ -74,6 +82,21 @@ func main() {
 				usage()
 			}
 			dataSpecs = append(dataSpecs, dataSpec{name, spec})
+			args = args[2:]
+		case "-cache":
+			cacheOn = true
+			args = args[1:]
+		case "-wb":
+			writeBack = true
+			args = args[1:]
+		case "-attr-ttl":
+			if len(args) < 2 {
+				usage()
+			}
+			var err error
+			if attrTTL, err = time.ParseDuration(args[1]); err != nil {
+				fatal(fmt.Errorf("-attr-ttl %s: %w", args[1], err))
+			}
 			args = args[2:]
 		default:
 			usage()
@@ -113,6 +136,20 @@ func main() {
 		fatal(err)
 	}
 
+	// With -cache, namespace and data operations go through the caching
+	// tier over the whole DSFS; the abstraction grants no leases, so
+	// entries expire on the attr TTL alone. The DSFS-specific verbs
+	// (fsck, repair, the stub probe under stat) keep the raw view.
+	var view vfs.FileSystem = d
+	if cacheOn {
+		cfs := cache.New(d, cache.Options{
+			AttrTTL:      attrTTL,
+			WriteThrough: !writeBack,
+		})
+		defer cfs.Close()
+		view = cfs
+	}
+
 	cmd, rest := args[0], args[1:]
 	need := func(n int) {
 		if len(rest) != n {
@@ -122,7 +159,7 @@ func main() {
 	switch cmd {
 	case "ls":
 		need(1)
-		ents, err := d.ReadDir(rest[0])
+		ents, err := view.ReadDir(rest[0])
 		if err != nil {
 			fatal(err)
 		}
@@ -135,12 +172,12 @@ func main() {
 		}
 	case "cat":
 		need(1)
-		if err := stream(os.Stdout, d, rest[0]); err != nil {
+		if err := stream(os.Stdout, view, rest[0]); err != nil {
 			fatal(err)
 		}
 	case "stat":
 		need(1)
-		fi, err := d.Stat(rest[0])
+		fi, err := view.Stat(rest[0])
 		if err != nil {
 			fatal(err)
 		}
@@ -157,7 +194,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := vfs.WriteFile(d, rest[0], data, 0o644); err != nil {
+		if err := vfs.WriteFile(view, rest[0], data, 0o644); err != nil {
 			fatal(err)
 		}
 	case "get":
@@ -166,7 +203,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := stream(out, d, rest[0]); err != nil {
+		if err := stream(out, view, rest[0]); err != nil {
 			out.Close()
 			fatal(err)
 		}
@@ -175,27 +212,27 @@ func main() {
 		}
 	case "mkdir":
 		need(1)
-		if err := d.Mkdir(rest[0], 0o755); err != nil {
+		if err := view.Mkdir(rest[0], 0o755); err != nil {
 			fatal(err)
 		}
 	case "rm":
 		need(1)
-		if err := d.Unlink(rest[0]); err != nil {
+		if err := view.Unlink(rest[0]); err != nil {
 			fatal(err)
 		}
 	case "rmdir":
 		need(1)
-		if err := d.Rmdir(rest[0]); err != nil {
+		if err := view.Rmdir(rest[0]); err != nil {
 			fatal(err)
 		}
 	case "mv":
 		need(2)
-		if err := d.Rename(rest[0], rest[1]); err != nil {
+		if err := view.Rename(rest[0], rest[1]); err != nil {
 			fatal(err)
 		}
 	case "statfs":
 		need(0)
-		info, err := d.StatFS()
+		info, err := view.StatFS()
 		if err != nil {
 			fatal(err)
 		}

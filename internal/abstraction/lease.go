@@ -1,0 +1,59 @@
+package abstraction
+
+import (
+	"tss/internal/vfs"
+)
+
+// Lease delegation for the mirror. Versions are drawn from a per-server
+// counter, so numbers from different replicas are incomparable: a cache
+// that renewed against replica A and then against replica B could see a
+// coincidentally equal version and revalidate stale data. The mirror
+// therefore pins all lease traffic to one stable replica — the
+// lowest-indexed one advertising vfs.Leaser — instead of the
+// healthiest-ordered failover used for data reads. If the pinned
+// replica is demoted the lease call fails and the caching layer above
+// degrades to TTL-only expiry, which is safe; it never silently
+// switches version domains.
+
+var _ vfs.Leaser = (*MirrorFS)(nil)
+
+// leaser returns the pinned lease replica's index and capability, or
+// (-1, nil) when no replica leases.
+func (m *MirrorFS) leaser() (int, vfs.Leaser) {
+	for i, r := range m.replicas {
+		if l := vfs.Capabilities(r).Leaser; l != nil {
+			return i, l
+		}
+	}
+	return -1, nil
+}
+
+// Lease acquires a read lease from the pinned replica (vfs.Leaser).
+func (m *MirrorFS) Lease(path string) (vfs.Lease, error) {
+	i, l := m.leaser()
+	if l == nil {
+		return vfs.Lease{}, vfs.EINVAL
+	}
+	if !m.breakers[i].Ready() {
+		m.maybeProbe(i)
+		return vfs.Lease{}, vfs.ENOTCONN
+	}
+	lease, err := l.Lease(path)
+	m.record(i, err)
+	return lease, err
+}
+
+// LeaseBreak releases a lease on the pinned replica (vfs.Leaser).
+func (m *MirrorFS) LeaseBreak(id int64) error {
+	i, l := m.leaser()
+	if l == nil {
+		return vfs.EINVAL
+	}
+	if !m.breakers[i].Ready() {
+		m.maybeProbe(i)
+		return vfs.ENOTCONN
+	}
+	err := l.LeaseBreak(id)
+	m.record(i, err)
+	return err
+}

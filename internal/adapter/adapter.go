@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tss/internal/cache"
 	"tss/internal/obs"
 	"tss/internal/pathutil"
 	"tss/internal/resilient"
@@ -67,6 +68,11 @@ type Config struct {
 	// "adapter.stale", "adapter.gave_up") so per-process syscall counts
 	// appear on /metrics. Nil disables instrumentation at zero cost.
 	Metrics *obs.Registry
+	// Cache, when non-nil, wraps every abstraction entering the
+	// namespace — explicit mounts and default-namespace resolutions —
+	// in a client cache tier (internal/cache) with these options. The
+	// Sync switch composes: O_SYNC opens write through the cache.
+	Cache *cache.Options
 }
 
 // Mount binds a logical path prefix to an abstraction.
@@ -136,7 +142,18 @@ func New(cfg Config) *Adapter {
 }
 
 // MountFS binds prefix to fs; longer prefixes shadow shorter ones.
+// With Config.Cache set, fs is mounted behind a cache tier.
 func (a *Adapter) MountFS(prefix string, fs vfs.FileSystem) error {
+	if a.cfg.Cache != nil {
+		fs = cache.New(fs, *a.cfg.Cache)
+	}
+	return a.addMount(prefix, fs)
+}
+
+// addMount binds prefix to fs exactly as given — the uncached seam for
+// mountlist targets, which resolve through abstractions that are
+// already cache-wrapped.
+func (a *Adapter) addMount(prefix string, fs vfs.FileSystem) error {
 	n, err := pathutil.Norm(prefix)
 	if err != nil {
 		return vfs.EINVAL
@@ -216,7 +233,7 @@ func (a *Adapter) ApplyMountlist(text string) error {
 		if err != nil {
 			return err
 		}
-		if err := a.MountFS(p[0], view); err != nil {
+		if err := a.addMount(p[0], view); err != nil {
 			return fmt.Errorf("adapter: mounting %q: %w", p[0], err)
 		}
 	}
@@ -251,6 +268,9 @@ func (a *Adapter) resolve(path string) (vfs.FileSystem, string, error) {
 				fs, err = a.cfg.Resolve(scheme, host)
 				if err != nil {
 					return nil, "", err
+				}
+				if a.cfg.Cache != nil {
+					fs = cache.New(fs, *a.cfg.Cache)
 				}
 				a.mu.Lock()
 				a.resolved[key] = fs

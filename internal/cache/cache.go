@@ -1,0 +1,1040 @@
+// Package cache provides the client-side caching tier of the storage
+// stack: a vfs.FileSystem wrapper holding three caches — file
+// attributes, directory listings, and file data pages — whose validity
+// is governed by read leases from the server (DESIGN.md §14).
+//
+// The consistency model is version revalidation, not server push.
+// Every cached item for a path is trusted for a bounded horizon; when
+// the horizon lapses the cache renews its lease and compares the
+// returned version with the one it last saw. An unchanged version
+// proves every byte and attribute cached for the path is still
+// current, so one round trip revalidates the attr entry, the dirent
+// listing, and all data pages at once — that single cheap RPC standing
+// in for a re-stat, a re-listing, and a re-read is where the syscall
+// amplification of a network filesystem goes to die. A changed
+// version drops everything for the path. Against a server that
+// predates leases the wrapper degrades to plain TTL expiry: entries
+// are dropped, not revalidated, when the horizon lapses; staleness
+// stays bounded either way.
+package cache
+
+import (
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"tss/internal/obs"
+	"tss/internal/pathutil"
+	"tss/internal/vfs"
+)
+
+// Defaults for the zero Options value.
+const (
+	DefaultAttrTTL   = 2 * time.Second
+	DefaultDataBytes = 64 << 20
+	DefaultPageSize  = 64 << 10
+	// DefaultFlushAt bounds how much dirty write-back data a single
+	// open file accumulates before it is pushed to the server.
+	DefaultFlushAt = 1 << 20
+)
+
+// Options configures a cache.FS. The zero value enables all three
+// tiers with the defaults above, write-back buffering, and no
+// verification.
+type Options struct {
+	// AttrTTL is the validity horizon of cached attributes, listings,
+	// and pages. With leases the horizon is renewed by revalidation;
+	// without, it is the hard staleness bound.
+	AttrTTL time.Duration
+	// DataBytes is the page cache budget; 0 means DefaultDataBytes,
+	// negative disables the data tier.
+	DataBytes int64
+	// PageSize is the data cache granule.
+	PageSize int64
+	// WriteThrough disables write-back buffering: every Pwrite goes to
+	// the server before it returns. Opening a file with vfs.O_SYNC
+	// forces the same per handle regardless of this setting.
+	WriteThrough bool
+	// FlushAt bounds the dirty extent of one open file.
+	FlushAt int64
+	// Verify digest-checks whole-file fills against the inner layer's
+	// Checksummer, when it has one.
+	Verify bool
+	// Metrics registers hit/miss counters and per-tier latency
+	// histograms under Layer; nil disables registration.
+	Metrics *obs.Registry
+	// Layer is the metric name prefix; empty means "cache".
+	Layer string
+	// Clock is the time source, a seam for deterministic tests; nil
+	// means time.Now.
+	Clock func() time.Time
+}
+
+// Stats counts cache activity; all fields are safe to read
+// concurrently.
+type Stats struct {
+	AttrHits, AttrMisses     int64
+	DirentHits, DirentMisses int64
+	PageHits, PageMisses     int64
+	// Renewals counts lease RPCs issued to extend a lapsed horizon;
+	// Revalidations counts those that came back with an unchanged
+	// version, keeping the cached state alive without refetching.
+	Renewals, Revalidations int64
+	// Invalidations counts paths whose cached state was dropped, by a
+	// changed version or by a local write.
+	Invalidations int64
+	// Flushes counts write-back extents pushed to the server.
+	Flushes int64
+	// VerifyFails counts whole-file fills rejected by digest check.
+	VerifyFails int64
+}
+
+// pageKey addresses one granule of one file in the shared data LRU.
+type pageKey struct {
+	path string
+	idx  int64
+}
+
+// pathState is everything the cache knows about one path's validity:
+// the last seen lease version, the trust horizon, the outstanding
+// lease, and which tiers currently hold entries for the path.
+type pathState struct {
+	version     int64
+	haveVersion bool
+	validUntil  time.Time
+
+	leaseID  int64
+	leased   bool
+	leaseExp time.Time
+
+	attr    *vfs.FileInfo
+	dirents []vfs.DirEntry
+	pages   map[int64]struct{} // page indexes resident in the LRU
+}
+
+// FS is the caching layer. It is safe for concurrent use; the caches
+// are guarded by one mutex, which is never held across an RPC to the
+// inner filesystem.
+type FS struct {
+	inner vfs.FileSystem
+	opt   Options
+
+	mu    sync.Mutex
+	paths map[string]*pathState
+	data  *LRU[pageKey, []byte]
+	// leaser is the inner layer's lease capability; degraded records
+	// that it answered EINVAL (a pre-lease server) and the cache
+	// stopped asking.
+	leaser   vfs.Leaser
+	degraded bool
+	closed   bool
+
+	stats struct {
+		mu sync.Mutex
+		s  Stats
+	}
+
+	// Registry shadows of Stats plus per-tier latency histograms (nil
+	// without a registry; obs instruments are nil-safe).
+	cAttrHits, cAttrMisses     *obs.Counter
+	cDirentHits, cDirentMisses *obs.Counter
+	cPageHits, cPageMisses     *obs.Counter
+	cRenewals, cRevalidations  *obs.Counter
+	cInvalidations, cFlushes   *obs.Counter
+	cVerifyFails               *obs.Counter
+	hAttr, hDirent, hRead      *obs.Histogram
+}
+
+var (
+	_ vfs.FileSystem = (*FS)(nil)
+	_ vfs.Capabler   = (*FS)(nil)
+	_ vfs.Closer     = (*FS)(nil)
+)
+
+// New wraps inner in a caching tier.
+func New(inner vfs.FileSystem, opt Options) *FS {
+	if opt.AttrTTL <= 0 {
+		opt.AttrTTL = DefaultAttrTTL
+	}
+	if opt.DataBytes == 0 {
+		opt.DataBytes = DefaultDataBytes
+	}
+	if opt.PageSize <= 0 {
+		opt.PageSize = DefaultPageSize
+	}
+	if opt.FlushAt <= 0 {
+		opt.FlushAt = DefaultFlushAt
+	}
+	if opt.Clock == nil {
+		opt.Clock = time.Now
+	}
+	if opt.Layer == "" {
+		opt.Layer = "cache"
+	}
+	f := &FS{
+		inner:  inner,
+		opt:    opt,
+		paths:  make(map[string]*pathState),
+		leaser: vfs.Capabilities(inner).Leaser,
+	}
+	if opt.DataBytes > 0 {
+		f.data = NewLRU[pageKey, []byte](opt.DataBytes)
+		// Keep the per-path page index honest when the budget evicts;
+		// the callback runs under f.mu (every Put is).
+		f.data.OnEvict = func(k pageKey, _ []byte, _ int64) {
+			if ps := f.paths[k.path]; ps != nil {
+				delete(ps.pages, k.idx)
+			}
+		}
+	}
+	if reg := opt.Metrics; reg != nil {
+		l := opt.Layer
+		f.cAttrHits = reg.Counter(l + ".attr_hits")
+		f.cAttrMisses = reg.Counter(l + ".attr_misses")
+		f.cDirentHits = reg.Counter(l + ".dirent_hits")
+		f.cDirentMisses = reg.Counter(l + ".dirent_misses")
+		f.cPageHits = reg.Counter(l + ".page_hits")
+		f.cPageMisses = reg.Counter(l + ".page_misses")
+		f.cRenewals = reg.Counter(l + ".lease_renewals")
+		f.cRevalidations = reg.Counter(l + ".lease_revalidations")
+		f.cInvalidations = reg.Counter(l + ".invalidations")
+		f.cFlushes = reg.Counter(l + ".writeback_flushes")
+		f.cVerifyFails = reg.Counter(l + ".verify_fails")
+		f.hAttr = reg.Histogram(l + ".attr")
+		f.hDirent = reg.Histogram(l + ".dirent")
+		f.hRead = reg.Histogram(l + ".read")
+	}
+	return f
+}
+
+// Stats returns a snapshot of the cache counters.
+func (f *FS) Stats() Stats {
+	f.stats.mu.Lock()
+	defer f.stats.mu.Unlock()
+	return f.stats.s
+}
+
+func (f *FS) count(c *obs.Counter, field *int64) {
+	f.stats.mu.Lock()
+	*field++
+	f.stats.mu.Unlock()
+	c.Inc()
+}
+
+// state returns the pathState for path, creating it if needed. Caller
+// holds f.mu.
+func (f *FS) state(path string) *pathState {
+	ps := f.paths[path]
+	if ps == nil {
+		ps = &pathState{}
+		f.paths[path] = ps
+	}
+	return ps
+}
+
+// validLocked reports whether path's cached state may be served right
+// now, without renewing. Caller holds f.mu.
+func (f *FS) validLocked(ps *pathState, now time.Time) bool {
+	return ps != nil && now.Before(ps.validUntil)
+}
+
+// revalidate makes path's cached state servable if it can: when the
+// horizon has lapsed it renews the lease and compares versions. It
+// returns true when cached entries for the path may be used. The lock
+// is dropped across the lease RPC.
+func (f *FS) revalidate(path string, ps *pathState, now time.Time) bool {
+	if now.Before(ps.validUntil) {
+		return true
+	}
+	if f.leaser == nil || f.degraded {
+		// TTL-only mode: a lapsed horizon is a drop.
+		f.invalidateLocked(path, ps)
+		return false
+	}
+	oldID := ps.leaseID
+	// An expired grant is already gone server-side; only a live one is
+	// worth a release RPC.
+	oldLive := ps.leased && now.Before(ps.leaseExp)
+	ps.leased = false
+	f.mu.Unlock()
+	lease, err := f.leaser.Lease(path)
+	if oldLive {
+		// The old grant is dead to us either way; tell the server so
+		// its table does not carry it to TTL expiry.
+		f.releaseLease(oldID)
+	}
+	f.mu.Lock()
+	f.count(f.cRenewals, &f.stats.s.Renewals)
+	if err != nil {
+		if vfs.AsErrno(err) == vfs.EINVAL {
+			f.degraded = true
+		}
+		f.invalidateLocked(path, ps)
+		return false
+	}
+	horizon := f.opt.AttrTTL
+	if lease.TTL > 0 && lease.TTL < horizon {
+		horizon = lease.TTL
+	}
+	now = f.opt.Clock()
+	fresh := ps.haveVersion && ps.version == lease.Version
+	if fresh {
+		f.count(f.cRevalidations, &f.stats.s.Revalidations)
+	} else if ps.haveVersion {
+		f.invalidateLocked(path, ps)
+	}
+	ps.version = lease.Version
+	ps.haveVersion = true
+	ps.validUntil = now.Add(horizon)
+	ps.leaseID = lease.ID
+	ps.leased = true
+	ps.leaseExp = now.Add(lease.TTL)
+	return fresh
+}
+
+// releaseLease drops a lease server-side, best effort: an expired or
+// already-broken grant answers EBADF, which is the desired end state.
+func (f *FS) releaseLease(id int64) {
+	if f.leaser == nil {
+		return
+	}
+	_ = f.leaser.LeaseBreak(id)
+}
+
+// invalidateLocked drops every cached entry for path. The lease
+// version survives — it is the comparison point for the next renewal.
+// Caller holds f.mu.
+func (f *FS) invalidateLocked(path string, ps *pathState) {
+	if ps == nil {
+		return
+	}
+	had := ps.attr != nil || ps.dirents != nil || len(ps.pages) > 0
+	ps.attr = nil
+	ps.dirents = nil
+	if f.data != nil {
+		for idx := range ps.pages {
+			f.data.Remove(pageKey{path: path, idx: idx})
+		}
+	}
+	ps.pages = nil
+	ps.validUntil = time.Time{}
+	if had {
+		f.count(f.cInvalidations, &f.stats.s.Invalidations)
+	}
+}
+
+// wrote records a local mutation of path: cached state is dropped and
+// the horizon zeroed, so the next read renews and observes the
+// server's post-write version.
+func (f *FS) wrote(paths ...string) {
+	f.mu.Lock()
+	for _, p := range paths {
+		if ps := f.paths[p]; ps != nil {
+			f.invalidateLocked(p, ps)
+			ps.haveVersion = false
+			ps.leased = false
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Stat serves attributes from the attr tier (vfs.FileSystem).
+func (f *FS) Stat(path string) (vfs.FileInfo, error) {
+	start := f.opt.Clock()
+	f.mu.Lock()
+	ps := f.state(path)
+	if ps.attr != nil && (f.validLocked(ps, start) || f.revalidate(path, ps, start)) {
+		fi := *ps.attr
+		f.count(f.cAttrHits, &f.stats.s.AttrHits)
+		f.mu.Unlock()
+		f.hAttr.Observe(time.Since(start))
+		return fi, nil
+	}
+	f.count(f.cAttrMisses, &f.stats.s.AttrMisses)
+	needLease := !f.validLocked(ps, f.opt.Clock())
+	f.mu.Unlock()
+
+	fi, err := f.inner.Stat(path)
+	if err != nil {
+		f.hAttr.Observe(time.Since(start))
+		return fi, err
+	}
+	if needLease {
+		f.lease(path)
+	}
+	f.mu.Lock()
+	ps = f.state(path)
+	if f.validLocked(ps, f.opt.Clock()) {
+		c := fi
+		ps.attr = &c
+	}
+	f.mu.Unlock()
+	f.hAttr.Observe(time.Since(start))
+	return fi, nil
+}
+
+// lease acquires a fresh lease on path and opens its trust horizon,
+// entering degraded mode on a pre-lease server. Called without f.mu.
+func (f *FS) lease(path string) {
+	f.mu.Lock()
+	if f.leaser == nil || f.degraded {
+		ps := f.state(path)
+		// TTL-only: trust what we are about to cache for one horizon.
+		ps.validUntil = f.opt.Clock().Add(f.opt.AttrTTL)
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+	lease, err := f.leaser.Lease(path)
+	var oldID int64
+	var oldLive bool
+	f.mu.Lock()
+	f.count(f.cRenewals, &f.stats.s.Renewals)
+	ps := f.state(path)
+	if err != nil {
+		if vfs.AsErrno(err) == vfs.EINVAL {
+			f.degraded = true
+			ps.validUntil = f.opt.Clock().Add(f.opt.AttrTTL)
+		}
+		f.mu.Unlock()
+		return
+	}
+	now := f.opt.Clock()
+	if ps.leased && now.Before(ps.leaseExp) {
+		// A concurrent fill leased the path while we were on the wire;
+		// adopt the newer grant and release the superseded one.
+		oldID, oldLive = ps.leaseID, true
+	}
+	horizon := f.opt.AttrTTL
+	if lease.TTL > 0 && lease.TTL < horizon {
+		horizon = lease.TTL
+	}
+	if ps.haveVersion && ps.version != lease.Version {
+		f.invalidateLocked(path, ps)
+	}
+	ps.version = lease.Version
+	ps.haveVersion = true
+	ps.validUntil = now.Add(horizon)
+	ps.leaseID = lease.ID
+	ps.leased = true
+	ps.leaseExp = now.Add(lease.TTL)
+	f.mu.Unlock()
+	if oldLive {
+		f.releaseLease(oldID)
+	}
+}
+
+// ReadDir serves listings from the dirent tier (vfs.FileSystem).
+func (f *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
+	start := f.opt.Clock()
+	f.mu.Lock()
+	ps := f.state(path)
+	if ps.dirents != nil && (f.validLocked(ps, start) || f.revalidate(path, ps, start)) {
+		ents := append([]vfs.DirEntry(nil), ps.dirents...)
+		f.count(f.cDirentHits, &f.stats.s.DirentHits)
+		f.mu.Unlock()
+		f.hDirent.Observe(time.Since(start))
+		return ents, nil
+	}
+	f.count(f.cDirentMisses, &f.stats.s.DirentMisses)
+	needLease := !f.validLocked(ps, f.opt.Clock())
+	f.mu.Unlock()
+
+	ents, err := f.inner.ReadDir(path)
+	if err != nil {
+		f.hDirent.Observe(time.Since(start))
+		return ents, err
+	}
+	if needLease {
+		f.lease(path)
+	}
+	f.mu.Lock()
+	ps = f.state(path)
+	if f.validLocked(ps, f.opt.Clock()) {
+		ps.dirents = append([]vfs.DirEntry(nil), ents...)
+	}
+	f.mu.Unlock()
+	f.hDirent.Observe(time.Since(start))
+	return ents, nil
+}
+
+// Open opens the named file (vfs.FileSystem). Write-intent opens
+// invalidate the path locally — the server is about to break our lease
+// anyway — and O_SYNC handles write through.
+//
+// A read-only open of a path with a valid attr entry is satisfied
+// locally: the server descriptor is created lazily, on the first page
+// miss that actually needs it. A fully warm open/read/close cycle
+// therefore costs zero RPCs — the open is a local act, as in NFSv3 —
+// at the price of deferring an EACCES to the first uncached read.
+func (f *FS) Open(path string, flags int, mode uint32) (vfs.File, error) {
+	if mutatingOpen(flags) {
+		f.wrote(path, pathutil.Dir(path))
+	} else {
+		f.mu.Lock()
+		ps := f.paths[path]
+		known := ps != nil && ps.attr != nil && f.validLocked(ps, f.opt.Clock())
+		f.mu.Unlock()
+		if known {
+			return f.newFile(nil, path, flags, mode), nil
+		}
+	}
+	inner, err := f.inner.Open(path, flags, mode)
+	if err != nil {
+		return nil, err
+	}
+	return f.newFile(inner, path, flags, mode), nil
+}
+
+// mutatingOpen reports whether an open with these flags can change the
+// file or its directory entry.
+func mutatingOpen(flags int) bool {
+	return flags&vfs.AccessModeMask != vfs.O_RDONLY ||
+		flags&(vfs.O_CREAT|vfs.O_TRUNC) != 0
+}
+
+// newFile wraps an open descriptor; inner may be nil for a lazy
+// read-only handle, materialized by ensureInner on the first miss.
+func (f *FS) newFile(inner vfs.File, path string, flags int, mode uint32) *cacheFile {
+	writeThrough := f.opt.WriteThrough || flags&vfs.O_SYNC != 0 ||
+		flags&vfs.O_APPEND != 0
+	return &cacheFile{
+		fs:           f,
+		inner:        inner,
+		path:         path,
+		flags:        flags,
+		mode:         mode,
+		writable:     flags&vfs.AccessModeMask != vfs.O_RDONLY,
+		writeThrough: writeThrough,
+	}
+}
+
+// Unlink removes the named file (vfs.FileSystem).
+func (f *FS) Unlink(path string) error {
+	err := f.inner.Unlink(path)
+	if err == nil {
+		f.wrote(path, pathutil.Dir(path))
+	}
+	return err
+}
+
+// Rename renames a file or directory (vfs.FileSystem).
+func (f *FS) Rename(oldPath, newPath string) error {
+	err := f.inner.Rename(oldPath, newPath)
+	if err == nil {
+		f.wrote(oldPath, newPath, pathutil.Dir(oldPath), pathutil.Dir(newPath))
+	}
+	return err
+}
+
+// Mkdir creates a directory (vfs.FileSystem).
+func (f *FS) Mkdir(path string, mode uint32) error {
+	err := f.inner.Mkdir(path, mode)
+	if err == nil {
+		f.wrote(path, pathutil.Dir(path))
+	}
+	return err
+}
+
+// Rmdir removes an empty directory (vfs.FileSystem).
+func (f *FS) Rmdir(path string) error {
+	err := f.inner.Rmdir(path)
+	if err == nil {
+		f.wrote(path, pathutil.Dir(path))
+	}
+	return err
+}
+
+// Truncate changes the length of the named file (vfs.FileSystem).
+func (f *FS) Truncate(path string, size int64) error {
+	err := f.inner.Truncate(path, size)
+	if err == nil {
+		f.wrote(path)
+	}
+	return err
+}
+
+// Chmod changes permission bits (vfs.FileSystem).
+func (f *FS) Chmod(path string, mode uint32) error {
+	err := f.inner.Chmod(path, mode)
+	if err == nil {
+		f.wrote(path)
+	}
+	return err
+}
+
+// StatFS reports capacity, uncached (vfs.FileSystem).
+func (f *FS) StatFS() (vfs.FSInfo, error) { return f.inner.StatFS() }
+
+// Close releases every outstanding lease and closes the inner layer if
+// it closes (vfs.Closer). The FS must not be used afterwards.
+func (f *FS) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	var ids []int64
+	for _, ps := range f.paths {
+		if ps.leased {
+			ids = append(ids, ps.leaseID)
+			ps.leased = false
+		}
+	}
+	f.paths = make(map[string]*pathState)
+	if f.data != nil {
+		f.data = NewLRU[pageKey, []byte](f.opt.DataBytes)
+	}
+	f.mu.Unlock()
+	for _, id := range ids {
+		f.releaseLease(id)
+	}
+	if c := vfs.Capabilities(f.inner).Closer; c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// readPage returns one cached granule of path, using (and refreshing)
+// the path's validity horizon.
+func (f *FS) readPage(path string, idx int64) ([]byte, bool) {
+	if f.data == nil {
+		return nil, false
+	}
+	now := f.opt.Clock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ps := f.paths[path]
+	if ps == nil {
+		return nil, false
+	}
+	if !f.validLocked(ps, now) && !f.revalidate(path, ps, now) {
+		return nil, false
+	}
+	page, ok := f.data.Get(pageKey{path: path, idx: idx})
+	return page, ok
+}
+
+// storePage caches one granule, provided the path's horizon is open.
+func (f *FS) storePage(path string, idx int64, page []byte) {
+	if f.data == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ps := f.state(path)
+	if !f.validLocked(ps, f.opt.Clock()) {
+		return
+	}
+	if ps.pages == nil {
+		ps.pages = make(map[int64]struct{})
+	}
+	ps.pages[idx] = struct{}{}
+	f.data.Put(pageKey{path: path, idx: idx}, page, int64(len(page)))
+}
+
+// verifyFill digest-checks a whole-file fill against the inner layer's
+// checksummer. data is the entire file as just read.
+func (f *FS) verifyFill(path string, data []byte) error {
+	cs := vfs.Capabilities(f.inner).Checksummer
+	if cs == nil {
+		return nil
+	}
+	want, err := cs.Checksum(path, vfs.AlgoCRC32C)
+	if err != nil {
+		// A server that cannot digest does not fail the read.
+		return nil
+	}
+	h, err := vfs.NewHash(vfs.AlgoCRC32C)
+	if err != nil {
+		return nil
+	}
+	h.Write(data)
+	got := hex.EncodeToString(h.Sum(nil))
+	if got != want {
+		f.mu.Lock()
+		f.count(f.cVerifyFails, &f.stats.s.VerifyFails)
+		f.mu.Unlock()
+		return vfs.ChecksumMismatch(path, vfs.AlgoCRC32C, want, got)
+	}
+	return nil
+}
+
+// Capabilities forwards the inner layer's optional interfaces
+// (vfs.Capabler). Fast paths that mutate are wrapped so they
+// invalidate the tiers exactly like their syscall counterparts; read
+// fast paths bypass the page cache by design — a whole-file stream
+// does not want 64 KiB granules — and Leaser is forwarded untouched so
+// a second cache above would share the same version domain.
+func (f *FS) Capabilities() vfs.Capability {
+	inner := vfs.Capabilities(f.inner)
+	c := inner
+	c.Closer = f
+	if inner.FilePutter != nil {
+		c.FilePutter = &cacheFilePutter{f: f, inner: inner.FilePutter}
+	}
+	if inner.PartPutter != nil {
+		c.PartPutter = &cachePartPutter{f: f, inner: inner.PartPutter}
+	}
+	if inner.OpenStater != nil {
+		c.OpenStater = &cacheOpenStater{f: f, inner: inner.OpenStater}
+	}
+	return c
+}
+
+type cacheFilePutter struct {
+	f     *FS
+	inner vfs.FilePutter
+}
+
+func (p *cacheFilePutter) PutFile(path string, mode uint32, size int64, r io.Reader) error {
+	p.f.wrote(path, pathutil.Dir(path))
+	return p.inner.PutFile(path, mode, size, r)
+}
+
+type cachePartPutter struct {
+	f     *FS
+	inner vfs.PartPutter
+}
+
+func (p *cachePartPutter) PutBegin(path string, mode uint32, size int64) error {
+	p.f.wrote(path, pathutil.Dir(path))
+	return p.inner.PutBegin(path, mode, size)
+}
+
+func (p *cachePartPutter) PutPart(path string, off, length int64, algo string, r io.Reader) (string, error) {
+	p.f.wrote(path)
+	return p.inner.PutPart(path, off, length, algo, r)
+}
+
+func (p *cachePartPutter) PutComplete(path string, size int64, algo, sum string) error {
+	p.f.wrote(path)
+	return p.inner.PutComplete(path, size, algo, sum)
+}
+
+type cacheOpenStater struct {
+	f     *FS
+	inner vfs.OpenStater
+}
+
+func (o *cacheOpenStater) OpenStat(path string, flags int, mode uint32) (vfs.File, vfs.FileInfo, error) {
+	if mutatingOpen(flags) {
+		o.f.wrote(path, pathutil.Dir(path))
+	}
+	inner, fi, err := o.inner.OpenStat(path, flags, mode)
+	if err != nil {
+		return nil, fi, err
+	}
+	return o.f.newFile(inner, path, flags, mode), fi, nil
+}
+
+// preadFull reads at off until p is full or the file ends, returning
+// how many bytes landed. Both EOF conventions of vfs.File — a zero
+// count and an io.EOF error — terminate cleanly.
+func preadFull(f vfs.File, p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		n, err := f.Pread(p[total:], off+int64(total))
+		total += n
+		if err == io.EOF || (err == nil && n == 0) {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// cacheFile is an open file over the page cache with optional
+// write-back buffering. Reads see this handle's unflushed writes;
+// flushes happen on Sync, Fstat, Ftruncate, Close, on a
+// non-contiguous write, and when the dirty extent reaches
+// Options.FlushAt. Lazy read-only handles carry no server descriptor
+// until a miss materializes one.
+type cacheFile struct {
+	fs           *FS
+	path         string
+	flags        int
+	mode         uint32
+	writable     bool
+	writeThrough bool
+
+	mu    sync.Mutex
+	inner vfs.File // nil on a lazy handle until materialized
+	dirty []byte   // pending write-back extent
+	dOff  int64    // its file offset
+}
+
+var _ vfs.File = (*cacheFile)(nil)
+
+// ensureInner materializes the server descriptor of a lazy handle.
+// The open uses the original flags minus creation/truncation bits —
+// those only make sense on the first open, which lazy handles never
+// are (a lazy handle requires a valid attr entry, hence an existing
+// file).
+func (cf *cacheFile) ensureInner() (vfs.File, error) {
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	if cf.inner != nil {
+		return cf.inner, nil
+	}
+	inner, err := cf.fs.inner.Open(cf.path, cf.flags&^(vfs.O_CREAT|vfs.O_EXCL|vfs.O_TRUNC), cf.mode)
+	if err != nil {
+		return nil, err
+	}
+	cf.inner = inner
+	return inner, nil
+}
+
+// Pread reads through the page cache (vfs.File), overlaying this
+// handle's pending write-back extent.
+func (cf *cacheFile) Pread(p []byte, off int64) (int, error) {
+	start := cf.fs.opt.Clock()
+	n, err := cf.preadCached(p, off)
+	cf.fs.hRead.Observe(time.Since(start))
+	if err != nil {
+		return n, err
+	}
+	cf.mu.Lock()
+	n = cf.overlayDirty(p, off, n)
+	cf.mu.Unlock()
+	return n, err
+}
+
+// preadCached serves the clean view of the file: cached pages first,
+// inner reads to fill.
+func (cf *cacheFile) preadCached(p []byte, off int64) (int, error) {
+	fs := cf.fs
+	if fs.data == nil {
+		//lint:ignore reslifetime ensureInner memoizes the handle on cf; cacheFile.Close releases it
+		inner, err := cf.ensureInner()
+		if err != nil {
+			return 0, err
+		}
+		return inner.Pread(p, off)
+	}
+	pg := fs.opt.PageSize
+	total := 0
+	for total < len(p) {
+		cur := off + int64(total)
+		idx := cur / pg
+		inPage := cur % pg
+		page, ok := fs.readPage(cf.path, idx)
+		if !ok {
+			fs.mu.Lock()
+			fs.count(fs.cPageMisses, &fs.stats.s.PageMisses)
+			needLease := !fs.validLocked(fs.paths[cf.path], fs.opt.Clock())
+			fs.mu.Unlock()
+			if needLease {
+				// Open the path's trust horizon before the fill, so
+				// the page is cacheable the moment it lands.
+				fs.lease(cf.path)
+			}
+			inner, err := cf.ensureInner()
+			if err != nil {
+				return total, err
+			}
+			page = make([]byte, pg)
+			n, err := preadFull(inner, page, idx*pg)
+			if err != nil {
+				return total, err
+			}
+			page = page[:n]
+			if idx == 0 && int64(n) < pg && fs.opt.Verify {
+				// The file fits in one page: this fill is the whole
+				// file, so it can be digest-checked end to end.
+				if verr := fs.verifyFill(cf.path, page); verr != nil {
+					return total, verr
+				}
+			}
+			fs.storePage(cf.path, idx, page)
+		} else {
+			fs.mu.Lock()
+			fs.count(fs.cPageHits, &fs.stats.s.PageHits)
+			fs.mu.Unlock()
+		}
+		if inPage >= int64(len(page)) {
+			// EOF inside this page.
+			break
+		}
+		n := copy(p[total:], page[inPage:])
+		total += n
+		if int64(len(page)) < pg {
+			// Short page: end of file.
+			break
+		}
+	}
+	return total, nil
+}
+
+// overlayDirty patches this handle's pending extent over a clean read.
+// Caller holds cf.mu. Returns the possibly extended count.
+func (cf *cacheFile) overlayDirty(p []byte, off int64, n int) int {
+	if len(cf.dirty) == 0 {
+		return n
+	}
+	dEnd := cf.dOff + int64(len(cf.dirty))
+	rEnd := off + int64(len(p))
+	if dEnd <= off || cf.dOff >= rEnd {
+		return n
+	}
+	lo := cf.dOff
+	if lo < off {
+		lo = off
+	}
+	hi := dEnd
+	if hi > rEnd {
+		hi = rEnd
+	}
+	copy(p[lo-off:hi-off], cf.dirty[lo-cf.dOff:hi-cf.dOff])
+	// A write past the clean EOF extends the visible length; any gap
+	// between the clean end and the extent reads as zeros (the page
+	// buffer p arrives zeroed only at fill, so clear it explicitly).
+	if int64(n) < hi-off {
+		for i := off + int64(n); i < lo; i++ {
+			p[i-off] = 0
+		}
+		n = int(hi - off)
+	}
+	return n
+}
+
+// Pwrite writes through or buffers for write-back (vfs.File).
+func (cf *cacheFile) Pwrite(p []byte, off int64) (int, error) {
+	if cf.writeThrough {
+		//lint:ignore reslifetime ensureInner memoizes the handle on cf; cacheFile.Close releases it
+		inner, err := cf.ensureInner()
+		if err != nil {
+			return 0, err
+		}
+		n, err := inner.Pwrite(p, off)
+		cf.fs.wrote(cf.path)
+		return n, err
+	}
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	if len(cf.dirty) > 0 && off != cf.dOff+int64(len(cf.dirty)) {
+		// Non-contiguous: push the pending extent first.
+		if err := cf.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if len(cf.dirty) == 0 {
+		cf.dOff = off
+	}
+	cf.dirty = append(cf.dirty, p...)
+	if int64(len(cf.dirty)) >= cf.fs.opt.FlushAt {
+		if err := cf.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// flushLocked pushes the pending extent to the server. Caller holds
+// cf.mu. Only writable handles accumulate dirty data, and writable
+// handles are always eagerly opened, so cf.inner is non-nil here.
+func (cf *cacheFile) flushLocked() error {
+	if len(cf.dirty) == 0 {
+		return nil
+	}
+	err := vfs.WriteAll(cf.inner, cf.dirty, cf.dOff)
+	cf.dirty = cf.dirty[:0]
+	cf.fs.mu.Lock()
+	cf.fs.count(cf.fs.cFlushes, &cf.fs.stats.s.Flushes)
+	cf.fs.mu.Unlock()
+	cf.fs.wrote(cf.path)
+	return err
+}
+
+// flush pushes pending write-back data.
+func (cf *cacheFile) flush() error {
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	return cf.flushLocked()
+}
+
+// Fstat flushes pending writes so size and mtime are truthful, then
+// asks the server (vfs.File). A still-lazy handle answers from the
+// attr tier: the entry is valid by the lazy-open invariant, or a
+// descriptor is materialized to re-fetch.
+func (cf *cacheFile) Fstat() (vfs.FileInfo, error) {
+	if err := cf.flush(); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	cf.mu.Lock()
+	lazy := cf.inner == nil
+	cf.mu.Unlock()
+	if lazy {
+		fs := cf.fs
+		fs.mu.Lock()
+		ps := fs.paths[cf.path]
+		if ps != nil && ps.attr != nil && fs.validLocked(ps, fs.opt.Clock()) {
+			fi := *ps.attr
+			fs.count(fs.cAttrHits, &fs.stats.s.AttrHits)
+			fs.mu.Unlock()
+			return fi, nil
+		}
+		fs.mu.Unlock()
+	}
+	//lint:ignore reslifetime ensureInner memoizes the handle on cf; cacheFile.Close releases it
+	inner, err := cf.ensureInner()
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return inner.Fstat()
+}
+
+// Ftruncate flushes, truncates, and invalidates (vfs.File).
+func (cf *cacheFile) Ftruncate(size int64) error {
+	if err := cf.flush(); err != nil {
+		return err
+	}
+	//lint:ignore reslifetime ensureInner memoizes the handle on cf; cacheFile.Close releases it
+	inner, err := cf.ensureInner()
+	if err != nil {
+		return err
+	}
+	err = inner.Ftruncate(size)
+	cf.fs.wrote(cf.path)
+	return err
+}
+
+// Sync flushes write-back data and forwards the barrier (vfs.File). A
+// lazy handle has nothing in flight to sync.
+func (cf *cacheFile) Sync() error {
+	if err := cf.flush(); err != nil {
+		return err
+	}
+	cf.mu.Lock()
+	inner := cf.inner
+	cf.mu.Unlock()
+	if inner == nil {
+		return nil
+	}
+	return inner.Sync()
+}
+
+// Close flushes pending writes and closes the descriptor (vfs.File).
+// The inner close always runs: a failed flush must not leak the
+// server-side descriptor. A never-materialized lazy handle closes
+// without a round trip.
+func (cf *cacheFile) Close() error {
+	ferr := cf.flush()
+	cf.mu.Lock()
+	inner := cf.inner
+	cf.inner = nil
+	cf.mu.Unlock()
+	var cerr error
+	if inner != nil {
+		cerr = inner.Close()
+	}
+	if ferr != nil {
+		return fmt.Errorf("cache: write-back flush on close: %w", ferr)
+	}
+	return cerr
+}

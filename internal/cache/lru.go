@@ -1,0 +1,143 @@
+// Package cache provides the client-side caching tier: a shared
+// size-aware LRU index and cache.FS, a vfs.FileSystem wrapper with
+// lease-backed attribute, directory, and page caches (see DESIGN.md
+// §14 for the consistency model).
+package cache
+
+// LRU is a size-aware, byte-budgeted LRU map: each entry carries a
+// size, and inserting past the capacity evicts least-recently-used
+// entries until the new one fits. Entries larger than the whole
+// capacity are not cached at all. It is not safe for concurrent use;
+// callers serialize access.
+//
+// It was promoted from the cluster simulator's private buffer-cache
+// model so the data tier of cache.FS and the cluster model share one
+// eviction policy.
+type LRU[K comparable, V any] struct {
+	capacity int64
+	used     int64
+	entries  map[K]*lruNode[K, V]
+	head     *lruNode[K, V] // most recently used
+	tail     *lruNode[K, V] // least recently used
+
+	// OnEvict, if set, is called for every entry removed by capacity
+	// eviction (not by Remove), after it has left the index.
+	OnEvict func(key K, value V, size int64)
+}
+
+type lruNode[K comparable, V any] struct {
+	key        K
+	value      V
+	size       int64
+	prev, next *lruNode[K, V]
+}
+
+// NewLRU returns an empty LRU holding at most capacity bytes.
+func NewLRU[K comparable, V any](capacity int64) *LRU[K, V] {
+	return &LRU[K, V]{capacity: capacity, entries: make(map[K]*lruNode[K, V])}
+}
+
+func (c *LRU[K, V]) unlink(n *lruNode[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *LRU[K, V]) pushFront(n *lruNode[K, V]) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// Touch reports whether key is cached, marking it most recently used
+// if so.
+func (c *LRU[K, V]) Touch(key K) bool {
+	n, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	c.pushFront(n)
+	return true
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	n, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.unlink(n)
+	c.pushFront(n)
+	return n.value, true
+}
+
+// Put adds or refreshes key, evicting least-recently-used entries as
+// needed. A re-Put of a present key updates its value and size and
+// refreshes its recency. Entries larger than the whole capacity are
+// not cached.
+func (c *LRU[K, V]) Put(key K, value V, size int64) {
+	if size > c.capacity {
+		return
+	}
+	if n, ok := c.entries[key]; ok {
+		c.used += size - n.size
+		n.value, n.size = value, size
+		c.unlink(n)
+		c.pushFront(n)
+		c.evictOver()
+		return
+	}
+	n := &lruNode[K, V]{key: key, value: value, size: size}
+	c.entries[n.key] = n
+	c.pushFront(n)
+	c.used += size
+	c.evictOver()
+}
+
+// evictOver drops LRU entries until used fits the capacity, sparing
+// the most-recently-used entry (the one a Put just installed).
+func (c *LRU[K, V]) evictOver() {
+	for c.used > c.capacity && c.tail != nil && c.tail != c.head {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.entries, evict.key)
+		c.used -= evict.size
+		if c.OnEvict != nil {
+			c.OnEvict(evict.key, evict.value, evict.size)
+		}
+	}
+}
+
+// Remove drops key from the cache, reporting whether it was present.
+// OnEvict is not called: the caller chose the removal.
+func (c *LRU[K, V]) Remove(key K) bool {
+	n, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	delete(c.entries, key)
+	c.used -= n.size
+	return true
+}
+
+// Used returns the bytes currently cached.
+func (c *LRU[K, V]) Used() int64 { return c.used }
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int { return len(c.entries) }

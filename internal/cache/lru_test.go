@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU[int, struct{}](10)
+	c.Put(1, struct{}{}, 4)
+	c.Put(2, struct{}{}, 4)
+	if !c.Touch(1) || !c.Touch(2) {
+		t.Fatal("inserted entries missing")
+	}
+	// Recency is now 2 (MRU), 1 (LRU): the touches above reordered the
+	// insertion order. Adding 3 (4 bytes) overflows the 10-byte budget,
+	// so the least recently used entry — 1 — is evicted.
+	c.Put(3, struct{}{}, 4)
+	if c.Touch(1) {
+		t.Error("LRU entry not evicted")
+	}
+	if !c.Touch(2) || !c.Touch(3) {
+		t.Error("wrong entry evicted")
+	}
+	if c.Used() != 8 {
+		t.Errorf("used = %d", c.Used())
+	}
+}
+
+func TestLRUOversizedEntryNotCached(t *testing.T) {
+	c := NewLRU[int, struct{}](10)
+	c.Put(1, struct{}{}, 11)
+	if c.Touch(1) || c.Used() != 0 {
+		t.Error("oversized entry cached")
+	}
+}
+
+func TestLRUReinsertRefreshes(t *testing.T) {
+	c := NewLRU[int, struct{}](8)
+	c.Put(1, struct{}{}, 4)
+	c.Put(2, struct{}{}, 4)
+	c.Put(1, struct{}{}, 4) // refresh, not duplicate
+	if c.Used() != 8 || c.Len() != 2 {
+		t.Errorf("used=%d len=%d", c.Used(), c.Len())
+	}
+	c.Put(3, struct{}{}, 4) // now 2 is LRU
+	if c.Touch(2) {
+		t.Error("refresh did not update recency")
+	}
+	if !c.Touch(1) {
+		t.Error("refreshed entry evicted")
+	}
+}
+
+// Property: used never exceeds capacity under random operations.
+func TestLRUCapacityInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewLRU[int, struct{}](1000)
+	for i := 0; i < 10000; i++ {
+		id := rng.Intn(100)
+		switch rng.Intn(2) {
+		case 0:
+			c.Put(id, struct{}{}, int64(rng.Intn(400)+1))
+		case 1:
+			c.Touch(id)
+		}
+		if c.Used() > 1000 {
+			t.Fatalf("cache over capacity: %d", c.Used())
+		}
+	}
+}
+
+func TestLRUGetAndValues(t *testing.T) {
+	c := NewLRU[string, []byte](16)
+	c.Put("a", []byte("aaaa"), 4)
+	c.Put("b", []byte("bbbb"), 4)
+	v, ok := c.Get("a")
+	if !ok || string(v) != "aaaa" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Error("Get on absent key succeeded")
+	}
+	// Re-Put with a new size adjusts the budget.
+	c.Put("a", []byte("aaaaaaaa"), 8)
+	if c.Used() != 12 {
+		t.Errorf("used = %d after resize, want 12", c.Used())
+	}
+}
+
+func TestLRUOnEvictAndRemove(t *testing.T) {
+	var evicted []int
+	c := NewLRU[int, struct{}](8)
+	c.OnEvict = func(k int, _ struct{}, _ int64) { evicted = append(evicted, k) }
+	c.Put(1, struct{}{}, 4)
+	c.Put(2, struct{}{}, 4)
+	c.Put(3, struct{}{}, 4) // evicts 1
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Errorf("evicted = %v, want [1]", evicted)
+	}
+	if !c.Remove(2) || c.Remove(2) {
+		t.Error("Remove semantics wrong")
+	}
+	if len(evicted) != 1 {
+		t.Errorf("Remove invoked OnEvict: %v", evicted)
+	}
+	if c.Used() != 4 || c.Len() != 1 {
+		t.Errorf("used=%d len=%d after remove", c.Used(), c.Len())
+	}
+}

@@ -37,8 +37,14 @@ type Config struct {
 	NoVerify bool
 	// StepPause is how long the engine lets wall time run inside each
 	// virtual step, so shaped links, breaker re-probe timers, and
-	// background probes make progress (default 2ms).
+	// background probes make progress (default 2ms; the stale-lease
+	// scenario defaults to 5ms so its partition window outlives the
+	// lease TTL).
 	StepPause time.Duration
+	// LeaseTTL is the read-lease TTL the servers grant; the stale-lease
+	// scenario's staleness bound (default 25ms there, the chirp default
+	// elsewhere).
+	LeaseTTL time.Duration
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -101,6 +107,11 @@ type action struct {
 // Violations is the pass criterion; an error means the harness itself
 // could not run (setup failure), not that an invariant broke.
 func Run(cfg Config, tl Timeline) (*Result, error) {
+	if tl.Name == staleLeaseName {
+		// The lease scenario has its own workload and wall-clock
+		// invariants (lease.go); the stack underneath is the same.
+		return runStaleLease(cfg, tl)
+	}
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 3
 	}

@@ -78,6 +78,23 @@ func TestTimelineKitchenSink(t *testing.T) {
 	runClean(t, "kitchen-sink", 8)
 }
 
+// TestTimelineStaleLease runs the lease consistency scenario: a
+// partitioned cache holder must never serve the old bytes past one
+// lease TTL after the conflicting write, and must converge on the new
+// bytes after heal.
+func TestTimelineStaleLease(t *testing.T) {
+	res := runClean(t, "stale-lease", 9)
+	if res.Ops == 0 {
+		t.Error("no cached read ever succeeded")
+	}
+	if res.OpErrors == 0 {
+		t.Error("no read was ever refused — the partition never bit or the horizon never lapsed")
+	}
+	if res.AckedWrites < 2 {
+		t.Error("the conflicting write was never acknowledged")
+	}
+}
+
 // TestSplitBrainViolationReplays is the deliberate-violation test: with
 // quorum writes disabled (the mirror's historical semantics), a
 // disjoint partition lets both clients win the same exclusive create —

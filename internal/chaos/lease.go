@@ -1,0 +1,224 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tss/internal/cache"
+	"tss/internal/vfs"
+)
+
+// The stale-lease scenario: a caching client (internal/cache over the
+// quorum mirror, leases pinned through to replica 0) warms its tiers
+// on a file, is partitioned from every replica, the file changes under
+// it from the other client, and then the network heals. The published
+// consistency bound is the lease TTL — the server may break the lease
+// but cannot reach the partitioned holder, so the cache is entitled to
+// serve the old bytes only until its last granted horizon lapses.
+//
+// Checked invariants, against the wall clock (lease TTLs are wall
+// time, not virtual steps):
+//
+//   - stale-read: no read the cached stack answers successfully
+//     returns the pre-write bytes later than one lease TTL after the
+//     conflicting write was acknowledged. Inside the window both the
+//     old bytes (bounded staleness) and a refused read (horizon
+//     lapsed, revalidation unreachable) are legitimate.
+//   - lease-read-integrity: a successful read never returns anything
+//     other than exactly the old or the new content.
+//   - lease-convergence: after heal, revalidation must observe the
+//     bumped version, drop the cache, and deliver the new bytes.
+//
+// The timeline's partition window drives the phases; the conflicting
+// write fires at the window's midpoint. Step pacing defaults slower
+// than the generic engine's so the window outlives the TTL and the
+// past-deadline arm of stale-read is actually exercised.
+
+// staleLeaseName is the canned timeline Run dispatches to the lease
+// scenario runner.
+const staleLeaseName = "stale-lease"
+
+// staleLeaseTarget is the file the two clients conflict on.
+const staleLeaseTarget = "/data/lease-target"
+
+// readThroughCache reads the target through the cache's own syscall
+// tiers — stat (attr), then open/pread (pages). The capability
+// fast paths (GetFile and friends) are deliberately avoided: they
+// stream around the cache, and the invariants here are about the
+// bytes the cache answers.
+func readThroughCache(cached vfs.FileSystem) ([]byte, error) {
+	if _, err := cached.Stat(staleLeaseTarget); err != nil {
+		return nil, err
+	}
+	return vfs.ReadFile(cached, staleLeaseTarget)
+}
+
+// runStaleLease executes the stale-lease timeline. It reuses the
+// standard stack — the cache layer goes on top of client 0's mirror,
+// exercising the whole lease delegation chain (cache → mirror pin →
+// faultfs → pool → server).
+func runStaleLease(cfg Config, tl Timeline) (*Result, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 2
+	}
+	if cfg.StepPause <= 0 {
+		cfg.StepPause = 5 * time.Millisecond
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 25 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s, err := buildStack(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+
+	res := &Result{Timeline: tl.Name, Seed: cfg.Seed, Steps: tl.Steps}
+	violate := func(step int64, invariant, detail string) {
+		res.Violations = append(res.Violations, Violation{
+			Timeline: tl.Name, Seed: cfg.Seed, Step: step,
+			Invariant: invariant, Detail: detail,
+		})
+	}
+
+	// Distinct sizes so a stale attr would be caught as loudly as a
+	// stale page.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v1 := make([]byte, 1024)
+	rng.Read(v1)
+	v2 := make([]byte, 1600)
+	rng.Read(v2)
+
+	writer := s.clients[1].fs
+	if err := writer.Mkdir("/data", 0o755); err != nil {
+		return nil, fmt.Errorf("stale-lease prologue mkdir: %w", err)
+	}
+	//lint:ignore copyapi the scenario exercises the raw single-shot path on purpose
+	if err := vfs.PutReader(writer, staleLeaseTarget, 0o644, int64(len(v1)), bytes.NewReader(v1)); err != nil {
+		return nil, fmt.Errorf("stale-lease prologue write: %w", err)
+	}
+	res.AckedWrites++
+
+	cached := cache.New(s.clients[0].fs, cache.Options{AttrTTL: cfg.LeaseTTL})
+	defer cached.Close()
+
+	// The conflicting write fires at the midpoint of the (first)
+	// partition window, so the window's back half runs past the
+	// staleness deadline.
+	writeStep := tl.Steps / 2
+	for _, ev := range tl.Events {
+		if ev.Kind == Partition {
+			writeStep = ev.Step + (ev.Until-ev.Step)/2
+			break
+		}
+	}
+
+	at := make(map[int64][]action)
+	for _, ev := range tl.Events {
+		if ev.Kind != Partition {
+			continue
+		}
+		at[ev.Step] = append(at[ev.Step], action{ev: ev})
+		if ev.Until > 0 {
+			at[ev.Until] = append(at[ev.Until], action{ev: ev, end: true})
+		}
+	}
+
+	var tWrite time.Time
+	wroteV2 := false
+	for step := int64(0); step < tl.Steps; step++ {
+		s.clock.Store(step)
+		for _, a := range at[step] {
+			s.forEachTarget(a.ev, func(k, i int) {
+				if a.end {
+					s.net.Heal(clientHost(k), replicaName(i))
+				} else {
+					s.net.Partition(clientHost(k), replicaName(i))
+				}
+			})
+			cfg.Logf("step %d: %s partition client=%d replica=%d", step, beganOrEnded(a.end), a.ev.Client, a.ev.Replica)
+		}
+		if !wroteV2 && step >= writeStep {
+			//lint:ignore copyapi the conflicting write must be a bare single-shot op
+			if err := vfs.PutReader(writer, staleLeaseTarget, 0o644, int64(len(v2)), bytes.NewReader(v2)); err != nil {
+				res.OpErrors++
+			} else {
+				tWrite = time.Now()
+				wroteV2 = true
+				res.AckedWrites++
+				cfg.Logf("step %d: conflicting write acknowledged", step)
+			}
+		}
+
+		// One cached read per step. The deadline compares against the
+		// ack time of the conflicting write, which postdates the last
+		// lease grant the partitioned holder could possibly have — so
+		// the check carries built-in slack and never false-positives on
+		// scheduling jitter.
+		data, err := readThroughCache(cached)
+		now := time.Now()
+		switch {
+		case err != nil:
+			res.OpErrors++
+		case bytes.Equal(data, v2):
+			res.Ops++
+		case bytes.Equal(data, v1):
+			if wroteV2 && now.Sub(tWrite) > cfg.LeaseTTL {
+				violate(step, "stale-read", fmt.Sprintf(
+					"cached read returned pre-write bytes %.1fms after the conflicting write (TTL %.1fms)",
+					float64(now.Sub(tWrite))/float64(time.Millisecond),
+					float64(cfg.LeaseTTL)/float64(time.Millisecond)))
+			} else {
+				res.Ops++
+			}
+		default:
+			violate(step, "lease-read-integrity", fmt.Sprintf(
+				"cached read returned %d bytes matching neither version", len(data)))
+		}
+		//lint:ignore sleepseam chaos pacing: lease TTLs are wall time, so wall time must pass inside a step
+		time.Sleep(cfg.StepPause)
+	}
+
+	if !wroteV2 {
+		violate(tl.Steps, "harness", "conflicting write was never acknowledged")
+	}
+
+	// Epilogue: with every link healthy, revalidation must observe the
+	// version bump and converge on the new bytes. The pinned lease
+	// replica's breaker needs probe traffic and real time to re-admit.
+	s.net.HealAll()
+	converged := false
+	for attempt := 0; attempt < 600; attempt++ {
+		data, err := readThroughCache(cached)
+		if err == nil && bytes.Equal(data, v2) {
+			converged = true
+			break
+		}
+		if err == nil && wroteV2 && time.Since(tWrite) > cfg.LeaseTTL && bytes.Equal(data, v1) {
+			violate(tl.Steps, "stale-read", "cached read returned pre-write bytes after heal, past the TTL")
+			break
+		}
+		//lint:ignore sleepseam epilogue settle: breaker re-probe timers need real time
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !converged {
+		violate(tl.Steps, "lease-convergence", "cached reads never delivered the post-write bytes after heal")
+	}
+
+	st := cached.Stats()
+	if st.AttrHits == 0 || st.PageHits == 0 {
+		violate(tl.Steps, "harness", fmt.Sprintf(
+			"the cache never served a hit (%d attr, %d page) — the scenario did not exercise it", st.AttrHits, st.PageHits))
+	}
+	cfg.Logf("stale-lease cache stats: %d attr hits, %d page hits, %d renewals, %d revalidations, %d invalidations",
+		st.AttrHits, st.PageHits, st.Renewals, st.Revalidations, st.Invalidations)
+	return res, nil
+}

@@ -104,6 +104,7 @@ func buildStack(cfg Config) (*stack, error) {
 				Owner:     auth.Subject("hostname:" + clientHost(0)),
 				Verifiers: []auth.Verifier{&auth.HostnameVerifier{}},
 				RootACL:   rootACL,
+				LeaseTTL:  cfg.LeaseTTL,
 			},
 		}
 		if err := s.bootServer(slot); err != nil {

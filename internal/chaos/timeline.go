@@ -183,6 +183,21 @@ func Timelines() []Timeline {
 			},
 		},
 		{
+			// A caching client holds read leases, is partitioned from
+			// every replica, the file changes under it from the other
+			// client at the window's midpoint, then the network heals.
+			// Run dispatches this name to the lease-scenario runner
+			// (lease.go), which checks the lease consistency bound
+			// against the wall clock: no successful read returns the
+			// old bytes later than one lease TTL past the conflicting
+			// write, and reads converge on the new bytes after heal.
+			Name:  staleLeaseName,
+			Steps: 24,
+			Events: []Event{
+				{Kind: Partition, Step: 6, Until: 18, Client: 0, Replica: -1},
+			},
+		},
+		{
 			// Everything at once, staggered to respect the fault budget
 			// the stack's guarantees assume: at most one lying-or-absent
 			// replica per write. The torn window shares its phase only

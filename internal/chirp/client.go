@@ -83,6 +83,11 @@ type Client struct {
 	// it predates them, so verified transfers stop probing and use the
 	// plain verbs for the rest of this client's life.
 	noSums atomic.Bool
+
+	// noLeases records that the server answered EINVAL to a lease verb:
+	// it predates them, so the caching tier stops probing and falls
+	// back to TTL-only expiry for the rest of this client's life.
+	noLeases atomic.Bool
 }
 
 var (

@@ -1,0 +1,300 @@
+package chirp
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"tss/internal/auth"
+	"tss/internal/netsim"
+	"tss/internal/vfs"
+)
+
+// TestLeaseGrantAndVersion exercises the core consistency signal: a
+// lease's version is stable while the file is untouched and advances
+// on every conflicting mutation, so a renewal with an unchanged
+// version proves everything cached for the path is still current.
+func TestLeaseGrantAndVersion(t *testing.T) {
+	ts := startServer(t, nil)
+	c := ts.client(t, "owner.sim")
+	if err := vfs.WriteFile(c, "/f", []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l1, err := c.Lease("/f")
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	if l1.TTL <= 0 {
+		t.Fatalf("lease TTL = %v, want > 0", l1.TTL)
+	}
+	l2, err := c.Lease("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Version != l1.Version {
+		t.Fatalf("version moved without a write: %d -> %d", l1.Version, l2.Version)
+	}
+	if l2.ID == l1.ID {
+		t.Fatalf("two grants shared lease ID %d", l1.ID)
+	}
+
+	// Each flavor of conflicting write must advance the version.
+	if err := vfs.WriteFile(c, "/f", []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := c.Lease("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3.Version <= l2.Version {
+		t.Fatalf("version did not advance over a write: %d -> %d", l2.Version, l3.Version)
+	}
+	if err := c.Truncate("/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	l4, err := c.Lease("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l4.Version <= l3.Version {
+		t.Fatalf("version did not advance over truncate: %d -> %d", l3.Version, l4.Version)
+	}
+	if err := c.Chmod("/f", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	l5, err := c.Lease("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l5.Version <= l4.Version {
+		t.Fatalf("version did not advance over chmod: %d -> %d", l4.Version, l5.Version)
+	}
+}
+
+// TestLeaseDirectoryVersion covers the dirent-cache contract: creating
+// or removing an entry advances the parent directory's version.
+func TestLeaseDirectoryVersion(t *testing.T) {
+	ts := startServer(t, nil)
+	c := ts.client(t, "owner.sim")
+	if err := c.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l1, err := c.Lease("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(c, "/d/child", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := c.Lease("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Version <= l1.Version {
+		t.Fatalf("parent version did not advance over create: %d -> %d", l1.Version, l2.Version)
+	}
+	if err := c.Unlink("/d/child"); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := c.Lease("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3.Version <= l2.Version {
+		t.Fatalf("parent version did not advance over unlink: %d -> %d", l2.Version, l3.Version)
+	}
+}
+
+// TestLeaseBreakCounting checks the server-side accounting: breaks
+// count only live leases invalidated by a conflicting write, and a
+// client release is not a break.
+func TestLeaseBreakCounting(t *testing.T) {
+	ts := startServer(t, nil)
+	c := ts.client(t, "owner.sim")
+	if err := vfs.WriteFile(c, "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	breaks0 := ts.srv.Stats.LeaseBreaks.Load()
+
+	l, err := c.Lease("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := ts.srv.Stats.LeaseGrants.Load(); g == 0 {
+		t.Fatal("grant not counted")
+	}
+	if err := c.LeaseBreak(l.ID); err != nil {
+		t.Fatalf("leasebreak: %v", err)
+	}
+	if got := ts.srv.Stats.LeaseBreaks.Load(); got != breaks0 {
+		t.Fatalf("client release counted as a break: %d -> %d", breaks0, got)
+	}
+	// Releasing an ID the server no longer tracks answers EBADF.
+	if err := c.LeaseBreak(l.ID); vfs.AsErrno(err) != vfs.EBADF {
+		t.Fatalf("double release = %v, want EBADF", err)
+	}
+
+	if _, err := c.Lease("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(c, "/f", []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.srv.Stats.LeaseBreaks.Load(); got != breaks0+1 {
+		t.Fatalf("conflicting write broke %d leases, want 1", got-breaks0)
+	}
+}
+
+// TestLeaseLegacyDowngrade runs a lease-issuing client against a server
+// that predates the verbs: the first probe gets EINVAL, the client
+// memoizes the downgrade, and the connection stays framed for normal
+// traffic.
+func TestLeaseLegacyDowngrade(t *testing.T) {
+	ts := startServer(t, nil)
+	ts.srv.legacyLeases.Store(true)
+	c := ts.client(t, "owner.sim")
+	if err := vfs.WriteFile(c, "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lease("/f"); vfs.AsErrno(err) != vfs.EINVAL {
+		t.Fatalf("lease against legacy server = %v, want EINVAL", err)
+	}
+	if !c.noLeases.Load() {
+		t.Fatal("client did not remember the lease downgrade")
+	}
+	// Later calls short-circuit without touching the wire.
+	reqs := ts.srv.Stats.Requests.Load()
+	if _, err := c.Lease("/f"); vfs.AsErrno(err) != vfs.EINVAL {
+		t.Fatal("memoized lease probe should fail EINVAL")
+	}
+	if got := ts.srv.Stats.Requests.Load(); got != reqs {
+		t.Fatalf("memoized lease probe issued %d RPCs", got-reqs)
+	}
+	// The refusal left the stream in sync.
+	if _, err := c.Stat("/f"); err != nil {
+		t.Fatalf("connection unusable after lease refusal: %v", err)
+	}
+}
+
+// TestLeaseSessionCleanup closes a lease-holding connection and checks
+// the server forgot its grants: a second client's grant on the same
+// path is then the only live lease, so one write breaks exactly one.
+func TestLeaseSessionCleanup(t *testing.T) {
+	ts := startServer(t, nil)
+	c1 := ts.client(t, "owner.sim")
+	if err := vfs.WriteFile(c1, "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Lease("/f"); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	c2 := ts.client(t, "owner.sim")
+	// The close is asynchronous server-side; wait until the dead
+	// session's cleanup has emptied the lease table.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ts.srv.leases.mu.Lock()
+		n := len(ts.srv.leases.byID)
+		ts.srv.leases.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	breaks0 := ts.srv.Stats.LeaseBreaks.Load()
+	if _, err := c2.Lease("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(c2, "/f", []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.srv.Stats.LeaseBreaks.Load() - breaks0; got != 1 {
+		t.Fatalf("write broke %d leases, want 1 (dead session's grant should be gone)", got)
+	}
+}
+
+// TestLeaseACL verifies the access bar: a lease requires list rights on
+// the parent, the same as stat, because it only reveals that something
+// about the path changed.
+func TestLeaseACL(t *testing.T) {
+	ts := startServer(t, nil)
+	c := ts.client(t, "stranger.sim")
+	if _, err := c.Lease("/f"); vfs.AsErrno(err) != vfs.EACCES {
+		t.Fatalf("unauthorized lease = %v, want EACCES", err)
+	}
+}
+
+// TestLeaseExpiry confirms a lease past its TTL is not counted broken
+// by a later write: the grant has already lapsed.
+func TestLeaseExpiry(t *testing.T) {
+	srv, err := NewServer(t.TempDir(), ServerConfig{
+		Name:      "fs.sim",
+		Owner:     "hostname:owner.sim",
+		Verifiers: []auth.Verifier{&auth.HostnameVerifier{}},
+		LeaseTTL:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := netsim.NewNetwork()
+	l, err := nw.Listen("fs.sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { l.Close() })
+	ts := &testServer{srv: srv, net: nw}
+
+	c := ts.client(t, "owner.sim")
+	if err := vfs.WriteFile(c, "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := c.Lease("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.TTL != 10*time.Millisecond {
+		t.Fatalf("TTL = %v, want configured 10ms", lease.TTL)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := vfs.WriteFile(c, "/f", []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.srv.Stats.LeaseBreaks.Load(); got != 0 {
+		t.Fatalf("expired lease counted broken: breaks = %d", got)
+	}
+}
+
+// TestLeasePooled checks the pool passthrough: a lease granted over one
+// member releases cleanly over whichever member the break lands on.
+func TestLeasePooled(t *testing.T) {
+	ts := startServer(t, nil)
+	p, err := NewPool(ClientConfig{
+		Dial: func() (net.Conn, error) {
+			return ts.net.DialFrom("owner.sim", "fs.sim", netsim.Loopback)
+		},
+		Credentials: []auth.Credential{auth.HostnameCredential{}},
+		Timeout:     5 * time.Second,
+		PoolSize:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := vfs.WriteFile(p, "/p", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := p.Lease("/p")
+	if err != nil {
+		t.Fatalf("pooled lease: %v", err)
+	}
+	if err := p.LeaseBreak(l.ID); err != nil {
+		t.Fatalf("pooled leasebreak: %v", err)
+	}
+	if caps := vfs.Capabilities(p); caps.Leaser == nil {
+		t.Fatal("pool does not advertise Leaser")
+	}
+}

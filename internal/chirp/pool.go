@@ -66,6 +66,7 @@ var (
 	_ vfs.Checksummer = (*Pool)(nil)
 	_ vfs.PartGetter  = (*Pool)(nil)
 	_ vfs.PartPutter  = (*Pool)(nil)
+	_ vfs.Leaser      = (*Pool)(nil)
 )
 
 // NewPool connects and authenticates the first pool connection and
@@ -430,6 +431,25 @@ func (p *Pool) Checksum(path, algo string) (string, error) {
 		return e
 	})
 	return sum, err
+}
+
+// Lease acquires a read lease on the least-loaded connection
+// (vfs.Leaser). Lease IDs are server-wide and release is checked
+// against the authenticated subject — the same for every member — so
+// the grant and the break are free to travel different connections.
+func (p *Pool) Lease(path string) (vfs.Lease, error) {
+	var l vfs.Lease
+	err := p.withConn(func(c *Client) error {
+		var e error
+		l, e = c.Lease(path)
+		return e
+	})
+	return l, err
+}
+
+// LeaseBreak releases a lease over any pooled connection (vfs.Leaser).
+func (p *Pool) LeaseBreak(id int64) error {
+	return p.withConn(func(c *Client) error { return c.LeaseBreak(id) })
 }
 
 // Whoami asks the server which subject this session authenticated as.

@@ -40,6 +40,8 @@
 //	                                    trailer line when algo is non-empty
 //	truncate <path> <size>              -> 0
 //	chmod <path> <mode>                 -> 0
+//	lease <path>                        -> 0, then "<id> <ttl_ms> <version>" line
+//	leasebreak <id>                     -> 0
 //	getacl <path>                       -> count, then count ACL lines
 //	setacl <path> <subject> <rights>    -> 0
 //	statfs                              -> 0, then "total free" line
@@ -279,7 +281,7 @@ type Request struct {
 	Path2   string // rename (new)
 	Subject string // setacl
 	Rights  string // setacl
-	FD      int64  // pread, pwrite, fstat, fsync, ftruncate, close
+	FD      int64  // pread, pwrite, fstat, fsync, ftruncate, close, leasebreak (lease ID)
 	Length  int64  // pread, pwrite, putfile, getpart, putpart
 	Offset  int64  // pread, pwrite, getpart, putpart
 	Flags   int64  // open
@@ -321,9 +323,12 @@ func (q *Request) AppendTo(dst []byte) ([]byte, error) {
 		dst = append(dst, "ftruncate"...)
 		dst = appendInt(dst, q.FD)
 		return appendInt(dst, q.Size), nil
-	case "stat", "unlink", "rmdir", "getdir", "getfile", "getacl":
+	case "stat", "unlink", "rmdir", "getdir", "getfile", "getacl", "lease":
 		dst = append(dst, q.Verb...)
 		return appendPath(dst, q.Path), nil
+	case "leasebreak":
+		dst = append(dst, "leasebreak"...)
+		return appendInt(dst, q.FD), nil
 	case "rename":
 		dst = append(dst, "rename"...)
 		dst = appendPath(dst, q.Path)
@@ -435,7 +440,7 @@ func ParseRequest(line string) (*Request, error) {
 		if err == nil {
 			q.Offset, err = parseInt(args[2], 10)
 		}
-	case "fstat", "fsync", "close":
+	case "fstat", "fsync", "close", "leasebreak":
 		if e := need(1); e != nil {
 			return nil, e
 		}
@@ -448,7 +453,7 @@ func ParseRequest(line string) (*Request, error) {
 		if err == nil {
 			q.Size, err = parseInt(args[1], 10)
 		}
-	case "stat", "unlink", "rmdir", "getdir", "getfile", "getacl":
+	case "stat", "unlink", "rmdir", "getdir", "getfile", "getacl", "lease":
 		if e := need(1); e != nil {
 			return nil, e
 		}

@@ -51,6 +51,10 @@ type ServerConfig struct {
 	MaxFDs int
 	// IdleTimeout disconnects clients idle for this long (0 = none).
 	IdleTimeout time.Duration
+	// LeaseTTL bounds read leases granted to caching clients (default
+	// DefaultLeaseTTL). It is the server's staleness bound: a
+	// partitioned holder may serve cached data for at most this long.
+	LeaseTTL time.Duration
 	// Logf, when non-nil, receives one line per connection event.
 	Logf func(format string, args ...any)
 	// Metrics, when non-nil, receives per-RPC counts, latency
@@ -72,6 +76,11 @@ type ServerStats struct {
 	DrainForced atomic.Int64
 	// Aborts counts Abort calls — simulated crashes.
 	Aborts atomic.Int64
+	// LeaseGrants counts read leases granted to caching clients.
+	LeaseGrants atomic.Int64
+	// LeaseBreaks counts outstanding leases broken by conflicting
+	// writes (client-initiated leasebreak releases are not breaks).
+	LeaseBreaks atomic.Int64
 }
 
 // Server is a Chirp file server bound to one exported directory.
@@ -90,10 +99,18 @@ type Server struct {
 	// (putbegin/putpart/putcomplete/getpart): test hook for the
 	// multipart engine's per-transfer negotiation probes.
 	legacyParts atomic.Bool
-	connMu      sync.Mutex
-	conns       map[net.Conn]*connState
-	listeners   map[net.Listener]struct{}
-	connWG      sync.WaitGroup
+	// legacyLeases does the same for the lease verbs
+	// (lease/leasebreak): test hook for the caching tier's negotiation
+	// downgrade.
+	legacyLeases atomic.Bool
+	// leases is the read-lease table of DESIGN.md §14: outstanding
+	// grants plus per-path version counters bumped on every
+	// conflicting mutation.
+	leases    leaseTable
+	connMu    sync.Mutex
+	conns     map[net.Conn]*connState
+	listeners map[net.Listener]struct{}
+	connWG    sync.WaitGroup
 
 	// Per-RPC metrics, pre-resolved at construction so the serving
 	// loop pays one map lookup per request; all nil without a registry.
@@ -106,6 +123,8 @@ type Server struct {
 	mBytesWritten  *obs.Counter
 	mBulkFast      *obs.Counter
 	mMultipartFast *obs.Counter
+	mLeaseGrants   *obs.Counter
+	mLeaseBreaks   *obs.Counter
 	mDraining      *obs.Gauge
 
 	Stats ServerStats
@@ -119,6 +138,7 @@ var rpcVerbs = []string{
 	"getfile", "putfile", "checksum", "getfilesum", "putfilesum",
 	"putbegin", "putpart", "putcomplete", "getpart",
 	"truncate", "chmod", "getacl", "setacl",
+	"lease", "leasebreak",
 	"statfs", "whoami",
 }
 
@@ -168,6 +188,7 @@ func NewServer(root string, cfg ServerConfig) (*Server, error) {
 		cfg.Owner = "unix:owner"
 	}
 	s := &Server{cfg: cfg, fs: fs}
+	s.leases.init(cfg.LeaseTTL)
 	if reg := cfg.Metrics; reg != nil {
 		s.rpcHist = make(map[string]*obs.Histogram, len(rpcVerbs))
 		for _, v := range rpcVerbs {
@@ -181,6 +202,8 @@ func NewServer(root string, cfg ServerConfig) (*Server, error) {
 		s.mBytesWritten = reg.Counter("chirp_server.bytes_written")
 		s.mBulkFast = reg.Counter("chirp_server.bulk_fastpath")
 		s.mMultipartFast = reg.Counter("chirp_server.multipart_fastpath")
+		s.mLeaseGrants = reg.Counter("chirp_server.lease_grants")
+		s.mLeaseBreaks = reg.Counter("chirp_server.lease_breaks")
 		s.mDraining = reg.Gauge("chirp_server.draining")
 	}
 	if err := s.ensureRootACL(); err != nil {
@@ -538,6 +561,9 @@ type session struct {
 	subject auth.Subject
 	files   map[int64]*openFD
 	nextFD  int64
+	// leases are the lease IDs granted on this connection, released at
+	// disconnect like descriptors (nil until the first grant).
+	leases map[int64]struct{}
 	// scratch is the session's response-line encoding buffer; a session
 	// serves one connection serially, so reuse is race-free and the
 	// per-line allocation of fmt.Fprintf disappears from the hot path.
@@ -549,6 +575,10 @@ func (ss *session) closeAll() {
 		f.file.Close()
 	}
 	ss.files = nil
+	if ss.leases != nil {
+		ss.srv.leases.releaseOwned(ss.leases)
+		ss.leases = nil
+	}
 }
 
 func respondCode(bw *bufio.Writer, v int64) error {
@@ -666,6 +696,16 @@ func (ss *session) dispatch(line string, conn net.Conn, br *bufio.Reader, bw *bu
 		return ss.handleTruncate(req, bw)
 	case "chmod":
 		return ss.handleChmod(req, bw)
+	case "lease":
+		if ss.srv.legacyLeases.Load() {
+			return ss.respondErr(bw, vfs.EINVAL)
+		}
+		return ss.handleLease(req, bw)
+	case "leasebreak":
+		if ss.srv.legacyLeases.Load() {
+			return ss.respondErr(bw, vfs.EINVAL)
+		}
+		return ss.handleLeasebreak(req, bw)
 	case "getacl":
 		return ss.handleGetacl(req, bw)
 	case "setacl":
@@ -713,6 +753,11 @@ func (ss *session) handleOpen(req *proto.Request, bw *bufio.Writer) error {
 	ss.nextFD++
 	fd := ss.nextFD
 	ss.files[fd] = &openFD{file: f, path: path}
+	if flags&(vfs.O_CREAT|vfs.O_TRUNC) != 0 {
+		// The open itself may have created or emptied the file; break
+		// leases on it and on its directory's entry list.
+		ss.srv.breakLeases(path, pathutil.Dir(path))
+	}
 	if err := respondCode(bw, fd); err != nil {
 		return err
 	}
@@ -771,6 +816,7 @@ func (ss *session) handlePwrite(req *proto.Request, br *bufio.Reader, bw *bufio.
 	if err != nil {
 		return ss.respondErr(bw, err)
 	}
+	ss.srv.breakLeases(f.path)
 	ss.srv.Stats.BytesWriten.Add(int64(n))
 	ss.srv.mBytesWritten.Add(int64(n))
 	return respondCode(bw, int64(n))
@@ -807,7 +853,11 @@ func (ss *session) handleFtruncate(req *proto.Request, bw *bufio.Writer) error {
 	if req.Size < 0 {
 		return ss.respondErr(bw, vfs.EINVAL)
 	}
-	return ss.respondErr(bw, f.file.Ftruncate(req.Size))
+	err = f.file.Ftruncate(req.Size)
+	if err == nil {
+		ss.srv.breakLeases(f.path)
+	}
+	return ss.respondErr(bw, err)
 }
 
 func (ss *session) handleClose(req *proto.Request, bw *bufio.Writer) error {
@@ -845,7 +895,11 @@ func (ss *session) handleUnlink(req *proto.Request, bw *bufio.Writer) error {
 	if err := ss.srv.checkParentEither(ss.subject, path, acl.W, acl.D); err != nil {
 		return ss.respondErr(bw, err)
 	}
-	return ss.respondErr(bw, ss.srv.fs.Unlink(path))
+	err = ss.srv.fs.Unlink(path)
+	if err == nil {
+		ss.srv.breakLeases(path, pathutil.Dir(path))
+	}
+	return ss.respondErr(bw, err)
 }
 
 func (ss *session) handleRename(req *proto.Request, bw *bufio.Writer) error {
@@ -863,7 +917,11 @@ func (ss *session) handleRename(req *proto.Request, bw *bufio.Writer) error {
 	if err := ss.srv.checkParent(ss.subject, newPath, acl.W); err != nil {
 		return ss.respondErr(bw, err)
 	}
-	return ss.respondErr(bw, ss.srv.fs.Rename(oldPath, newPath))
+	err = ss.srv.fs.Rename(oldPath, newPath)
+	if err == nil {
+		ss.srv.breakLeases(oldPath, newPath, pathutil.Dir(oldPath), pathutil.Dir(newPath))
+	}
+	return ss.respondErr(bw, err)
 }
 
 func (ss *session) handleMkdir(req *proto.Request, bw *bufio.Writer) error {
@@ -903,6 +961,7 @@ func (ss *session) handleMkdir(req *proto.Request, bw *bufio.Writer) error {
 		ss.srv.fs.Rmdir(path)
 		return ss.respondErr(bw, err)
 	}
+	ss.srv.breakLeases(path, pathutil.Dir(path))
 	return respondCode(bw, 0)
 }
 
@@ -946,6 +1005,7 @@ func (ss *session) handleRmdir(req *proto.Request, bw *bufio.Writer) error {
 		}
 		return ss.respondErr(bw, err)
 	}
+	ss.srv.breakLeases(path, pathutil.Dir(path))
 	return respondCode(bw, 0)
 }
 
@@ -1135,6 +1195,9 @@ func (ss *session) handlePutfile(req *proto.Request, conn net.Conn, br *bufio.Re
 		io.CopyN(io.Discard, br, req.Length)
 		return ss.respondErr(bw, err)
 	}
+	// The open created or truncated the file: leases are broken now,
+	// before any acknowledgement, even if the body copy fails midway.
+	ss.srv.breakLeases(path, pathutil.Dir(path))
 	if osf := osFileOf(f); osf != nil {
 		// Bulk fast path: the file was opened fresh and truncated, so
 		// sequential writes from offset zero are exactly the body.
@@ -1203,7 +1266,11 @@ func (ss *session) handleTruncate(req *proto.Request, bw *bufio.Writer) error {
 	if err := ss.srv.checkParent(ss.subject, path, acl.W); err != nil {
 		return ss.respondErr(bw, err)
 	}
-	return ss.respondErr(bw, ss.srv.fs.Truncate(path, req.Size))
+	err = ss.srv.fs.Truncate(path, req.Size)
+	if err == nil {
+		ss.srv.breakLeases(path)
+	}
+	return ss.respondErr(bw, err)
 }
 
 func (ss *session) handleChmod(req *proto.Request, bw *bufio.Writer) error {
@@ -1214,7 +1281,11 @@ func (ss *session) handleChmod(req *proto.Request, bw *bufio.Writer) error {
 	if err := ss.srv.checkParent(ss.subject, path, acl.W); err != nil {
 		return ss.respondErr(bw, err)
 	}
-	return ss.respondErr(bw, ss.srv.fs.Chmod(path, uint32(req.Mode)))
+	err = ss.srv.fs.Chmod(path, uint32(req.Mode))
+	if err == nil {
+		ss.srv.breakLeases(path)
+	}
+	return ss.respondErr(bw, err)
 }
 
 func (ss *session) handleGetacl(req *proto.Request, bw *bufio.Writer) error {

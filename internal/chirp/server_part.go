@@ -10,6 +10,7 @@ import (
 
 	"tss/internal/acl"
 	"tss/internal/chirp/proto"
+	"tss/internal/pathutil"
 	"tss/internal/vfs"
 )
 
@@ -53,6 +54,7 @@ func (ss *session) handlePutbegin(req *proto.Request, bw *bufio.Writer) error {
 		ss.srv.fs.Unlink(path)
 		return ss.respondErr(bw, terr)
 	}
+	ss.srv.breakLeases(path, pathutil.Dir(path))
 	return respondCode(bw, 0)
 }
 
@@ -141,6 +143,8 @@ func (ss *session) handlePutpart(req *proto.Request, conn net.Conn, br *bufio.Re
 		}
 		return ss.respondErr(bw, err)
 	}
+	// The chunk is about to land: break leases before any bytes change.
+	ss.srv.breakLeases(path)
 	if req.Algo == "" {
 		if tcp := bulkConn(conn); tcp != nil {
 			if osf := osFileOf(f); osf != nil {
@@ -258,6 +262,7 @@ func (ss *session) handlePutcomplete(req *proto.Request, bw *bufio.Writer) error
 	}
 	if fi.Size != req.Size {
 		ss.srv.fs.Unlink(path)
+		ss.srv.breakLeases(path, pathutil.Dir(path))
 		return ss.respondErr(bw, vfs.EBADMSG)
 	}
 	if req.Algo != "" {
@@ -267,6 +272,7 @@ func (ss *session) handlePutcomplete(req *proto.Request, bw *bufio.Writer) error
 		}
 		if !strings.EqualFold(sum, req.Sum) {
 			ss.srv.fs.Unlink(path)
+			ss.srv.breakLeases(path, pathutil.Dir(path))
 			return ss.respondErr(bw, vfs.EBADMSG)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 
 	"tss/internal/acl"
 	"tss/internal/chirp/proto"
+	"tss/internal/pathutil"
 	"tss/internal/vfs"
 )
 
@@ -134,6 +135,8 @@ func (ss *session) handlePutfilesum(req *proto.Request, br *bufio.Reader, bw *bu
 	if err != nil {
 		return ss.respondErr(bw, err)
 	}
+	// Created or truncated: break leases before any acknowledgement.
+	ss.srv.breakLeases(path, pathutil.Dir(path))
 	if err := respondCode(bw, 0); err != nil {
 		f.Close()
 		return err

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"time"
 
+	"tss/internal/cache"
 	"tss/internal/sim"
 )
 
@@ -105,10 +106,13 @@ func (r Result) String() string {
 		r.Servers, r.ThroughputMBps, r.HitRate, r.Reads)
 }
 
+// server's buffer cache is modeled at whole-file granularity: the
+// paper's workloads read whole large files, so per-block modeling
+// would add state without changing outcomes.
 type server struct {
 	port  *sim.Resource
 	disk  *sim.Resource
-	cache *lruCache
+	cache *cache.LRU[int, struct{}]
 }
 
 // Run executes one DSFS scalability experiment on the model.
@@ -124,7 +128,7 @@ func Run(cfg Config) Result {
 		servers[i] = &server{
 			port:  sim.NewResource(fmt.Sprintf("port%d", i), cfg.ServerPortBW),
 			disk:  sim.NewResource(fmt.Sprintf("disk%d", i), cfg.DiskBW),
-			cache: newLRU(cfg.CacheBytes),
+			cache: cache.NewLRU[int, struct{}](cfg.CacheBytes),
 		}
 	}
 
@@ -135,7 +139,7 @@ func Run(cfg Config) Result {
 		for id := 0; id < cfg.FileCount; id++ {
 			srv := fileServer(id)
 			if srv.cache.Used()+cfg.FileSize <= cfg.CacheBytes {
-				srv.cache.insert(id, cfg.FileSize)
+				srv.cache.Put(id, struct{}{}, cfg.FileSize)
 			}
 		}
 	}
@@ -152,14 +156,14 @@ func Run(cfg Config) Result {
 				fileID := rng.Intn(cfg.FileCount)
 				srv := fileServer(fileID)
 				p.Wait(cfg.MetadataDelay)
-				hit := srv.cache.touch(fileID)
+				hit := srv.cache.Touch(fileID)
 				if hit {
 					net.Transfer(p, float64(cfg.FileSize), srv.port, backplane, clientPort)
 				} else {
 					// Pipelined disk read: the flow is bottlenecked by
 					// the slowest of disk and network shares.
 					net.Transfer(p, float64(cfg.FileSize), srv.disk, srv.port, backplane, clientPort)
-					srv.cache.insert(fileID, cfg.FileSize)
+					srv.cache.Put(fileID, struct{}{}, cfg.FileSize)
 				}
 				if measuring {
 					bytesDelivered += float64(cfg.FileSize)

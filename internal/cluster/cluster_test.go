@@ -1,72 +1,12 @@
 package cluster
 
 import (
-	"math/rand"
 	"testing"
 	"time"
 )
 
-func TestLRUBasics(t *testing.T) {
-	c := newLRU(10)
-	c.insert(1, 4)
-	c.insert(2, 4)
-	if !c.touch(1) || !c.touch(2) {
-		t.Fatal("inserted entries missing")
-	}
-	c.insert(3, 4) // evicts LRU, which is 1 (2 was touched later... order: touch(1), touch(2) -> LRU is 1)
-	if c.touch(1) {
-		t.Error("LRU entry not evicted")
-	}
-	if !c.touch(2) || !c.touch(3) {
-		t.Error("wrong entry evicted")
-	}
-	if c.Used() != 8 {
-		t.Errorf("used = %d", c.Used())
-	}
-}
-
-func TestLRUOversizedFileNotCached(t *testing.T) {
-	c := newLRU(10)
-	c.insert(1, 11)
-	if c.touch(1) || c.Used() != 0 {
-		t.Error("oversized file cached")
-	}
-}
-
-func TestLRUReinsertRefreshes(t *testing.T) {
-	c := newLRU(8)
-	c.insert(1, 4)
-	c.insert(2, 4)
-	c.insert(1, 4) // refresh, not duplicate
-	if c.Used() != 8 || c.Len() != 2 {
-		t.Errorf("used=%d len=%d", c.Used(), c.Len())
-	}
-	c.insert(3, 4) // now 2 is LRU
-	if c.touch(2) {
-		t.Error("refresh did not update recency")
-	}
-	if !c.touch(1) {
-		t.Error("refreshed entry evicted")
-	}
-}
-
-// Property: used never exceeds capacity under random operations.
-func TestLRUCapacityInvariant(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
-	c := newLRU(1000)
-	for i := 0; i < 10000; i++ {
-		id := rng.Intn(100)
-		switch rng.Intn(2) {
-		case 0:
-			c.insert(id, int64(rng.Intn(400)+1))
-		case 1:
-			c.touch(id)
-		}
-		if c.Used() > 1000 {
-			t.Fatalf("cache over capacity: %d", c.Used())
-		}
-	}
-}
+// The LRU tests moved with the cache itself to internal/cache (the
+// simulator now shares cache.LRU with the client caching tier).
 
 func shortCfg() Config {
 	return Config{

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"tss/internal/cache"
+	"tss/internal/chirp"
+	"tss/internal/netsim"
+	"tss/internal/obs"
+	"tss/internal/vfs"
+)
+
+// The cache ablation: the same attr/dirent/read syscall mix driven
+// over Chirp three ways — cache disabled, cache cold (first touch,
+// paying fills and lease grants), and cache warm (every tier hot).
+// The disabled-vs-warm deltas in server RPCs and per-op latency are
+// the numbers the caching tier exists to move: a network filesystem's
+// syscall amplification, measured and then deleted.
+
+// CacheBenchConfig sizes the cache ablation benchmark.
+type CacheBenchConfig struct {
+	// Files is the number of files in the working set.
+	Files int
+	// FileSize is the size of each file in bytes.
+	FileSize int
+	// Rounds is how many times the warm pass repeats the mix.
+	Rounds int
+	// Link shapes the client↔server links.
+	Link netsim.LinkProfile
+	// Quick marks the reduced configuration in the report.
+	Quick bool
+}
+
+// DefaultCacheBench returns the full-size configuration; quick shrinks
+// it for a fast pass.
+func DefaultCacheBench(quick bool) CacheBenchConfig {
+	cfg := CacheBenchConfig{
+		Files:    24,
+		FileSize: 32 << 10,
+		Rounds:   8,
+		Link:     netsim.GigE,
+	}
+	if quick {
+		cfg.Files, cfg.FileSize, cfg.Rounds = 8, 8<<10, 4
+		cfg.Quick = true
+	}
+	return cfg
+}
+
+// CacheProfile is one ablation arm's measurement.
+type CacheProfile struct {
+	Name string `json:"name"`
+	// Ops is the number of syscalls the mix issued (stat + readdir +
+	// open/read/close per file per round).
+	Ops int64 `json:"ops"`
+	// RPCs is how many requests actually reached the chirp server.
+	RPCs int64 `json:"rpcs"`
+	// WallMS is the wall-clock time of the pass.
+	WallMS float64 `json:"wall_ms"`
+	// MeanUS is WallMS amortized per op.
+	MeanUS float64 `json:"mean_us"`
+}
+
+// CacheBenchReport is the ablation result, with the two derived ratios
+// the acceptance bar reads.
+type CacheBenchReport struct {
+	Name     string         `json:"name"`
+	Quick    bool           `json:"quick"`
+	Files    int            `json:"files"`
+	FileSize int            `json:"file_size"`
+	Rounds   int            `json:"rounds"`
+	Profiles []CacheProfile `json:"profiles"`
+	// RPCReduction is disabled RPCs per warm-pass RPCs (per round).
+	RPCReduction float64 `json:"rpc_reduction"`
+	// LatencyGain is disabled mean op latency per warm mean op latency.
+	LatencyGain float64 `json:"latency_gain"`
+	// Cache is the warm stack's cache counter snapshot.
+	Cache cache.Stats `json:"cache"`
+}
+
+// JSON renders the report for BENCH_chirp.json.
+func (r *CacheBenchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render renders the ablation as a table.
+func (r *CacheBenchReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cache ablation: %d files × %d B, %d warm rounds\n", r.Files, r.FileSize, r.Rounds)
+	fmt.Fprintf(&b, "%-10s %8s %8s %10s %10s\n", "PROFILE", "OPS", "RPCS", "WALL", "MEAN/OP")
+	for _, p := range r.Profiles {
+		fmt.Fprintf(&b, "%-10s %8d %8d %8.1fms %8.1fµs\n", p.Name, p.Ops, p.RPCs, p.WallMS, p.MeanUS)
+	}
+	fmt.Fprintf(&b, "rpc reduction (disabled/warm): %.1fx\n", r.RPCReduction)
+	fmt.Fprintf(&b, "latency gain  (disabled/warm): %.1fx\n", r.LatencyGain)
+	fmt.Fprintf(&b, "cache: %d/%d attr, %d/%d dirent, %d/%d page hits/misses, %d revalidations\n",
+		r.Cache.AttrHits, r.Cache.AttrMisses, r.Cache.DirentHits, r.Cache.DirentMisses,
+		r.Cache.PageHits, r.Cache.PageMisses, r.Cache.Revalidations)
+	return b.String()
+}
+
+// cacheMix drives one pass of the syscall mix and returns how many
+// operations it issued.
+func cacheMix(fs vfs.FileSystem, files, fileSize int) (int64, error) {
+	var ops int64
+	buf := make([]byte, 32<<10)
+	for i := 0; i < files; i++ {
+		p := fmt.Sprintf("/f%04d", i)
+		if _, err := fs.Stat(p); err != nil {
+			return ops, fmt.Errorf("stat %s: %w", p, err)
+		}
+		ops++
+		if _, err := fs.ReadDir("/"); err != nil {
+			return ops, fmt.Errorf("readdir: %w", err)
+		}
+		ops++
+		f, err := fs.Open(p, vfs.O_RDONLY, 0)
+		if err != nil {
+			return ops, fmt.Errorf("open %s: %w", p, err)
+		}
+		var off int64
+		for off < int64(fileSize) {
+			n, err := f.Pread(buf, off)
+			if err != nil {
+				f.Close()
+				return ops, fmt.Errorf("pread %s: %w", p, err)
+			}
+			if n == 0 {
+				break
+			}
+			off += int64(n)
+		}
+		if err := f.Close(); err != nil {
+			return ops, err
+		}
+		ops++
+	}
+	return ops, nil
+}
+
+// RunCacheBench measures the cache ablation. Each arm gets its own
+// server so RPC counts are exactly attributable.
+func RunCacheBench(cfg CacheBenchConfig) (*CacheBenchReport, error) {
+	env := NewEnv()
+	defer env.Close()
+
+	rep := &CacheBenchReport{
+		Name:     "cache-ablation",
+		Quick:    cfg.Quick,
+		Files:    cfg.Files,
+		FileSize: cfg.FileSize,
+		Rounds:   cfg.Rounds,
+	}
+
+	seed := func(cli *chirp.Client) error {
+		payload := make([]byte, cfg.FileSize)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		for i := 0; i < cfg.Files; i++ {
+			if err := vfs.WriteFile(cli, fmt.Sprintf("/f%04d", i), payload, 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Arm 1: cache disabled — every syscall is at least one RPC.
+	{
+		cli, srv, err := env.StartChirp("cache-off", cfg.Link)
+		if err != nil {
+			return nil, err
+		}
+		if err := seed(cli); err != nil {
+			return nil, err
+		}
+		base := srv.Stats.Requests.Load()
+		start := time.Now()
+		var ops int64
+		for r := 0; r < cfg.Rounds; r++ {
+			n, err := cacheMix(cli, cfg.Files, cfg.FileSize)
+			ops += n
+			if err != nil {
+				return nil, err
+			}
+		}
+		wall := time.Since(start)
+		rep.Profiles = append(rep.Profiles, profileOf("disabled", ops, srv.Stats.Requests.Load()-base, wall))
+	}
+
+	// Arms 2+3: the cached stack — one cold pass, then warm rounds.
+	{
+		cli, srv, err := env.StartChirp("cache-on", cfg.Link)
+		if err != nil {
+			return nil, err
+		}
+		if err := seed(cli); err != nil {
+			return nil, err
+		}
+		reg := obs.NewRegistry()
+		cfs := cache.New(cli, cache.Options{
+			// Long enough that no horizon lapses mid-bench; lease TTL
+			// (2s default) caps the effective horizon anyway.
+			AttrTTL: 10 * time.Second,
+			Metrics: reg,
+		})
+		defer cfs.Close()
+
+		base := srv.Stats.Requests.Load()
+		start := time.Now()
+		coldOps, err := cacheMix(cfs, cfg.Files, cfg.FileSize)
+		if err != nil {
+			return nil, err
+		}
+		coldWall := time.Since(start)
+		coldRPCs := srv.Stats.Requests.Load() - base
+		rep.Profiles = append(rep.Profiles, profileOf("cold", coldOps, coldRPCs, coldWall))
+
+		base = srv.Stats.Requests.Load()
+		start = time.Now()
+		var warmOps int64
+		for r := 0; r < cfg.Rounds; r++ {
+			n, err := cacheMix(cfs, cfg.Files, cfg.FileSize)
+			warmOps += n
+			if err != nil {
+				return nil, err
+			}
+		}
+		warmWall := time.Since(start)
+		warm := profileOf("warm", warmOps, srv.Stats.Requests.Load()-base, warmWall)
+		rep.Profiles = append(rep.Profiles, warm)
+		rep.Cache = cfs.Stats()
+
+		disabled := rep.Profiles[0]
+		if warm.RPCs > 0 {
+			rep.RPCReduction = float64(disabled.RPCs) / float64(warm.RPCs)
+		} else {
+			rep.RPCReduction = float64(disabled.RPCs)
+		}
+		if warm.MeanUS > 0 {
+			rep.LatencyGain = disabled.MeanUS / warm.MeanUS
+		}
+	}
+	return rep, nil
+}
+
+func profileOf(name string, ops, rpcs int64, wall time.Duration) CacheProfile {
+	p := CacheProfile{
+		Name:   name,
+		Ops:    ops,
+		RPCs:   rpcs,
+		WallMS: float64(wall) / float64(time.Millisecond),
+	}
+	if ops > 0 {
+		p.MeanUS = float64(wall) / float64(time.Microsecond) / float64(ops)
+	}
+	return p
+}

@@ -318,6 +318,9 @@ func (f *FS) Capabilities() vfs.Capability {
 	if inner.PartPutter != nil {
 		c.PartPutter = &faultPartPutter{fs: f, inner: inner.PartPutter}
 	}
+	if inner.Leaser != nil {
+		c.Leaser = &faultLeaser{fs: f, inner: inner.Leaser}
+	}
 	if inner.Reconnector != nil {
 		c.Reconnector = &faultReconnector{fs: f, inner: inner.Reconnector}
 	}
@@ -406,6 +409,25 @@ func (p *faultFilePutter) PutFile(path string, mode uint32, size int64, r io.Rea
 		p.fs.markClean(path)
 	}
 	return err
+}
+
+type faultLeaser struct {
+	fs    *FS
+	inner vfs.Leaser
+}
+
+func (l *faultLeaser) Lease(path string) (vfs.Lease, error) {
+	if err := l.fs.gate(); err != nil {
+		return vfs.Lease{}, err
+	}
+	return l.inner.Lease(path)
+}
+
+func (l *faultLeaser) LeaseBreak(id int64) error {
+	if err := l.fs.gate(); err != nil {
+		return err
+	}
+	return l.inner.LeaseBreak(id)
 }
 
 type faultPartGetter struct {

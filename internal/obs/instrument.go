@@ -43,6 +43,7 @@ var instrumentedOps = []string{
 	"pread", "pwrite", "fstat", "ftruncate", "sync", "close",
 	"openstat", "getfile", "putfile", "checksum", "reconnect",
 	"getpart", "putbegin", "putpart", "putcomplete",
+	"lease", "leasebreak",
 }
 
 type instrumentedFS struct {
@@ -167,6 +168,9 @@ func (i *instrumentedFS) Capabilities() vfs.Capability {
 	if inner.Checksummer != nil {
 		c.Checksummer = &instrumentedChecksummer{i: i, inner: inner.Checksummer}
 	}
+	if inner.Leaser != nil {
+		c.Leaser = &instrumentedLeaser{i: i, inner: inner.Leaser}
+	}
 	if inner.Reconnector != nil {
 		c.Reconnector = &instrumentedReconnector{i: i, inner: inner.Reconnector}
 	}
@@ -269,6 +273,25 @@ func (cs *instrumentedChecksummer) Checksum(path, algo string) (string, error) {
 	sum, err := cs.inner.Checksum(path, algo)
 	cs.i.observe("checksum", start, err)
 	return sum, err
+}
+
+type instrumentedLeaser struct {
+	i     *instrumentedFS
+	inner vfs.Leaser
+}
+
+func (l *instrumentedLeaser) Lease(path string) (vfs.Lease, error) {
+	start := time.Now()
+	lease, err := l.inner.Lease(path)
+	l.i.observe("lease", start, err)
+	return lease, err
+}
+
+func (l *instrumentedLeaser) LeaseBreak(id int64) error {
+	start := time.Now()
+	err := l.inner.LeaseBreak(id)
+	l.i.observe("leasebreak", start, err)
+	return err
 }
 
 type instrumentedReconnector struct {

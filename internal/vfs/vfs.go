@@ -174,6 +174,32 @@ type PartPutter interface {
 	PutComplete(path string, size int64, algo, sum string) error
 }
 
+// Lease is a server-granted read lease on one path: a promise that the
+// holder may serve cached data for the path without revalidation until
+// TTL elapses or the server observes a conflicting write. Version is
+// the server's change counter for the path at grant time; a renewal
+// that returns the same version proves the cached data is still
+// current, and a changed version tells the holder to drop it.
+type Lease struct {
+	// ID names the lease for LeaseBreak; unique per server.
+	ID int64
+	// Version is the path's change counter at grant time.
+	Version int64
+	// TTL bounds how long the holder may trust the lease.
+	TTL time.Duration
+}
+
+// Leaser is the optional read-lease capability, matching the Chirp
+// lease/leasebreak RPCs. Lease grants a read lease on path; LeaseBreak
+// releases a previously granted lease early (the holder is done with
+// it). The caching tier (cache.FS) uses renewals as cheap
+// revalidation: one small RPC covers every cached attribute, dirent,
+// and page of the path.
+type Leaser interface {
+	Lease(path string) (Lease, error)
+	LeaseBreak(id int64) error
+}
+
 // Capability collects the optional fast paths and lifecycle hooks a
 // filesystem offers beyond the core FileSystem interface. Each field is
 // nil when the capability is unavailable. Callers obtain one through
@@ -194,6 +220,8 @@ type Capability struct {
 	PartPutter PartPutter
 	// Checksummer digests a whole file where the data lives.
 	Checksummer Checksummer
+	// Leaser grants and releases read leases for client caching.
+	Leaser Leaser
 	// Reconnector re-establishes a lost transport connection.
 	Reconnector Reconnector
 	// Closer releases external resources held by the filesystem.
@@ -227,6 +255,7 @@ func Capabilities(fs FileSystem) Capability {
 	caps.PartGetter, _ = fs.(PartGetter)
 	caps.PartPutter, _ = fs.(PartPutter)
 	caps.Checksummer, _ = fs.(Checksummer)
+	caps.Leaser, _ = fs.(Leaser)
 	caps.Reconnector, _ = fs.(Reconnector)
 	caps.Closer, _ = fs.(Closer)
 	return caps
