@@ -38,6 +38,10 @@ const (
 	// DefaultFlushAt bounds how much dirty write-back data a single
 	// open file accumulates before it is pushed to the server.
 	DefaultFlushAt = 1 << 20
+	// DefaultMaxPaths bounds how many paths the metadata tier tracks
+	// (attrs, listings, lease/version state), so a walk over a large
+	// tree cannot grow client memory for the FS lifetime.
+	DefaultMaxPaths = 16 << 10
 )
 
 // Options configures a cache.FS. The zero value enables all three
@@ -59,6 +63,11 @@ type Options struct {
 	WriteThrough bool
 	// FlushAt bounds the dirty extent of one open file.
 	FlushAt int64
+	// MaxPaths bounds the number of paths with cached metadata; the
+	// least recently used path's attrs, listing, pages, and lease are
+	// dropped past the bound. 0 means DefaultMaxPaths, negative
+	// disables the bound.
+	MaxPaths int
 	// Verify digest-checks whole-file fills against the inner layer's
 	// Checksummer, when it has one.
 	Verify bool
@@ -121,9 +130,15 @@ type FS struct {
 	inner vfs.FileSystem
 	opt   Options
 
-	mu    sync.Mutex
-	paths map[string]*pathState
+	mu sync.Mutex
+	// paths is the metadata tier: per-path attrs, listings, page
+	// indexes, and lease/version state, count-budgeted at
+	// Options.MaxPaths entries.
+	paths *LRU[string, *pathState]
 	data  *LRU[pageKey, []byte]
+	// pendingRel queues lease IDs whose entries were evicted under
+	// f.mu; the release RPCs run later, off the lock (drainReleases).
+	pendingRel []int64
 	// leaser is the inner layer's lease capability; degraded records
 	// that it answered EINVAL (a pre-lease server) and the cache
 	// stopped asking.
@@ -173,18 +188,45 @@ func New(inner vfs.FileSystem, opt Options) *FS {
 	if opt.Layer == "" {
 		opt.Layer = "cache"
 	}
+	if opt.MaxPaths == 0 {
+		opt.MaxPaths = DefaultMaxPaths
+	}
+	maxPaths := int64(opt.MaxPaths)
+	if maxPaths < 0 {
+		maxPaths = 1<<63 - 1
+	}
 	f := &FS{
 		inner:  inner,
 		opt:    opt,
-		paths:  make(map[string]*pathState),
+		paths:  NewLRU[string, *pathState](maxPaths),
 		leaser: vfs.Capabilities(inner).Leaser,
+	}
+	// Capacity eviction of a path's metadata takes its pages with it
+	// and queues a live lease for off-lock release. Nil-ing the tiers
+	// on the struct matters beyond hygiene: a revalidate in flight
+	// holds a pointer to the evicted state, and its hit-path recheck
+	// must see the entries gone. The callback runs under f.mu (every
+	// Put is).
+	f.paths.OnEvict = func(path string, ps *pathState, _ int64) {
+		if f.data != nil {
+			for idx := range ps.pages {
+				f.data.Remove(pageKey{path: path, idx: idx})
+			}
+		}
+		ps.pages = nil
+		ps.attr = nil
+		ps.dirents = nil
+		if ps.leased && f.opt.Clock().Before(ps.leaseExp) {
+			f.pendingRel = append(f.pendingRel, ps.leaseID)
+		}
+		ps.leased = false
 	}
 	if opt.DataBytes > 0 {
 		f.data = NewLRU[pageKey, []byte](opt.DataBytes)
 		// Keep the per-path page index honest when the budget evicts;
 		// the callback runs under f.mu (every Put is).
 		f.data.OnEvict = func(k pageKey, _ []byte, _ int64) {
-			if ps := f.paths[k.path]; ps != nil {
+			if ps, ok := f.paths.Peek(k.path); ok {
 				delete(ps.pages, k.idx)
 			}
 		}
@@ -223,15 +265,28 @@ func (f *FS) count(c *obs.Counter, field *int64) {
 	c.Inc()
 }
 
-// state returns the pathState for path, creating it if needed. Caller
-// holds f.mu.
+// state returns the pathState for path, creating it if needed (which
+// may evict the coldest path past the MaxPaths budget). Caller holds
+// f.mu.
 func (f *FS) state(path string) *pathState {
-	ps := f.paths[path]
-	if ps == nil {
-		ps = &pathState{}
-		f.paths[path] = ps
+	if ps, ok := f.paths.Get(path); ok {
+		return ps
 	}
+	ps := &pathState{}
+	f.paths.Put(path, ps, 1)
 	return ps
+}
+
+// drainReleases issues the lease-release RPCs queued by metadata
+// eviction, best effort. Called without f.mu.
+func (f *FS) drainReleases() {
+	f.mu.Lock()
+	ids := f.pendingRel
+	f.pendingRel = nil
+	f.mu.Unlock()
+	for _, id := range ids {
+		f.releaseLease(id)
+	}
 }
 
 // validLocked reports whether path's cached state may be served right
@@ -331,10 +386,14 @@ func (f *FS) invalidateLocked(path string, ps *pathState) {
 func (f *FS) wrote(paths ...string) {
 	f.mu.Lock()
 	for _, p := range paths {
-		if ps := f.paths[p]; ps != nil {
+		if ps, ok := f.paths.Peek(p); ok {
 			f.invalidateLocked(p, ps)
 			ps.haveVersion = false
 			ps.leased = false
+			// The entry now holds nothing a future read could use —
+			// no data, no version to compare, no lease — so indexing
+			// it is pure growth; drop it.
+			f.paths.Remove(p)
 		}
 	}
 	f.mu.Unlock()
@@ -343,9 +402,15 @@ func (f *FS) wrote(paths ...string) {
 // Stat serves attributes from the attr tier (vfs.FileSystem).
 func (f *FS) Stat(path string) (vfs.FileInfo, error) {
 	start := f.opt.Clock()
+	defer f.drainReleases()
 	f.mu.Lock()
 	ps := f.state(path)
-	if ps.attr != nil && (f.validLocked(ps, start) || f.revalidate(path, ps, start)) {
+	// The trailing nil recheck is load-bearing: revalidate drops f.mu
+	// across the lease RPC, and a concurrent renewal that observed a
+	// changed version nils ps.attr and records the new version — this
+	// renewal then compares equal and reports fresh over an entry that
+	// is gone. Fall through to the miss path in that case.
+	if ps.attr != nil && (f.validLocked(ps, start) || f.revalidate(path, ps, start)) && ps.attr != nil {
 		fi := *ps.attr
 		f.count(f.cAttrHits, &f.stats.s.AttrHits)
 		f.mu.Unlock()
@@ -356,13 +421,18 @@ func (f *FS) Stat(path string) (vfs.FileInfo, error) {
 	needLease := !f.validLocked(ps, f.opt.Clock())
 	f.mu.Unlock()
 
+	// Lease before the fetch, pinning the version the fill is cached
+	// under: a write landing between the two RPCs then moves the
+	// version and the next renewal drops the entry. Fetch-then-lease
+	// would cache pre-write attrs under the post-write version and
+	// revalidate them forever.
+	if needLease {
+		f.lease(path)
+	}
 	fi, err := f.inner.Stat(path)
 	if err != nil {
 		f.hAttr.Observe(time.Since(start))
 		return fi, err
-	}
-	if needLease {
-		f.lease(path)
 	}
 	f.mu.Lock()
 	ps = f.state(path)
@@ -378,6 +448,7 @@ func (f *FS) Stat(path string) (vfs.FileInfo, error) {
 // lease acquires a fresh lease on path and opens its trust horizon,
 // entering degraded mode on a pre-lease server. Called without f.mu.
 func (f *FS) lease(path string) {
+	defer f.drainReleases()
 	f.mu.Lock()
 	if f.leaser == nil || f.degraded {
 		ps := f.state(path)
@@ -429,9 +500,13 @@ func (f *FS) lease(path string) {
 // ReadDir serves listings from the dirent tier (vfs.FileSystem).
 func (f *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
 	start := f.opt.Clock()
+	defer f.drainReleases()
 	f.mu.Lock()
 	ps := f.state(path)
-	if ps.dirents != nil && (f.validLocked(ps, start) || f.revalidate(path, ps, start)) {
+	// Trailing nil recheck for the same reason as Stat: a concurrent
+	// revalidation may have dropped the listing while f.mu was down
+	// across the lease RPC.
+	if ps.dirents != nil && (f.validLocked(ps, start) || f.revalidate(path, ps, start)) && ps.dirents != nil {
 		ents := append([]vfs.DirEntry(nil), ps.dirents...)
 		f.count(f.cDirentHits, &f.stats.s.DirentHits)
 		f.mu.Unlock()
@@ -442,13 +517,15 @@ func (f *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
 	needLease := !f.validLocked(ps, f.opt.Clock())
 	f.mu.Unlock()
 
+	// Lease-then-fetch, as in Stat: the fill must be cached under a
+	// version pinned no later than the listing it describes.
+	if needLease {
+		f.lease(path)
+	}
 	ents, err := f.inner.ReadDir(path)
 	if err != nil {
 		f.hDirent.Observe(time.Since(start))
 		return ents, err
-	}
-	if needLease {
-		f.lease(path)
 	}
 	f.mu.Lock()
 	ps = f.state(path)
@@ -474,7 +551,7 @@ func (f *FS) Open(path string, flags int, mode uint32) (vfs.File, error) {
 		f.wrote(path, pathutil.Dir(path))
 	} else {
 		f.mu.Lock()
-		ps := f.paths[path]
+		ps, _ := f.paths.Get(path)
 		known := ps != nil && ps.attr != nil && f.validLocked(ps, f.opt.Clock())
 		f.mu.Unlock()
 		if known {
@@ -577,14 +654,17 @@ func (f *FS) Close() error {
 		return nil
 	}
 	f.closed = true
-	var ids []int64
-	for _, ps := range f.paths {
+	ids := f.pendingRel
+	f.pendingRel = nil
+	f.paths.Each(func(_ string, ps *pathState) {
 		if ps.leased {
 			ids = append(ids, ps.leaseID)
 			ps.leased = false
 		}
-	}
-	f.paths = make(map[string]*pathState)
+	})
+	onEvict := f.paths.OnEvict
+	f.paths = NewLRU[string, *pathState](f.paths.capacity)
+	f.paths.OnEvict = onEvict
 	if f.data != nil {
 		f.data = NewLRU[pageKey, []byte](f.opt.DataBytes)
 	}
@@ -607,8 +687,8 @@ func (f *FS) readPage(path string, idx int64) ([]byte, bool) {
 	now := f.opt.Clock()
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	ps := f.paths[path]
-	if ps == nil {
+	ps, ok := f.paths.Get(path)
+	if !ok {
 		return nil, false
 	}
 	if !f.validLocked(ps, now) && !f.revalidate(path, ps, now) {
@@ -623,6 +703,7 @@ func (f *FS) storePage(path string, idx int64, page []byte) {
 	if f.data == nil {
 		return
 	}
+	defer f.drainReleases()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	ps := f.state(path)
@@ -827,7 +908,8 @@ func (cf *cacheFile) preadCached(p []byte, off int64) (int, error) {
 		if !ok {
 			fs.mu.Lock()
 			fs.count(fs.cPageMisses, &fs.stats.s.PageMisses)
-			needLease := !fs.validLocked(fs.paths[cf.path], fs.opt.Clock())
+			cps, _ := fs.paths.Peek(cf.path)
+			needLease := !fs.validLocked(cps, fs.opt.Clock())
 			fs.mu.Unlock()
 			if needLease {
 				// Open the path's trust horizon before the fill, so
@@ -903,8 +985,14 @@ func (cf *cacheFile) overlayDirty(p []byte, off int64, n int) int {
 	return n
 }
 
-// Pwrite writes through or buffers for write-back (vfs.File).
+// Pwrite writes through or buffers for write-back (vfs.File). A
+// read-only handle answers EBADF up front, as the uncached stack
+// would: buffering the bytes would strand them — a lazy read-only
+// handle has no writable descriptor to flush through.
 func (cf *cacheFile) Pwrite(p []byte, off int64) (int, error) {
+	if !cf.writable {
+		return 0, vfs.EBADF
+	}
 	if cf.writeThrough {
 		//lint:ignore reslifetime ensureInner memoizes the handle on cf; cacheFile.Close releases it
 		inner, err := cf.ensureInner()
@@ -936,8 +1024,9 @@ func (cf *cacheFile) Pwrite(p []byte, off int64) (int, error) {
 }
 
 // flushLocked pushes the pending extent to the server. Caller holds
-// cf.mu. Only writable handles accumulate dirty data, and writable
-// handles are always eagerly opened, so cf.inner is non-nil here.
+// cf.mu. Only writable handles accumulate dirty data (Pwrite rejects
+// the rest with EBADF), and writable handles are always eagerly
+// opened, so cf.inner is non-nil here.
 func (cf *cacheFile) flushLocked() error {
 	if len(cf.dirty) == 0 {
 		return nil
@@ -972,7 +1061,7 @@ func (cf *cacheFile) Fstat() (vfs.FileInfo, error) {
 	if lazy {
 		fs := cf.fs
 		fs.mu.Lock()
-		ps := fs.paths[cf.path]
+		ps, _ := fs.paths.Get(cf.path)
 		if ps != nil && ps.attr != nil && fs.validLocked(ps, fs.opt.Clock()) {
 			fi := *ps.attr
 			fs.count(fs.cAttrHits, &fs.stats.s.AttrHits)

@@ -3,6 +3,7 @@ package cache
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -20,10 +21,14 @@ type countingFS struct {
 	preads, pwrites        atomic.Int64
 	leases, breaks         atomic.Int64
 	noLease                bool
-	mu                     sync.Mutex
-	versions               map[string]int64
-	nextID                 int64
-	leaseTTL               time.Duration
+	// onLease, if set, runs at the start of every Lease call — a hook
+	// for interleaving cache mutations "while the RPC is on the wire".
+	onLease  func(path string)
+	mu       sync.Mutex
+	ops      []string // RPC order ledger: "stat", "readdir", "lease"
+	versions map[string]int64
+	nextID   int64
+	leaseTTL time.Duration
 }
 
 func newCountingFS(t *testing.T) *countingFS {
@@ -35,13 +40,21 @@ func newCountingFS(t *testing.T) *countingFS {
 	return &countingFS{FileSystem: inner, versions: make(map[string]int64), leaseTTL: time.Second}
 }
 
+func (c *countingFS) op(name string) {
+	c.mu.Lock()
+	c.ops = append(c.ops, name)
+	c.mu.Unlock()
+}
+
 func (c *countingFS) Stat(path string) (vfs.FileInfo, error) {
 	c.stats.Add(1)
+	c.op("stat")
 	return c.FileSystem.Stat(path)
 }
 
 func (c *countingFS) ReadDir(path string) ([]vfs.DirEntry, error) {
 	c.readdirs.Add(1)
+	c.op("readdir")
 	return c.FileSystem.ReadDir(path)
 }
 
@@ -63,6 +76,10 @@ func (c *countingFS) bump(path string) {
 
 func (c *countingFS) Lease(path string) (vfs.Lease, error) {
 	c.leases.Add(1)
+	c.op("lease")
+	if h := c.onLease; h != nil {
+		h(path)
+	}
 	if c.noLease {
 		return vfs.Lease{}, vfs.EINVAL
 	}
@@ -464,6 +481,186 @@ func TestVerifiedFillRejectsMismatch(t *testing.T) {
 	}
 	if s := fs.Stats(); s.VerifyFails != 1 {
 		t.Fatalf("verify_fails = %d, want 1", s.VerifyFails)
+	}
+}
+
+// TestRevalidateRaceFallsToMiss reproduces the lost-entry race:
+// revalidate drops f.mu across the lease RPC, and a concurrent
+// renewal of the same path that observes the changed version
+// invalidates the entry and records the new version. This renewal
+// then compares equal and reports fresh — over a nil attr. The hit
+// path must recheck the entry and fall through to a refetch instead
+// of dereferencing it.
+func TestRevalidateRaceFallsToMiss(t *testing.T) {
+	inner := newCountingFS(t)
+	fs, clk := newCache(t, inner, Options{AttrTTL: time.Second})
+	if err := vfs.WriteFile(inner, "/f", []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/f"); err != nil {
+		t.Fatal(err)
+	}
+	inner.bump("/f")
+	clk.Advance(2 * time.Second)
+	// While this renewal is "on the wire", the concurrent one wins:
+	// it invalidates and installs the post-write version.
+	inner.onLease = func(path string) {
+		inner.onLease = nil
+		fs.mu.Lock()
+		if ps, ok := fs.paths.Peek(path); ok {
+			fs.invalidateLocked(path, ps)
+			ps.version = 1
+			ps.haveVersion = true
+		}
+		fs.mu.Unlock()
+	}
+	fi, err := fs.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 3 {
+		t.Fatalf("raced stat size = %d, want 3", fi.Size)
+	}
+	if got := inner.stats.Load(); got != 2 {
+		t.Fatalf("raced stat issued %d inner stats, want 2 (refetch, not a phantom hit)", got)
+	}
+}
+
+// TestRevalidateRaceReadDir is the listing flavor of the same race:
+// the renewal must not serve a vanished dirent slice as an empty
+// listing.
+func TestRevalidateRaceReadDir(t *testing.T) {
+	inner := newCountingFS(t)
+	fs, clk := newCache(t, inner, Options{AttrTTL: time.Second})
+	if err := vfs.WriteFile(inner, "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadDir("/"); err != nil {
+		t.Fatal(err)
+	}
+	inner.bump("/")
+	clk.Advance(2 * time.Second)
+	inner.onLease = func(path string) {
+		inner.onLease = nil
+		fs.mu.Lock()
+		if ps, ok := fs.paths.Peek(path); ok {
+			fs.invalidateLocked(path, ps)
+			ps.version = 1
+			ps.haveVersion = true
+		}
+		fs.mu.Unlock()
+	}
+	ents, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name != "f" {
+		t.Fatalf("raced listing = %v, want [f]", ents)
+	}
+	if got := inner.readdirs.Load(); got != 2 {
+		t.Fatalf("raced listing issued %d inner readdirs, want 2", got)
+	}
+}
+
+// TestMissLeasesBeforeFetch pins the fill order of the metadata miss
+// paths: the lease must open the trust horizon before the fetch, so a
+// write landing between the two RPCs moves the version and is caught
+// at the next renewal. Fetch-then-lease would cache pre-write state
+// under the post-write version and revalidate it forever.
+func TestMissLeasesBeforeFetch(t *testing.T) {
+	inner := newCountingFS(t)
+	fs, _ := newCache(t, inner, Options{AttrTTL: time.Second})
+	if err := vfs.WriteFile(inner, "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadDir("/"); err != nil {
+		t.Fatal(err)
+	}
+	inner.mu.Lock()
+	ops := append([]string(nil), inner.ops...)
+	inner.mu.Unlock()
+	want := []string{"lease", "stat", "lease", "readdir"}
+	if len(ops) != len(want) {
+		t.Fatalf("RPC sequence = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("RPC sequence = %v, want %v (lease must precede the fill)", ops, want)
+		}
+	}
+}
+
+// TestMaxPathsBoundsMetadata walks more paths than the metadata budget
+// and checks the tier stays bounded, evicted paths release their
+// leases, and a local write leaves no empty husk entry behind.
+func TestMaxPathsBoundsMetadata(t *testing.T) {
+	inner := newCountingFS(t)
+	fs, _ := newCache(t, inner, Options{AttrTTL: time.Minute, MaxPaths: 4})
+	for i := 0; i < 12; i++ {
+		path := fmt.Sprintf("/f%d", i)
+		if err := vfs.WriteFile(inner, path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Stat(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.mu.Lock()
+	n := fs.paths.Len()
+	fs.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("metadata tier holds %d paths, budget 4", n)
+	}
+	// The 8 evicted paths held live leases; each must have been
+	// released, not left to server TTL.
+	if got := inner.breaks.Load(); got != 8 {
+		t.Fatalf("evictions released %d leases, want 8", got)
+	}
+	// A write through the cache empties the entry — and an entry with
+	// no data, no version, and no lease must not stay indexed.
+	if err := vfs.WriteFile(fs, "/f11", []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs.mu.Lock()
+	_, husk := fs.paths.Peek("/f11")
+	fs.mu.Unlock()
+	if husk {
+		t.Fatal("written path left an empty metadata entry behind")
+	}
+}
+
+// TestPwriteReadOnlyHandle writes to a lazily opened read-only handle:
+// the cache must answer EBADF like the uncached stack, not buffer the
+// bytes and panic flushing them through a nil descriptor at close.
+func TestPwriteReadOnlyHandle(t *testing.T) {
+	inner := newCountingFS(t)
+	fs, _ := newCache(t, inner, Options{AttrTTL: time.Minute})
+	if err := vfs.WriteFile(inner, "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/f"); err != nil {
+		t.Fatal(err)
+	}
+	opens := inner.opens.Load()
+	f, err := fs.Open("/f", vfs.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.opens.Load(); got != opens {
+		t.Fatalf("warm read-only open reached the server (%d opens)", got-opens)
+	}
+	pwrites := inner.pwrites.Load()
+	if _, err := f.Pwrite([]byte("no"), 0); vfs.AsErrno(err) != vfs.EBADF {
+		t.Fatalf("pwrite on read-only handle = %v, want EBADF", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close after rejected write: %v", err)
+	}
+	if got := inner.pwrites.Load(); got != pwrites {
+		t.Fatalf("rejected write reached the server %d times", got-pwrites)
 	}
 }
 

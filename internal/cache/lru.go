@@ -86,6 +86,25 @@ func (c *LRU[K, V]) Get(key K) (V, bool) {
 	return n.value, true
 }
 
+// Peek returns the cached value for key without refreshing its
+// recency.
+func (c *LRU[K, V]) Peek(key K) (V, bool) {
+	n, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return n.value, true
+}
+
+// Each calls fn for every entry, most recently used first, without
+// refreshing recency. fn must not mutate the cache.
+func (c *LRU[K, V]) Each(fn func(key K, value V)) {
+	for n := c.head; n != nil; n = n.next {
+		fn(n.key, n.value)
+	}
+}
+
 // Put adds or refreshes key, evicting least-recently-used entries as
 // needed. A re-Put of a present key updates its value and size and
 // refreshes its recency. Entries larger than the whole capacity are

@@ -268,6 +268,45 @@ func TestLeaseExpiry(t *testing.T) {
 	}
 }
 
+// TestLeaseOwnedPruning covers the session-ledger hygiene behind
+// pooled release routing: a grant recorded in one session's map may be
+// released over another connection, which cannot reach the granting
+// session's map — pruneOwned at the next grant must drop such IDs (and
+// expired ones) so a long-lived connection does not accumulate them.
+func TestLeaseOwnedPruning(t *testing.T) {
+	var tbl leaseTable
+	tbl.init(50 * time.Millisecond)
+	sub := auth.Subject("hostname:owner.sim")
+	id1, _, _ := tbl.grant("/a", sub)
+	id2, _, _ := tbl.grant("/b", sub)
+	owned := map[int64]struct{}{id1: {}, id2: {}}
+	// id1 is released as if over another pool member: the owning
+	// session's map still carries it.
+	if err := tbl.release(id1, sub); err != nil {
+		t.Fatal(err)
+	}
+	tbl.pruneOwned(owned)
+	if _, ok := owned[id1]; ok {
+		t.Fatal("released ID survived pruning")
+	}
+	if _, ok := owned[id2]; !ok {
+		t.Fatal("live ID was pruned")
+	}
+	// Past the TTL the remaining grant is dead weight in both the
+	// session map and the table; pruning clears both.
+	time.Sleep(60 * time.Millisecond)
+	tbl.pruneOwned(owned)
+	if len(owned) != 0 {
+		t.Fatalf("expired ID survived pruning: %v", owned)
+	}
+	tbl.mu.Lock()
+	n := len(tbl.byID)
+	tbl.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("expired grant still in server table (%d entries)", n)
+	}
+}
+
 // TestLeasePooled checks the pool passthrough: a lease granted over one
 // member releases cleanly over whichever member the break lands on.
 func TestLeasePooled(t *testing.T) {

@@ -125,6 +125,29 @@ func (t *leaseTable) releaseOwned(ids map[int64]struct{}) {
 	}
 }
 
+// pruneOwned removes from ids every grant the table no longer needs:
+// IDs already gone (released over another pool connection, or broken
+// by a write) leave ids, and expired grants leave both ids and the
+// table. Without this a long-lived connection whose renewals grant on
+// it while the releases ride other pool members accumulates dead IDs
+// for the connection's lifetime.
+func (t *leaseTable) pruneOwned(ids map[int64]struct{}) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id := range ids {
+		e, ok := t.byID[id]
+		if !ok {
+			delete(ids, id)
+			continue
+		}
+		if now.After(e.expiry) {
+			t.drop(e)
+			delete(ids, id)
+		}
+	}
+}
+
 // drop removes e from both indexes. Caller holds t.mu.
 func (t *leaseTable) drop(e *leaseEntry) {
 	delete(t.byID, e.id)
@@ -185,6 +208,11 @@ func (ss *session) handleLease(req *proto.Request, bw *bufio.Writer) error {
 	if ss.leases == nil {
 		ss.leases = make(map[int64]struct{})
 	}
+	// Grant time is when this session's ledger gets trued up: IDs
+	// released over other pool connections or expired since the last
+	// grant are dropped, so the map tracks only live grants. The cost
+	// is O(live leases), bounded by this very pruning.
+	ss.srv.leases.pruneOwned(ss.leases)
 	ss.leases[id] = struct{}{}
 	ss.srv.Stats.LeaseGrants.Add(1)
 	ss.srv.mLeaseGrants.Inc()
