@@ -43,6 +43,9 @@ func main() {
 		owner     = flag.String("owner", "", "owner subject (default: unix:$USER)")
 		interval  = flag.Duration("catalog-interval", 15*time.Second, "catalog report period")
 		idle      = flag.Duration("idle-timeout", 0, "disconnect idle clients after this long (0 = never)")
+		inflight  = flag.Int("max-inflight", 0, "admission control: serve at most N RPCs at once, shedding excess with EAGAIN (0 = unlimited)")
+		sessions  = flag.Int("max-sessions", 0, "refuse new connections beyond N concurrent sessions (0 = unlimited)")
+		queueWait = flag.Duration("queue-timeout", chirp.DefaultQueueTimeout, "how long an RPC may queue for an admission slot before being shed")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, let in-flight requests finish for this long before force-closing (0 = wait forever)")
 		debugAddr = flag.String("debug-addr", "", "HTTP address serving /metrics (JSON registry snapshot) and /healthz (503 while draining); empty disables")
 		verbose   = flag.Bool("v", false, "log connections")
@@ -77,11 +80,14 @@ func main() {
 
 	metrics := obs.NewRegistry()
 	cfg := chirp.ServerConfig{
-		Name:        *name,
-		Owner:       auth.Subject(ownerSubject),
-		RootACL:     rootACL,
-		IdleTimeout: *idle,
-		Metrics:     metrics,
+		Name:         *name,
+		Owner:        auth.Subject(ownerSubject),
+		RootACL:      rootACL,
+		IdleTimeout:  *idle,
+		MaxInflight:  *inflight,
+		MaxSessions:  *sessions,
+		QueueTimeout: *queueWait,
+		Metrics:      metrics,
 		Verifiers: []auth.Verifier{
 			&auth.HostnameVerifier{},
 			&auth.UnixVerifier{},

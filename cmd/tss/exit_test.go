@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"syscall"
+	"testing"
+
+	"tss/internal/vfs"
+)
+
+// The overload signals must survive the whole trip from the wire to
+// the process exit status: a Chirp status code becomes a vfs.Errno
+// via FromCode, hops layers via AsErrno, and finally picks the exit
+// code — at no point may EAGAIN or ESHUTDOWN collapse into EIO
+// (DESIGN.md §6).
+func TestErrnoExitMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want vfs.Errno
+		exit int
+	}{
+		{"shed request", vfs.EAGAIN, vfs.EAGAIN, 75},
+		{"shed via wire code", vfs.FromCode(-int(vfs.EAGAIN)), vfs.EAGAIN, 75},
+		{"shed via syscall", syscall.EAGAIN, vfs.EAGAIN, 75},
+		{"shed wrapped", fmt.Errorf("stat /f: %w", vfs.EAGAIN), vfs.EAGAIN, 75},
+		{"draining server", vfs.ESHUTDOWN, vfs.ESHUTDOWN, 69},
+		{"draining via wire code", vfs.FromCode(-int(vfs.ESHUTDOWN)), vfs.ESHUTDOWN, 69},
+		{"draining via syscall", syscall.ESHUTDOWN, vfs.ESHUTDOWN, 69},
+		{"deadline lapsed", vfs.ETIMEDOUT, vfs.ETIMEDOUT, 1},
+		{"transport lost", vfs.ENOTCONN, vfs.ENOTCONN, 1},
+		{"missing file", vfs.ENOENT, vfs.ENOENT, 1},
+		{"unknown error", fmt.Errorf("opaque failure"), vfs.EIO, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := vfs.AsErrno(tc.err); got != tc.want {
+				t.Errorf("AsErrno(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+			if got := exitCode(tc.err); got != tc.exit {
+				t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.exit)
+			}
+		})
+	}
+}

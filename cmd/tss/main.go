@@ -66,13 +66,15 @@ type transport interface {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tss [-ticket FILE] [-timeout DUR] [-retries N] [-retry-base DUR] [-pool N] [-P N] [-chunk SIZE] [-verify] <ls|cat|put|get|sum|mkdir|rm|rmdir|mv|stat|statfs|whoami|getacl|setacl> host:port [args...]")
+	fmt.Fprintln(os.Stderr, "usage: tss [-ticket FILE] [-timeout DUR] [-retries N] [-retry-base DUR] [-retry-budget N] [-pool N] [-P N] [-chunk SIZE] [-verify] <ls|cat|put|get|sum|mkdir|rm|rmdir|mv|stat|statfs|whoami|getacl|setacl> host:port [args...]")
 	fmt.Fprintln(os.Stderr, "       tss [flags] cp <src> <dst>   (each side a local path or host:port:/path)")
 	fmt.Fprintln(os.Stderr, "       tss [flags] scrub [-repair] [-algo A] [-root DIR] host:port host:port [...]")
 	fmt.Fprintln(os.Stderr, "       tss [flags] fsck [-remove-dangling] [-remove-orphans] meta-host:port meta-dir data-host:port data-dir [...]")
 	fmt.Fprintln(os.Stderr, "  -timeout DUR     per-RPC deadline (default 30s)")
 	fmt.Fprintln(os.Stderr, "  -retries N       reconnect-and-retry reads and transfer chunks N times on failure (default 2)")
 	fmt.Fprintln(os.Stderr, "  -retry-base DUR  first retry backoff, doubled per attempt with jitter (default 100ms)")
+	fmt.Fprintln(os.Stderr, "  -retry-budget N  token-bucket cap on total retries across the run; successes earn")
+	fmt.Fprintln(os.Stderr, "                   tokens back, so a retry storm cannot sustain itself (0 = uncapped)")
 	fmt.Fprintln(os.Stderr, "  -pool N          use up to N pooled connections instead of one (default 1, raised to -P)")
 	fmt.Fprintln(os.Stderr, "  -P N             split large get/put/cp transfers into N parallel multipart streams")
 	fmt.Fprintln(os.Stderr, "  -chunk SIZE      multipart chunk size, with optional K/M/G suffix (default 8M)")
@@ -110,6 +112,7 @@ func main() {
 	timeout := 30 * time.Second
 	retries := 2
 	retryBase := 100 * time.Millisecond
+	var retryTokens float64
 	poolSize := 1
 	par := 1
 	var chunkSize int64
@@ -155,6 +158,8 @@ func main() {
 			retries, err = strconv.Atoi(argv[1])
 		case "-retry-base":
 			retryBase, err = time.ParseDuration(argv[1])
+		case "-retry-budget":
+			retryTokens, err = strconv.ParseFloat(argv[1], 64)
 		case "-pool":
 			poolSize, err = strconv.Atoi(argv[1])
 		case "-P":
@@ -195,7 +200,7 @@ func main() {
 		runFsck(argv[1:], creds, timeout)
 		return
 	case "cp":
-		runCp(argv[1:], creds, timeout, poolSize, par, chunkSize, verify, retries, retryBase)
+		runCp(argv[1:], creds, timeout, poolSize, par, chunkSize, verify, retries, retryBase, retryTokens)
 		return
 	}
 	verb, addr, args := argv[0], argv[1], argv[2:]
@@ -238,12 +243,14 @@ func main() {
 
 	// retry reconnects and re-issues idempotent operations on transport
 	// failure, with jittered exponential backoff; exhaustion surfaces as
-	// ETIMEDOUT (§6). Non-idempotent verbs (put, mkdir, mv, ...) run
-	// once: blind replay could double-apply.
+	// ETIMEDOUT (§6), except pushback exhaustion, which keeps EAGAIN so
+	// callers can see the overload signal. Non-idempotent verbs (put,
+	// mkdir, mv, ...) run once: blind replay could double-apply.
 	policy, err := resilient.NewPolicy(
 		resilient.WithAttempts(retries),
 		resilient.WithBase(retryBase),
 		resilient.WithJitter(0.2),
+		resilient.WithRetryBudget(newBudget(retryTokens)),
 	)
 	if err != nil {
 		fatal(err)
@@ -252,8 +259,23 @@ func main() {
 		if retries <= 0 {
 			return op()
 		}
-		err, exhausted := policy.Do(op, client.Reconnect, resilient.Retryable)
+		var lastErr error
+		prepare := func() error {
+			if resilient.Pushback(lastErr) {
+				// The server answered and asked for room; redialing it
+				// would add load exactly where there is none to spare.
+				return nil
+			}
+			return client.Reconnect()
+		}
+		err, exhausted := policy.Do(func() error {
+			lastErr = op()
+			return lastErr
+		}, prepare, resilient.RetryableOrPushback)
 		if exhausted {
+			if resilient.Pushback(err) {
+				return vfs.EAGAIN
+			}
 			return vfs.ETIMEDOUT
 		}
 		return err
@@ -450,7 +472,7 @@ func splitRemote(arg string) (addr, path string, ok bool) {
 // host:port:/path remote spec, through the same engine as get/put.
 // Remote-to-remote copies stream through this client chunk by chunk
 // without a temporary file; a repeated address shares one transport.
-func runCp(args []string, creds []auth.Credential, timeout time.Duration, poolSize, par int, chunk int64, verify bool, retries int, retryBase time.Duration) {
+func runCp(args []string, creds []auth.Credential, timeout time.Duration, poolSize, par int, chunk int64, verify bool, retries int, retryBase time.Duration, retryTokens float64) {
 	if len(args) != 2 {
 		usage()
 	}
@@ -460,6 +482,7 @@ func runCp(args []string, creds []auth.Credential, timeout time.Duration, poolSi
 			resilient.WithAttempts(retries),
 			resilient.WithBase(retryBase),
 			resilient.WithJitter(0.2),
+			resilient.WithRetryBudget(newBudget(retryTokens)),
 		)
 		if err != nil {
 			fatal(err)
@@ -524,7 +547,31 @@ func printStat(w io.Writer, fi vfs.FileInfo) {
 		kind, fi.Name, fi.Size, fi.Mode, fi.ModTime().Format(time.RFC3339), fi.Inode)
 }
 
+// newBudget builds the shared CLI retry budget; 0 tokens means no cap.
+func newBudget(tokens float64) *resilient.RetryBudget {
+	if tokens <= 0 {
+		return nil
+	}
+	return resilient.NewRetryBudget(tokens, 0)
+}
+
+// exitCode maps a failure to the process exit status, keeping the
+// transient overload conditions distinguishable from hard failure so
+// scripts can react: EAGAIN — the server shed the request — exits 75
+// (EX_TEMPFAIL, "try again later"), and ESHUTDOWN — the server is
+// draining — exits 69 (EX_UNAVAILABLE). Everything else is the
+// generic 1.
+func exitCode(err error) int {
+	switch vfs.AsErrno(err) {
+	case vfs.EAGAIN:
+		return 75
+	case vfs.ESHUTDOWN:
+		return 69
+	}
+	return 1
+}
+
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "tss: %v\n", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
 }

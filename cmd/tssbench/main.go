@@ -59,6 +59,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("tssbench: cache: %v", err)
 		}
+		overloadRes, err := experiments.RunOverloadBench(experiments.DefaultOverloadBench(*quick))
+		if err != nil {
+			log.Fatalf("tssbench: overload: %v", err)
+		}
 		data, err := json.MarshalIndent(map[string]any{
 			"obs":       obsRes,
 			"pool":      poolRes,
@@ -66,6 +70,7 @@ func main() {
 			"multipart": mpRes,
 			"chaos":     chaosRes,
 			"cache":     cacheRes,
+			"overload":  overloadRes,
 		}, "", "  ")
 		if err != nil {
 			log.Fatalf("tssbench: json: %v", err)
@@ -77,6 +82,10 @@ func main() {
 		fmt.Fprint(os.Stderr, mpRes.Render())
 		fmt.Fprint(os.Stderr, chaosRes.Render())
 		fmt.Fprint(os.Stderr, cacheRes.Render())
+		fmt.Fprint(os.Stderr, overloadRes.Render())
+		if err := overloadRes.Bars(); err != nil {
+			log.Fatalf("tssbench: overload: %v", err)
+		}
 		if chaosRes.TotalViolations > 0 {
 			log.Fatalf("tssbench: chaos: %d invariant violations (replay coordinates in the report)", chaosRes.TotalViolations)
 		}
@@ -181,6 +190,15 @@ func runOne(name string, quick bool, clients int) (string, error) {
 		res, err := experiments.RunMultipartBench(experiments.DefaultMultipartBench(quick))
 		if err != nil {
 			return "", err
+		}
+		return res.Render(), nil
+	case "overload":
+		res, err := experiments.RunOverloadBench(experiments.DefaultOverloadBench(quick))
+		if err != nil {
+			return "", err
+		}
+		if err := res.Bars(); err != nil {
+			return res.Render(), err
 		}
 		return res.Render(), nil
 	case "chaos":

@@ -51,6 +51,13 @@ type MirrorFS struct {
 	// successful scrub repair resets the repaired replica's count.
 	strikes []atomic.Int64
 
+	// pushbackNanos holds, per replica, the UnixNano until which the
+	// replica is considered to be shedding load (it answered EAGAIN,
+	// DESIGN.md §15). A pushing-back replica is healthy — its breaker is
+	// left alone — but order() serves it last and hedging skips it, so
+	// the mirror stops piling retries onto a server that asked for room.
+	pushbackNanos []atomic.Int64
+
 	// Registry counters shadowing Stats (nil without a registry): the
 	// same numbers, visible on /metrics next to the latency histograms.
 	mTrips          *obs.Counter
@@ -60,6 +67,7 @@ type MirrorFS struct {
 	mHedgeWins      *obs.Counter
 	mHedgeLosses    *obs.Counter
 	mFastFails      *obs.Counter
+	mPushbacks      *obs.Counter
 	mIntegrityFails *obs.Counter
 	mScrubFiles     *obs.Counter
 	mScrubDivergent *obs.Counter
@@ -91,6 +99,10 @@ type MirrorStats struct {
 	// FastFails counts operations refused immediately because every
 	// replica's breaker was open.
 	FastFails atomic.Int64
+	// Pushbacks counts EAGAIN answers from replicas — overload shedding
+	// noted in the pushback window, deliberately not charged to the
+	// breakers (a busy server is not a dead server).
+	Pushbacks atomic.Int64
 	// IntegrityFailovers counts verified reads whose payload failed
 	// cross-replica digest confirmation and were re-served from a
 	// sibling replica (integrity.go).
@@ -187,6 +199,7 @@ func NewMirrorOptions(opts MirrorOptions, replicas ...vfs.FileSystem) (*MirrorFS
 		sumAlgo:     algo,
 		strikes:     make([]atomic.Int64, len(replicas)),
 	}
+	m.pushbackNanos = make([]atomic.Int64, len(replicas))
 	layer := opts.Layer
 	if layer == "" {
 		layer = "mirror"
@@ -199,6 +212,7 @@ func NewMirrorOptions(opts MirrorOptions, replicas ...vfs.FileSystem) (*MirrorFS
 		m.mHedgeWins = reg.Counter(layer + ".hedge_wins")
 		m.mHedgeLosses = reg.Counter(layer + ".hedge_losses")
 		m.mFastFails = reg.Counter(layer + ".fast_fails")
+		m.mPushbacks = reg.Counter(layer + ".pushbacks")
 		m.mIntegrityFails = reg.Counter(layer + ".integrity_failover")
 		m.mScrubFiles = reg.Counter(layer + ".scrub_files")
 		m.mScrubDivergent = reg.Counter(layer + ".scrub_divergent")
@@ -241,25 +255,53 @@ func unreachable(err error) bool {
 	return resilient.TransportError(err) || vfs.AsErrno(err) == vfs.ESTALE
 }
 
+// mirrorPushbackWindow is how long one EAGAIN deprioritizes a replica.
+// Long enough that a retry after full-jitter backoff lands on a
+// sibling; short enough that a recovered server is back in rotation
+// within a breath.
+const mirrorPushbackWindow = time.Second
+
 // record reports an operation outcome against replica i's breaker.
+// EAGAIN is load shedding, not failure: the replica answered, it is
+// just busy. It opens the pushback window — order() serves the replica
+// last and hedging skips it while it lasts — and leaves the breaker's
+// failure accounting alone, so pushback never trips a breaker.
 func (m *MirrorFS) record(i int, err error) {
+	if resilient.Pushback(err) {
+		m.pushbackNanos[i].Store(time.Now().Add(mirrorPushbackWindow).UnixNano())
+		m.Stats.Pushbacks.Add(1)
+		m.mPushbacks.Inc()
+		return
+	}
 	if m.breakers[i].Record(err) {
 		m.Stats.Trips.Add(1)
 		m.mTrips.Inc()
 	}
 }
 
+// pushingBack reports whether replica i is inside its pushback window.
+func (m *MirrorFS) pushingBack(i int) bool {
+	return time.Now().UnixNano() < m.pushbackNanos[i].Load()
+}
+
 // order partitions replica indices into those ready for traffic
-// (breaker closed, index order preserved) and those demoted.
+// (breaker closed) and those demoted. Ready replicas inside a pushback
+// window are soft-deprioritized: still eligible — a busy server beats
+// no server — but moved behind their unburdened siblings, index order
+// preserved within each class.
 func (m *MirrorFS) order() (ready, demoted []int) {
+	var busy []int
 	for i, b := range m.breakers {
-		if b.Ready() {
-			ready = append(ready, i)
-		} else {
+		switch {
+		case !b.Ready():
 			demoted = append(demoted, i)
+		case m.pushingBack(i):
+			busy = append(busy, i)
+		default:
+			ready = append(ready, i)
 		}
 	}
-	return ready, demoted
+	return append(ready, busy...), demoted
 }
 
 // maybeProbe launches a background half-open probe of replica i if its
@@ -378,7 +420,10 @@ func hedgedRead[T any](m *MirrorFS, ready []int, op func(fs vfs.FileSystem) (T, 
 				pending++
 			}
 		case <-timer.C:
-			if launched < len(ready) {
+			// A hedge is speculative extra load; never aim it at a
+			// replica that is already shedding (failover on a real error
+			// still may, below: a busy server beats no server).
+			if launched < len(ready) && !m.pushingBack(ready[launched]) {
 				m.Stats.Hedges.Add(1)
 				m.mHedges.Inc()
 				launch(launched, true)

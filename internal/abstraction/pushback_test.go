@@ -1,0 +1,56 @@
+package abstraction
+
+import (
+	"testing"
+	"time"
+
+	"tss/internal/resilient"
+	"tss/internal/vfs"
+)
+
+// EAGAIN from a replica is overload pushback, not failure: it must not
+// charge the breaker, and while the pushback window is open the replica
+// is served last so retries land on an unburdened sibling.
+func TestMirrorPushbackDeprioritizes(t *testing.T) {
+	m, a, _ := resilientMirror(t, MirrorOptions{})
+	if err := vfs.WriteFile(m, "/f", []byte("replicated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a.SetError(vfs.EAGAIN)
+	a.FailNext(1)
+	// The shed request surfaces as EAGAIN — the retry policy above owns
+	// the backoff — rather than being masked by an instant failover.
+	if _, err := m.Stat("/f"); vfs.AsErrno(err) != vfs.EAGAIN {
+		t.Fatalf("stat against shedding replica = %v, want EAGAIN", err)
+	}
+	if got := m.Stats.Pushbacks.Load(); got != 1 {
+		t.Errorf("pushbacks = %d, want 1", got)
+	}
+	if st := m.Health()[0]; st.State != resilient.Closed {
+		t.Errorf("pushback moved breaker to %v, want closed", st.State)
+	}
+	if got := m.Stats.Trips.Load(); got != 0 {
+		t.Errorf("pushback tripped %d breakers", got)
+	}
+	// Replica 0 is soft-deprioritized: still eligible, but last.
+	ready, demoted := m.order()
+	if len(demoted) != 0 || len(ready) != 2 || ready[0] != 1 || ready[1] != 0 {
+		t.Fatalf("order during pushback = ready %v demoted %v, want ready [1 0]", ready, demoted)
+	}
+	// Reads inside the window are served entirely by the sibling.
+	baseA := a.Calls()
+	for i := 0; i < 5; i++ {
+		if fi, err := m.Stat("/f"); err != nil || fi.Size != int64(len("replicated")) {
+			t.Fatalf("read %d during pushback: %+v, %v", i, fi, err)
+		}
+	}
+	if extra := a.Calls() - baseA; extra != 0 {
+		t.Errorf("pushing-back replica saw %d calls inside its window", extra)
+	}
+	// When the window lapses the replica rejoins the front of rotation.
+	m.pushbackNanos[0].Store(time.Now().Add(-time.Millisecond).UnixNano())
+	ready, _ = m.order()
+	if len(ready) != 2 || ready[0] != 0 {
+		t.Errorf("order after window = %v, want [0 1]", ready)
+	}
+}

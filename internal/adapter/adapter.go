@@ -46,14 +46,22 @@ type Config struct {
 	// RetryBase is the first backoff delay; it doubles per attempt
 	// (§6: "exponentially increasing delay"). Default 10 ms.
 	RetryBase time.Duration
-	// RetryJitter randomizes each backoff delay by ±this fraction so a
-	// fleet of recovering clients does not reconnect in lockstep.
-	// Default 0 (deterministic backoff).
+	// RetryJitter > 0 enables full-jitter backoff: each delay is drawn
+	// uniformly from [0, backoff), so a fleet of recovering clients
+	// does not reconnect in lockstep. Default 0 (deterministic).
 	RetryJitter float64
 	// RetryBudget caps the total wall-clock time one operation may
 	// spend retrying; once the next backoff would cross it, recovery
 	// gives up with ETIMEDOUT. 0 means attempts alone bound recovery.
 	RetryBudget time.Duration
+	// RetryTokens > 0 installs a token-bucket retry budget shared by
+	// every operation through this adapter (DESIGN.md §15): the bucket
+	// starts with this many tokens, each retry spends one, and each
+	// success earns a fraction back. When the bucket runs dry, retrying
+	// stops until successes refill it — which is what caps a retry storm
+	// at a bounded amplification of offered load instead of a multiple
+	// of it. 0 disables the budget (attempts alone bound retries).
+	RetryTokens float64
 	// Resolve maps a default-namespace entry (/<scheme>/<host>/...) to
 	// a filesystem; nil disables the default namespace.
 	Resolve func(scheme, host string) (vfs.FileSystem, error)
@@ -95,6 +103,9 @@ type Stats struct {
 	GaveUp atomic.Int64
 	// Retries counts individual retry attempts across all operations.
 	Retries atomic.Int64
+	// BudgetExhausted counts retries refused because the token-bucket
+	// retry budget (Config.RetryTokens) was empty.
+	BudgetExhausted atomic.Int64
 }
 
 // Adapter assembles abstractions into one namespace and transparently
@@ -103,11 +114,16 @@ type Adapter struct {
 	cfg Config
 
 	// Registry counters shadowing Stats; all nil without a registry.
-	mOps        *obs.Counter
-	mRetries    *obs.Counter
-	mReconnects *obs.Counter
-	mStale      *obs.Counter
-	mGaveUp     *obs.Counter
+	mOps             *obs.Counter
+	mRetries         *obs.Counter
+	mReconnects      *obs.Counter
+	mStale           *obs.Counter
+	mGaveUp          *obs.Counter
+	mBudgetExhausted *obs.Counter
+
+	// budget is the shared token-bucket retry budget, nil (unlimited)
+	// unless Config.RetryTokens is set.
+	budget *resilient.RetryBudget
 
 	// Stats exposes operation and recovery counters.
 	Stats Stats
@@ -137,8 +153,25 @@ func New(cfg Config) *Adapter {
 		a.mReconnects = reg.Counter("adapter.reconnects")
 		a.mStale = reg.Counter("adapter.stale")
 		a.mGaveUp = reg.Counter("adapter.gave_up")
+		a.mBudgetExhausted = reg.Counter("resilient.budget_exhausted")
+	}
+	if cfg.RetryTokens > 0 {
+		a.budget = resilient.NewRetryBudget(cfg.RetryTokens, 0)
+		a.budget.OnExhausted = func() {
+			a.Stats.BudgetExhausted.Add(1)
+			a.mBudgetExhausted.Inc()
+		}
 	}
 	return a
+}
+
+// RetryBudgetTokens reports the tokens remaining in the shared retry
+// budget, or -1 when no budget is configured.
+func (a *Adapter) RetryBudgetTokens() float64 {
+	if a.budget == nil {
+		return -1
+	}
+	return a.budget.Tokens()
 }
 
 // MountFS binds prefix to fs; longer prefixes shadow shorter ones.
@@ -297,16 +330,31 @@ func (a *Adapter) trap(n int) {
 // by attempts and optionally by wall-clock budget.
 func (a *Adapter) policy() resilient.Policy {
 	return resilient.Policy{
-		Attempts: a.cfg.MaxRetries,
-		Base:     a.cfg.RetryBase,
-		Jitter:   a.cfg.RetryJitter,
-		Budget:   a.cfg.RetryBudget,
-		Sleep:    a.cfg.Sleep,
+		Attempts:    a.cfg.MaxRetries,
+		Base:        a.cfg.RetryBase,
+		Jitter:      a.cfg.RetryJitter,
+		Budget:      a.cfg.RetryBudget,
+		RetryBudget: a.budget,
+		Sleep:       a.cfg.Sleep,
 		OnRetry: func(int, error) {
 			a.Stats.Retries.Add(1)
 			a.mRetries.Inc()
 		},
 	}
+}
+
+// giveUp maps an exhausted retry loop to the caller-visible errno:
+// ETIMEDOUT for abandoned recovery (§6), except that standing pushback
+// stays EAGAIN — the server said "not now", and masking that as a
+// timeout would make the caller's own pushback handling (backoff,
+// rerouting) impossible.
+func (a *Adapter) giveUp(err error) error {
+	a.Stats.GaveUp.Add(1)
+	a.mGaveUp.Inc()
+	if resilient.Pushback(err) {
+		return vfs.EAGAIN
+	}
+	return vfs.ETIMEDOUT
 }
 
 // retry runs op, driving the §6 recovery protocol when the abstraction
@@ -317,7 +365,18 @@ func (a *Adapter) retry(fs vfs.FileSystem, op func() error) error {
 		// No recovery path: one shot, errors surface unchanged.
 		return op()
 	}
+	var lastErr error
+	wrapped := func() error {
+		lastErr = op()
+		return lastErr
+	}
 	prepare := func() error {
+		if resilient.Pushback(lastErr) {
+			// EAGAIN is not a dead connection: the server answered and
+			// asked for room. Reconnecting would aim dial load at the
+			// very server that is shedding — back off and retry as-is.
+			return nil
+		}
 		if rerr := rc.Reconnect(); rerr != nil {
 			return rerr
 		}
@@ -325,11 +384,9 @@ func (a *Adapter) retry(fs vfs.FileSystem, op func() error) error {
 		a.mReconnects.Inc()
 		return nil
 	}
-	err, exhausted := a.policy().Do(op, prepare, resilient.Retryable)
+	err, exhausted := a.policy().Do(wrapped, prepare, resilient.RetryableOrPushback)
 	if exhausted {
-		a.Stats.GaveUp.Add(1)
-		a.mGaveUp.Inc()
-		return vfs.ETIMEDOUT
+		return a.giveUp(err)
 	}
 	return err
 }
@@ -582,7 +639,13 @@ func (af *adapterFile) do(op func(f vfs.File) error) error {
 		return vfs.ESTALE
 	}
 	rc := vfs.Capabilities(af.fs).Reconnector
+	var lastErr error
 	prepare := func() error {
+		if resilient.Pushback(lastErr) {
+			// Pushback means the connection and the descriptor are both
+			// fine; the server is just shedding. Retry in place.
+			return nil
+		}
 		if rc != nil {
 			if rerr := rc.Reconnect(); rerr != nil {
 				return rerr
@@ -601,11 +664,12 @@ func (af *adapterFile) do(op func(f vfs.File) error) error {
 		}
 		return nil
 	}
-	err, exhausted := af.a.policy().Do(func() error { return op(af.f) }, prepare, resilient.Retryable)
+	err, exhausted := af.a.policy().Do(func() error {
+		lastErr = op(af.f)
+		return lastErr
+	}, prepare, resilient.RetryableOrPushback)
 	if exhausted {
-		af.a.Stats.GaveUp.Add(1)
-		af.a.mGaveUp.Inc()
-		return vfs.ETIMEDOUT
+		return af.a.giveUp(err)
 	}
 	return err
 }

@@ -1,0 +1,123 @@
+package adapter
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tss/internal/obs"
+	"tss/internal/vfs"
+)
+
+// shedFS fails the next N Stat calls with EAGAIN and counts Reconnect
+// attempts, modeling a server that is shedding load while its
+// transport stays perfectly healthy.
+type shedFS struct {
+	vfs.FileSystem
+	fails      atomic.Int32
+	reconnects atomic.Int32
+}
+
+func (s *shedFS) Stat(path string) (vfs.FileInfo, error) {
+	if s.fails.Add(-1) >= 0 {
+		return vfs.FileInfo{}, vfs.EAGAIN
+	}
+	return s.FileSystem.Stat(path)
+}
+
+func (s *shedFS) Reconnect() error {
+	s.reconnects.Add(1)
+	return nil
+}
+
+// EAGAIN is pushback, not a dead connection: the adapter must back
+// off and retry in place, never reconnect (dialing at a shedding
+// server only adds load).
+func TestPushbackRetriedWithoutReconnect(t *testing.T) {
+	fs := &shedFS{FileSystem: localFS(t)}
+	var sleeps atomic.Int32
+	a := New(Config{MaxRetries: 5, Sleep: func(time.Duration) { sleeps.Add(1) }})
+	if err := a.MountFS("/srv", fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(a, "/srv/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs.fails.Store(2)
+	if _, err := a.Stat("/srv/f"); err != nil {
+		t.Fatalf("stat through pushback = %v, want success after retries", err)
+	}
+	if got := sleeps.Load(); got != 2 {
+		t.Errorf("slept %d times, want 2 (one backoff per shed reply)", got)
+	}
+	if got := fs.reconnects.Load(); got != 0 {
+		t.Errorf("pushback provoked %d reconnects, want 0", got)
+	}
+	if got := a.Stats.Reconnects.Load(); got != 0 {
+		t.Errorf("Stats.Reconnects = %d, want 0", got)
+	}
+}
+
+// When retries run out with the server still shedding, EAGAIN itself
+// surfaces — mapping it to ETIMEDOUT would hide the overload signal
+// from callers (DESIGN.md §6).
+func TestPushbackExhaustionSurfacesEAGAIN(t *testing.T) {
+	fs := &shedFS{FileSystem: localFS(t)}
+	a := New(Config{MaxRetries: 3, Sleep: noSleep})
+	if err := a.MountFS("/srv", fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(a, "/srv/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs.fails.Store(100)
+	if _, err := a.Stat("/srv/f"); vfs.AsErrno(err) != vfs.EAGAIN {
+		t.Fatalf("exhausted pushback = %v, want EAGAIN", err)
+	}
+	if got := a.Stats.GaveUp.Load(); got != 1 {
+		t.Errorf("Stats.GaveUp = %d, want 1", got)
+	}
+}
+
+// The retry budget caps aggregate retry volume below MaxRetries: once
+// the bucket is empty the loop stops immediately and the exhaustion
+// is counted in stats and the resilient.budget_exhausted metric.
+func TestRetryBudgetBoundsRetryVolume(t *testing.T) {
+	fs := &shedFS{FileSystem: localFS(t)}
+	reg := obs.NewRegistry()
+	var sleeps atomic.Int32
+	a := New(Config{
+		MaxRetries:  8,
+		RetryTokens: 2,
+		Sleep:       func(time.Duration) { sleeps.Add(1) },
+		Metrics:     reg,
+	})
+	if err := a.MountFS("/srv", fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(a, "/srv/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs.fails.Store(100)
+	if _, err := a.Stat("/srv/f"); vfs.AsErrno(err) != vfs.EAGAIN {
+		t.Fatalf("budget-capped pushback = %v, want EAGAIN", err)
+	}
+	if got := sleeps.Load(); got != 2 {
+		t.Errorf("slept %d times, want 2 (budget of 2 tokens)", got)
+	}
+	if got := a.Stats.BudgetExhausted.Load(); got != 1 {
+		t.Errorf("Stats.BudgetExhausted = %d, want 1", got)
+	}
+	if got := reg.Counter("resilient.budget_exhausted").Value(); got != 1 {
+		t.Errorf("resilient.budget_exhausted = %d, want 1", got)
+	}
+	// Successes refill the bucket: after the window of shedding ends,
+	// operations succeed and slowly earn back retry allowance.
+	fs.fails.Store(0)
+	if _, err := a.Stat("/srv/f"); err != nil {
+		t.Fatalf("stat after shedding = %v", err)
+	}
+	if tokens := a.RetryBudgetTokens(); tokens <= 0 {
+		t.Errorf("budget tokens after success = %v, want > 0", tokens)
+	}
+}

@@ -107,10 +107,18 @@ type action struct {
 // Violations is the pass criterion; an error means the harness itself
 // could not run (setup failure), not that an invariant broke.
 func Run(cfg Config, tl Timeline) (*Result, error) {
-	if tl.Name == staleLeaseName {
+	switch tl.Name {
+	case staleLeaseName:
 		// The lease scenario has its own workload and wall-clock
 		// invariants (lease.go); the stack underneath is the same.
 		return runStaleLease(cfg, tl)
+	case overloadName, retryStormName:
+		// The overload scenarios run a dedicated single-server stack
+		// with admission control and budgeted clients (overload.go).
+		if tl.Name == overloadName {
+			return runOverload(cfg, tl)
+		}
+		return runRetryStorm(cfg, tl)
 	}
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 3

@@ -152,3 +152,23 @@ func TestQuorumClosesSplitBrain(t *testing.T) {
 		t.Errorf("violation with quorum enabled: %s", v)
 	}
 }
+
+// TestTimelineOverload runs the 4x-capacity admission scenario: the
+// server must shed, goodput must hold, control-plane latency must stay
+// bounded, and the graceful drain must complete under fire.
+func TestTimelineOverload(t *testing.T) {
+	res := runClean(t, "overload", 10)
+	if res.OpErrors == 0 {
+		t.Error("no op was ever refused — the fleet never overloaded the server")
+	}
+}
+
+// TestTimelineRetryStorm runs the budget-capped storm scenario: the
+// shared retry budget must exhaust, cap aggregate retry volume by
+// token conservation, and let goodput return after the hog finishes.
+func TestTimelineRetryStorm(t *testing.T) {
+	res := runClean(t, "retry-storm", 11)
+	if res.OpErrors == 0 {
+		t.Error("no op was ever refused — the slot was never contended")
+	}
+}

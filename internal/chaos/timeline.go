@@ -198,6 +198,29 @@ func Timelines() []Timeline {
 			},
 		},
 		{
+			// A 4x-capacity closed loop against a single admission-
+			// controlled server. Run dispatches this name to the
+			// overload runner (overload.go), whose phases are wall-clock
+			// windows rather than step events: unloaded baseline, 4x
+			// overload, then a graceful drain under fire. Checked:
+			// goodput does not collapse, control-plane p99 stays
+			// bounded, the drain completes, and no acked write is lost
+			// across a server reboot.
+			Name:  overloadName,
+			Steps: 20,
+		},
+		{
+			// A slow bulk write pins the only admission slot while a
+			// fleet of budgeted clients hammers the server. Run
+			// dispatches to the retry-storm runner (overload.go), which
+			// checks token conservation: aggregate retries never exceed
+			// the shared budget's capacity plus earnings, the budget
+			// actually exhausts, and goodput returns once the hog
+			// finishes.
+			Name:  retryStormName,
+			Steps: 20,
+		},
+		{
 			// Everything at once, staggered to respect the fault budget
 			// the stack's guarantees assume: at most one lying-or-absent
 			// replica per write. The torn window shares its phase only

@@ -88,6 +88,11 @@ type Client struct {
 	// it predates them, so the caching tier stops probing and falls
 	// back to TTL-only expiry for the rest of this client's life.
 	noLeases atomic.Bool
+
+	// noDeadlines records that the server answered EINVAL to the
+	// deadline verb: it predates deadline propagation, so RPCs stop
+	// sending the pipelined prefix for the rest of this client's life.
+	noDeadlines atomic.Bool
 }
 
 var (
@@ -281,6 +286,44 @@ func getLineBuf() *[]byte {
 
 func putLineBuf(v *[]byte) { lineBufPool.Put(v) }
 
+// appendDeadlinePrefix encodes the pipelined "deadline <remaining_ms>"
+// prefix ahead of a request line, exporting the client's RPC timeout to
+// the server so work whose waiter has already given up is shed instead
+// of served (DESIGN.md §15). The budget is relative milliseconds, so
+// clock skew does not shift it. Returns the extended buffer and whether
+// the prefix was added — the caller then reads one extra status line.
+// No prefix is sent without a timeout, or once the server is known to
+// predate the verb.
+func (c *Client) appendDeadlinePrefix(dst []byte) ([]byte, bool) {
+	if c.cfg.Timeout <= 0 || c.noDeadlines.Load() {
+		return dst, false
+	}
+	ms := c.cfg.Timeout.Milliseconds()
+	if ms <= 0 {
+		ms = 1
+	}
+	out, err := (&proto.Request{Verb: "deadline", Budget: ms}).AppendTo(dst)
+	if err != nil {
+		return dst, false
+	}
+	return append(out, '\n'), true
+}
+
+// readDeadlineCode consumes the status line the deadline prefix earned.
+// The verb has no data phase, so any refusal arrives with the stream in
+// sync and the governed request proceeds regardless; EINVAL from an old
+// server is memoized so this client stops probing. Caller holds c.mu.
+func (c *Client) readDeadlineCode() error {
+	code, err := proto.ReadCode(c.br)
+	if err != nil {
+		return err
+	}
+	if vfs.FromCode(int(code)) == vfs.EINVAL {
+		c.noDeadlines.Store(true)
+	}
+	return nil
+}
+
 // rpc sends one request and reads the status line while holding the
 // connection. payload, when non-nil, is sent after the request line.
 // The handler, when non-nil, consumes any post-status response body;
@@ -291,7 +334,8 @@ func (c *Client) rpc(req *proto.Request, payload []byte, handler func(code int64
 	}
 	lb := getLineBuf()
 	defer putLineBuf(lb)
-	line, err := req.AppendTo((*lb)[:0])
+	line, withDeadline := c.appendDeadlinePrefix((*lb)[:0])
+	line, err := req.AppendTo(line)
 	if err != nil {
 		return 0, vfs.EINVAL
 	}
@@ -316,6 +360,11 @@ func (c *Client) rpc(req *proto.Request, payload []byte, handler func(code int64
 	//lint:ignore lockheld the protocol serializes RPCs on one connection; c.mu is the connection owner for the whole round trip
 	if err := c.bw.Flush(); err != nil {
 		return 0, c.failLocked(err)
+	}
+	if withDeadline {
+		if err := c.readDeadlineCode(); err != nil {
+			return 0, c.failLocked(err)
+		}
 	}
 	//lint:ignore lockheld the response must be read under the same critical section that wrote the request
 	code, err := proto.ReadCode(c.br)
@@ -534,7 +583,8 @@ func (c *Client) putStream(req *proto.Request, size int64, r io.Reader, twoPhase
 	}
 	lb := getLineBuf()
 	defer putLineBuf(lb)
-	line, err := req.AppendTo((*lb)[:0])
+	line, withDeadline := c.appendDeadlinePrefix((*lb)[:0])
+	line, err := req.AppendTo(line)
 	if err != nil {
 		return vfs.EINVAL
 	}
@@ -556,6 +606,12 @@ func (c *Client) putStream(req *proto.Request, size int64, r io.Reader, twoPhase
 		if err := c.bw.Flush(); err != nil {
 			return c.failLocked(err)
 		}
+		if withDeadline {
+			if err := c.readDeadlineCode(); err != nil {
+				return c.failLocked(err)
+			}
+			withDeadline = false
+		}
 		//lint:ignore lockheld the ready line must be read before the body is streamed, under the same connection-owning critical section
 		ready, err := proto.ReadCode(c.br)
 		if err != nil {
@@ -576,6 +632,13 @@ func (c *Client) putStream(req *proto.Request, size int64, r io.Reader, twoPhase
 	//lint:ignore lockheld putfile streams request and response on the one serialized connection; c.mu owns it end to end
 	if err := c.bw.Flush(); err != nil {
 		return c.failLocked(err)
+	}
+	if withDeadline {
+		// One-phase put: the deadline status was pipelined behind the
+		// blind body, so it is read here, ahead of the final status.
+		if err := c.readDeadlineCode(); err != nil {
+			return c.failLocked(err)
+		}
 	}
 	//lint:ignore lockheld the response must be read under the same critical section that streamed the body
 	code, err := proto.ReadCode(c.br)

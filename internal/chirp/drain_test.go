@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -234,11 +235,20 @@ func TestClientDeadlineMapsToTimedout(t *testing.T) {
 	cliConn, srvConn := net.Pipe()
 	defer srvConn.Close()
 	stallServer(t, srvConn, func(br *bufio.Reader, w net.Conn) {
-		// Serve exactly one open, then stall.
-		if _, err := br.ReadString('\n'); err != nil {
+		// Serve exactly one open (acknowledging its pipelined deadline
+		// prefix), then stall.
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return
+			}
+			if strings.HasPrefix(line, "deadline") {
+				io.WriteString(w, "0\n")
+				continue
+			}
+			fmt.Fprintf(w, "1\n%s\n", proto.MarshalStat(vfs.FileInfo{Name: "f", Size: 5, Mode: 0o644, Inode: 7}))
 			return
 		}
-		fmt.Fprintf(w, "1\n%s\n", proto.MarshalStat(vfs.FileInfo{Name: "f", Size: 5, Mode: 0o644, Inode: 7}))
 	})
 	c, err := Dial(ClientConfig{
 		Dial:        func() (net.Conn, error) { return cliConn, nil },

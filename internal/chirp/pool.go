@@ -45,7 +45,21 @@ type Pool struct {
 	members []*member
 	dialing int // members being dialed outside the lock, counted toward size
 	closed  bool
+
+	// pushbackUntil marks the end of the server's pushback window: an
+	// RPC answered EAGAIN, meaning the server is shedding load
+	// (DESIGN.md §15). While the window is open the pool stops growing —
+	// dialing extra connections at a server that just asked for room
+	// would convert its pushback into more offered load. Existing
+	// members keep serving; the window is per pool because every member
+	// speaks to the same server.
+	pushbackUntil time.Time
 }
+
+// poolPushbackWindow is how long one EAGAIN suppresses lazy pool
+// growth. Matches the order of a retry backoff, so the pool does not
+// expand in the middle of the very burst being shed.
+const poolPushbackWindow = time.Second
 
 // member is one pooled connection with its load accounting; counts are
 // guarded by Pool.mu.
@@ -133,7 +147,7 @@ func (p *Pool) acquire() (*member, error) {
 		p.mu.Unlock()
 		return best, nil
 	}
-	if len(p.members)+p.dialing < p.size {
+	if len(p.members)+p.dialing < p.size && time.Now().After(p.pushbackUntil) {
 		p.dialing++
 		p.mu.Unlock()
 		c, err := Dial(p.cfg)
@@ -198,6 +212,17 @@ func (p *Pool) reap() {
 	}
 }
 
+// notePushback opens the pushback window when an RPC was answered with
+// EAGAIN: the server is shedding, so the pool must not grow into it.
+func (p *Pool) notePushback(err error) {
+	if vfs.AsErrno(err) != vfs.EAGAIN {
+		return
+	}
+	p.mu.Lock()
+	p.pushbackUntil = time.Now().Add(poolPushbackWindow)
+	p.mu.Unlock()
+}
+
 // withConn runs one stateless RPC on an acquired connection.
 func (p *Pool) withConn(fn func(*Client) error) error {
 	m, err := p.acquire()
@@ -206,6 +231,7 @@ func (p *Pool) withConn(fn func(*Client) error) error {
 	}
 	err = fn(m.c)
 	p.release(m)
+	p.notePushback(err)
 	return err
 }
 
@@ -296,6 +322,7 @@ func (p *Pool) OpenStat(path string, flags int, mode uint32) (vfs.File, vfs.File
 	}
 	p.mu.Unlock()
 	if err != nil {
+		p.notePushback(err)
 		return nil, fi, err
 	}
 	return &poolFile{File: f, p: p, m: m}, fi, nil

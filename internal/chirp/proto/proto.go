@@ -46,6 +46,17 @@
 //	setacl <path> <subject> <rights>    -> 0
 //	statfs                              -> 0, then "total free" line
 //	whoami                              -> 0, then subject line
+//	deadline <budget_ms>                -> 0 (arms the deadline for the next request)
+//
+// deadline is a pipelined prefix verb: a client with a request timeout
+// writes "deadline <remaining_ms>" immediately before the real request
+// line and reads two status lines back. The server fast-rejects the
+// armed request with ETIMEDOUT once the budget lapses, instead of
+// burning cycles producing an answer nobody is waiting for. Because
+// the prefix carries no data phase, a legacy server answers the
+// unknown verb with EINVAL and framing stays intact — the established
+// downgrade path (the client stops sending the prefix after the first
+// EINVAL, exactly like the checksum and lease negotiation).
 package proto
 
 import (
@@ -289,6 +300,7 @@ type Request struct {
 	Size    int64  // truncate, ftruncate, putbegin, putcomplete
 	Algo    string // checksum, getfilesum, putfilesum, getpart, putpart, putcomplete
 	Sum     string // putcomplete (lowercase hex digest; empty when Algo is empty)
+	Budget  int64  // deadline (remaining budget in milliseconds)
 }
 
 // AppendTo appends the request as a protocol line (without newline) to
@@ -380,6 +392,9 @@ func (q *Request) AppendTo(dst []byte) ([]byte, error) {
 		return AppendEscape(append(dst, ' '), q.Rights), nil
 	case "statfs", "whoami":
 		return append(dst, q.Verb...), nil
+	case "deadline":
+		dst = append(dst, "deadline"...)
+		return appendInt(dst, q.Budget), nil
 	}
 	return dst, fmt.Errorf("proto: unknown verb %q", q.Verb)
 }
@@ -569,6 +584,11 @@ func ParseRequest(line string) (*Request, error) {
 		if e := need(0); e != nil {
 			return nil, e
 		}
+	case "deadline":
+		if e := need(1); e != nil {
+			return nil, e
+		}
+		q.Budget, err = parseInt(args[0], 10)
 	default:
 		return nil, fmt.Errorf("proto: unknown verb %q", q.Verb)
 	}

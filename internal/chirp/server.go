@@ -55,6 +55,20 @@ type ServerConfig struct {
 	// DefaultLeaseTTL). It is the server's staleness bound: a
 	// partitioned holder may serve cached data for at most this long.
 	LeaseTTL time.Duration
+	// MaxInflight bounds concurrently executing RPCs across all
+	// connections; excess requests wait in a short admission queue and
+	// are shed with EAGAIN when it fills (0 = unlimited, admission
+	// control off). See DESIGN.md §15.
+	MaxInflight int
+	// MaxSessions bounds concurrently served connections; excess
+	// connections are refused at accept (0 = unlimited).
+	MaxSessions int
+	// QueueDepth bounds admission-queue waiters per priority class
+	// (default MaxInflight when admission control is on).
+	QueueDepth int
+	// QueueTimeout bounds how long an RPC may wait for admission before
+	// being shed with EAGAIN (default DefaultQueueTimeout).
+	QueueTimeout time.Duration
 	// Logf, when non-nil, receives one line per connection event.
 	Logf func(format string, args ...any)
 	// Metrics, when non-nil, receives per-RPC counts, latency
@@ -81,6 +95,13 @@ type ServerStats struct {
 	// LeaseBreaks counts outstanding leases broken by conflicting
 	// writes (client-initiated leasebreak releases are not breaks).
 	LeaseBreaks atomic.Int64
+	// Shed counts RPCs refused with EAGAIN by admission control.
+	Shed atomic.Int64
+	// SessionsRefused counts connections refused by the session cap.
+	SessionsRefused atomic.Int64
+	// DeadlineRejects counts RPCs fast-rejected (or aborted
+	// mid-transfer) because their propagated deadline lapsed.
+	DeadlineRejects atomic.Int64
 }
 
 // Server is a Chirp file server bound to one exported directory.
@@ -103,6 +124,12 @@ type Server struct {
 	// (lease/leasebreak): test hook for the caching tier's negotiation
 	// downgrade.
 	legacyLeases atomic.Bool
+	// legacyDeadlines does the same for the deadline prefix verb: test
+	// hook for the client's deadline-propagation downgrade.
+	legacyDeadlines atomic.Bool
+	// admission is the bounded in-flight gate of DESIGN.md §15; with
+	// MaxInflight 0 it admits everything.
+	admission *admission
 	// leases is the read-lease table of DESIGN.md §14: outstanding
 	// grants plus per-path version counters bumped on every
 	// conflicting mutation.
@@ -114,18 +141,20 @@ type Server struct {
 
 	// Per-RPC metrics, pre-resolved at construction so the serving
 	// loop pays one map lookup per request; all nil without a registry.
-	rpcHist        map[string]*obs.Histogram
-	mRPCUnknown    *obs.Counter
-	mRPCErrors     *obs.Counter
-	mConnections   *obs.Counter
-	mRequests      *obs.Counter
-	mBytesRead     *obs.Counter
-	mBytesWritten  *obs.Counter
-	mBulkFast      *obs.Counter
-	mMultipartFast *obs.Counter
-	mLeaseGrants   *obs.Counter
-	mLeaseBreaks   *obs.Counter
-	mDraining      *obs.Gauge
+	rpcHist          map[string]*obs.Histogram
+	mRPCUnknown      *obs.Counter
+	mRPCErrors       *obs.Counter
+	mConnections     *obs.Counter
+	mRequests        *obs.Counter
+	mBytesRead       *obs.Counter
+	mBytesWritten    *obs.Counter
+	mBulkFast        *obs.Counter
+	mMultipartFast   *obs.Counter
+	mLeaseGrants     *obs.Counter
+	mLeaseBreaks     *obs.Counter
+	mDraining        *obs.Gauge
+	mSessionsRefused *obs.Counter
+	mDeadlineRejects *obs.Counter
 
 	Stats ServerStats
 }
@@ -140,6 +169,7 @@ var rpcVerbs = []string{
 	"truncate", "chmod", "getacl", "setacl",
 	"lease", "leasebreak",
 	"statfs", "whoami",
+	"deadline",
 }
 
 // ioBufPool recycles bulk-data buffers across requests and
@@ -189,6 +219,7 @@ func NewServer(root string, cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, fs: fs}
 	s.leases.init(cfg.LeaseTTL)
+	s.admission = newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueTimeout, &s.Stats, cfg.Metrics)
 	if reg := cfg.Metrics; reg != nil {
 		s.rpcHist = make(map[string]*obs.Histogram, len(rpcVerbs))
 		for _, v := range rpcVerbs {
@@ -205,6 +236,8 @@ func NewServer(root string, cfg ServerConfig) (*Server, error) {
 		s.mLeaseGrants = reg.Counter("chirp_server.lease_grants")
 		s.mLeaseBreaks = reg.Counter("chirp_server.lease_breaks")
 		s.mDraining = reg.Gauge("chirp_server.draining")
+		s.mSessionsRefused = reg.Counter("chirp_server.sessions_refused")
+		s.mDeadlineRejects = reg.Counter("chirp_server.deadline_rejects")
 	}
 	if err := s.ensureRootACL(); err != nil {
 		return nil, err
@@ -368,12 +401,17 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // track registers a connection for drain accounting; it returns nil
-// when the server is already draining and the connection must be
-// refused.
+// when the server is already draining — or the session cap is reached —
+// and the connection must be refused.
 func (s *Server) track(conn net.Conn) *connState {
 	s.connMu.Lock()
 	defer s.connMu.Unlock()
 	if s.draining.Load() {
+		return nil
+	}
+	if max := s.cfg.MaxSessions; max > 0 && len(s.conns) >= max {
+		s.Stats.SessionsRefused.Add(1)
+		s.mSessionsRefused.Inc()
 		return nil
 	}
 	if s.conns == nil {
@@ -404,6 +442,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.mDraining.Set(1)
+	// Queued-but-unstarted RPCs fail with ESHUTDOWN right now — a full
+	// admission queue must not stall the drain for a queue-timeout (or
+	// deadline-length) period. In-flight RPCs keep their slots.
+	s.admission.drain()
 	s.connMu.Lock()
 	for l := range s.listeners {
 		l.Close()
@@ -456,6 +498,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Abort() {
 	s.draining.Store(true)
 	s.mDraining.Set(1)
+	s.admission.drain()
 	s.connMu.Lock()
 	for l := range s.listeners {
 		l.Close()
@@ -520,8 +563,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 			st.nudged = false
 		}
 		st.mu.Unlock()
-		s.Stats.Requests.Add(1)
-		s.mRequests.Inc()
+		if !isDeadlinePrefix(line) {
+			// The deadline prefix annotates the request that follows; it
+			// is protocol overhead, not an RPC of its own.
+			s.Stats.Requests.Add(1)
+			s.mRequests.Inc()
+		}
 		if err := sess.dispatch(line, conn, br, bw); err != nil {
 			s.logf("chirp: %s: fatal: %v", subject, err)
 			return
@@ -564,6 +611,12 @@ type session struct {
 	// leases are the lease IDs granted on this connection, released at
 	// disconnect like descriptors (nil until the first grant).
 	leases map[int64]struct{}
+	// armed is the deadline set by the last "deadline" prefix line,
+	// consumed by the next dispatched request (zero = none).
+	armed time.Time
+	// reqDeadline is the deadline governing the request currently in
+	// flight; bulk loops poll it and abort the stream when it lapses.
+	reqDeadline time.Time
 	// scratch is the session's response-line encoding buffer; a session
 	// serves one connection serially, so reuse is race-free and the
 	// per-line allocation of fmt.Fprintf disappears from the hot path.
@@ -621,6 +674,35 @@ func (ss *session) dispatch(line string, conn net.Conn, br *bufio.Reader, bw *bu
 	}
 	if ss.srv.rpcHist != nil {
 		defer ss.srv.observeRPC(req.Verb, time.Now())
+	}
+	if req.Verb == "deadline" {
+		// The pipelined deadline prefix arms the next request; it is
+		// pure bookkeeping and bypasses admission control — refusing it
+		// would only hide the very information load shedding wants.
+		if ss.srv.legacyDeadlines.Load() {
+			return ss.respondErr(bw, vfs.EINVAL)
+		}
+		return ss.handleDeadline(req, bw)
+	}
+	// Consume the armed deadline: it governs exactly one request.
+	deadline := ss.armed
+	ss.armed = time.Time{}
+	ss.reqDeadline = deadline
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		// Nobody is waiting for this answer; burn no cycles on it.
+		ss.srv.Stats.DeadlineRejects.Add(1)
+		ss.srv.mDeadlineRejects.Inc()
+		return ss.reject(req, br, bw, vfs.ETIMEDOUT)
+	}
+	if err := ss.srv.admission.acquire(bulkVerb[req.Verb]); err != nil {
+		return ss.reject(req, br, bw, err)
+	}
+	defer ss.srv.admission.release()
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		// The deadline lapsed while the request waited for admission.
+		ss.srv.Stats.DeadlineRejects.Add(1)
+		ss.srv.mDeadlineRejects.Inc()
+		return ss.reject(req, br, bw, vfs.ETIMEDOUT)
 	}
 	switch req.Verb {
 	case "open":
@@ -1103,6 +1185,9 @@ func (ss *session) handleGetfile(req *proto.Request, conn net.Conn, bw *bufio.Wr
 	defer putIOBuf(bp)
 	buf := *bp
 	for off < fi.Size {
+		if ss.deadlineLapsed() {
+			return ss.abortStream()
+		}
 		want := int64(len(buf))
 		if fi.Size-off < want {
 			want = fi.Size - off
@@ -1232,6 +1317,12 @@ func (ss *session) handlePutfile(req *proto.Request, conn net.Conn, br *bufio.Re
 	buf := *bp
 	var off int64
 	for off < req.Length {
+		if ss.deadlineLapsed() {
+			// The sender's own timeout already fired; don't spend disk
+			// writes on a transfer nobody will acknowledge.
+			f.Close()
+			return ss.abortStream()
+		}
 		want := int64(len(buf))
 		if req.Length-off < want {
 			want = req.Length - off

@@ -192,6 +192,10 @@ func (ss *session) handlePutpart(req *proto.Request, conn net.Conn, br *bufio.Re
 	var done int64
 	var writeErr error
 	for done < req.Length {
+		if ss.deadlineLapsed() {
+			f.Close()
+			return ss.abortStream()
+		}
 		want := int64(len(buf))
 		if req.Length-done < want {
 			want = req.Length - done
@@ -354,6 +358,9 @@ func (ss *session) handleGetpart(req *proto.Request, conn net.Conn, bw *bufio.Wr
 	defer putIOBuf(bp)
 	buf := *bp
 	for sent < n {
+		if ss.deadlineLapsed() {
+			return ss.abortStream()
+		}
 		want := int64(len(buf))
 		if n-sent < want {
 			want = n - sent

@@ -81,6 +81,9 @@ func (ss *session) handleGetfilesum(req *proto.Request, bw *bufio.Writer) error 
 	buf := *bp
 	var off int64
 	for off < fi.Size {
+		if ss.deadlineLapsed() {
+			return ss.abortStream()
+		}
 		want := int64(len(buf))
 		if fi.Size-off < want {
 			want = fi.Size - off
@@ -152,6 +155,10 @@ func (ss *session) handlePutfilesum(req *proto.Request, br *bufio.Reader, bw *bu
 	var off int64
 	var writeErr error
 	for off < req.Length {
+		if ss.deadlineLapsed() {
+			f.Close()
+			return ss.abortStream()
+		}
 		want := int64(len(buf))
 		if req.Length-off < want {
 			want = req.Length - off

@@ -1,0 +1,112 @@
+package resilient
+
+import "sync"
+
+// Default retry-budget knobs applied by NewRetryBudget.
+const (
+	// DefaultBudgetTokens is the bucket capacity: the largest retry
+	// burst a freshly healthy client may emit.
+	DefaultBudgetTokens = 10.0
+	// DefaultBudgetEarn is the fraction of a token deposited per
+	// successful operation, so sustained retry rate is capped at
+	// DefaultBudgetEarn retries per success (10%) once the initial
+	// burst allowance is spent.
+	DefaultBudgetEarn = 0.1
+)
+
+// RetryBudget is a token-bucket cap on aggregate retry volume, shared
+// by every operation of one client stack. Successes deposit a fraction
+// of a token; each retry withdraws a whole token; when the bucket is
+// empty, retries are refused and the original error surfaces.
+//
+// This is the client half of the overload contract (DESIGN.md §15):
+// the server sheds with EAGAIN, and the budget guarantees that a fleet
+// of retrying clients amplifies offered load by at most (1 + earn)
+// once the burst allowance is gone — a retry storm cannot sustain
+// itself, because storms spend tokens without earning any.
+//
+// All methods are safe for concurrent use and on a nil receiver: a nil
+// budget is unlimited, so wiring it through call sites needs no
+// branches.
+type RetryBudget struct {
+	mu        sync.Mutex
+	tokens    float64
+	capacity  float64
+	earn      float64
+	exhausted int64
+
+	// OnExhausted, when non-nil, observes each refused withdrawal —
+	// observability layers hang the resilient.budget_exhausted counter
+	// here. Called without the budget lock held.
+	OnExhausted func()
+}
+
+// NewRetryBudget returns a full bucket holding capacity tokens that
+// earns earnPerSuccess per successful operation. Non-positive
+// arguments take the package defaults.
+func NewRetryBudget(capacity, earnPerSuccess float64) *RetryBudget {
+	if capacity <= 0 {
+		capacity = DefaultBudgetTokens
+	}
+	if earnPerSuccess <= 0 {
+		earnPerSuccess = DefaultBudgetEarn
+	}
+	return &RetryBudget{tokens: capacity, capacity: capacity, earn: earnPerSuccess}
+}
+
+// Success deposits the per-success earning, capped at capacity. Safe
+// on a nil receiver (no-op).
+func (b *RetryBudget) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.earn
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw spends one token for a retry, reporting whether the retry
+// is allowed. Safe on a nil receiver (always allowed: nil means no
+// budget configured).
+func (b *RetryBudget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	} else {
+		b.exhausted++
+	}
+	b.mu.Unlock()
+	if !ok && b.OnExhausted != nil {
+		b.OnExhausted()
+	}
+	return ok
+}
+
+// Tokens returns the current balance. Safe on a nil receiver (+Inf is
+// not representable in a useful way here, so nil reports 0; callers
+// should treat a nil budget as unlimited instead of reading this).
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Exhausted returns how many retries the budget has refused.
+func (b *RetryBudget) Exhausted() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.exhausted
+}

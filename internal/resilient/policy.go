@@ -57,7 +57,9 @@ func WithMax(d time.Duration) PolicyOption {
 	}
 }
 
-// WithJitter sets the ± randomization fraction, in [0, 1).
+// WithJitter sets the jitter knob, in [0, 1). Any positive value
+// enables full-jitter backoff (delays drawn uniformly from the whole
+// backoff window); see Policy.Jitter.
 func WithJitter(f float64) PolicyOption {
 	return func(p *Policy) error {
 		if f < 0 || f >= 1 {
@@ -84,6 +86,16 @@ func WithBudget(d time.Duration) PolicyOption {
 func WithOnRetry(f func(attempt int, err error)) PolicyOption {
 	return func(p *Policy) error {
 		p.OnRetry = f
+		return nil
+	}
+}
+
+// WithRetryBudget installs the shared token bucket charged one token
+// per retry; nil removes any budget (unlimited retries within the
+// attempt and wall-clock bounds).
+func WithRetryBudget(b *RetryBudget) PolicyOption {
+	return func(p *Policy) error {
+		p.RetryBudget = b
 		return nil
 	}
 }

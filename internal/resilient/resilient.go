@@ -19,8 +19,12 @@
 //     trips open, so callers stop paying a dead backend's timeout on
 //     every operation. It re-admits the backend through half-open
 //     probes on a jittered exponential schedule.
-//   - A Policy bounds retries by attempt count and by wall-clock
-//     budget, with jittered exponential backoff between attempts.
+//   - A Policy bounds retries by attempt count, by wall-clock budget,
+//     and (when configured) by a shared token-bucket RetryBudget, with
+//     full-jitter exponential backoff between attempts.
+//   - Overload pushback (EAGAIN) is its own class: retryable after
+//     backoff and charged to the RetryBudget, but never breaker fuel —
+//     a busy backend is not a dead one.
 package resilient
 
 import (
@@ -55,8 +59,41 @@ func Retryable(err error) bool {
 	return false
 }
 
+// Pushback reports whether err is an explicit overload signal (EAGAIN):
+// the backend is healthy but shedding load. Pushback is deliberately
+// NOT a TransportError — a busy server must not trip breakers or count
+// as unreachable — but it is retryable after backing off, and every
+// such retry is charged to the caller's RetryBudget so aggregate retry
+// pressure stays capped while the backend drains (DESIGN.md §15).
+func Pushback(err error) bool {
+	return vfs.AsErrno(err) == vfs.EAGAIN
+}
+
+// RetryableOrPushback is the retry predicate for callers that honor
+// overload pushback: the reconnect-curable transport errors plus
+// EAGAIN. Hedging layers must still treat pushback differently from
+// transport loss (back off rather than fail over).
+func RetryableOrPushback(err error) bool {
+	return Retryable(err) || Pushback(err)
+}
+
+// fullJittered implements the "full jitter" backoff scheme: the delay
+// is drawn uniformly from [0, d), so concurrent retriers against one
+// recovering backend decorrelate instead of re-spiking in lockstep —
+// the classic thundering-herd fix. A nil source or non-positive d
+// returns d unchanged (deterministic schedule for tests).
+func fullJittered(d time.Duration, rnd func() float64) time.Duration {
+	if rnd == nil || d <= 0 {
+		return d
+	}
+	return time.Duration(rnd() * float64(d))
+}
+
 // jittered perturbs d by ±frac, using the given uniform [0,1) source.
-// A nil source or zero fraction returns d unchanged.
+// A nil source or zero fraction returns d unchanged. The breaker's
+// re-probe schedule uses this bounded form — a probe should happen
+// near its scheduled time, just not in fleet lockstep — while Policy
+// retry delays use fullJittered.
 func jittered(d time.Duration, frac float64, rnd func() float64) time.Duration {
 	if frac <= 0 || rnd == nil || d <= 0 {
 		return d

@@ -1,6 +1,8 @@
 package resilient
 
 import (
+	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -257,7 +259,9 @@ func TestPolicyDoDeadlineBudget(t *testing.T) {
 	}
 }
 
-func TestPolicyJitterBounds(t *testing.T) {
+func TestPolicyFullJitterBounds(t *testing.T) {
+	// Full jitter: each delay is uniform over [0, backoff), so the rand
+	// sequence maps directly onto fractions of the 100ms backoff.
 	seq := []float64{0, 0.5, 1 - 1e-9}
 	i := 0
 	p := Policy{
@@ -270,15 +274,173 @@ func TestPolicyJitterBounds(t *testing.T) {
 	var delays []time.Duration
 	p.Sleep = func(d time.Duration) { delays = append(delays, d) }
 	p.Do(func() error { return vfs.ENOTCONN }, nil, Retryable)
-	for _, d := range delays {
-		if d < 50*time.Millisecond || d > 150*time.Millisecond {
-			t.Errorf("jittered delay %v outside ±50%% of 100ms", d)
-		}
-	}
 	if len(delays) != 3 {
 		t.Fatalf("delays = %v", delays)
 	}
-	if delays[0] != 50*time.Millisecond {
-		t.Errorf("rand=0 should give the -jitter edge, got %v", delays[0])
+	for _, d := range delays {
+		if d < 0 || d >= 100*time.Millisecond {
+			t.Errorf("full-jittered delay %v outside [0, 100ms)", d)
+		}
+	}
+	if delays[0] != 0 {
+		t.Errorf("rand=0 should give a zero delay under full jitter, got %v", delays[0])
+	}
+	if delays[1] != 50*time.Millisecond {
+		t.Errorf("rand=0.5 should give 50ms, got %v", delays[1])
+	}
+}
+
+func TestPushbackClassification(t *testing.T) {
+	if !Pushback(vfs.EAGAIN) {
+		t.Error("Pushback(EAGAIN) = false")
+	}
+	for _, err := range []error{nil, vfs.ENOTCONN, vfs.ETIMEDOUT, vfs.EIO, vfs.ENOENT} {
+		if Pushback(err) {
+			t.Errorf("Pushback(%v) = true", err)
+		}
+	}
+	// A busy server is healthy: pushback must not feed the breaker or
+	// the mirror's unreachable accounting.
+	if TransportError(vfs.EAGAIN) {
+		t.Error("EAGAIN must not classify as a transport error")
+	}
+	if Retryable(vfs.EAGAIN) {
+		t.Error("EAGAIN is not reconnect-curable; plain Retryable must exclude it")
+	}
+	if !RetryableOrPushback(vfs.EAGAIN) || !RetryableOrPushback(vfs.ENOTCONN) {
+		t.Error("RetryableOrPushback must admit both EAGAIN and ENOTCONN")
+	}
+	if RetryableOrPushback(vfs.ENOENT) {
+		t.Error("RetryableOrPushback must reject semantic errors")
+	}
+}
+
+// TestFullJitterDecorrelates drives N concurrent retriers against one
+// "recovering" server and checks their first-retry delays spread over
+// the backoff window instead of re-spiking in lockstep — the property
+// the thundering-herd fix exists for.
+func TestFullJitterDecorrelates(t *testing.T) {
+	const n = 16
+	delays := make([]time.Duration, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(i + 1)))
+			fails := 1 // the server recovers after one failure
+			p := Policy{
+				Attempts: 3,
+				Base:     100 * time.Millisecond,
+				Max:      100 * time.Millisecond,
+				Jitter:   1, // full jitter
+				Rand:     r.Float64,
+				Sleep: func(d time.Duration) {
+					if delays[i] == 0 {
+						delays[i] = d
+					}
+				},
+			}
+			err, _ := p.Do(func() error {
+				if fails > 0 {
+					fails--
+					return vfs.EAGAIN
+				}
+				return nil
+			}, nil, RetryableOrPushback)
+			if err != nil {
+				t.Errorf("retrier %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	distinct := make(map[time.Duration]struct{}, n)
+	var min, max time.Duration = time.Hour, 0
+	for _, d := range delays {
+		distinct[d] = struct{}{}
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if len(distinct) < n/2 {
+		t.Errorf("only %d distinct delays among %d retriers — lockstep", len(distinct), n)
+	}
+	if max-min < 30*time.Millisecond {
+		t.Errorf("delay spread %v too narrow for a 100ms window", max-min)
+	}
+}
+
+func TestRetryBudgetTokenBucket(t *testing.T) {
+	exhausted := 0
+	b := NewRetryBudget(2, 0.5)
+	b.OnExhausted = func() { exhausted++ }
+	// Starts full: two withdrawals succeed, the third is refused.
+	if !b.Withdraw() || !b.Withdraw() {
+		t.Fatal("fresh budget refused a withdrawal")
+	}
+	if b.Withdraw() {
+		t.Fatal("empty budget allowed a withdrawal")
+	}
+	if exhausted != 1 || b.Exhausted() != 1 {
+		t.Errorf("exhausted hook=%d counter=%d, want 1/1", exhausted, b.Exhausted())
+	}
+	// Two successes earn one token back; deposits cap at capacity.
+	b.Success()
+	if b.Withdraw() {
+		t.Fatal("half a token must not fund a retry")
+	}
+	b.Success()
+	if !b.Withdraw() {
+		t.Fatal("earned token refused")
+	}
+	for i := 0; i < 10; i++ {
+		b.Success()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Errorf("tokens after overflow deposits = %v, want capped at 2", got)
+	}
+	// A nil budget is unlimited.
+	var nilB *RetryBudget
+	if !nilB.Withdraw() {
+		t.Error("nil budget must allow withdrawals")
+	}
+	nilB.Success() // must not panic
+}
+
+func TestPolicyDoChargesRetryBudget(t *testing.T) {
+	b := NewRetryBudget(2, 0.1)
+	ops := 0
+	p := Policy{
+		Attempts:    10,
+		Base:        time.Millisecond,
+		Sleep:       func(time.Duration) {},
+		RetryBudget: b,
+	}
+	err, exhausted := p.Do(func() error { ops++; return vfs.EAGAIN }, nil, RetryableOrPushback)
+	if vfs.AsErrno(err) != vfs.EAGAIN || !exhausted {
+		t.Fatalf("Do = %v, exhausted=%v; want EAGAIN, true", err, exhausted)
+	}
+	// 1 initial try + 2 budgeted retries; the 3rd retry was refused.
+	if ops != 3 {
+		t.Errorf("ops = %d, want 3 (budget capped the loop before Attempts)", ops)
+	}
+	if b.Exhausted() != 1 {
+		t.Errorf("budget exhaustions = %d, want 1", b.Exhausted())
+	}
+}
+
+func TestPolicyDoSuccessEarnsBudget(t *testing.T) {
+	b := NewRetryBudget(2, 1)
+	b.Withdraw()
+	b.Withdraw() // empty
+	p := Policy{Attempts: 3, Base: time.Millisecond, Sleep: func(time.Duration) {}, RetryBudget: b}
+	if err, _ := p.Do(func() error { return nil }, nil, RetryableOrPushback); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Withdraw() {
+		t.Error("a successful Do must deposit into the budget")
 	}
 }

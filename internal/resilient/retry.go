@@ -18,11 +18,22 @@ type Policy struct {
 	Base time.Duration
 	// Max caps the (pre-jitter) backoff delay; 0 means uncapped.
 	Max time.Duration
-	// Jitter randomizes each delay by ±Jitter fraction (0 = none).
+	// Jitter > 0 enables full-jitter backoff: each delay is drawn
+	// uniformly from [0, Backoff(attempt)), so concurrent retriers
+	// against one recovering backend decorrelate instead of re-spiking
+	// in lockstep. Non-positive disables randomization (deterministic
+	// schedule). The magnitude is kept for configuration compatibility
+	// but does not scale the delay — full jitter always spans the whole
+	// backoff window, which is what kills the thundering herd.
 	Jitter float64
 	// Budget caps the total wall-clock time spent on retries; once the
 	// next backoff would cross it, Do gives up. 0 means no time cap.
 	Budget time.Duration
+	// RetryBudget, when non-nil, is the shared token bucket charged one
+	// token per retry; an empty bucket stops the loop with the current
+	// error standing (reported as exhausted). Pushback retries draw
+	// from the same bucket, which is what caps a retry storm.
+	RetryBudget *RetryBudget
 	// OnRetry, when non-nil, observes each retry about to be made: the
 	// 0-based retry index and the error that provoked it.
 	OnRetry func(attempt int, err error)
@@ -88,8 +99,14 @@ func (p Policy) Do(op func() error, prepare func() error, retryable func(error) 
 	}
 	err = op()
 	for attempt := 0; attempt < p.Attempts && retryable(err); attempt++ {
-		delay := jittered(p.Backoff(attempt), p.Jitter, rnd)
+		delay := p.Backoff(attempt)
+		if p.Jitter > 0 {
+			delay = fullJittered(delay, rnd)
+		}
 		if !deadline.IsZero() && now().Add(delay).After(deadline) {
+			return err, true
+		}
+		if !p.RetryBudget.Withdraw() {
 			return err, true
 		}
 		if p.OnRetry != nil {
@@ -106,6 +123,9 @@ func (p Policy) Do(op func() error, prepare func() error, retryable func(error) 
 			}
 		}
 		err = op()
+	}
+	if err == nil {
+		p.RetryBudget.Success()
 	}
 	return err, retryable(err)
 }

@@ -24,6 +24,7 @@ const (
 	ENOENT       Errno = 2   // no such file or directory
 	EIO          Errno = 5   // input/output error
 	EBADF        Errno = 9   // bad file descriptor
+	EAGAIN       Errno = 11  // resource temporarily unavailable (overload pushback)
 	EACCES       Errno = 13  // permission denied
 	EBUSY        Errno = 16  // device or resource busy
 	EEXIST       Errno = 17  // file exists
@@ -38,6 +39,7 @@ const (
 	ENOTEMPTY    Errno = 39  // directory not empty
 	EBADMSG      Errno = 74  // bad message (digest verification failed)
 	ENOTCONN     Errno = 107 // transport endpoint is not connected
+	ESHUTDOWN    Errno = 108 // cannot send after transport endpoint shutdown (server draining)
 	ETIMEDOUT    Errno = 110 // connection timed out
 	ESTALE       Errno = 116 // stale file handle
 )
@@ -47,6 +49,7 @@ var errnoText = map[Errno]string{
 	ENOENT:       "no such file or directory",
 	EIO:          "input/output error",
 	EBADF:        "bad file descriptor",
+	EAGAIN:       "resource temporarily unavailable",
 	EACCES:       "permission denied",
 	EBUSY:        "device or resource busy",
 	EEXIST:       "file exists",
@@ -61,6 +64,7 @@ var errnoText = map[Errno]string{
 	ENOTEMPTY:    "directory not empty",
 	EBADMSG:      "bad message",
 	ENOTCONN:     "transport endpoint is not connected",
+	ESHUTDOWN:    "cannot send after transport endpoint shutdown",
 	ETIMEDOUT:    "connection timed out",
 	ESTALE:       "stale file handle",
 }
@@ -109,6 +113,8 @@ func AsErrno(err error) Errno {
 			return ENOENT
 		case syscall.EBADF:
 			return EBADF
+		case syscall.EAGAIN:
+			return EAGAIN
 		case syscall.EACCES:
 			return EACCES
 		case syscall.EBUSY:
@@ -137,6 +143,8 @@ func AsErrno(err error) Errno {
 			return EBADMSG
 		case syscall.ENOTCONN:
 			return ENOTCONN
+		case syscall.ESHUTDOWN:
+			return ESHUTDOWN
 		case syscall.ETIMEDOUT:
 			return ETIMEDOUT
 		case syscall.ESTALE:
